@@ -1,0 +1,78 @@
+// E6 — ablation of the cluster-similarity design choices in §4.1:
+//   1. composite (both measures) vs either measure alone, and
+//   2. geometric vs arithmetic combination of the two measures.
+// The paper argues the geometric mean is necessary because the two measures
+// live on different scales (an arithmetic mean lets average resemblance
+// drown the walk probability).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/text_table.h"
+
+int main(int argc, char** argv) {
+  using namespace distinct;
+  using namespace distinct::bench;
+
+  FlagParser flags;
+  flags.AddInt64("seed", static_cast<int64_t>(kDefaultSeed),
+                 "generator seed");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+
+  PrintBanner("bench_ablation_combine",
+              "the Section 4.1 similarity-combination design choices");
+
+  DblpDataset dataset = MustGenerate(StandardGeneratorConfig(
+      static_cast<uint64_t>(flags.GetInt64("seed"))));
+  Distinct engine = MustCreate(dataset.db, StandardDistinctConfig());
+  auto matrices = ComputeCaseMatrices(engine, dataset.cases);
+  if (!matrices.ok()) {
+    std::fprintf(stderr, "%s\n", matrices.status().ToString().c_str());
+    return 1;
+  }
+
+  struct Config {
+    const char* label;
+    ClusterMeasure measure;
+    CombineRule combine;
+  };
+  const Config configs[] = {
+      {"composite, geometric mean (DISTINCT)", ClusterMeasure::kComposite,
+       CombineRule::kGeometricMean},
+      {"composite, arithmetic mean", ClusterMeasure::kComposite,
+       CombineRule::kArithmeticMean},
+      {"average-link resemblance only", ClusterMeasure::kResemblanceOnly,
+       CombineRule::kGeometricMean},
+      {"collective random walk only", ClusterMeasure::kWalkOnly,
+       CombineRule::kGeometricMean},
+  };
+
+  TextTable table({"cluster similarity", "best min-sim", "precision",
+                   "recall", "f-measure"});
+  for (size_t c = 1; c <= 4; ++c) {
+    table.SetRightAlign(c);
+  }
+  for (const Config& config : configs) {
+    AgglomerativeOptions options;
+    options.measure = config.measure;
+    options.combine = config.combine;
+    // Every arm gets its best min-sim so the comparison isolates the
+    // combination rule rather than threshold calibration.
+    options.min_sim = BestMinSim(*matrices, options, DefaultMinSimGrid());
+    const AggregateScores aggregate =
+        Aggregate(EvaluateWithOptions(*matrices, options));
+    table.AddRow({config.label, StrFormat("%.1e", options.min_sim),
+                  Fmt3(aggregate.precision), Fmt3(aggregate.recall),
+                  Fmt3(aggregate.f1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\npaper: the combined measure adds ~3 f-measure points over either "
+      "single measure\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E7 — ablation of §4.2's incremental cluster-similarity maintenance.
+//
+// DISTINCT folds pairwise sums on every merge (O(active clusters) per
+// merge); the strawman recomputes each cluster-pair sum from the base
+// matrices (O(|C1|·|C2|) per consulted pair). This harness times both on
+// planted-structure similarity matrices of growing size; the outputs are
+// identical, only the cost differs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/agglomerative.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/text_table.h"
+
+namespace {
+
+using namespace distinct;
+
+/// Random matrices with `clusters` planted blocks: in-block similarity
+/// ~U[0.3,0.6], cross-block ~U[0,0.05].
+void MakePlantedMatrices(size_t n, int clusters, uint64_t seed,
+                         PairMatrix& resem, PairMatrix& walk) {
+  Rng rng(seed);
+  std::vector<int> block(n);
+  for (size_t i = 0; i < n; ++i) {
+    block[i] = static_cast<int>(rng.UniformInt(0, clusters - 1));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const bool same = block[i] == block[j];
+      const double r = same ? 0.3 + 0.3 * rng.UniformDouble()
+                            : 0.05 * rng.UniformDouble();
+      const double w = same ? 1e-3 * (0.5 + rng.UniformDouble())
+                            : 5e-5 * rng.UniformDouble();
+      resem.set(i, j, r);
+      walk.set(i, j, w);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace distinct::bench;
+
+  FlagParser flags;
+  flags.AddInt64("seed", static_cast<int64_t>(kDefaultSeed), "matrix seed");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+
+  PrintBanner("bench_ablation_incremental",
+              "the Section 4.2 incremental-merge optimization");
+
+  TextTable table({"#refs", "incremental (ms)", "brute force (ms)",
+                   "speedup", "same result"});
+  for (size_t c = 0; c <= 4; ++c) {
+    table.SetRightAlign(c);
+  }
+  for (const size_t n : {50u, 100u, 200u, 400u, 800u}) {
+    PairMatrix resem(n);
+    PairMatrix walk(n);
+    MakePlantedMatrices(n, /*clusters=*/8,
+                        static_cast<uint64_t>(flags.GetInt64("seed")),
+                        resem, walk);
+
+    AgglomerativeOptions options;
+    options.min_sim = 1e-3;
+
+    options.incremental = true;
+    Stopwatch incremental_watch;
+    const ClusteringResult incremental =
+        ClusterReferences(resem, walk, options);
+    const double ms_incremental = incremental_watch.Millis();
+
+    options.incremental = false;
+    Stopwatch brute_watch;
+    const ClusteringResult brute = ClusterReferences(resem, walk, options);
+    const double ms_brute = brute_watch.Millis();
+
+    table.AddRow({StrFormat("%zu", n), StrFormat("%.1f", ms_incremental),
+                  StrFormat("%.1f", ms_brute),
+                  StrFormat("%.1fx", ms_brute / std::max(ms_incremental,
+                                                         1e-3)),
+                  incremental.assignment == brute.assignment ? "yes"
+                                                             : "NO"});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E12 — extension ablation: the paper fixes one min-sim for DISTINCT and
+// tunes each baseline's threshold per method. The largest-gap stopping
+// rule removes the calibration entirely — it cuts the merge sequence at
+// the biggest relative similarity drop. This harness quantifies what that
+// convenience costs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/text_table.h"
+
+int main(int argc, char** argv) {
+  using namespace distinct;
+  using namespace distinct::bench;
+
+  FlagParser flags;
+  flags.AddInt64("seed", static_cast<int64_t>(kDefaultSeed),
+                 "generator seed");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+
+  PrintBanner("bench_ablation_stopping",
+              "the min-sim calibration burden (extension)");
+
+  DblpDataset dataset = MustGenerate(StandardGeneratorConfig(
+      static_cast<uint64_t>(flags.GetInt64("seed"))));
+  Distinct engine = MustCreate(dataset.db, StandardDistinctConfig());
+  const double auto_min_sim = engine.report().suggested_min_sim;
+  auto matrices = ComputeCaseMatrices(engine, dataset.cases);
+  if (!matrices.ok()) {
+    std::fprintf(stderr, "%s\n", matrices.status().ToString().c_str());
+    return 1;
+  }
+
+  struct Arm {
+    const char* label;
+    StoppingRule stopping;
+    double min_sim;
+  };
+  AgglomerativeOptions base = engine.cluster_options();
+  const double tuned = BestMinSim(*matrices, base, DefaultMinSimGrid());
+  const Arm arms[] = {
+      {"fixed threshold, tuned per dataset", StoppingRule::kFixedThreshold,
+       tuned},
+      {"fixed threshold, calibrated default", StoppingRule::kFixedThreshold,
+       kDefaultMinSim},
+      {"fixed threshold, naive guess (1e-4)", StoppingRule::kFixedThreshold,
+       1e-4},
+      {"largest gap, no calibration", StoppingRule::kLargestGap, 1e-4},
+      {"fixed threshold, auto-calibrated from training pairs",
+       StoppingRule::kFixedThreshold, auto_min_sim},
+  };
+
+  TextTable table({"stopping rule", "min-sim", "precision", "recall",
+                   "f-measure"});
+  for (size_t c = 1; c <= 4; ++c) {
+    table.SetRightAlign(c);
+  }
+  for (const Arm& arm : arms) {
+    AgglomerativeOptions options = base;
+    options.stopping = arm.stopping;
+    options.min_sim = arm.min_sim;
+    const AggregateScores aggregate =
+        Aggregate(EvaluateWithOptions(*matrices, options));
+    table.AddRow({arm.label, StrFormat("%.1e", arm.min_sim),
+                  Fmt3(aggregate.precision), Fmt3(aggregate.recall),
+                  Fmt3(aggregate.f1)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nthe naive-guess row shows what a wrong fixed threshold costs; the "
+      "auto-calibrated row derives its threshold from the automatic "
+      "training pairs alone (precision-constrained cut), with no ground "
+      "truth and no sweep.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E4 — Fig. 5: the Wei Wang case study. Shows how DISTINCT's clusters line
+// up with the fourteen real Wei Wangs (the paper draws each author as a box
+// with arrows marking the mistakes; this harness renders the same content
+// as text).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "eval/confusion.h"
+#include "eval/visualize.h"
+
+int main(int argc, char** argv) {
+  using namespace distinct;
+  using namespace distinct::bench;
+
+  FlagParser flags;
+  flags.AddInt64("seed", static_cast<int64_t>(kDefaultSeed),
+                 "generator seed");
+  flags.AddString("name", "Wei Wang", "case to visualize");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+
+  PrintBanner("bench_fig5_weiwang", "Figure 5");
+
+  DblpDataset dataset = MustGenerate(StandardGeneratorConfig(
+      static_cast<uint64_t>(flags.GetInt64("seed"))));
+  Distinct engine = MustCreate(dataset.db, StandardDistinctConfig());
+
+  const std::string name = flags.GetString("name");
+  const AmbiguousCase* ambiguous_case = nullptr;
+  for (const AmbiguousCase& c : dataset.cases) {
+    if (c.name == name) {
+      ambiguous_case = &c;
+    }
+  }
+  if (ambiguous_case == nullptr) {
+    std::fprintf(stderr, "no planted case named '%s'\n", name.c_str());
+    return 1;
+  }
+
+  auto evaluation = EvaluateCase(engine, *ambiguous_case);
+  if (!evaluation.ok()) {
+    std::fprintf(stderr, "%s\n", evaluation.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ReferenceDisplay> refs(ambiguous_case->publish_rows.size());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    refs[i].label = StrFormat("Publish row %d",
+                              ambiguous_case->publish_rows[i]);
+    refs[i].truth = ambiguous_case->truth[i];
+    refs[i].predicted = evaluation->clustering.assignment[i];
+  }
+  std::printf("%s\n",
+              RenderClusterDiagram(refs, ambiguous_case->entity_names)
+                  .c_str());
+  std::printf("scores: %s\n\n", evaluation->scores.DebugString().c_str());
+  std::printf("%s",
+              AnalyzeConfusion(ambiguous_case->truth,
+                               evaluation->clustering.assignment)
+                  .Render(ambiguous_case->entity_names, /*max_rows=*/5)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// E8 — min-sim sensitivity sweep.
+//
+// The paper fixes one min-sim for DISTINCT and tunes each baseline's
+// min-sim for best average accuracy (§5). This harness sweeps min-sim for
+// the full DISTINCT configuration and reports average precision / recall /
+// F1 at each point, which is how kDefaultMinSim in bench_util.h was chosen.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/text_table.h"
+
+int main(int argc, char** argv) {
+  using namespace distinct;
+  using namespace distinct::bench;
+
+  FlagParser flags;
+  flags.AddInt64("seed", static_cast<int64_t>(kDefaultSeed),
+                 "generator seed");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+
+  PrintBanner("bench_minsim_sweep", "the min-sim setting of Section 5");
+
+  DblpDataset dataset = MustGenerate(StandardGeneratorConfig(
+      static_cast<uint64_t>(flags.GetInt64("seed"))));
+  Distinct engine = MustCreate(dataset.db, StandardDistinctConfig());
+
+  auto matrices = ComputeCaseMatrices(engine, dataset.cases);
+  if (!matrices.ok()) {
+    std::fprintf(stderr, "%s\n", matrices.status().ToString().c_str());
+    return 1;
+  }
+
+  TextTable table({"min-sim", "precision", "recall", "f1", "clusters"});
+  for (size_t c = 0; c < 5; ++c) {
+    table.SetRightAlign(c);
+  }
+  AgglomerativeOptions options = engine.cluster_options();
+  double best_f1 = -1.0;
+  double best_min_sim = 0.0;
+  for (const double min_sim : DefaultMinSimGrid()) {
+    options.min_sim = min_sim;
+    const auto evaluations = EvaluateWithOptions(*matrices, options);
+    const AggregateScores aggregate = Aggregate(evaluations);
+    int total_clusters = 0;
+    for (const CaseEvaluation& evaluation : evaluations) {
+      total_clusters += evaluation.clustering.num_clusters;
+    }
+    table.AddRow({StrFormat("%.1e", min_sim), Fmt3(aggregate.precision),
+                  Fmt3(aggregate.recall), Fmt3(aggregate.f1),
+                  StrFormat("%d", total_clusters)});
+    if (aggregate.f1 > best_f1) {
+      best_f1 = aggregate.f1;
+      best_min_sim = min_sim;
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nbest min-sim %.0e (avg f1 %.3f); harness default %.0e\n",
+              best_min_sim, best_f1, kDefaultMinSim);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E11 — robustness of the headline Table 2 numbers across generator seeds.
+// The paper evaluates one (real) dataset; a synthetic substitute must show
+// its conclusions are not an artifact of one random world.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/text_table.h"
+
+int main(int argc, char** argv) {
+  using namespace distinct;
+  using namespace distinct::bench;
+
+  FlagParser flags;
+  flags.AddInt64("seeds", 5, "number of generator seeds to evaluate");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+
+  PrintBanner("bench_seed_robustness",
+              "Table 2's averages, across generator seeds");
+
+  TextTable table({"seed", "precision", "recall", "f-measure",
+                   "perfect-precision cases"});
+  for (size_t c = 0; c <= 4; ++c) {
+    table.SetRightAlign(c);
+  }
+
+  std::vector<double> f1s;
+  std::vector<double> recalls;
+  std::vector<double> precisions;
+  const int num_seeds = static_cast<int>(flags.GetInt64("seeds"));
+  for (int s = 0; s < num_seeds; ++s) {
+    const uint64_t seed = kDefaultSeed + static_cast<uint64_t>(s);
+    DblpDataset dataset = MustGenerate(StandardGeneratorConfig(seed));
+    Distinct engine = MustCreate(dataset.db, StandardDistinctConfig());
+    auto evaluations = EvaluateCases(engine, dataset.cases);
+    if (!evaluations.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   evaluations.status().ToString().c_str());
+      return 1;
+    }
+    int perfect = 0;
+    for (const CaseEvaluation& evaluation : *evaluations) {
+      if (evaluation.scores.false_positives == 0) {
+        ++perfect;
+      }
+    }
+    const AggregateScores aggregate = Aggregate(*evaluations);
+    f1s.push_back(aggregate.f1);
+    recalls.push_back(aggregate.recall);
+    precisions.push_back(aggregate.precision);
+    table.AddRow({StrFormat("%llu", static_cast<unsigned long long>(seed)),
+                  Fmt3(aggregate.precision), Fmt3(aggregate.recall),
+                  Fmt3(aggregate.f1),
+                  StrFormat("%d/%zu", perfect, evaluations->size())});
+  }
+
+  auto mean_std = [](const std::vector<double>& values) {
+    double mean = 0.0;
+    for (const double v : values) mean += v;
+    mean /= static_cast<double>(values.size());
+    double variance = 0.0;
+    for (const double v : values) variance += (v - mean) * (v - mean);
+    variance /= static_cast<double>(values.size());
+    return std::make_pair(mean, std::sqrt(variance));
+  };
+  std::printf("%s", table.Render().c_str());
+  const auto [f1_mean, f1_std] = mean_std(f1s);
+  const auto [recall_mean, recall_std] = mean_std(recalls);
+  const auto [precision_mean, precision_std] = mean_std(precisions);
+  std::printf(
+      "\nacross %d seeds: precision %.3f±%.3f, recall %.3f±%.3f, "
+      "f-measure %.3f±%.3f (paper: precision ~1.0 in 7/10 cases, recall "
+      "0.836, f ~0.90)\n",
+      num_seeds, precision_mean, precision_std, recall_mean, recall_std,
+      f1_mean, f1_std);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E2 — Table 2: DISTINCT's precision / recall / f-measure per ambiguous
+// name, plus the averages.
+//
+// Paper reference points (its DBLP snapshot): no false positives in 7 of 10
+// cases, average recall 83.6%, average f-measure ≈ 0.90.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/text_table.h"
+
+int main(int argc, char** argv) {
+  using namespace distinct;
+  using namespace distinct::bench;
+
+  FlagParser flags;
+  flags.AddInt64("seed", static_cast<int64_t>(kDefaultSeed),
+                 "generator seed");
+  flags.AddDouble("min-sim", kDefaultMinSim, "merge threshold");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+
+  PrintBanner("bench_table2_accuracy", "Table 2");
+
+  DblpDataset dataset = MustGenerate(StandardGeneratorConfig(
+      static_cast<uint64_t>(flags.GetInt64("seed"))));
+  DistinctConfig config = StandardDistinctConfig();
+  config.min_sim = flags.GetDouble("min-sim");
+  Distinct engine = MustCreate(dataset.db, config);
+
+  auto evaluations = EvaluateCases(engine, dataset.cases);
+  if (!evaluations.ok()) {
+    std::fprintf(stderr, "%s\n", evaluations.status().ToString().c_str());
+    return 1;
+  }
+
+  TextTable table({"name", "#authors", "#refs", "#found", "precision",
+                   "recall", "f-measure"});
+  for (size_t c = 1; c <= 6; ++c) {
+    table.SetRightAlign(c);
+  }
+  int perfect_precision_cases = 0;
+  for (const CaseEvaluation& evaluation : *evaluations) {
+    if (evaluation.scores.false_positives == 0) {
+      ++perfect_precision_cases;
+    }
+    table.AddRow({evaluation.name, StrFormat("%d", evaluation.num_entities),
+                  StrFormat("%zu", evaluation.num_refs),
+                  StrFormat("%d", evaluation.clustering.num_clusters),
+                  Fmt3(evaluation.scores.precision),
+                  Fmt3(evaluation.scores.recall),
+                  Fmt3(evaluation.scores.f1)});
+  }
+  const AggregateScores aggregate = Aggregate(*evaluations);
+  table.AddRow({"average", "", "", "", Fmt3(aggregate.precision),
+                Fmt3(aggregate.recall), Fmt3(aggregate.f1)});
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\ncases with zero false positives: %d / %zu (paper: 7 / 10)\n"
+      "average recall %.3f (paper: 0.836), average f-measure %.3f "
+      "(paper: ~0.90)\n",
+      perfect_precision_cases, evaluations->size(), aggregate.recall,
+      aggregate.f1);
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "dblp/schema.h"
+
+namespace distinct {
+namespace bench {
+
+GeneratorConfig StandardGeneratorConfig(uint64_t seed) {
+  GeneratorConfig config;
+  config.seed = seed;
+  return config;  // defaults already match DESIGN.md §5
+}
+
+DistinctConfig StandardDistinctConfig() {
+  DistinctConfig config;
+  config.promotions = DblpDefaultPromotions();
+  config.min_sim = kDefaultMinSim;
+  return config;
+}
+
+DblpDataset MustGenerate(const GeneratorConfig& config) {
+  auto dataset = GenerateDblpDataset(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(dataset);
+}
+
+Distinct MustCreate(const Database& db, const DistinctConfig& config) {
+  auto engine = Distinct::Create(db, DblpReferenceSpec(), config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine creation failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(engine);
+}
+
+std::string Fmt3(double value) { return StrFormat("%.3f", value); }
+
+void PrintBanner(const char* experiment, const char* paper_artifact) {
+  std::printf("==============================================================\n");
+  std::printf("%s  —  reproduces %s of Yin/Han/Yu, ICDE 2007\n", experiment,
+              paper_artifact);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace distinct

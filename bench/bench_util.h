@@ -1,0 +1,48 @@
+// Shared setup for the benchmark harnesses: one standard dataset, one
+// standard engine configuration, formatting helpers.
+
+#ifndef DISTINCT_BENCH_BENCH_UTIL_H_
+#define DISTINCT_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/distinct.h"
+#include "core/evaluation.h"
+#include "dblp/generator.h"
+
+namespace distinct {
+namespace bench {
+
+/// Seed every harness uses unless overridden on the command line, so the
+/// numbers in EXPERIMENTS.md are reproducible with a bare invocation.
+inline constexpr uint64_t kDefaultSeed = 42;
+
+/// The DISTINCT min-sim used for the headline results (analog of the
+/// paper's fixed min-sim; calibrated once on the default dataset — see
+/// bench_minsim_sweep).
+inline constexpr double kDefaultMinSim = 3e-2;
+
+/// Generator config of the standard benchmark dataset.
+GeneratorConfig StandardGeneratorConfig(uint64_t seed);
+
+/// Engine config used for the headline DISTINCT results.
+DistinctConfig StandardDistinctConfig();
+
+/// Generates the dataset or aborts with a message (harness context).
+DblpDataset MustGenerate(const GeneratorConfig& config);
+
+/// Creates a trained engine or aborts with a message.
+Distinct MustCreate(const Database& db, const DistinctConfig& config);
+
+/// Formats a double with 3 decimals ("0.927").
+std::string Fmt3(double value);
+
+/// Prints the standard harness banner.
+void PrintBanner(const char* experiment, const char* paper_artifact);
+
+}  // namespace bench
+}  // namespace distinct
+
+#endif  // DISTINCT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,37 @@
+# Benchmark harnesses. Included from the top-level CMakeLists with
+# include(), not add_subdirectory(), so that ${CMAKE_BINARY_DIR}/bench
+# contains ONLY the benchmark executables: `for b in build/bench/*; do $b;
+# done` then runs exactly the harnesses.
+
+set(DISTINCT_BENCH_DIR ${CMAKE_CURRENT_SOURCE_DIR}/bench)
+
+function(distinct_add_bench name)
+  add_executable(${name} ${DISTINCT_BENCH_DIR}/${name}.cpp
+                 ${DISTINCT_BENCH_DIR}/bench_util.cc)
+  target_link_libraries(${name} PRIVATE distinct::distinct)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+# One harness per paper table/figure (DESIGN.md §4).
+distinct_add_bench(bench_table1_dataset)
+distinct_add_bench(bench_table2_accuracy)
+distinct_add_bench(bench_fig4_comparison)
+distinct_add_bench(bench_fig5_weiwang)
+distinct_add_bench(bench_training_micro)
+
+# Ablations and sensitivity.
+distinct_add_bench(bench_ablation_combine)
+distinct_add_bench(bench_ablation_incremental)
+distinct_add_bench(bench_ablation_stopping)
+distinct_add_bench(bench_minsim_sweep)
+distinct_add_bench(bench_scale)
+distinct_add_bench(bench_seed_robustness)
+
+# google-benchmark microbenchmarks.
+add_executable(bench_micro ${DISTINCT_BENCH_DIR}/bench_micro.cpp
+               ${DISTINCT_BENCH_DIR}/bench_util.cc)
+target_link_libraries(bench_micro PRIVATE distinct::distinct
+                      benchmark::benchmark)
+set_target_properties(bench_micro PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,159 @@
+// DISTINCT on a non-DBLP schema: an e-commerce catalog where different
+// products share the name "Forgotten" (the paper's AllMusic motivation —
+// 72 songs and 3 albums share that title). Demonstrates that the engine is
+// schema-agnostic: point the ReferenceSpec at any reference relation.
+//
+// Schema:
+//   Artists(artist_id, name)
+//   Labels(label_id, name, country)
+//   Albums(album_id, title, artist_id -> Artists, label_id -> Labels)
+//   Tracks(track_id, song_id -> Songs, album_id -> Albums)
+//   Songs(song_id, title)   <- references: Tracks rows, named by song title
+//
+// The catalog has ONE "Forgotten" entry even though two different songs of
+// that title exist (the data entry system couldn't tell them apart — the
+// same situation as identically named authors in DBLP). Track references
+// of the real Nightfall song appear on Nightfall albums; those of the real
+// Ashen Sky song on Ashen Sky albums, and the album/artist/label linkage is
+// what lets DISTINCT split them.
+
+#include <cstdio>
+
+#include "core/distinct.h"
+#include "eval/visualize.h"
+
+namespace {
+
+using namespace distinct;
+
+StatusOr<Database> MakeMusicDatabase() {
+  Database db;
+
+  auto artists = Table::Create(
+      "Artists", {ColumnSpec{"artist_id", ColumnType::kInt64, true, ""},
+                  ColumnSpec{"name", ColumnType::kString, false, ""}});
+  DISTINCT_RETURN_IF_ERROR(artists.status());
+  auto labels = Table::Create(
+      "Labels", {ColumnSpec{"label_id", ColumnType::kInt64, true, ""},
+                 ColumnSpec{"name", ColumnType::kString, false, ""},
+                 ColumnSpec{"country", ColumnType::kString, false, ""}});
+  DISTINCT_RETURN_IF_ERROR(labels.status());
+  auto songs = Table::Create(
+      "Songs", {ColumnSpec{"song_id", ColumnType::kInt64, true, ""},
+                ColumnSpec{"title", ColumnType::kString, false, ""}});
+  DISTINCT_RETURN_IF_ERROR(songs.status());
+  auto albums = Table::Create(
+      "Albums", {ColumnSpec{"album_id", ColumnType::kInt64, true, ""},
+                 ColumnSpec{"title", ColumnType::kString, false, ""},
+                 ColumnSpec{"artist_id", ColumnType::kInt64, false,
+                            "Artists"},
+                 ColumnSpec{"label_id", ColumnType::kInt64, false,
+                            "Labels"}});
+  DISTINCT_RETURN_IF_ERROR(albums.status());
+  auto tracks = Table::Create(
+      "Tracks", {ColumnSpec{"track_id", ColumnType::kInt64, true, ""},
+                 ColumnSpec{"song_id", ColumnType::kInt64, false, "Songs"},
+                 ColumnSpec{"album_id", ColumnType::kInt64, false,
+                            "Albums"}});
+  DISTINCT_RETURN_IF_ERROR(tracks.status());
+
+  for (auto* table : {&artists, &labels, &songs, &albums, &tracks}) {
+    DISTINCT_RETURN_IF_ERROR(db.AddTable(*std::move(*table)).status());
+  }
+
+  Table* artists_t = *db.FindMutableTable("Artists");
+  (void)*artists_t->AppendRow({Value::Int(0), Value::Str("Nightfall")});
+  (void)*artists_t->AppendRow({Value::Int(1), Value::Str("Ashen Sky")});
+  Table* labels_t = *db.FindMutableTable("Labels");
+  (void)*labels_t->AppendRow(
+      {Value::Int(0), Value::Str("Hollow Note"), Value::Str("SE")});
+  (void)*labels_t->AppendRow(
+      {Value::Int(1), Value::Str("Red Harbor"), Value::Str("US")});
+  Table* songs_t = *db.FindMutableTable("Songs");
+  // One shared entry for both real "Forgotten" songs — the ambiguity.
+  (void)*songs_t->AppendRow({Value::Int(0), Value::Str("Forgotten")});
+  (void)*songs_t->AppendRow({Value::Int(1), Value::Str("Ember")});
+  Table* albums_t = *db.FindMutableTable("Albums");
+  // Nightfall albums on Hollow Note, Ashen Sky albums on Red Harbor.
+  (void)*albums_t->AppendRow({Value::Int(0), Value::Str("Dusk"),
+                              Value::Int(0), Value::Int(0)});
+  (void)*albums_t->AppendRow({Value::Int(1), Value::Str("Dawn (live)"),
+                              Value::Int(0), Value::Int(0)});
+  (void)*albums_t->AppendRow({Value::Int(2), Value::Str("Cinders"),
+                              Value::Int(1), Value::Int(1)});
+  (void)*albums_t->AppendRow({Value::Int(3), Value::Str("Cinders (tour)"),
+                              Value::Int(1), Value::Int(1)});
+  Table* tracks_t = *db.FindMutableTable("Tracks");
+  // Every Tracks row whose song title is "Forgotten" is one reference.
+  const int64_t rows[][2] = {
+      {0, 0},  // "Forgotten" on Dusk            (really Nightfall's song)
+      {0, 1},  // "Forgotten" on Dawn (live)     (really Nightfall's song)
+      {0, 2},  // "Forgotten" on Cinders         (really Ashen Sky's song)
+      {0, 3},  // "Forgotten" on Cinders (tour)  (really Ashen Sky's song)
+      {1, 0},  // Ember on Dusk
+  };
+  for (int64_t i = 0; i < 5; ++i) {
+    (void)*tracks_t->AppendRow(
+        {Value::Int(i), Value::Int(rows[i][0]), Value::Int(rows[i][1])});
+  }
+  DISTINCT_RETURN_IF_ERROR(db.ValidateIntegrity());
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  using namespace distinct;
+
+  auto db = MakeMusicDatabase();
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // References live in Tracks; their ambiguous names are song titles.
+  ReferenceSpec spec;
+  spec.reference_table = "Tracks";
+  spec.identity_column = "song_id";
+  spec.name_table = "Songs";
+  spec.name_column = "title";
+
+  DistinctConfig config;
+  config.supervised = false;  // five tracks: demonstration, not training
+  config.promotions = {{"Labels", "country"}};
+  config.min_sim = 1e-3;
+
+  auto engine = Distinct::Create(*db, spec, config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("join paths from Tracks (%zu):\n", engine->paths().size());
+  for (const JoinPath& path : engine->paths()) {
+    std::printf("  %s\n", path.Describe(engine->schema_graph()).c_str());
+  }
+
+  auto result = engine->ResolveName("Forgotten");
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n'Forgotten': %zu track references -> %d songs\n",
+              result->refs.size(), result->clustering.num_clusters);
+
+  std::vector<ReferenceDisplay> display(result->refs.size());
+  const char* labels[] = {"on Dusk", "on Dawn (live)", "on Cinders",
+                          "on Cinders (tour)"};
+  const int truth[] = {0, 0, 1, 1};
+  for (size_t i = 0; i < display.size(); ++i) {
+    display[i].label = labels[i];
+    display[i].truth = truth[i];
+    display[i].predicted = result->clustering.assignment[i];
+  }
+  std::printf("%s", RenderClusterDiagram(
+                        display,
+                        {"Forgotten (Nightfall)", "Forgotten (Ashen Sky)"},
+                        /*show_references=*/true)
+                        .c_str());
+  return 0;
+}

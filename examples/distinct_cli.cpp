@@ -1,0 +1,208 @@
+// distinct_cli — the library as a command-line tool.
+//
+//   distinct_cli generate --dir=DATA [--seed=42]        write a dataset
+//   distinct_cli train    --dir=DATA --model=FILE       fit + save weights
+//   distinct_cli resolve  --dir=DATA --name="Wei Wang" [--model=FILE]
+//   distinct_cli scan     --dir=DATA [--min-refs=6] [--threads=2]
+//   distinct_cli eval     --dir=DATA [--model=FILE]     score vs cases.csv
+//
+// DATA holds the five DBLP CSVs plus cases.csv (see dblp/dataset_io.h);
+// `generate` creates it, or bring your own files in the same format.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/text_table.h"
+#include "core/distinct.h"
+#include "core/evaluation.h"
+#include "core/scan.h"
+#include "dblp/dataset_io.h"
+#include "dblp/schema.h"
+#include "dblp/stats.h"
+#include "sim/similarity_model_io.h"
+
+namespace {
+
+using namespace distinct;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: distinct_cli <generate|train|resolve|scan|eval> "
+               "[flags]\n"
+               "  common flags: --dir=DATA --model=FILE --min-sim=0.03\n"
+               "  generate: --seed=N\n"
+               "  resolve:  --name=\"Wei Wang\"\n"
+               "  scan:     --min-refs=N --threads=N\n");
+}
+
+StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags) {
+  DistinctConfig config;
+  config.promotions = DblpDefaultPromotions();
+  config.min_sim = flags.GetDouble("min-sim");
+  config.auto_min_sim = flags.GetBool("auto-min-sim");
+  const std::string model_path = flags.GetString("model");
+  if (!model_path.empty()) {
+    auto model = LoadSimilarityModel(model_path);
+    if (model.ok()) {
+      std::printf("using model %s\n", model_path.c_str());
+      return Distinct::CreateWithModel(db, DblpReferenceSpec(), config,
+                                       *std::move(model));
+    }
+    std::fprintf(stderr, "note: %s — training instead\n",
+                 model.status().ToString().c_str());
+  }
+  return Distinct::Create(db, DblpReferenceSpec(), config);
+}
+
+int RunGenerate(const FlagParser& flags) {
+  GeneratorConfig config;
+  config.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  auto dataset = GenerateDblpDataset(config);
+  if (!dataset.ok()) return Fail(dataset.status());
+  const std::string dir = flags.GetString("dir");
+  std::filesystem::create_directories(dir);
+  if (Status s = SaveDataset(*dataset, dir); !s.ok()) return Fail(s);
+  auto stats = ComputeDblpStats(dataset->db);
+  std::printf("wrote %s: %s\n", dir.c_str(),
+              stats.ok() ? stats->DebugString().c_str() : "");
+  return 0;
+}
+
+int RunTrain(const FlagParser& flags) {
+  auto db = LoadDblpDatabaseCsv(flags.GetString("dir"));
+  if (!db.ok()) return Fail(db.status());
+  DistinctConfig config;
+  config.promotions = DblpDefaultPromotions();
+  config.min_sim = flags.GetDouble("min-sim");
+  auto engine = Distinct::Create(*db, DblpReferenceSpec(), config);
+  if (!engine.ok()) return Fail(engine.status());
+  const TrainingReport& report = engine->report();
+  std::printf("trained on %zu pairs, %d paths, %.2fs\n",
+              report.num_training_pairs, report.num_paths,
+              report.seconds_total);
+  const std::string model_path = flags.GetString("model");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "error: train needs --model=FILE to save into\n");
+    return 1;
+  }
+  if (Status s = SaveSimilarityModel(engine->model(), model_path); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("saved model to %s\n", model_path.c_str());
+  return 0;
+}
+
+int RunResolve(const FlagParser& flags) {
+  auto db = LoadDblpDatabaseCsv(flags.GetString("dir"));
+  if (!db.ok()) return Fail(db.status());
+  auto engine = MakeEngine(*db, flags);
+  if (!engine.ok()) return Fail(engine.status());
+  const std::string name = flags.GetString("name");
+  auto result = engine->ResolveName(name);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("'%s': %zu references -> %d people\n", name.c_str(),
+              result->refs.size(), result->clustering.num_clusters);
+  for (size_t i = 0; i < result->refs.size(); ++i) {
+    std::printf("  publish row %d -> person %d\n", result->refs[i],
+                result->clustering.assignment[i]);
+  }
+  return 0;
+}
+
+int RunScan(const FlagParser& flags) {
+  auto db = LoadDblpDatabaseCsv(flags.GetString("dir"));
+  if (!db.ok()) return Fail(db.status());
+  auto engine = MakeEngine(*db, flags);
+  if (!engine.ok()) return Fail(engine.status());
+  ScanOptions scan;
+  scan.min_refs = static_cast<int>(flags.GetInt64("min-refs"));
+  scan.max_refs = static_cast<int>(flags.GetInt64("max-refs"));
+  auto groups = ScanNameGroups(*db, DblpReferenceSpec(), scan);
+  if (!groups.ok()) return Fail(groups.status());
+
+  std::vector<BulkResolution> results;
+  const int threads = static_cast<int>(flags.GetInt64("threads"));
+  auto stats =
+      threads > 1
+          ? ResolveAllNamesParallel(*engine, *groups, threads, &results)
+          : ResolveAllNames(*engine, *groups, &results);
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("%lld names, %lld refs, %.2fs; %lld split\n",
+              static_cast<long long>(stats->names_resolved),
+              static_cast<long long>(stats->total_refs), stats->seconds,
+              static_cast<long long>(stats->names_split));
+  for (const BulkResolution& r : results) {
+    if (r.clustering.num_clusters > 1) {
+      std::printf("  %-28s %3zu refs -> %d people\n", r.name.c_str(),
+                  r.num_refs, r.clustering.num_clusters);
+    }
+  }
+  return 0;
+}
+
+int RunEval(const FlagParser& flags) {
+  auto dataset = LoadDataset(flags.GetString("dir"));
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto engine = MakeEngine(dataset->db, flags);
+  if (!engine.ok()) return Fail(engine.status());
+  auto evaluations = EvaluateCases(*engine, dataset->cases);
+  if (!evaluations.ok()) return Fail(evaluations.status());
+
+  TextTable table({"name", "precision", "recall", "f-measure"});
+  for (size_t c = 1; c <= 3; ++c) table.SetRightAlign(c);
+  for (const CaseEvaluation& evaluation : *evaluations) {
+    table.AddRow({evaluation.name,
+                  StrFormat("%.3f", evaluation.scores.precision),
+                  StrFormat("%.3f", evaluation.scores.recall),
+                  StrFormat("%.3f", evaluation.scores.f1)});
+  }
+  const AggregateScores aggregate = Aggregate(*evaluations);
+  table.AddRow({"average", StrFormat("%.3f", aggregate.precision),
+                StrFormat("%.3f", aggregate.recall),
+                StrFormat("%.3f", aggregate.f1)});
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+
+  FlagParser flags;
+  flags.AddString("dir", "distinct_data", "dataset directory");
+  flags.AddString("model", "", "similarity-model file");
+  flags.AddString("name", "Wei Wang", "name to resolve");
+  flags.AddInt64("seed", 42, "generator seed");
+  flags.AddInt64("min-refs", 6, "scan: minimum references per name");
+  flags.AddInt64("max-refs", 500, "scan: maximum references per name");
+  flags.AddInt64("threads", 1, "scan: worker threads");
+  flags.AddDouble("min-sim", 3e-2, "clustering merge threshold");
+  flags.AddBool("auto-min-sim", false,
+                "derive min-sim from the training pairs (ignores --min-sim)");
+  if (Status s = flags.Parse(argc - 2, argv + 2); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "train") return RunTrain(flags);
+  if (command == "resolve") return RunResolve(flags);
+  if (command == "scan") return RunScan(flags);
+  if (command == "eval") return RunEval(flags);
+  Usage();
+  return 1;
+}

@@ -1,0 +1,45 @@
+// Name blocking: group near-identical names in a database.
+//
+// The paper treats only textually identical references as resembling; real
+// catalogs also contain near-duplicates ("Wei  Wang", "WEI WANG"). This
+// blocks the name table into connected components of the q-gram similarity
+// graph, so a caller can feed a whole block's references to
+// Distinct::ResolveRefs and split/merge across spelling variants.
+
+#ifndef DISTINCT_BLOCK_NAME_BLOCKING_H_
+#define DISTINCT_BLOCK_NAME_BLOCKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "block/qgram.h"
+#include "relational/reference_spec.h"
+
+namespace distinct {
+
+/// A block of mutually similar names.
+struct NameBlock {
+  std::vector<std::string> names;      // distinct surface forms
+  std::vector<int64_t> name_rows;      // rows in the name table, parallel
+};
+
+struct BlockingOptions {
+  /// Q-gram Jaccard threshold for an edge between two names.
+  double threshold = 0.75;
+  int q = 3;
+  /// Also return single-name blocks (default: only multi-name blocks,
+  /// which are the interesting ones).
+  bool include_singletons = false;
+};
+
+/// Blocks the distinct names of `spec.name_table`. Names are compared in
+/// normalized form; blocks are connected components of the threshold graph,
+/// ordered by descending block size then first name-row.
+StatusOr<std::vector<NameBlock>> BlockSimilarNames(
+    const Database& db, const ReferenceSpec& spec,
+    const BlockingOptions& options = {});
+
+}  // namespace distinct
+
+#endif  // DISTINCT_BLOCK_NAME_BLOCKING_H_

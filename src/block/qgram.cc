@@ -1,0 +1,187 @@
+#include "block/qgram.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace distinct {
+namespace {
+
+constexpr char kPad = '#';
+
+/// Jaccard of two sorted, deduplicated gram vectors.
+double SortedSetJaccard(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) {
+    return a.empty() && b.empty() ? 1.0 : 0.0;
+  }
+  size_t i = 0;
+  size_t j = 0;
+  size_t intersection = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++intersection;
+      ++i;
+      ++j;
+    }
+  }
+  const size_t unions = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+}  // namespace
+
+std::string NormalizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  bool pending_space = false;
+  for (const char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::vector<std::string> QGrams(std::string_view text, int q) {
+  DISTINCT_CHECK(q >= 2);
+  const std::string normalized = NormalizeName(text);
+  std::vector<std::string> grams;
+  if (normalized.empty()) {
+    return grams;
+  }
+  std::string padded(static_cast<size_t>(q - 1), kPad);
+  padded += normalized;
+  padded.append(static_cast<size_t>(q - 1), kPad);
+  grams.reserve(padded.size() - static_cast<size_t>(q) + 1);
+  for (size_t i = 0; i + static_cast<size_t>(q) <= padded.size(); ++i) {
+    grams.push_back(padded.substr(i, static_cast<size_t>(q)));
+  }
+  return grams;
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, int q) {
+  auto set_of = [&](std::string_view text) {
+    std::vector<std::string> grams = QGrams(text, q);
+    std::sort(grams.begin(), grams.end());
+    grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+    return grams;
+  };
+  return SortedSetJaccard(set_of(a), set_of(b));
+}
+
+QGramIndex::QGramIndex(int q) : q_(q) { DISTINCT_CHECK(q >= 2); }
+
+std::vector<std::string> QGramIndex::GramSet(std::string_view name, int q) {
+  std::vector<std::string> grams = QGrams(name, q);
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+int QGramIndex::Add(std::string_view name) {
+  const int id = size();
+  names_.emplace_back(name);
+  gram_sets_.push_back(GramSet(name, q_));
+  for (const std::string& gram : gram_sets_.back()) {
+    postings_[gram].push_back(id);
+  }
+  return id;
+}
+
+const std::string& QGramIndex::name(int id) const {
+  DISTINCT_CHECK(id >= 0 && id < size());
+  return names_[static_cast<size_t>(id)];
+}
+
+std::vector<SimilarPair> QGramIndex::Lookup(std::string_view text,
+                                            double threshold) const {
+  DISTINCT_CHECK(threshold > 0.0);
+  const std::vector<std::string> query = GramSet(text, q_);
+  // Count shared grams per candidate via the inverted lists.
+  std::unordered_map<int, size_t> shared;
+  for (const std::string& gram : query) {
+    auto it = postings_.find(gram);
+    if (it == postings_.end()) {
+      continue;
+    }
+    for (const int id : it->second) {
+      ++shared[id];
+    }
+  }
+  std::vector<SimilarPair> results;
+  for (const auto& [id, intersection] : shared) {
+    const size_t unions = query.size() +
+                          gram_sets_[static_cast<size_t>(id)].size() -
+                          intersection;
+    const double similarity =
+        unions == 0 ? 1.0
+                    : static_cast<double>(intersection) /
+                          static_cast<double>(unions);
+    if (similarity >= threshold) {
+      results.push_back(SimilarPair{-1, id, similarity});
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const SimilarPair& a, const SimilarPair& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.id2 < b.id2;
+            });
+  return results;
+}
+
+std::vector<SimilarPair> QGramIndex::SimilarPairs(double threshold) const {
+  DISTINCT_CHECK(threshold > 0.0);
+  std::vector<SimilarPair> results;
+  for (int id = 0; id < size(); ++id) {
+    // Count grams shared with *earlier* ids only (each pair once).
+    std::unordered_map<int, size_t> shared;
+    for (const std::string& gram : gram_sets_[static_cast<size_t>(id)]) {
+      auto it = postings_.find(gram);
+      if (it == postings_.end()) {
+        continue;
+      }
+      for (const int other : it->second) {
+        if (other < id) {
+          ++shared[other];
+        }
+      }
+    }
+    for (const auto& [other, intersection] : shared) {
+      const size_t unions = gram_sets_[static_cast<size_t>(id)].size() +
+                            gram_sets_[static_cast<size_t>(other)].size() -
+                            intersection;
+      const double similarity =
+          unions == 0 ? 1.0
+                      : static_cast<double>(intersection) /
+                            static_cast<double>(unions);
+      if (similarity >= threshold) {
+        results.push_back(SimilarPair{other, id, similarity});
+      }
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const SimilarPair& a, const SimilarPair& b) {
+              if (a.id1 != b.id1) {
+                return a.id1 < b.id1;
+              }
+              return a.id2 < b.id2;
+            });
+  return results;
+}
+
+}  // namespace distinct

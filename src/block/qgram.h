@@ -1,0 +1,75 @@
+// Q-gram approximate string matching for candidate generation.
+//
+// DISTINCT resolves *resembling* references — the paper defines resembling
+// as textually identical and cites Gravano et al.'s q-gram joins [7] as
+// the standard way to find near-identical candidates (initials, typos,
+// diacritics). This module provides that blocking layer: padded q-gram
+// extraction, q-gram Jaccard similarity, and an inverted index with a
+// count filter for threshold joins.
+
+#ifndef DISTINCT_BLOCK_QGRAM_H_
+#define DISTINCT_BLOCK_QGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace distinct {
+
+/// Lower-cases, collapses runs of whitespace, and trims — so "Wei  WANG "
+/// and "wei wang" block together.
+std::string NormalizeName(std::string_view name);
+
+/// Padded q-grams of the normalized text ("ab", q=3 -> {"##a","#ab","ab#",
+/// "b##"} with '#' padding). Duplicates are kept (bag semantics).
+std::vector<std::string> QGrams(std::string_view text, int q);
+
+/// Jaccard similarity of the two q-gram *sets* after normalization.
+/// 1.0 for equal normalized strings, 0.0 for disjoint gram sets.
+double QGramJaccard(std::string_view a, std::string_view b, int q = 3);
+
+/// A matched candidate pair.
+struct SimilarPair {
+  int id1 = -1;  // insertion ids, id1 < id2
+  int id2 = -1;
+  double similarity = 0.0;
+};
+
+/// Inverted q-gram index over a set of names.
+class QGramIndex {
+ public:
+  /// Requires q >= 2.
+  explicit QGramIndex(int q = 3);
+
+  /// Adds a name; returns its dense id (insertion order).
+  int Add(std::string_view name);
+
+  int size() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int id) const;
+
+  /// Ids whose q-gram Jaccard with `text` is >= threshold, with scores,
+  /// ordered by descending similarity. Uses the inverted index plus a
+  /// count filter, so cost is proportional to candidates, not index size.
+  std::vector<SimilarPair> Lookup(std::string_view text,
+                                  double threshold) const;
+
+  /// All index pairs with similarity >= threshold (self-join), each pair
+  /// once with id1 < id2, ordered by (id1, id2). Threshold must be > 0.
+  std::vector<SimilarPair> SimilarPairs(double threshold) const;
+
+ private:
+  /// Set-deduplicated, sorted grams of one name.
+  static std::vector<std::string> GramSet(std::string_view name, int q);
+
+  int q_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<std::string>> gram_sets_;  // per name, sorted
+  std::unordered_map<std::string, std::vector<int>> postings_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_BLOCK_QGRAM_H_

@@ -1,0 +1,254 @@
+#include "cluster/agglomerative.h"
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace distinct {
+namespace {
+
+/// Rebuilds a flat clustering from the first `count` merges.
+ClusteringResult ResultFromMerges(size_t n,
+                                  const std::vector<MergeStep>& merges,
+                                  size_t count) {
+  DISTINCT_CHECK(count <= merges.size());
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find_root = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (size_t m = 0; m < count; ++m) {
+    parent[static_cast<size_t>(find_root(merges[m].from))] =
+        find_root(merges[m].into);
+  }
+
+  ClusteringResult result;
+  result.assignment.assign(n, -1);
+  std::vector<int> root_to_id(n, -1);
+  int next_id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int root = find_root(static_cast<int>(i));
+    if (root_to_id[static_cast<size_t>(root)] < 0) {
+      root_to_id[static_cast<size_t>(root)] = next_id++;
+    }
+    result.assignment[i] = root_to_id[static_cast<size_t>(root)];
+  }
+  result.num_clusters = next_id;
+  result.num_merges = static_cast<int>(count);
+  result.merges.assign(merges.begin(),
+                       merges.begin() + static_cast<long>(count));
+  return result;
+}
+
+/// Index after which to cut a merge sequence under the largest-gap rule:
+/// the merge whose similarity drops the most (relatively) from its
+/// predecessor starts the "should not have merged" tail. Returns
+/// merges.size() when no drop is pronounced enough.
+size_t LargestGapCut(const std::vector<MergeStep>& merges,
+                     double gap_factor) {
+  if (merges.size() < 2) {
+    return merges.size();
+  }
+  size_t cut = merges.size();
+  double best_ratio = gap_factor;
+  for (size_t m = 1; m < merges.size(); ++m) {
+    const double previous = merges[m - 1].similarity;
+    const double current = std::max(merges[m].similarity, 1e-300);
+    const double ratio = previous / current;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      cut = m;
+    }
+  }
+  return cut;
+}
+
+/// Incremental clustering state: active clusters with pairwise sums.
+class MergeEngine {
+ public:
+  MergeEngine(const PairMatrix& resem, const PairMatrix& walk,
+              const AgglomerativeOptions& options)
+      : resem_(resem),
+        walk_(walk),
+        options_(options),
+        n_(resem.size()),
+        members_(n_),
+        active_(n_, true),
+        sum_resem_(n_),
+        sum_walk_(n_) {
+    DISTINCT_CHECK(walk.size() == n_);
+    for (size_t i = 0; i < n_; ++i) {
+      members_[i] = {static_cast<int>(i)};
+    }
+    for (size_t i = 0; i < n_; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        sum_resem_.set(i, j, resem.at(i, j));
+        sum_walk_.set(i, j, walk.at(i, j));
+      }
+    }
+  }
+
+  ClusteringResult Run() {
+    // Lazy max-heap over candidate pairs: entries are invalidated by
+    // bumping a cluster's version on merge (a pair's similarity only
+    // changes when one of its clusters merges). Tie-breaking — larger
+    // similarity, then smaller (a, b) — matches a full scan exactly.
+    struct Candidate {
+      double similarity;
+      uint32_t a, b;       // a > b
+      uint32_t va, vb;     // cluster versions at push time
+      bool operator<(const Candidate& other) const {
+        if (similarity != other.similarity) {
+          return similarity < other.similarity;  // max-heap on similarity
+        }
+        if (a != other.a) {
+          return a > other.a;  // then smallest a on top
+        }
+        return b > other.b;  // then smallest b
+      }
+    };
+    std::vector<uint32_t> version(n_, 0);
+    std::priority_queue<Candidate> heap;
+    for (size_t a = 0; a < n_; ++a) {
+      for (size_t b = 0; b < a; ++b) {
+        const double sim = Similarity(a, b);
+        if (sim >= options_.min_sim) {
+          heap.push(Candidate{sim, static_cast<uint32_t>(a),
+                              static_cast<uint32_t>(b), 0, 0});
+        }
+      }
+    }
+
+    std::vector<MergeStep> merges;
+    while (!heap.empty()) {
+      const Candidate top = heap.top();
+      heap.pop();
+      const size_t a = top.a;
+      const size_t b = top.b;
+      if (!active_[a] || !active_[b] || version[a] != top.va ||
+          version[b] != top.vb) {
+        continue;  // stale entry
+      }
+      merges.push_back(
+          MergeStep{static_cast<int>(a), static_cast<int>(b),
+                    top.similarity});
+      Merge(a, b);
+      ++version[a];
+      for (size_t c = 0; c < n_; ++c) {
+        if (!active_[c] || c == a) continue;
+        const double sim = Similarity(std::max(a, c), std::min(a, c));
+        if (sim >= options_.min_sim) {
+          heap.push(Candidate{sim,
+                              static_cast<uint32_t>(std::max(a, c)),
+                              static_cast<uint32_t>(std::min(a, c)),
+                              version[std::max(a, c)],
+                              version[std::min(a, c)]});
+        }
+      }
+    }
+
+    size_t keep = merges.size();
+    if (options_.stopping == StoppingRule::kLargestGap) {
+      keep = LargestGapCut(merges, /*gap_factor=*/3.0);
+    }
+    return ResultFromMerges(n_, merges, keep);
+  }
+
+ private:
+  double Similarity(size_t a, size_t b) {
+    const double pairs = static_cast<double>(members_[a].size()) *
+                         static_cast<double>(members_[b].size());
+    double sum_r;
+    double sum_w;
+    if (options_.incremental) {
+      sum_r = sum_resem_.at(a, b);
+      sum_w = sum_walk_.at(a, b);
+    } else {
+      // Strawman recomputation from the base matrices (cost ablation).
+      sum_r = 0.0;
+      sum_w = 0.0;
+      for (const int i : members_[a]) {
+        for (const int j : members_[b]) {
+          sum_r += resem_.at(static_cast<size_t>(i), static_cast<size_t>(j));
+          sum_w += walk_.at(static_cast<size_t>(i), static_cast<size_t>(j));
+        }
+      }
+    }
+    const double avg_resem = sum_r / pairs;
+    // Collective walk: each cluster as one object whose mass starts spread
+    // over its references; mean of the two directions.
+    const double collective_walk =
+        0.5 * sum_w *
+        (1.0 / static_cast<double>(members_[a].size()) +
+         1.0 / static_cast<double>(members_[b].size()));
+    switch (options_.measure) {
+      case ClusterMeasure::kResemblanceOnly:
+        return avg_resem;
+      case ClusterMeasure::kWalkOnly:
+        return collective_walk;
+      case ClusterMeasure::kComposite:
+        break;
+    }
+    if (options_.combine == CombineRule::kArithmeticMean) {
+      return 0.5 * (avg_resem + collective_walk);
+    }
+    return std::sqrt(std::max(avg_resem, 0.0) *
+                     std::max(collective_walk, 0.0));
+  }
+
+  /// Folds cluster b into cluster a.
+  void Merge(size_t a, size_t b) {
+    for (size_t c = 0; c < n_; ++c) {
+      if (!active_[c] || c == a || c == b) continue;
+      sum_resem_.set(a, c, sum_resem_.at(a, c) + sum_resem_.at(b, c));
+      sum_walk_.set(a, c, sum_walk_.at(a, c) + sum_walk_.at(b, c));
+    }
+    members_[a].insert(members_[a].end(), members_[b].begin(),
+                       members_[b].end());
+    members_[b].clear();
+    active_[b] = false;
+  }
+
+  const PairMatrix& resem_;
+  const PairMatrix& walk_;
+  const AgglomerativeOptions& options_;
+  size_t n_;
+  std::vector<std::vector<int>> members_;
+  std::vector<bool> active_;
+  PairMatrix sum_resem_;
+  PairMatrix sum_walk_;
+};
+
+}  // namespace
+
+std::string ClusteringResult::DebugString() const {
+  return StrFormat("%zu references -> %d clusters (%d merges)",
+                   assignment.size(), num_clusters, num_merges);
+}
+
+ClusteringResult ClusterReferences(const PairMatrix& resem,
+                                   const PairMatrix& walk,
+                                   const AgglomerativeOptions& options) {
+  if (resem.size() == 0) {
+    return ClusteringResult{};
+  }
+  if (resem.size() == 1) {
+    ClusteringResult result;
+    result.assignment = {0};
+    result.num_clusters = 1;
+    return result;
+  }
+  MergeEngine engine(resem, walk, options);
+  return engine.Run();
+}
+
+}  // namespace distinct

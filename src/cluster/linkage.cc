@@ -1,0 +1,119 @@
+#include "cluster/linkage.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace distinct {
+
+const char* LinkageToString(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return "single-link";
+    case Linkage::kComplete:
+      return "complete-link";
+    case Linkage::kAverage:
+      return "average-link";
+  }
+  return "unknown";
+}
+
+ClusteringResult HierarchicalCluster(const PairMatrix& sim, Linkage linkage,
+                                     double min_sim) {
+  const size_t n = sim.size();
+  ClusteringResult result;
+  if (n == 0) {
+    return result;
+  }
+  if (n == 1) {
+    result.assignment = {0};
+    result.num_clusters = 1;
+    return result;
+  }
+
+  // Cluster-level similarity, updated by Lance-Williams rules on merge.
+  PairMatrix cluster_sim(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      cluster_sim.set(i, j, sim.at(i, j));
+    }
+  }
+  std::vector<bool> active(n, true);
+  std::vector<size_t> sizes(n, 1);
+  std::vector<int> parent(n);
+  for (size_t i = 0; i < n; ++i) {
+    parent[i] = static_cast<int>(i);
+  }
+
+  int merges = 0;
+  while (true) {
+    double best = -1.0;
+    size_t best_a = 0;
+    size_t best_b = 0;
+    for (size_t a = 0; a < n; ++a) {
+      if (!active[a]) continue;
+      for (size_t b = 0; b < a; ++b) {
+        if (!active[b]) continue;
+        const double s = cluster_sim.at(a, b);
+        if (s > best) {
+          best = s;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best < min_sim || best < 0.0) {
+      break;
+    }
+
+    // Merge best_b into best_a.
+    for (size_t c = 0; c < n; ++c) {
+      if (!active[c] || c == best_a || c == best_b) continue;
+      const double sa = cluster_sim.at(best_a, c);
+      const double sb = cluster_sim.at(best_b, c);
+      double merged = 0.0;
+      switch (linkage) {
+        case Linkage::kSingle:
+          merged = std::max(sa, sb);
+          break;
+        case Linkage::kComplete:
+          merged = std::min(sa, sb);
+          break;
+        case Linkage::kAverage:
+          merged = (sa * static_cast<double>(sizes[best_a]) +
+                    sb * static_cast<double>(sizes[best_b])) /
+                   static_cast<double>(sizes[best_a] + sizes[best_b]);
+          break;
+      }
+      cluster_sim.set(best_a, c, merged);
+    }
+    sizes[best_a] += sizes[best_b];
+    active[best_b] = false;
+    parent[best_b] = static_cast<int>(best_a);
+    ++merges;
+  }
+
+  // Path-compress parents into dense cluster ids.
+  auto find_root = [&](size_t i) {
+    size_t at = i;
+    while (parent[at] != static_cast<int>(at)) {
+      at = static_cast<size_t>(parent[at]);
+    }
+    return at;
+  };
+  std::vector<int> root_to_id(n, -1);
+  result.assignment.assign(n, -1);
+  int next_id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t root = find_root(i);
+    if (root_to_id[root] < 0) {
+      root_to_id[root] = next_id++;
+    }
+    result.assignment[i] = root_to_id[root];
+  }
+  result.num_clusters = next_id;
+  result.num_merges = merges;
+  return result;
+}
+
+}  // namespace distinct

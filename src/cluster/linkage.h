@@ -1,0 +1,32 @@
+// Classic hierarchical clustering with Single-, Complete-, and Average-Link
+// over a single similarity matrix.
+//
+// The paper (§4.1) discusses why Single-Link (merges through one misleading
+// linkage) and Complete-Link (breaks weakly linked partitions) are
+// unsuitable; these implementations exist as library baselines and to back
+// that discussion with measurements.
+
+#ifndef DISTINCT_CLUSTER_LINKAGE_H_
+#define DISTINCT_CLUSTER_LINKAGE_H_
+
+#include "cluster/agglomerative.h"
+#include "cluster/pair_matrix.h"
+
+namespace distinct {
+
+enum class Linkage {
+  kSingle,    // max pairwise similarity
+  kComplete,  // min pairwise similarity
+  kAverage,   // mean pairwise similarity
+};
+
+const char* LinkageToString(Linkage linkage);
+
+/// Agglomerates until no pair of clusters reaches `min_sim` under the given
+/// linkage. Uses Lance-Williams-style incremental updates.
+ClusteringResult HierarchicalCluster(const PairMatrix& sim, Linkage linkage,
+                                     double min_sim);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_CLUSTER_LINKAGE_H_

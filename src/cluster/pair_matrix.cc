@@ -1,0 +1,35 @@
+#include "cluster/pair_matrix.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace distinct {
+
+PairMatrix::PairMatrix(size_t n, double init)
+    : n_(n), cells_(n < 2 ? 0 : n * (n - 1) / 2, init) {}
+
+size_t PairMatrix::Index(size_t i, size_t j) const {
+  DISTINCT_DCHECK(i < n_ && j < n_ && i != j);
+  if (i < j) {
+    std::swap(i, j);
+  }
+  return i * (i - 1) / 2 + j;
+}
+
+double PairMatrix::at(size_t i, size_t j) const {
+  return cells_[Index(i, j)];
+}
+
+void PairMatrix::set(size_t i, size_t j, double value) {
+  cells_[Index(i, j)] = value;
+}
+
+double PairMatrix::MaxValue() const {
+  if (cells_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(cells_.begin(), cells_.end());
+}
+
+}  // namespace distinct

@@ -1,0 +1,40 @@
+// Symmetric pairwise-similarity matrix over n references.
+//
+// Stored as the strict lower triangle; the diagonal is not represented
+// (self-similarity is never consulted by the clusterers).
+
+#ifndef DISTINCT_CLUSTER_PAIR_MATRIX_H_
+#define DISTINCT_CLUSTER_PAIR_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace distinct {
+
+/// Dense symmetric matrix with O(n^2/2) storage.
+class PairMatrix {
+ public:
+  /// n-by-n matrix initialized to `init`. n may be 0 or 1 (no pairs).
+  explicit PairMatrix(size_t n, double init = 0.0);
+
+  size_t size() const { return n_; }
+
+  /// Value at (i, j), i != j, order-insensitive.
+  double at(size_t i, size_t j) const;
+
+  /// Sets (i, j) and (j, i). Requires i != j.
+  void set(size_t i, size_t j, double value);
+
+  /// Largest off-diagonal value; 0 for n < 2.
+  double MaxValue() const;
+
+ private:
+  size_t Index(size_t i, size_t j) const;
+
+  size_t n_;
+  std::vector<double> cells_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_CLUSTER_PAIR_MATRIX_H_

@@ -1,0 +1,31 @@
+#include "common/dictionary.h"
+
+#include "common/logging.h"
+
+namespace distinct {
+
+int64_t Dictionary::Intern(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const int64_t id = static_cast<int64_t>(strings_.size());
+  strings_.emplace_back(text);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::optional<int64_t> Dictionary::Find(std::string_view text) const {
+  auto it = index_.find(std::string(text));
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const std::string& Dictionary::Lookup(int64_t id) const {
+  DISTINCT_CHECK(id >= 0 && id < size());
+  return strings_[static_cast<size_t>(id)];
+}
+
+}  // namespace distinct

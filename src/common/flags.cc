@@ -1,0 +1,182 @@
+#include "common/flags.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace distinct {
+
+void FlagParser::AddInt64(const std::string& name, int64_t default_value,
+                          const std::string& help) {
+  Flag flag;
+  flag.type = Type::kInt64;
+  flag.help = help;
+  flag.int_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.double_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.bool_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.string_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+Status FlagParser::SetFromText(Flag& flag, const std::string& name,
+                               const std::string& text) {
+  switch (flag.type) {
+    case Type::kInt64: {
+      auto parsed = ParseInt64(text);
+      if (!parsed.has_value()) {
+        return InvalidArgumentError("flag --" + name +
+                                    ": expected integer, got '" + text + "'");
+      }
+      flag.int_value = *parsed;
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      auto parsed = ParseDouble(text);
+      if (!parsed.has_value()) {
+        return InvalidArgumentError("flag --" + name +
+                                    ": expected number, got '" + text + "'");
+      }
+      flag.double_value = *parsed;
+      return Status::Ok();
+    }
+    case Type::kBool: {
+      const std::string lower = ToLowerAscii(text);
+      if (lower == "true" || lower == "1") {
+        flag.bool_value = true;
+      } else if (lower == "false" || lower == "0") {
+        flag.bool_value = false;
+      } else {
+        return InvalidArgumentError("flag --" + name +
+                                    ": expected bool, got '" + text + "'");
+      }
+      return Status::Ok();
+    }
+    case Type::kString:
+      flag.string_value = text;
+      return Status::Ok();
+  }
+  return InternalError("unreachable flag type");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+
+    // `--no-name` sugar for boolean flags.
+    if (!has_value && StartsWith(body, "no-")) {
+      const std::string positive = body.substr(3);
+      auto it = flags_.find(positive);
+      if (it != flags_.end() && it->second.type == Type::kBool) {
+        it->second.bool_value = false;
+        continue;
+      }
+    }
+
+    auto it = flags_.find(body);
+    if (it == flags_.end()) {
+      return InvalidArgumentError("unknown flag --" + body);
+    }
+    Flag& flag = it->second;
+
+    if (!has_value) {
+      if (flag.type == Type::kBool) {
+        flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return InvalidArgumentError("flag --" + body + ": missing value");
+      }
+      value = argv[++i];
+    }
+    DISTINCT_RETURN_IF_ERROR(SetFromText(flag, body, value));
+  }
+  return Status::Ok();
+}
+
+const FlagParser::Flag& FlagParser::GetChecked(const std::string& name,
+                                               Type type) const {
+  auto it = flags_.find(name);
+  DISTINCT_CHECK(it != flags_.end());
+  DISTINCT_CHECK(it->second.type == type);
+  return it->second;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  return GetChecked(name, Type::kInt64).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return GetChecked(name, Type::kDouble).double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetChecked(name, Type::kBool).bool_value;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return GetChecked(name, Type::kString).string_value;
+}
+
+std::string FlagParser::Help() const {
+  std::string out = "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name;
+    switch (flag.type) {
+      case Type::kInt64:
+        out += StrFormat(" (int, default %lld)",
+                         static_cast<long long>(flag.int_value));
+        break;
+      case Type::kDouble:
+        out += StrFormat(" (double, default %g)", flag.double_value);
+        break;
+      case Type::kBool:
+        out += StrFormat(" (bool, default %s)",
+                         flag.bool_value ? "true" : "false");
+        break;
+      case Type::kString:
+        out += " (string, default \"" + flag.string_value + "\")";
+        break;
+    }
+    out += "\n      " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace distinct

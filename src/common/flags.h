@@ -1,0 +1,68 @@
+// Minimal command-line flag parsing for the examples and bench harnesses.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unknown flags are an error so typos surface immediately.
+
+#ifndef DISTINCT_COMMON_FLAGS_H_
+#define DISTINCT_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace distinct {
+
+/// Declares flags, parses argv against them, and exposes typed lookups.
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  /// Declares a flag with a default value and help text.
+  void AddInt64(const std::string& name, int64_t default_value,
+                const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  /// Parses argv (excluding argv[0]). Returns an error for unknown flags or
+  /// unparsable values. Positional (non `--`) arguments are collected.
+  Status Parse(int argc, const char* const* argv);
+
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing every declared flag with its default.
+  std::string Help() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  Status SetFromText(Flag& flag, const std::string& name,
+                     const std::string& text);
+  const Flag& GetChecked(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_COMMON_FLAGS_H_

@@ -1,0 +1,43 @@
+// Lightweight assertion and logging macros.
+//
+// Library code is exception-free (fallible operations return Status); these
+// macros guard internal invariants that indicate programmer error, aborting
+// with a source location when violated.
+
+#ifndef DISTINCT_COMMON_LOGGING_H_
+#define DISTINCT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace distinct {
+namespace internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace distinct
+
+/// Aborts the process when `expr` is false. Enabled in all build modes.
+#define DISTINCT_CHECK(expr)                                            \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::distinct::internal_logging::CheckFailed(__FILE__, __LINE__,     \
+                                                #expr);                 \
+    }                                                                   \
+  } while (0)
+
+/// Debug-only invariant check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define DISTINCT_DCHECK(expr) \
+  do {                        \
+  } while (0)
+#else
+#define DISTINCT_DCHECK(expr) DISTINCT_CHECK(expr)
+#endif
+
+#endif  // DISTINCT_COMMON_LOGGING_H_

@@ -1,0 +1,151 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace distinct {
+namespace {
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64Next(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (uint64_t& word : state_) {
+    word = SplitMix64Next(s);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DISTINCT_DCHECK(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(Next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t value = Next();
+  while (value >= limit) {
+    value = Next();
+  }
+  return lo + static_cast<int64_t>(value % range);
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+int Rng::Poisson(double mean) {
+  DISTINCT_DCHECK(mean > 0.0);
+  const double threshold = std::exp(-mean);
+  int k = 0;
+  double product = UniformDouble();
+  while (product > threshold) {
+    ++k;
+    product *= UniformDouble();
+  }
+  return k;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    DISTINCT_DCHECK(w >= 0.0);
+    total += w;
+  }
+  DISTINCT_CHECK(total > 0.0);
+  double target = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // Floating-point slack: last positive bucket.
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  DISTINCT_CHECK(k <= n);
+  // Floyd's algorithm: O(k) expected inserts, exact uniformity.
+  std::vector<size_t> result;
+  result.reserve(k);
+  std::vector<bool> chosen(n, false);
+  for (size_t j = n - k; j < n; ++j) {
+    size_t t = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(j)));
+    if (chosen[t]) {
+      t = j;
+    }
+    chosen[t] = true;
+    result.push_back(t);
+  }
+  Shuffle(result);
+  return result;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  DISTINCT_CHECK(n >= 1);
+  DISTINCT_CHECK(s > 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_[rank] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  // Binary search for the first rank whose cumulative probability exceeds u.
+  size_t lo = 0;
+  size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] <= u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double ZipfSampler::Probability(size_t rank) const {
+  DISTINCT_CHECK(rank < cdf_.size());
+  if (rank == 0) {
+    return cdf_[0];
+  }
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace distinct

@@ -1,0 +1,123 @@
+// Error propagation without exceptions.
+//
+// `Status` carries an error code and message; `StatusOr<T>` carries either a
+// value or a non-OK Status. Both follow the shape of absl::Status /
+// absl::StatusOr so downstream users find them familiar.
+
+#ifndef DISTINCT_COMMON_STATUS_H_
+#define DISTINCT_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace distinct {
+
+/// Canonical error codes (subset of the gRPC/absl canonical space).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kDataLoss = 8,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NOT_FOUND").
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status DataLossError(std::string message);
+
+/// Either a value of type `T` or a non-OK Status explaining why there is no
+/// value. Accessing the value of a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: `StatusOr<int> F() { return 42; }`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: `return NotFoundError(...)`.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    DISTINCT_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DISTINCT_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    DISTINCT_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    DISTINCT_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Returns early from the enclosing function when `expr` is a non-OK Status.
+#define DISTINCT_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::distinct::Status status_macro_s_ = (expr);  \
+    if (!status_macro_s_.ok()) {                  \
+      return status_macro_s_;                     \
+    }                                             \
+  } while (0)
+
+}  // namespace distinct
+
+#endif  // DISTINCT_COMMON_STATUS_H_

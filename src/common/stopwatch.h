@@ -1,0 +1,30 @@
+// Wall-clock timing for the benchmark harnesses.
+
+#ifndef DISTINCT_COMMON_STOPWATCH_H_
+#define DISTINCT_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace distinct {
+
+/// Starts on construction; `Seconds()` reports elapsed wall time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_COMMON_STOPWATCH_H_

@@ -1,0 +1,153 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace distinct {
+namespace {
+
+bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+}  // namespace
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      return pieces;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitSkipEmpty(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  for (std::string& piece : Split(text, sep)) {
+    if (!piece.empty()) {
+      pieces.push_back(std::move(piece));
+    }
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  while (!text.empty() && IsAsciiSpace(text.front())) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && IsAsciiSpace(text.back())) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string ToLowerAscii(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty() || text.size() > 32) {
+    return std::nullopt;
+  }
+  char buffer[33];
+  std::memcpy(buffer, text.data(), text.size());
+  buffer[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buffer, &end, 10);
+  if (errno != 0 || end != buffer + text.size()) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty() || text.size() > 63) {
+    return std::nullopt;
+  }
+  char buffer[64];
+  std::memcpy(buffer, text.data(), text.size());
+  buffer[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer, &end);
+  if (errno != 0 || end != buffer + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string_view FirstNameOf(std::string_view full_name) {
+  full_name = StripWhitespace(full_name);
+  const size_t pos = full_name.find(' ');
+  if (pos == std::string_view::npos) {
+    return full_name;
+  }
+  return full_name.substr(0, pos);
+}
+
+std::string_view LastNameOf(std::string_view full_name) {
+  full_name = StripWhitespace(full_name);
+  const size_t pos = full_name.rfind(' ');
+  if (pos == std::string_view::npos) {
+    return full_name;
+  }
+  return full_name.substr(pos + 1);
+}
+
+}  // namespace distinct

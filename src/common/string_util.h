@@ -1,0 +1,50 @@
+// Small string helpers shared across the library.
+
+#ifndef DISTINCT_COMMON_STRING_UTIL_H_
+#define DISTINCT_COMMON_STRING_UTIL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace distinct {
+
+/// Splits `text` on `sep`, keeping empty pieces ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on `sep` and drops empty pieces.
+std::vector<std::string> SplitSkipEmpty(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// ASCII lower-casing (sufficient for this library's identifiers).
+std::string ToLowerAscii(std::string_view text);
+
+/// Parses a base-10 integer; std::nullopt on any malformed input.
+std::optional<int64_t> ParseInt64(std::string_view text);
+
+/// Parses a floating-point number; std::nullopt on any malformed input.
+std::optional<double> ParseDouble(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// First token of a full name ("Wei Wang" -> "Wei"); "" when empty.
+std::string_view FirstNameOf(std::string_view full_name);
+
+/// Last token of a full name ("Wei Wang" -> "Wang"); "" when empty.
+std::string_view LastNameOf(std::string_view full_name);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_COMMON_STRING_UTIL_H_

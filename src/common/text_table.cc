@@ -1,0 +1,69 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace distinct {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)), right_align_(header_.size(), false) {
+  DISTINCT_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  DISTINCT_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::SetRightAlign(size_t column) {
+  DISTINCT_CHECK(column < header_.size());
+  right_align_[column] = true;
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        line += "  ";
+      }
+      const size_t pad = widths[c] - row[c].size();
+      if (right_align_[c]) {
+        line.append(pad, ' ');
+        line += row[c];
+      } else {
+        line += row[c];
+        if (c + 1 < row.size()) {
+          line.append(pad, ' ');
+        }
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  size_t rule_width = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule_width += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out.append(rule_width, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+}  // namespace distinct

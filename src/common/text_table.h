@@ -1,0 +1,40 @@
+// Fixed-width text table rendering for benchmark and example output.
+//
+// The benchmark harnesses print the same rows the paper's tables report;
+// this renders them with aligned columns, a header rule, and optional
+// right-alignment for numeric columns.
+
+#ifndef DISTINCT_COMMON_TEXT_TABLE_H_
+#define DISTINCT_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace distinct {
+
+/// Accumulates rows of cells and renders them as an aligned text table.
+class TextTable {
+ public:
+  /// Sets the header row. Column count is fixed by the header.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row. Requires the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Marks `column` as right-aligned (numbers). Default is left-aligned.
+  void SetRightAlign(size_t column);
+
+  /// Renders the table, one trailing newline included.
+  std::string Render() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> right_align_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_COMMON_TEXT_TABLE_H_

@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace distinct {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int count = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(count));
+  for (int t = 0; t < count; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  DISTINCT_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    DISTINCT_CHECK(!shutting_down_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutting down and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, int64_t n,
+                 const std::function<void(int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  // Dynamic chunking: a shared counter, one task per worker.
+  auto counter = std::make_shared<std::atomic<int64_t>>(0);
+  const int tasks = std::min<int64_t>(pool.num_threads(), n);
+  for (int t = 0; t < tasks; ++t) {
+    pool.Submit([counter, n, &fn] {
+      while (true) {
+        const int64_t i = counter->fetch_add(1);
+        if (i >= n) {
+          return;
+        }
+        fn(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace distinct

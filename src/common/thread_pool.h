@@ -1,0 +1,57 @@
+// A small fixed-size thread pool for embarrassingly parallel work
+// (whole-database bulk resolution parallelizes over names).
+
+#ifndef DISTINCT_COMMON_THREAD_POOL_H_
+#define DISTINCT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace distinct {
+
+/// Fixed worker count; tasks are plain void() callables. Join on
+/// destruction after draining the queue.
+class ThreadPool {
+ public:
+  /// `num_threads` is clamped to at least 1.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;  // queued + running
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0..n-1) on the pool and waits for completion. `fn` must be safe
+/// to call concurrently for different indices.
+void ParallelFor(ThreadPool& pool, int64_t n,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_COMMON_THREAD_POOL_H_

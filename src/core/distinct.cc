@@ -1,0 +1,183 @@
+#include "core/distinct.h"
+
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/pipeline.h"
+
+namespace distinct {
+
+StatusOr<Distinct> Distinct::CreateWithModel(const Database& db,
+                                             const ReferenceSpec& spec,
+                                             DistinctConfig config,
+                                             SimilarityModel model) {
+  config.supervised = false;  // never train when a model is supplied
+  auto engine = Create(db, spec, std::move(config));
+  DISTINCT_RETURN_IF_ERROR(engine.status());
+
+  if (model.num_paths() != engine->extractor_->num_paths()) {
+    return InvalidArgumentError(StrFormat(
+        "supplied model has %zu paths; this schema enumerates %zu",
+        model.num_paths(), engine->extractor_->num_paths()));
+  }
+  if (!model.path_names().empty()) {
+    for (size_t p = 0; p < model.num_paths(); ++p) {
+      const std::string current =
+          engine->extractor_->paths()[p].Describe(*engine->schema_graph_);
+      if (model.path_names()[p] != current) {
+        return InvalidArgumentError(
+            "supplied model was trained on a different schema: path " +
+            std::to_string(p) + " is '" + model.path_names()[p] +
+            "' in the model but '" + current + "' here");
+      }
+    }
+  }
+  engine->model_ = std::move(model);
+  return engine;
+}
+
+StatusOr<Distinct> Distinct::Create(const Database& db,
+                                    const ReferenceSpec& spec,
+                                    DistinctConfig config) {
+  Distinct engine;
+  engine.db_ = &db;
+  engine.config_ = std::move(config);
+
+  auto resolved = ResolveReferenceSpec(db, spec);
+  DISTINCT_RETURN_IF_ERROR(resolved.status());
+  engine.resolved_ = *resolved;
+
+  auto schema_graph = BuildPromotedSchemaGraph(db, engine.config_);
+  DISTINCT_RETURN_IF_ERROR(schema_graph.status());
+  engine.schema_graph_ = *std::move(schema_graph);
+
+  auto link_graph = LinkGraph::Build(*engine.schema_graph_);
+  DISTINCT_RETURN_IF_ERROR(link_graph.status());
+  engine.link_graph_ = std::make_unique<LinkGraph>(*std::move(link_graph));
+
+  engine.engine_ = std::make_unique<PropagationEngine>(*engine.link_graph_);
+
+  std::vector<JoinPath> paths = EnumerateReferencePaths(
+      *engine.schema_graph_, engine.resolved_, engine.config_);
+  if (paths.empty()) {
+    return FailedPreconditionError(
+        "no join paths found from the reference relation; is the schema "
+        "connected?");
+  }
+  engine.extractor_ = std::make_unique<FeatureExtractor>(
+      *engine.engine_, std::move(paths), engine.config_.propagation);
+
+  std::vector<std::string> path_names;
+  path_names.reserve(engine.extractor_->num_paths());
+  for (const JoinPath& path : engine.extractor_->paths()) {
+    path_names.push_back(path.Describe(*engine.schema_graph_));
+  }
+
+  if (engine.config_.supervised) {
+    Stopwatch watch;
+    auto model = TrainSimilarityModel(db, spec, engine.config_,
+                                      *engine.extractor_, &engine.report_);
+    DISTINCT_RETURN_IF_ERROR(model.status());
+    engine.model_ =
+        SimilarityModel(model->resem_weights(), model->walk_weights(),
+                        std::move(path_names));
+    engine.report_.seconds_total = watch.Seconds();
+    if (engine.config_.auto_min_sim &&
+        engine.report_.suggested_min_sim > 0.0) {
+      engine.config_.min_sim = engine.report_.suggested_min_sim;
+    }
+    // Training profiles are no longer needed; resolution caches per name.
+    engine.extractor_->ClearCache();
+  } else {
+    engine.model_ = SimilarityModel::Uniform(engine.extractor_->num_paths(),
+                                             std::move(path_names));
+    engine.report_.num_paths =
+        static_cast<int>(engine.extractor_->num_paths());
+  }
+  return engine;
+}
+
+const std::vector<JoinPath>& Distinct::paths() const {
+  return extractor_->paths();
+}
+
+AgglomerativeOptions Distinct::cluster_options() const {
+  AgglomerativeOptions options;
+  options.min_sim = config_.min_sim;
+  options.measure = config_.measure;
+  options.combine = config_.combine;
+  return options;
+}
+
+StatusOr<std::vector<int32_t>> Distinct::RefsForName(
+    const std::string& name) const {
+  const Table& name_table = db_->table(resolved_.name_table_id);
+  const Table& ref_table = db_->table(resolved_.reference_table_id);
+
+  // Several name-table rows may carry the same string (e.g. two "Forgotten"
+  // songs the catalog already tells apart); references to any of them
+  // resemble each other, so collect them all.
+  std::unordered_set<int64_t> name_pks;
+  for (int64_t row = 0; row < name_table.num_rows(); ++row) {
+    if (name_table.GetString(row, resolved_.name_column) == name) {
+      name_pks.insert(
+          name_table.GetInt(row, name_table.primary_key_column()));
+    }
+  }
+  std::vector<int32_t> refs;
+  if (name_pks.empty()) {
+    return refs;
+  }
+  for (int64_t row = 0; row < ref_table.num_rows(); ++row) {
+    if (!ref_table.IsNull(row, resolved_.identity_column) &&
+        name_pks.contains(
+            ref_table.GetInt(row, resolved_.identity_column))) {
+      refs.push_back(static_cast<int32_t>(row));
+    }
+  }
+  return refs;
+}
+
+StatusOr<std::pair<PairMatrix, PairMatrix>> Distinct::ComputeMatrices(
+    const std::vector<int32_t>& refs) {
+  const size_t n = refs.size();
+  PairMatrix resem(n);
+  PairMatrix walk(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const PairFeatures features = extractor_->Compute(refs[i], refs[j]);
+      resem.set(i, j, model_.Resemblance(features));
+      walk.set(i, j, model_.Walk(features));
+    }
+  }
+  return std::make_pair(std::move(resem), std::move(walk));
+}
+
+StatusOr<ClusteringResult> Distinct::ResolveRefs(
+    const std::vector<int32_t>& refs) {
+  auto matrices = ComputeMatrices(refs);
+  DISTINCT_RETURN_IF_ERROR(matrices.status());
+  ClusteringResult result = ClusterReferences(
+      matrices->first, matrices->second, cluster_options());
+  // Per-name profile caches would otherwise accumulate across names.
+  extractor_->ClearCache();
+  return result;
+}
+
+StatusOr<Distinct::ResolveResult> Distinct::ResolveName(
+    const std::string& name) {
+  auto refs = RefsForName(name);
+  DISTINCT_RETURN_IF_ERROR(refs.status());
+  if (refs->empty()) {
+    return NotFoundError("no references named '" + name + "'");
+  }
+  auto clustering = ResolveRefs(*refs);
+  DISTINCT_RETURN_IF_ERROR(clustering.status());
+  ResolveResult result;
+  result.refs = *std::move(refs);
+  result.clustering = *std::move(clustering);
+  return result;
+}
+
+}  // namespace distinct

@@ -1,0 +1,165 @@
+// DISTINCT: the public entry point of this library.
+//
+// Typical use:
+//   auto dataset = GenerateDblpDataset({});                    // or your DB
+//   auto engine = Distinct::Create(dataset->db, DblpReferenceSpec(), {});
+//   auto result = engine->ResolveName("Wei Wang");
+//   // result->clustering.assignment groups result->refs by real person.
+//
+// Create() builds the schema/link graphs, enumerates join paths, and (by
+// default) constructs the automatic training set and fits the SVM path
+// weights — the paper's offline phase. ResolveName()/ResolveRefs() run the
+// per-name clustering — the paper's online phase.
+
+#ifndef DISTINCT_CORE_DISTINCT_H_
+#define DISTINCT_CORE_DISTINCT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/agglomerative.h"
+#include "common/status.h"
+#include "prop/propagation.h"
+#include "relational/join_path.h"
+#include "relational/reference_spec.h"
+#include "sim/feature_vector.h"
+#include "sim/similarity_model.h"
+#include "svm/linear_svm.h"
+#include "train/training_set.h"
+
+namespace distinct {
+
+/// Everything configurable about the pipeline. The defaults mirror the
+/// paper's setup on DBLP.
+struct DistinctConfig {
+  // --- Join paths ---
+  /// Maximum join-path length ("coauthors of coauthors" needs 4).
+  int max_path_length = 4;
+  /// Skip paths that start by following the reference's own name edge;
+  /// every resembling reference shares that neighbor by definition.
+  bool exclude_identity_first_step = true;
+  /// Non-key attributes to promote to tuples, as (table, column) pairs.
+  /// Empty means none (use DblpDefaultPromotions() for the DBLP set).
+  std::vector<std::pair<std::string, std::string>> promotions;
+  PropagationOptions propagation;
+
+  // --- Path-weight model ---
+  /// false: uniform weights (the unsupervised baselines of Fig. 4).
+  bool supervised = true;
+  TrainingSetOptions training;
+  SvmParams svm;
+  /// Fraction of negative examples drawn from *linked* distinct-author
+  /// pairs (pairs with at least one nonzero path similarity). Random
+  /// negatives are mostly unlinked, which would teach the SVM that any
+  /// linkage implies equivalence; hard negatives make it learn which
+  /// linkage types discriminate. Negatives are oversampled
+  /// `negative_oversample`x to find enough linked ones.
+  double hard_negative_fraction = 0.5;
+  int negative_oversample = 4;
+
+  // --- Clustering ---
+  /// Merge floor (the paper's min-sim). Calibrated on the standard
+  /// synthetic dataset (see bench_minsim_sweep).
+  double min_sim = 3e-2;
+  /// Extension: derive min_sim from the training pairs instead of using
+  /// the fixed value — the threshold that best classifies the automatic
+  /// positive/negative pairs by their composite similarity. Removes the
+  /// per-dataset calibration (supervised mode only).
+  bool auto_min_sim = false;
+  ClusterMeasure measure = ClusterMeasure::kComposite;
+  CombineRule combine = CombineRule::kGeometricMean;
+};
+
+/// Timings and diagnostics from Create().
+struct TrainingReport {
+  int num_paths = 0;
+  size_t num_training_pairs = 0;
+  size_t num_unique_refs = 0;      // distinct references in training pairs
+  double seconds_features = 0.0;   // propagation + merges
+  double seconds_svm = 0.0;
+  double seconds_total = 0.0;
+  double train_accuracy_resem = 0.0;  // SVM fit on its own training set
+  double train_accuracy_walk = 0.0;
+  /// Composite-similarity threshold that best separates the training
+  /// pairs; what auto_min_sim installs (0 when not trained).
+  double suggested_min_sim = 0.0;
+};
+
+/// A trained object-distinction engine bound to one database.
+class Distinct {
+ public:
+  /// Builds graphs, enumerates paths, and fits the model. `db` must outlive
+  /// the engine.
+  static StatusOr<Distinct> Create(const Database& db,
+                                   const ReferenceSpec& spec,
+                                   DistinctConfig config = {});
+
+  /// Like Create, but installs a previously trained model (see
+  /// sim/similarity_model_io.h) instead of training. The model must have
+  /// one weight pair per enumerated join path; when it carries path names
+  /// they must match the current schema's paths (drift detection).
+  static StatusOr<Distinct> CreateWithModel(const Database& db,
+                                            const ReferenceSpec& spec,
+                                            DistinctConfig config,
+                                            SimilarityModel model);
+
+  Distinct(Distinct&&) = default;
+  Distinct& operator=(Distinct&&) = default;
+  Distinct(const Distinct&) = delete;
+  Distinct& operator=(const Distinct&) = delete;
+
+  /// A resolved name: the references found and their grouping.
+  struct ResolveResult {
+    std::vector<int32_t> refs;  // rows of the reference table
+    ClusteringResult clustering;
+  };
+
+  /// Groups every reference carrying `name` (NotFound if the name is
+  /// absent).
+  StatusOr<ResolveResult> ResolveName(const std::string& name);
+
+  /// Groups an explicit set of (resembling) references.
+  StatusOr<ClusteringResult> ResolveRefs(const std::vector<int32_t>& refs);
+
+  /// Pairwise model-combined similarity matrices for `refs` — (set
+  /// resemblance, random walk). Useful for min-sim sweeps: compute once,
+  /// cluster many times with ClusterReferences().
+  StatusOr<std::pair<PairMatrix, PairMatrix>> ComputeMatrices(
+      const std::vector<int32_t>& refs);
+
+  /// All reference rows whose name equals `name` (possibly empty).
+  StatusOr<std::vector<int32_t>> RefsForName(const std::string& name) const;
+
+  const DistinctConfig& config() const { return config_; }
+  const std::vector<JoinPath>& paths() const;
+  /// The stateless propagation engine; safe to share across threads (build
+  /// one FeatureExtractor per thread on top of it).
+  const PropagationEngine& propagation_engine() const { return *engine_; }
+  const SimilarityModel& model() const { return model_; }
+  const TrainingReport& report() const { return report_; }
+  const SchemaGraph& schema_graph() const { return *schema_graph_; }
+
+  /// Clustering options derived from config (measure/combine/min_sim).
+  AgglomerativeOptions cluster_options() const;
+
+ private:
+  Distinct() = default;
+
+  const Database* db_ = nullptr;
+  ResolvedReferenceSpec resolved_;
+  DistinctConfig config_;
+  // unique_ptr keeps addresses stable across moves (members hold borrowed
+  // pointers to each other).
+  std::unique_ptr<SchemaGraph> schema_graph_;
+  std::unique_ptr<LinkGraph> link_graph_;
+  std::unique_ptr<PropagationEngine> engine_;
+  std::unique_ptr<FeatureExtractor> extractor_;
+  SimilarityModel model_;
+  TrainingReport report_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_CORE_DISTINCT_H_

@@ -1,0 +1,72 @@
+// Evaluating a trained engine against generator ground truth — the glue
+// shared by the benchmark harnesses, the examples, and the integration
+// tests.
+
+#ifndef DISTINCT_CORE_EVALUATION_H_
+#define DISTINCT_CORE_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/distinct.h"
+#include "dblp/generator.h"
+#include "eval/metrics.h"
+
+namespace distinct {
+
+/// One resolved-and-scored ambiguous case.
+struct CaseEvaluation {
+  std::string name;
+  int num_entities = 0;
+  size_t num_refs = 0;
+  ClusteringResult clustering;
+  PairwiseScores scores;
+};
+
+/// Resolves `c`'s references with `engine` and scores the result.
+StatusOr<CaseEvaluation> EvaluateCase(Distinct& engine,
+                                      const AmbiguousCase& c);
+
+/// Evaluates every case.
+StatusOr<std::vector<CaseEvaluation>> EvaluateCases(
+    Distinct& engine, const std::vector<AmbiguousCase>& cases);
+
+/// Unweighted averages over cases (the paper averages per name).
+struct AggregateScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;
+};
+
+AggregateScores Aggregate(const std::vector<CaseEvaluation>& evaluations);
+
+/// Pairwise model similarities of one case, computed once so clustering can
+/// be re-run cheaply under different options (min-sim sweeps, ablations).
+struct CaseMatrices {
+  const AmbiguousCase* ambiguous_case = nullptr;
+  PairMatrix resem{0};
+  PairMatrix walk{0};
+};
+
+/// Computes matrices for every case.
+StatusOr<std::vector<CaseMatrices>> ComputeCaseMatrices(
+    Distinct& engine, const std::vector<AmbiguousCase>& cases);
+
+/// Clusters precomputed matrices under `options` and scores each case.
+std::vector<CaseEvaluation> EvaluateWithOptions(
+    const std::vector<CaseMatrices>& matrices,
+    const AgglomerativeOptions& options);
+
+/// Sweeps min-sim over `grid` and returns the value maximizing average F1
+/// (the paper tunes baselines this way). `options` supplies measure/combine.
+double BestMinSim(const std::vector<CaseMatrices>& matrices,
+                  AgglomerativeOptions options,
+                  const std::vector<double>& grid);
+
+/// A default log-spaced min-sim grid.
+std::vector<double> DefaultMinSimGrid();
+
+}  // namespace distinct
+
+#endif  // DISTINCT_CORE_EVALUATION_H_

@@ -1,0 +1,214 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "svm/scaler.h"
+
+namespace distinct {
+
+StatusOr<std::unique_ptr<SchemaGraph>> BuildPromotedSchemaGraph(
+    const Database& db, const DistinctConfig& config) {
+  auto graph = SchemaGraph::Build(db);
+  DISTINCT_RETURN_IF_ERROR(graph.status());
+  auto owned = std::make_unique<SchemaGraph>(*std::move(graph));
+  for (const auto& [table, column] : config.promotions) {
+    DISTINCT_RETURN_IF_ERROR(owned->PromoteAttribute(table, column));
+  }
+  return owned;
+}
+
+std::vector<JoinPath> EnumerateReferencePaths(
+    const SchemaGraph& graph, const ResolvedReferenceSpec& resolved,
+    const DistinctConfig& config) {
+  PathEnumerationOptions options;
+  options.max_length = config.max_path_length;
+  if (config.exclude_identity_first_step) {
+    for (int e = 0; e < graph.num_edges(); ++e) {
+      const SchemaEdge& edge = graph.edge(e);
+      if (edge.table_id == resolved.reference_table_id &&
+          edge.column == resolved.identity_column) {
+        options.forbidden_first_steps.push_back(
+            JoinStep{e, /*forward=*/true});
+      }
+    }
+  }
+  return EnumerateJoinPaths(graph, resolved.reference_table_id, options);
+}
+
+StatusOr<SimilarityModel> TrainSimilarityModel(
+    const Database& db, const ReferenceSpec& spec,
+    const DistinctConfig& config, FeatureExtractor& extractor,
+    TrainingReport* report) {
+  Stopwatch total;
+
+  // Oversample negatives so that enough *linked* distinct-author pairs are
+  // available for the hard-negative mix.
+  TrainingSetOptions sampling = config.training;
+  sampling.num_negative *= std::max(config.negative_oversample, 1);
+  auto pairs = BuildTrainingSet(db, spec, sampling);
+  DISTINCT_RETURN_IF_ERROR(pairs.status());
+
+  Stopwatch features_watch;
+  SvmProblem resem_problem;
+  SvmProblem walk_problem;
+  std::unordered_set<int32_t> unique_refs;
+
+  // Positives go in unchanged; negative candidates are ranked by how many
+  // join paths link them (pairs linked along many paths — e.g. shared
+  // venues — are the confusable ones the SVM must learn to discount; pairs
+  // sharing only a publication year score low).
+  struct NegativeCandidate {
+    PairFeatures features;
+    int linked_paths = 0;
+    size_t order = 0;  // original sampling order, for determinism
+  };
+  std::vector<NegativeCandidate> negatives;
+  for (const TrainingPair& pair : *pairs) {
+    PairFeatures features = extractor.Compute(pair.ref1, pair.ref2);
+    unique_refs.insert(pair.ref1);
+    unique_refs.insert(pair.ref2);
+    if (pair.label > 0) {
+      resem_problem.x.push_back(std::move(features.resemblance));
+      resem_problem.y.push_back(+1);
+      walk_problem.x.push_back(std::move(features.walk));
+      walk_problem.y.push_back(+1);
+      continue;
+    }
+    NegativeCandidate candidate;
+    for (const double f : features.resemblance) {
+      if (f > 0.0) {
+        ++candidate.linked_paths;
+      }
+    }
+    candidate.features = std::move(features);
+    candidate.order = negatives.size();
+    negatives.push_back(std::move(candidate));
+  }
+
+  const int target_negatives = config.training.num_negative;
+  const int target_hard = static_cast<int>(
+      std::min(1.0, std::max(0.0, config.hard_negative_fraction)) *
+      static_cast<double>(target_negatives));
+  // Hard slots: the most-linked candidates. Easy slots: the remaining
+  // candidates in sampling order.
+  std::vector<size_t> by_hardness(negatives.size());
+  for (size_t i = 0; i < negatives.size(); ++i) {
+    by_hardness[i] = i;
+  }
+  std::stable_sort(by_hardness.begin(), by_hardness.end(),
+                   [&](size_t a, size_t b) {
+                     return negatives[a].linked_paths >
+                            negatives[b].linked_paths;
+                   });
+  std::vector<bool> selected(negatives.size(), false);
+  int taken = 0;
+  for (size_t rank = 0; rank < by_hardness.size() && taken < target_hard;
+       ++rank) {
+    const size_t i = by_hardness[rank];
+    if (negatives[i].linked_paths == 0) {
+      break;
+    }
+    selected[i] = true;
+    ++taken;
+  }
+  for (size_t i = 0; i < negatives.size() && taken < target_negatives; ++i) {
+    if (!selected[i]) {
+      selected[i] = true;
+      ++taken;
+    }
+  }
+  for (size_t i = 0; i < negatives.size(); ++i) {
+    if (!selected[i]) {
+      continue;
+    }
+    resem_problem.x.push_back(std::move(negatives[i].features.resemblance));
+    resem_problem.y.push_back(-1);
+    walk_problem.x.push_back(std::move(negatives[i].features.walk));
+    walk_problem.y.push_back(-1);
+  }
+  const double seconds_features = features_watch.Seconds();
+
+  Stopwatch svm_watch;
+  MaxAbsScaler resem_scaler;
+  resem_scaler.Fit(resem_problem.x);
+  SvmProblem scaled_resem{resem_scaler.TransformAll(resem_problem.x),
+                          resem_problem.y};
+  auto resem_model = TrainLinearSvm(scaled_resem, config.svm);
+  DISTINCT_RETURN_IF_ERROR(resem_model.status());
+
+  MaxAbsScaler walk_scaler;
+  walk_scaler.Fit(walk_problem.x);
+  SvmProblem scaled_walk{walk_scaler.TransformAll(walk_problem.x),
+                         walk_problem.y};
+  auto walk_model = TrainLinearSvm(scaled_walk, config.svm);
+  DISTINCT_RETURN_IF_ERROR(walk_model.status());
+  const double seconds_svm = svm_watch.Seconds();
+
+  // Map weights back to raw feature space; the similarity model consumes
+  // unscaled features at resolve time.
+  std::vector<std::string> path_names;
+  path_names.reserve(extractor.num_paths());
+  // Path names are attached by the caller (which owns the schema graph);
+  // left empty here.
+  SimilarityModel model(resem_scaler.UnscaleWeights(resem_model->weights()),
+                        walk_scaler.UnscaleWeights(walk_model->weights()),
+                        std::move(path_names));
+  model.ClampAndNormalize();
+
+  // Suggested min-sim: the smallest composite-similarity threshold that
+  // still classifies the training pairs with high precision.
+  // Clustering recovers pairwise recall transitively (references merge
+  // through their strong links, and average-link aggregation then bridges
+  // the rest), so the useful operating point is precision-constrained
+  // rather than pairwise-F1-optimal.
+  double suggested_min_sim = 0.0;
+  {
+    constexpr double kPrecisionTarget = 0.99;
+    std::vector<std::pair<double, int>> scored;  // (similarity, label)
+    scored.reserve(resem_problem.x.size());
+    for (size_t i = 0; i < resem_problem.x.size(); ++i) {
+      PairFeatures features;
+      features.resemblance = resem_problem.x[i];
+      features.walk = walk_problem.x[i];
+      const double sim = std::sqrt(model.Resemblance(features) *
+                                   model.Walk(features));
+      scored.emplace_back(sim, resem_problem.y[i]);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    int64_t tp = 0;
+    int64_t fp = 0;
+    for (size_t i = 0; i < scored.size(); ++i) {
+      tp += scored[i].second > 0 ? 1 : 0;
+      fp += scored[i].second > 0 ? 0 : 1;
+      if (i + 1 < scored.size() && scored[i + 1].first == scored[i].first) {
+        continue;  // don't cut between equal scores
+      }
+      const double precision =
+          static_cast<double>(tp) / static_cast<double>(tp + fp);
+      if (precision >= kPrecisionTarget && scored[i].first > 0.0) {
+        const double next = i + 1 < scored.size() ? scored[i + 1].first : 0.0;
+        suggested_min_sim = 0.5 * (scored[i].first + next);
+      }
+    }
+  }
+
+  if (report != nullptr) {
+    report->suggested_min_sim = suggested_min_sim;
+    report->num_paths = static_cast<int>(extractor.num_paths());
+    report->num_training_pairs = resem_problem.x.size();
+    report->num_unique_refs = unique_refs.size();
+    report->seconds_features = seconds_features;
+    report->seconds_svm = seconds_svm;
+    report->seconds_total = total.Seconds();
+    report->train_accuracy_resem = resem_model->Accuracy(scaled_resem);
+    report->train_accuracy_walk = walk_model->Accuracy(scaled_walk);
+  }
+  return model;
+}
+
+}  // namespace distinct

@@ -1,0 +1,162 @@
+#include "core/scan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace distinct {
+
+StatusOr<std::vector<NameGroup>> ScanNameGroups(const Database& db,
+                                                const ReferenceSpec& spec,
+                                                const ScanOptions& options) {
+  auto resolved = ResolveReferenceSpec(db, spec);
+  DISTINCT_RETURN_IF_ERROR(resolved.status());
+  const Table& name_table = db.table(resolved->name_table_id);
+  const Table& ref_table = db.table(resolved->reference_table_id);
+
+  // Primary key -> name-group index (groups keyed by name string so that
+  // several same-named rows collapse into one group).
+  std::unordered_map<std::string, size_t> group_of_name;
+  std::unordered_map<int64_t, size_t> group_of_pk;
+  std::vector<NameGroup> groups;
+  const int pk_col = name_table.primary_key_column();
+  for (int64_t row = 0; row < name_table.num_rows(); ++row) {
+    const std::string& name =
+        name_table.GetString(row, resolved->name_column);
+    auto [it, inserted] = group_of_name.emplace(name, groups.size());
+    if (inserted) {
+      NameGroup group;
+      group.name = name;
+      groups.push_back(std::move(group));
+    }
+    group_of_pk[name_table.GetInt(row, pk_col)] = it->second;
+  }
+
+  for (int64_t row = 0; row < ref_table.num_rows(); ++row) {
+    if (ref_table.IsNull(row, resolved->identity_column)) {
+      continue;
+    }
+    auto it =
+        group_of_pk.find(ref_table.GetInt(row, resolved->identity_column));
+    if (it != group_of_pk.end()) {
+      groups[it->second].refs.push_back(static_cast<int32_t>(row));
+    }
+  }
+
+  std::vector<NameGroup> filtered;
+  for (NameGroup& group : groups) {
+    const int refs = static_cast<int>(group.refs.size());
+    if (refs < options.min_refs) {
+      continue;
+    }
+    if (options.max_refs > 0 && refs > options.max_refs) {
+      continue;
+    }
+    filtered.push_back(std::move(group));
+  }
+  std::stable_sort(filtered.begin(), filtered.end(),
+                   [](const NameGroup& a, const NameGroup& b) {
+                     return a.refs.size() > b.refs.size();
+                   });
+  return filtered;
+}
+
+StatusOr<BulkStats> ResolveAllNames(
+    Distinct& engine, const std::vector<NameGroup>& groups,
+    std::vector<BulkResolution>* results,
+    const std::function<bool(const BulkResolution&)>& on_result) {
+  Stopwatch watch;
+  BulkStats stats;
+  for (const NameGroup& group : groups) {
+    auto clustering = engine.ResolveRefs(group.refs);
+    DISTINCT_RETURN_IF_ERROR(clustering.status());
+
+    BulkResolution resolution;
+    resolution.name = group.name;
+    resolution.num_refs = group.refs.size();
+    resolution.clustering = *std::move(clustering);
+
+    ++stats.names_resolved;
+    stats.total_refs += static_cast<int64_t>(group.refs.size());
+    stats.total_clusters += resolution.clustering.num_clusters;
+    if (resolution.clustering.num_clusters > 1) {
+      ++stats.names_split;
+    }
+
+    const bool keep_going =
+        on_result == nullptr || on_result(resolution);
+    if (results != nullptr) {
+      results->push_back(std::move(resolution));
+    }
+    if (!keep_going) {
+      break;
+    }
+  }
+  stats.seconds = watch.Seconds();
+  return stats;
+}
+
+StatusOr<BulkStats> ResolveAllNamesParallel(
+    const Distinct& engine, const std::vector<NameGroup>& groups,
+    int num_threads, std::vector<BulkResolution>* results) {
+  Stopwatch watch;
+  std::vector<BulkResolution> local(groups.size());
+
+  {
+    ThreadPool pool(num_threads);
+    // One FeatureExtractor (profile cache) per worker thread; the
+    // propagation engine and model are shared read-only.
+    const SimilarityModel& model = engine.model();
+    const AgglomerativeOptions options = engine.cluster_options();
+    ParallelFor(pool, static_cast<int64_t>(groups.size()),
+                [&](int64_t g) {
+                  thread_local std::unique_ptr<FeatureExtractor> extractor;
+                  thread_local const Distinct* extractor_owner = nullptr;
+                  if (extractor == nullptr || extractor_owner != &engine) {
+                    extractor = std::make_unique<FeatureExtractor>(
+                        engine.propagation_engine(), engine.paths(),
+                        engine.config().propagation);
+                    extractor_owner = &engine;
+                  }
+                  const NameGroup& group = groups[static_cast<size_t>(g)];
+                  const size_t n = group.refs.size();
+                  PairMatrix resem(n);
+                  PairMatrix walk(n);
+                  for (size_t i = 0; i < n; ++i) {
+                    for (size_t j = 0; j < i; ++j) {
+                      const PairFeatures features = extractor->Compute(
+                          group.refs[i], group.refs[j]);
+                      resem.set(i, j, model.Resemblance(features));
+                      walk.set(i, j, model.Walk(features));
+                    }
+                  }
+                  extractor->ClearCache();
+                  BulkResolution& resolution =
+                      local[static_cast<size_t>(g)];
+                  resolution.name = group.name;
+                  resolution.num_refs = n;
+                  resolution.clustering =
+                      ClusterReferences(resem, walk, options);
+                });
+  }
+
+  BulkStats stats;
+  for (BulkResolution& resolution : local) {
+    ++stats.names_resolved;
+    stats.total_refs += static_cast<int64_t>(resolution.num_refs);
+    stats.total_clusters += resolution.clustering.num_clusters;
+    if (resolution.clustering.num_clusters > 1) {
+      ++stats.names_split;
+    }
+    if (results != nullptr) {
+      results->push_back(std::move(resolution));
+    }
+  }
+  stats.seconds = watch.Seconds();
+  return stats;
+}
+
+}  // namespace distinct

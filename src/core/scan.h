@@ -1,0 +1,76 @@
+// Whole-database operation: find every name that could be ambiguous and
+// resolve all of them.
+//
+// The paper resolves ten hand-picked names; a production deployment wants
+// "split every name in the catalog". This module enumerates the candidate
+// names (those with enough references to possibly be several people) and
+// drives bulk resolution with progress-friendly batching.
+
+#ifndef DISTINCT_CORE_SCAN_H_
+#define DISTINCT_CORE_SCAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/distinct.h"
+
+namespace distinct {
+
+/// One candidate name and all its references.
+struct NameGroup {
+  std::string name;
+  std::vector<int32_t> refs;  // rows of the reference table
+};
+
+struct ScanOptions {
+  /// Only names with at least this many references are candidates (a name
+  /// with one reference cannot be split).
+  int min_refs = 2;
+  /// Skip names with more references than this (0 = no cap). Guards bulk
+  /// runs against quadratic blowup on a handful of mega-names.
+  int max_refs = 0;
+};
+
+/// Groups every reference in the database by name string (names appearing
+/// in several name-table rows are one group) and returns the groups
+/// passing the filters, ordered by descending reference count.
+StatusOr<std::vector<NameGroup>> ScanNameGroups(const Database& db,
+                                                const ReferenceSpec& spec,
+                                                const ScanOptions& options = {});
+
+/// Result of resolving one name during a bulk run.
+struct BulkResolution {
+  std::string name;
+  size_t num_refs = 0;
+  ClusteringResult clustering;
+};
+
+/// Statistics of a bulk run.
+struct BulkStats {
+  int64_t names_resolved = 0;
+  int64_t names_split = 0;       // resolved into more than one cluster
+  int64_t total_refs = 0;
+  int64_t total_clusters = 0;
+  double seconds = 0.0;
+};
+
+/// Resolves every scanned name group with `engine`. `on_result` (optional)
+/// is invoked after each name; returning false aborts the run early.
+StatusOr<BulkStats> ResolveAllNames(
+    Distinct& engine, const std::vector<NameGroup>& groups,
+    std::vector<BulkResolution>* results = nullptr,
+    const std::function<bool(const BulkResolution&)>& on_result = nullptr);
+
+/// Parallel variant: resolves names on `num_threads` workers (each thread
+/// gets its own profile cache; the shared propagation engine and model are
+/// read-only). Results are in group order, identical to the sequential
+/// ones. No callback/early-abort in this mode.
+StatusOr<BulkStats> ResolveAllNamesParallel(
+    const Distinct& engine, const std::vector<NameGroup>& groups,
+    int num_threads, std::vector<BulkResolution>* results = nullptr);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_CORE_SCAN_H_

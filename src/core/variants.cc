@@ -1,0 +1,64 @@
+#include "core/variants.h"
+
+namespace distinct {
+
+const char* MethodVariantName(MethodVariant variant) {
+  switch (variant) {
+    case MethodVariant::kDistinct:
+      return "DISTINCT";
+    case MethodVariant::kUnsupervisedCombined:
+      return "unsupervised combined measure";
+    case MethodVariant::kSupervisedResem:
+      return "supervised set resemblance";
+    case MethodVariant::kSupervisedWalk:
+      return "supervised random walk";
+    case MethodVariant::kUnsupervisedResem:
+      return "unsupervised set resemblance";
+    case MethodVariant::kUnsupervisedWalk:
+      return "unsupervised random walk";
+  }
+  return "unknown";
+}
+
+std::vector<MethodVariant> AllMethodVariants() {
+  return {
+      MethodVariant::kDistinct,
+      MethodVariant::kUnsupervisedCombined,
+      MethodVariant::kSupervisedResem,
+      MethodVariant::kSupervisedWalk,
+      MethodVariant::kUnsupervisedResem,
+      MethodVariant::kUnsupervisedWalk,
+  };
+}
+
+DistinctConfig ApplyVariant(DistinctConfig base, MethodVariant variant) {
+  switch (variant) {
+    case MethodVariant::kDistinct:
+      base.supervised = true;
+      base.measure = ClusterMeasure::kComposite;
+      break;
+    case MethodVariant::kUnsupervisedCombined:
+      base.supervised = false;
+      base.measure = ClusterMeasure::kComposite;
+      break;
+    case MethodVariant::kSupervisedResem:
+      base.supervised = true;
+      base.measure = ClusterMeasure::kResemblanceOnly;
+      break;
+    case MethodVariant::kSupervisedWalk:
+      base.supervised = true;
+      base.measure = ClusterMeasure::kWalkOnly;
+      break;
+    case MethodVariant::kUnsupervisedResem:
+      base.supervised = false;
+      base.measure = ClusterMeasure::kResemblanceOnly;
+      break;
+    case MethodVariant::kUnsupervisedWalk:
+      base.supervised = false;
+      base.measure = ClusterMeasure::kWalkOnly;
+      break;
+  }
+  return base;
+}
+
+}  // namespace distinct

@@ -1,0 +1,34 @@
+// The six method variants compared in the paper's Fig. 4.
+
+#ifndef DISTINCT_CORE_VARIANTS_H_
+#define DISTINCT_CORE_VARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/distinct.h"
+
+namespace distinct {
+
+/// Fig. 4's bars, in the paper's order.
+enum class MethodVariant {
+  kDistinct,              // supervised, combined measure (the contribution)
+  kUnsupervisedCombined,  // combined measure, uniform weights
+  kSupervisedResem,       // set resemblance only, learned weights
+  kSupervisedWalk,        // random walk only, learned weights
+  kUnsupervisedResem,     // set resemblance only, uniform ([1]-style)
+  kUnsupervisedWalk,      // random walk only, uniform ([9]-style)
+};
+
+/// Display name, e.g. "DISTINCT" / "unsupervised random walk".
+const char* MethodVariantName(MethodVariant variant);
+
+/// All six variants in Fig. 4 order.
+std::vector<MethodVariant> AllMethodVariants();
+
+/// Applies a variant's supervision/measure switches to a base config.
+DistinctConfig ApplyVariant(DistinctConfig base, MethodVariant variant);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_CORE_VARIANTS_H_

@@ -1,0 +1,130 @@
+#include "dblp/dataset_io.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "dblp/schema.h"
+#include "relational/csv.h"
+
+namespace distinct {
+namespace {
+
+/// Schema of cases.csv, expressed as a Table for CSV reuse.
+StatusOr<Table> MakeCasesTable() {
+  return Table::Create(
+      "cases", {ColumnSpec{"row_id", ColumnType::kInt64, true, ""},
+                ColumnSpec{"name", ColumnType::kString, false, ""},
+                ColumnSpec{"entity_index", ColumnType::kInt64, false, ""},
+                ColumnSpec{"entity_label", ColumnType::kString, false, ""},
+                ColumnSpec{"publish_row", ColumnType::kInt64, false, ""}});
+}
+
+}  // namespace
+
+Status SaveDataset(const DblpDataset& dataset,
+                   const std::string& directory) {
+  DISTINCT_RETURN_IF_ERROR(SaveDatabaseCsv(dataset.db, directory));
+
+  auto cases_table = MakeCasesTable();
+  DISTINCT_RETURN_IF_ERROR(cases_table.status());
+  int64_t row_id = 0;
+  for (const AmbiguousCase& c : dataset.cases) {
+    for (size_t i = 0; i < c.publish_rows.size(); ++i) {
+      const int entity = c.truth[i];
+      const std::string label =
+          static_cast<size_t>(entity) < c.entity_names.size()
+              ? c.entity_names[static_cast<size_t>(entity)]
+              : "";
+      DISTINCT_RETURN_IF_ERROR(
+          cases_table
+              ->AppendRow({Value::Int(row_id++), Value::Str(c.name),
+                           Value::Int(entity), Value::Str(label),
+                           Value::Int(c.publish_rows[i])})
+              .status());
+    }
+  }
+  return SaveTableCsv(*cases_table, directory + "/cases.csv");
+}
+
+StatusOr<Database> LoadDblpDatabaseCsv(const std::string& directory) {
+  auto db = MakeEmptyDblpDatabase();
+  DISTINCT_RETURN_IF_ERROR(db.status());
+  DISTINCT_RETURN_IF_ERROR(LoadDatabaseCsv(*db, directory));
+  DISTINCT_RETURN_IF_ERROR(db->ValidateIntegrity());
+  return db;
+}
+
+StatusOr<std::vector<AmbiguousCase>> LoadCasesCsv(
+    const std::string& directory) {
+  auto cases_table = MakeCasesTable();
+  DISTINCT_RETURN_IF_ERROR(cases_table.status());
+  DISTINCT_RETURN_IF_ERROR(
+      LoadTableCsv(directory + "/cases.csv", *cases_table).status());
+
+  // Group rows by name, preserving first-seen order.
+  std::vector<AmbiguousCase> cases;
+  std::map<std::string, size_t> case_of_name;
+  for (int64_t row = 0; row < cases_table->num_rows(); ++row) {
+    const std::string& name = cases_table->GetString(row, 1);
+    const int entity = static_cast<int>(cases_table->GetInt(row, 2));
+    const std::string& label = cases_table->GetString(row, 3);
+    const int32_t publish_row =
+        static_cast<int32_t>(cases_table->GetInt(row, 4));
+
+    auto [it, inserted] = case_of_name.emplace(name, cases.size());
+    if (inserted) {
+      AmbiguousCase c;
+      c.name = name;
+      cases.push_back(std::move(c));
+    }
+    AmbiguousCase& c = cases[it->second];
+    c.publish_rows.push_back(publish_row);
+    c.truth.push_back(entity);
+    if (entity >= static_cast<int>(c.entity_names.size())) {
+      c.entity_names.resize(static_cast<size_t>(entity) + 1);
+    }
+    if (!label.empty()) {
+      c.entity_names[static_cast<size_t>(entity)] = label;
+    }
+  }
+  for (AmbiguousCase& c : cases) {
+    c.num_entities = static_cast<int>(c.entity_names.size());
+    // Entities without labels still count; num_entities is the max index+1
+    // observed in the truth column.
+    for (const int entity : c.truth) {
+      c.num_entities = std::max(c.num_entities, entity + 1);
+    }
+    c.entity_names.resize(static_cast<size_t>(c.num_entities));
+  }
+  return cases;
+}
+
+StatusOr<DblpDataset> LoadDataset(const std::string& directory) {
+  auto db = LoadDblpDatabaseCsv(directory);
+  DISTINCT_RETURN_IF_ERROR(db.status());
+  auto cases = LoadCasesCsv(directory);
+  DISTINCT_RETURN_IF_ERROR(cases.status());
+
+  DblpDataset dataset;
+  dataset.db = *std::move(db);
+  dataset.cases = *std::move(cases);
+
+  const Table& publish = **dataset.db.FindTable(kPublishTable);
+  dataset.entity_of_publish_row.assign(
+      static_cast<size_t>(publish.num_rows()), -1);
+  int next_entity = 0;
+  for (const AmbiguousCase& c : dataset.cases) {
+    for (size_t i = 0; i < c.publish_rows.size(); ++i) {
+      const size_t row = static_cast<size_t>(c.publish_rows[i]);
+      if (row < dataset.entity_of_publish_row.size()) {
+        dataset.entity_of_publish_row[row] = next_entity + c.truth[i];
+      }
+    }
+    next_entity += c.num_entities;
+  }
+  dataset.num_entities = next_entity;
+  return dataset;
+}
+
+}  // namespace distinct

@@ -1,0 +1,36 @@
+// Persisting generated datasets: the five DBLP tables as CSV plus a
+// cases.csv carrying the planted ground truth, so experiments can be run
+// from files (and by external tools) instead of regenerating in-process.
+//
+// cases.csv columns: name, entity_index, entity_label, publish_row — one
+// row per ambiguous reference.
+
+#ifndef DISTINCT_DBLP_DATASET_IO_H_
+#define DISTINCT_DBLP_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dblp/generator.h"
+
+namespace distinct {
+
+/// Writes `<dir>/<Table>.csv` for the five tables and `<dir>/cases.csv`.
+/// The directory must exist.
+Status SaveDataset(const DblpDataset& dataset, const std::string& directory);
+
+/// Reads the five table CSVs into a fresh DBLP database.
+StatusOr<Database> LoadDblpDatabaseCsv(const std::string& directory);
+
+/// Reads `<dir>/cases.csv` (may legitimately be empty of data rows).
+StatusOr<std::vector<AmbiguousCase>> LoadCasesCsv(
+    const std::string& directory);
+
+/// Loads database + cases. `entity_of_publish_row` covers only the
+/// ambiguous rows after a reload (regular rows carry -1); `num_entities`
+/// counts only case entities.
+StatusOr<DblpDataset> LoadDataset(const std::string& directory);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_DBLP_DATASET_IO_H_

@@ -1,0 +1,548 @@
+#include "dblp/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "dblp/name_pool.h"
+#include "dblp/schema.h"
+
+namespace distinct {
+namespace {
+
+/// A person in the generated world (regular or planted-ambiguous).
+struct Entity {
+  std::string name;
+  int home_community = -1;
+  int second_community = -1;  // -1: never migrates
+  int switch_year = 0;
+  double prolificness = 1.0;
+  bool is_ambiguous = false;
+  int case_index = -1;
+  int case_entity_index = -1;
+  int target_refs = 0;     // ambiguous only
+  int active_from = 0;
+  int active_to = 0;
+  /// Recurring collaborators (entity indices), per affiliation era.
+  std::vector<int> preferred_home;
+  std::vector<int> preferred_second;
+  /// Preferred conference ids, per affiliation era.
+  std::vector<int> venues_home;
+  std::vector<int> venues_second;
+};
+
+/// A generated paper before table construction.
+struct Paper {
+  std::vector<int> authors;  // entity indices, lead first
+  int64_t proc_id = -1;
+};
+
+int CommunityAt(const Entity& entity, int year) {
+  if (entity.second_community >= 0 && year >= entity.switch_year) {
+    return entity.second_community;
+  }
+  return entity.home_community;
+}
+
+/// Splits `total` over `parts` with Zipf-like skew, each part >= 1.
+std::vector<int> SkewedSplit(int total, int parts) {
+  DISTINCT_CHECK(parts >= 1 && total >= parts);
+  std::vector<double> weights(static_cast<size_t>(parts));
+  double weight_sum = 0.0;
+  for (int i = 0; i < parts; ++i) {
+    weights[static_cast<size_t>(i)] = 1.0 / static_cast<double>(i + 1);
+    weight_sum += weights[static_cast<size_t>(i)];
+  }
+  std::vector<int> counts(static_cast<size_t>(parts), 1);
+  int remaining = total - parts;
+  for (int i = 0; i < parts && remaining > 0; ++i) {
+    const int share = static_cast<int>(
+        static_cast<double>(total - parts) * weights[static_cast<size_t>(i)] /
+        weight_sum);
+    const int grant = std::min(share, remaining);
+    counts[static_cast<size_t>(i)] += grant;
+    remaining -= grant;
+  }
+  counts[0] += remaining;  // leftovers to the most prolific entity
+  return counts;
+}
+
+}  // namespace
+
+std::vector<AmbiguousNameSpec> PaperTable1Specs() {
+  // Counts from the paper's Table 1; the two entries the supplied text
+  // corrupted (Joseph Hellerstein, Lei Wang) and Wei Wang's totals follow
+  // the authors' extended version (see EXPERIMENTS.md).
+  return {
+      {"Hui Fang", 3, 9},           {"Ajay Gupta", 4, 16},
+      {"Joseph Hellerstein", 2, 151}, {"Rakesh Kumar", 2, 36},
+      {"Michael Wagner", 5, 29},    {"Bing Liu", 6, 89},
+      {"Jim Smith", 3, 19},         {"Lei Wang", 13, 55},
+      {"Wei Wang", 14, 141},        {"Bin Yu", 5, 44},
+  };
+}
+
+StatusOr<DblpDataset> GenerateDblpDataset(const GeneratorConfig& config) {
+  if (config.num_communities < 1 || config.authors_per_community < 1) {
+    return InvalidArgumentError("generator: need at least one community");
+  }
+  if (config.end_year < config.start_year) {
+    return InvalidArgumentError("generator: end_year < start_year");
+  }
+  const std::vector<AmbiguousNameSpec> specs =
+      config.ambiguous.empty() ? PaperTable1Specs() : config.ambiguous;
+  for (const AmbiguousNameSpec& spec : specs) {
+    if (spec.num_entities < 1 || spec.num_refs < spec.num_entities) {
+      return InvalidArgumentError("generator: ambiguous spec '" + spec.name +
+                                  "' needs refs >= entities >= 1");
+    }
+  }
+
+  Rng rng(config.seed);
+  NamePool names(config.first_name_pool, config.last_name_pool,
+                 config.name_zipf_exponent);
+  const int num_years = config.end_year - config.start_year + 1;
+  const int num_areas =
+      (config.num_communities + config.communities_per_area - 1) /
+      config.communities_per_area;
+  auto area_of = [&](int community) {
+    return community / config.communities_per_area;
+  };
+
+  // ---- Entities -----------------------------------------------------
+  std::vector<Entity> entities;
+  std::vector<std::vector<int>> community_members(
+      static_cast<size_t>(config.num_communities));
+
+  for (int c = 0; c < config.num_communities; ++c) {
+    for (int a = 0; a < config.authors_per_community; ++a) {
+      Entity entity;
+      entity.name = names.SampleFullName(rng);
+      entity.home_community = c;
+      entity.prolificness = 1.0 / std::pow(static_cast<double>(a + 1), 0.8);
+      entity.active_from = config.start_year;
+      entity.active_to = config.end_year;
+      if (rng.Bernoulli(config.migration_prob) &&
+          config.num_communities > 1) {
+        entity.second_community = static_cast<int>(
+            rng.UniformInt(0, config.num_communities - 2));
+        if (entity.second_community >= c) {
+          ++entity.second_community;
+        }
+        entity.switch_year = config.start_year + num_years / 3 +
+                             static_cast<int>(rng.UniformInt(0, std::max(
+                                 1, num_years / 3)));
+      }
+      community_members[static_cast<size_t>(c)].push_back(
+          static_cast<int>(entities.size()));
+      entities.push_back(std::move(entity));
+    }
+  }
+
+  // Part decoys: regular authors sharing a name part with each planted
+  // ambiguous name, so "Wei" and "Wang" are common parts as they are in the
+  // real DBLP and the rare-name heuristic correctly skips "Wei Wang".
+  for (const AmbiguousNameSpec& spec : specs) {
+    const std::string first(FirstNameOf(spec.name));
+    const std::string last(LastNameOf(spec.name));
+    for (int d = 0; d < config.part_decoys_per_ambiguous_name; ++d) {
+      Entity entity;
+      if (d % 2 == 0) {
+        entity.name =
+            first + " " + names.LastName(names.SampleLastRank(rng));
+      } else {
+        entity.name =
+            names.FirstName(names.SampleFirstRank(rng)) + " " + last;
+      }
+      const int community = static_cast<int>(
+          rng.UniformInt(0, config.num_communities - 1));
+      entity.home_community = community;
+      entity.prolificness = 0.6;
+      entity.active_from = config.start_year;
+      entity.active_to = config.end_year;
+      community_members[static_cast<size_t>(community)].push_back(
+          static_cast<int>(entities.size()));
+      entities.push_back(std::move(entity));
+    }
+  }
+
+  // Planted ambiguous entities. Same-name entities land preferentially in
+  // the same research area (shared venues) and occasionally in the very
+  // same community, which is what makes the problem hard.
+  std::vector<AmbiguousCase> cases(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const AmbiguousNameSpec& spec = specs[s];
+    cases[s].name = spec.name;
+    cases[s].num_entities = spec.num_entities;
+    const std::vector<int> ref_counts =
+        SkewedSplit(spec.num_refs, spec.num_entities);
+
+    std::vector<int> used_communities;
+    for (int e = 0; e < spec.num_entities; ++e) {
+      Entity entity;
+      entity.name = spec.name;
+      entity.is_ambiguous = true;
+      entity.case_index = static_cast<int>(s);
+      entity.case_entity_index = e;
+      entity.target_refs = ref_counts[static_cast<size_t>(e)];
+
+      int community;
+      if (used_communities.empty() || rng.Bernoulli(0.4)) {
+        community = static_cast<int>(
+            rng.UniformInt(0, config.num_communities - 1));
+      } else if (rng.Bernoulli(0.08)) {
+        // Hard case: share a community with a previous same-name entity.
+        community = used_communities[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(used_communities.size()) - 1))];
+      } else {
+        // Same area, different community.
+        const int previous = used_communities[static_cast<size_t>(
+            rng.UniformInt(0,
+                           static_cast<int64_t>(used_communities.size()) - 1))];
+        const int area = area_of(previous);
+        const int base = area * config.communities_per_area;
+        const int span = std::min(config.communities_per_area,
+                                  config.num_communities - base);
+        community = base + static_cast<int>(rng.UniformInt(0, span - 1));
+      }
+      used_communities.push_back(community);
+      entity.home_community = community;
+
+      // Active span: enough years to hold the papers, placed randomly.
+      const int span = std::min(
+          num_years,
+          std::max(4, entity.target_refs / 3 +
+                          static_cast<int>(rng.UniformInt(2, 5))));
+      const int offset =
+          static_cast<int>(rng.UniformInt(0, num_years - span));
+      entity.active_from = config.start_year + offset;
+      entity.active_to = entity.active_from + span - 1;
+
+      // Migration is more likely than for regular authors (the paper's
+      // Michael Wagner effect: one person, weakly linked partitions).
+      if (rng.Bernoulli(std::min(1.0, config.migration_prob * 1.5)) &&
+          config.num_communities > 1 && entity.target_refs >= 6) {
+        entity.second_community = static_cast<int>(
+            rng.UniformInt(0, config.num_communities - 2));
+        if (entity.second_community >= community) {
+          ++entity.second_community;
+        }
+        entity.switch_year =
+            entity.active_from + span / 2;
+      }
+
+      cases[s].entity_names.push_back(
+          spec.name + " @ " + NamePool::InstitutionName(
+                                  static_cast<size_t>(community)));
+      entities.push_back(std::move(entity));
+    }
+  }
+
+  // Recurring collaborators, sampled from the community of each era (the
+  // ambiguous entities' collaborators are regular authors, so reference
+  // counts stay exact).
+  auto assign_preferred = [&](size_t self, int community) {
+    std::vector<int> preferred;
+    const std::vector<int>& members =
+        community_members[static_cast<size_t>(community)];
+    if (members.empty()) {
+      return preferred;
+    }
+    const size_t k = std::min<size_t>(
+        static_cast<size_t>(std::max(config.preferred_collaborators, 0)),
+        members.size());
+    for (const size_t idx : rng.SampleWithoutReplacement(members.size(), k)) {
+      if (static_cast<size_t>(members[idx]) != self) {
+        preferred.push_back(members[idx]);
+      }
+    }
+    return preferred;
+  };
+  // Preferred venues: a personal subset of the era's area conferences.
+  auto assign_venues = [&](int community) {
+    const int area = area_of(community);
+    const int base = area * config.conferences_per_area;
+    const size_t k = std::min<size_t>(
+        static_cast<size_t>(std::max(config.venues_per_author, 1)),
+        static_cast<size_t>(config.conferences_per_area));
+    std::vector<int> venues;
+    for (const size_t idx : rng.SampleWithoutReplacement(
+             static_cast<size_t>(config.conferences_per_area), k)) {
+      venues.push_back(base + static_cast<int>(idx));
+    }
+    return venues;
+  };
+  for (size_t e = 0; e < entities.size(); ++e) {
+    entities[e].preferred_home = assign_preferred(e, entities[e].home_community);
+    entities[e].venues_home = assign_venues(entities[e].home_community);
+    if (entities[e].second_community >= 0) {
+      entities[e].preferred_second =
+          assign_preferred(e, entities[e].second_community);
+      entities[e].venues_second = assign_venues(entities[e].second_community);
+    }
+  }
+
+  // ---- Conferences and proceedings ----------------------------------
+  auto db_or = MakeEmptyDblpDatabase();
+  DISTINCT_RETURN_IF_ERROR(db_or.status());
+  Database db = *std::move(db_or);
+
+  Table* conferences = *db.FindMutableTable(kConferencesTable);
+  Table* proceedings = *db.FindMutableTable(kProceedingsTable);
+  Table* publications = *db.FindMutableTable(kPublicationsTable);
+  Table* publish = *db.FindMutableTable(kPublishTable);
+  Table* authors = *db.FindMutableTable(kAuthorsTable);
+
+  const int num_conferences = num_areas * config.conferences_per_area;
+  for (int conf = 0; conf < num_conferences; ++conf) {
+    const int area = conf / config.conferences_per_area;
+    const std::string name =
+        StrFormat("CONF-%c%d", static_cast<char>('A' + area % 26),
+                  conf % config.conferences_per_area + 1);
+    const std::string publisher = StrFormat(
+        "Publisher%02d",
+        static_cast<int>(rng.UniformInt(1, config.num_publishers)));
+    auto row = conferences->AppendRow(
+        {Value::Int(conf), Value::Str(name), Value::Str(publisher)});
+    DISTINCT_RETURN_IF_ERROR(row.status());
+  }
+
+  // (conference, year) -> proc_id
+  std::vector<int64_t> proc_of(
+      static_cast<size_t>(num_conferences) * static_cast<size_t>(num_years),
+      -1);
+  int64_t next_proc = 0;
+  for (int conf = 0; conf < num_conferences; ++conf) {
+    for (int y = 0; y < num_years; ++y) {
+      const std::string location = StrFormat(
+          "City%02d",
+          static_cast<int>(rng.UniformInt(1, config.num_locations)));
+      auto row = proceedings->AppendRow(
+          {Value::Int(next_proc), Value::Int(conf),
+           Value::Int(config.start_year + y), Value::Str(location)});
+      DISTINCT_RETURN_IF_ERROR(row.status());
+      proc_of[static_cast<size_t>(conf) * static_cast<size_t>(num_years) +
+              static_cast<size_t>(y)] = next_proc;
+      ++next_proc;
+    }
+  }
+
+  auto conference_for = [&](int community, Rng& r) {
+    const int area = area_of(community);
+    const int base = area * config.conferences_per_area;
+    return base + static_cast<int>(
+                      r.UniformInt(0, config.conferences_per_area - 1));
+  };
+
+  // A paper's venue follows the lead author's preferred venues for the
+  // paper's era with probability venue_loyalty, else any area conference.
+  auto venue_for = [&](const Entity& lead, int community, Rng& r) {
+    const std::vector<int>& venues = community == lead.home_community
+                                         ? lead.venues_home
+                                         : lead.venues_second;
+    if (!venues.empty() && r.Bernoulli(config.venue_loyalty)) {
+      return venues[static_cast<size_t>(
+          r.UniformInt(0, static_cast<int64_t>(venues.size()) - 1))];
+    }
+    return conference_for(community, r);
+  };
+
+  // ---- Papers --------------------------------------------------------
+  std::vector<Paper> papers;
+
+  auto sample_member = [&](int community, int year, Rng& r) -> int {
+    const std::vector<int>& members =
+        community_members[static_cast<size_t>(community)];
+    std::vector<double> weights;
+    weights.reserve(members.size());
+    for (const int m : members) {
+      const Entity& entity = entities[static_cast<size_t>(m)];
+      weights.push_back(CommunityAt(entity, year) == community
+                            ? entity.prolificness
+                            : 0.0);
+    }
+    bool any = false;
+    for (const double w : weights) {
+      if (w > 0.0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      // Everyone migrated away this year; fall back to home members.
+      return members[static_cast<size_t>(
+          r.UniformInt(0, static_cast<int64_t>(members.size()) - 1))];
+    }
+    return members[r.WeightedIndex(weights)];
+  };
+
+  // Regular community papers.
+  for (int c = 0; c < config.num_communities; ++c) {
+    for (int y = 0; y < num_years; ++y) {
+      const int year = config.start_year + y;
+      const int count = rng.Poisson(config.papers_per_community_year);
+      for (int p = 0; p < count; ++p) {
+        Paper paper;
+        paper.authors.push_back(sample_member(c, year, rng));
+        const Entity& lead =
+            entities[static_cast<size_t>(paper.authors[0])];
+        const std::vector<int>& lead_preferred =
+            CommunityAt(lead, year) == lead.home_community
+                ? lead.preferred_home
+                : lead.preferred_second;
+        // Advisor effect (see the ambiguous-paper loop below).
+        if (!lead_preferred.empty() && rng.Bernoulli(0.7)) {
+          paper.authors.push_back(lead_preferred.front());
+        }
+        const int extra = rng.Poisson(config.mean_coauthors_per_paper);
+        const bool lead_in_second_era =
+            CommunityAt(lead, year) != lead.home_community;
+        for (int k = 0; k < extra; ++k) {
+          int coauthor;
+          if (lead_in_second_era && !lead.preferred_home.empty() &&
+              rng.Bernoulli(config.old_collaborator_prob)) {
+            coauthor = lead.preferred_home[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(lead.preferred_home.size()) - 1))];
+          } else if (!lead_preferred.empty() &&
+              rng.Bernoulli(config.collaborator_affinity)) {
+            coauthor = lead_preferred[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(lead_preferred.size()) - 1))];
+          } else if (rng.Bernoulli(config.cross_community_coauthor_prob) &&
+                     config.num_communities > 1) {
+            int other = static_cast<int>(
+                rng.UniformInt(0, config.num_communities - 2));
+            if (other >= c) ++other;
+            coauthor = sample_member(other, year, rng);
+          } else {
+            coauthor = sample_member(c, year, rng);
+          }
+          if (std::find(paper.authors.begin(), paper.authors.end(),
+                        coauthor) == paper.authors.end()) {
+            paper.authors.push_back(coauthor);
+          }
+        }
+        const int conf = venue_for(lead, c, rng);
+        paper.proc_id =
+            proc_of[static_cast<size_t>(conf) * static_cast<size_t>(num_years) +
+                    static_cast<size_t>(y)];
+        papers.push_back(std::move(paper));
+      }
+    }
+  }
+
+  // Papers of the planted ambiguous entities (exactly target_refs each).
+  for (size_t e = 0; e < entities.size(); ++e) {
+    const Entity& entity = entities[e];
+    if (!entity.is_ambiguous) {
+      continue;
+    }
+    const int span_years = entity.active_to - entity.active_from + 1;
+    for (int p = 0; p < entity.target_refs; ++p) {
+      const int year =
+          entity.active_from +
+          (span_years <= 1
+               ? 0
+               : static_cast<int>(rng.UniformInt(0, span_years - 1)));
+      const int community = CommunityAt(entity, year);
+
+      Paper paper;
+      paper.authors.push_back(static_cast<int>(e));
+      const std::vector<int>& entity_preferred =
+          community == entity.home_community ? entity.preferred_home
+                                             : entity.preferred_second;
+      // Advisor effect: the first preferred collaborator of the era joins
+      // most papers — authors with few papers publish with a constant
+      // partner (student/advisor), which is what lets DISTINCT group the
+      // short cases (Hui Fang, Jim Smith) in the real DBLP.
+      if (!entity_preferred.empty() && rng.Bernoulli(0.7)) {
+        paper.authors.push_back(entity_preferred.front());
+      }
+      const int extra =
+          1 + rng.Poisson(std::max(0.5, config.mean_coauthors_per_paper - 1));
+      const bool in_second_era = community != entity.home_community;
+      for (int k = 0; k < extra; ++k) {
+        int coauthor;
+        if (in_second_era && !entity.preferred_home.empty() &&
+            rng.Bernoulli(config.old_collaborator_prob)) {
+          coauthor = entity.preferred_home[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(entity.preferred_home.size()) - 1))];
+        } else if (!entity_preferred.empty() &&
+            rng.Bernoulli(config.collaborator_affinity)) {
+          coauthor = entity_preferred[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(entity_preferred.size()) - 1))];
+        } else if (rng.Bernoulli(config.cross_community_coauthor_prob) &&
+                   config.num_communities > 1) {
+          int other = static_cast<int>(
+              rng.UniformInt(0, config.num_communities - 2));
+          if (other >= community) ++other;
+          coauthor = sample_member(other, year, rng);
+        } else {
+          coauthor = sample_member(community, year, rng);
+        }
+        if (std::find(paper.authors.begin(), paper.authors.end(),
+                      coauthor) == paper.authors.end()) {
+          paper.authors.push_back(coauthor);
+        }
+      }
+      const int conf = venue_for(entity, community, rng);
+      const int y = year - config.start_year;
+      paper.proc_id =
+          proc_of[static_cast<size_t>(conf) * static_cast<size_t>(num_years) +
+                  static_cast<size_t>(y)];
+      papers.push_back(std::move(paper));
+    }
+  }
+
+  // ---- Tables ----------------------------------------------------------
+  // One Authors row per distinct name string: identically named entities
+  // share the row, which is precisely the ambiguity DISTINCT must resolve.
+  Dictionary name_ids;
+  std::vector<int64_t> author_row_of_entity(entities.size(), -1);
+  for (size_t e = 0; e < entities.size(); ++e) {
+    const int64_t before = name_ids.size();
+    const int64_t name_id = name_ids.Intern(entities[e].name);
+    if (name_id == before) {  // first time this name is seen
+      auto row = authors->AppendRow(
+          {Value::Int(name_id), Value::Str(entities[e].name)});
+      DISTINCT_RETURN_IF_ERROR(row.status());
+    }
+    author_row_of_entity[e] = name_id;
+  }
+
+  DblpDataset dataset;
+  dataset.num_entities = static_cast<int>(entities.size());
+
+  int64_t next_pub_id = 0;
+  for (size_t p = 0; p < papers.size(); ++p) {
+    const Paper& paper = papers[p];
+    const int64_t paper_id = static_cast<int64_t>(p);
+    auto row = publications->AppendRow(
+        {Value::Int(paper_id),
+         Value::Str(StrFormat("Paper %zu", p)),
+         Value::Int(paper.proc_id)});
+    DISTINCT_RETURN_IF_ERROR(row.status());
+    for (const int author_entity : paper.authors) {
+      auto pub_row = publish->AppendRow(
+          {Value::Int(next_pub_id++),
+           Value::Int(author_row_of_entity[static_cast<size_t>(
+               author_entity)]),
+           Value::Int(paper_id)});
+      DISTINCT_RETURN_IF_ERROR(pub_row.status());
+      dataset.entity_of_publish_row.push_back(author_entity);
+
+      const Entity& entity = entities[static_cast<size_t>(author_entity)];
+      if (entity.is_ambiguous) {
+        AmbiguousCase& c = cases[static_cast<size_t>(entity.case_index)];
+        c.publish_rows.push_back(static_cast<int32_t>(*pub_row));
+        c.truth.push_back(entity.case_entity_index);
+      }
+    }
+  }
+
+  dataset.db = std::move(db);
+  dataset.cases = std::move(cases);
+  return dataset;
+}
+
+}  // namespace distinct

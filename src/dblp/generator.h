@@ -1,0 +1,130 @@
+// Synthetic DBLP generator with exact ground truth.
+//
+// Substitutes for the 2006 DBLP snapshot the paper evaluates on (see
+// DESIGN.md §5). The generator reproduces the structural properties
+// DISTINCT exploits:
+//   - authors belong to collaboration communities (affiliation eras) and
+//     co-publish inside them, so references of one person share coauthors;
+//   - communities publish in the conferences of their research area, so
+//     references of one person share venues;
+//   - some authors migrate between communities, producing the weakly linked
+//     reference partitions that motivate the collective random walk (§4.1);
+//   - ambiguous names are planted by assigning one full name to several
+//     distinct entities placed in different communities, with reference
+//     counts split by a heavy-tailed distribution as in the paper's Wei
+//     Wang case (57/31/19/5/...).
+// Ground truth (Publish row -> entity) is emitted by construction.
+
+#ifndef DISTINCT_DBLP_GENERATOR_H_
+#define DISTINCT_DBLP_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace distinct {
+
+/// One planted ambiguous name: `num_entities` distinct people who all carry
+/// `name` and together account for `num_refs` Publish rows.
+struct AmbiguousNameSpec {
+  std::string name;
+  int num_entities = 0;
+  int num_refs = 0;
+};
+
+/// The ten names of the paper's Table 1 with their (#authors, #refs).
+std::vector<AmbiguousNameSpec> PaperTable1Specs();
+
+/// Generator parameters. Defaults produce a database of roughly 1,000
+/// regular authors, 8,000 papers, and 25,000 references in well under a
+/// second — about 20x smaller than the paper's DBLP snapshot but with the
+/// same shape.
+struct GeneratorConfig {
+  uint64_t seed = 42;
+
+  // Community structure.
+  int num_communities = 40;
+  int authors_per_community = 25;
+  /// Communities per research area; communities in one area share venues.
+  int communities_per_area = 4;
+  int conferences_per_area = 8;
+  /// Each author mostly publishes in a personal subset of the area's
+  /// conferences; this keeps venue overlap high within one person's papers
+  /// and moderate between same-area strangers, as in the real DBLP.
+  int venues_per_author = 2;
+  double venue_loyalty = 0.75;
+
+  // Publication volume.
+  int start_year = 1991;
+  int end_year = 2006;
+  double papers_per_community_year = 13.0;  // Poisson mean
+  double mean_coauthors_per_paper = 2.2;    // beyond the lead author
+
+  // Linkage structure.
+  /// Probability a regular author has a second community (migration).
+  double migration_prob = 0.15;
+  /// Probability a coauthor slot is filled from a random other community.
+  double cross_community_coauthor_prob = 0.08;
+  /// Probability a coauthor slot is filled from the lead author's recurring
+  /// collaborators rather than the whole community. Recurring collaborators
+  /// are what make references of one person link through shared coauthors
+  /// — the signal DISTINCT exploits (paper §1).
+  double collaborator_affinity = 0.75;
+  /// Recurring collaborators per author (per affiliation era).
+  int preferred_collaborators = 2;
+  /// After migrating, authors still occasionally publish with their old
+  /// group: probability a coauthor slot in the second era is filled from
+  /// the home-era collaborators. These few cross-era links are what the
+  /// collective random walk can exploit but Average-Link dilutes away
+  /// (paper §4.1).
+  double old_collaborator_prob = 0.15;
+
+  // Vocabulary sizes.
+  int num_publishers = 8;
+  int num_locations = 48;
+  size_t first_name_pool = 400;
+  size_t last_name_pool = 800;
+  double name_zipf_exponent = 0.75;
+
+  /// Planted ambiguous names; empty means PaperTable1Specs().
+  std::vector<AmbiguousNameSpec> ambiguous;
+
+  /// Regular authors created per ambiguous name who share its first or last
+  /// name part (e.g. "Wei Kelvaris", "Bramor Wang"). Real bibliographies
+  /// contain many such part-mates; without them the rare-name heuristic
+  /// would wrongly consider the planted names unique and poison the
+  /// training set with cross-entity positives.
+  int part_decoys_per_ambiguous_name = 8;
+};
+
+/// Ground truth for one planted ambiguous name.
+struct AmbiguousCase {
+  std::string name;
+  int num_entities = 0;
+  /// The Publish rows carrying this name, parallel to `truth`.
+  std::vector<int32_t> publish_rows;
+  /// truth[i]: dense entity index (0..num_entities-1) of publish_rows[i].
+  std::vector<int> truth;
+  /// Display name per entity, e.g. "Wei Wang @ University of Velmar".
+  std::vector<std::string> entity_names;
+};
+
+/// A generated database plus its ground truth.
+struct DblpDataset {
+  Database db;
+  std::vector<AmbiguousCase> cases;
+  /// Global entity id of every Publish row (covers regular authors too;
+  /// regular entities never share ids even when names collide by chance).
+  std::vector<int> entity_of_publish_row;
+  int num_entities = 0;
+};
+
+/// Generates a dataset. Deterministic in `config.seed`.
+StatusOr<DblpDataset> GenerateDblpDataset(const GeneratorConfig& config);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_DBLP_GENERATOR_H_

@@ -1,0 +1,80 @@
+#include "dblp/name_pool.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace distinct {
+namespace {
+
+// Onsets and codas chosen so compounds read as plausible names while being
+// disjoint from real English given names.
+constexpr std::array<const char*, 20> kOnsets = {
+    "bra", "kel", "vor", "mi",  "tor", "sa",  "len", "dro", "fa",  "gri",
+    "hol", "jun", "pel", "qua", "ras", "sol", "tam", "ulv", "wes", "zan"};
+constexpr std::array<const char*, 18> kMiddles = {
+    "",    "la", "ri", "no", "ve", "di", "mo", "su", "ka",
+    "lin", "ta", "re", "bo", "ni", "ga", "lu", "pe", "sha"};
+constexpr std::array<const char*, 16> kEndings = {
+    "n",   "ris", "mar", "dal", "vik", "sen", "tov", "lin",
+    "der", "mos", "nak", "rel", "gan", "bert", "win", "dor"};
+
+void CapitalizeInPlace(std::string& word) {
+  if (!word.empty() && word[0] >= 'a' && word[0] <= 'z') {
+    word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  }
+}
+
+/// Deterministic syllable compound for `index`; distinct for distinct
+/// indices below kOnsets * kMiddles * kEndings = 5760.
+std::string CompoundName(size_t index, size_t salt) {
+  const size_t mixed = index * 2654435761u + salt * 40503u;
+  const size_t onset = mixed % kOnsets.size();
+  const size_t middle = (mixed / kOnsets.size()) % kMiddles.size();
+  const size_t ending =
+      (mixed / (kOnsets.size() * kMiddles.size())) % kEndings.size();
+  std::string name = kOnsets[onset];
+  name += kMiddles[middle];
+  name += kEndings[ending];
+  // Guarantee distinctness beyond the combinatorial space.
+  const size_t cycle = index / (kOnsets.size() * kMiddles.size() *
+                                kEndings.size());
+  if (cycle > 0) {
+    name += static_cast<char>('a' + static_cast<int>(cycle % 26));
+  }
+  CapitalizeInPlace(name);
+  return name;
+}
+
+}  // namespace
+
+NamePool::NamePool(size_t num_first, size_t num_last, double zipf_s)
+    : num_first_(num_first),
+      num_last_(num_last),
+      first_zipf_(num_first, zipf_s),
+      last_zipf_(num_last, zipf_s) {
+  DISTINCT_CHECK(num_first >= 1 && num_last >= 1);
+}
+
+std::string NamePool::FirstName(size_t rank) const {
+  DISTINCT_CHECK(rank < num_first_);
+  return CompoundName(rank, /*salt=*/1);
+}
+
+std::string NamePool::LastName(size_t rank) const {
+  DISTINCT_CHECK(rank < num_last_);
+  return CompoundName(rank, /*salt=*/2);
+}
+
+std::string NamePool::SampleFullName(Rng& rng) const {
+  return FirstName(SampleFirstRank(rng)) + " " + LastName(SampleLastRank(rng));
+}
+
+std::string NamePool::InstitutionName(size_t index) {
+  static constexpr std::array<const char*, 4> kKinds = {
+      "University of ", "Institute of ", "Polytechnic of ", "College of "};
+  return std::string(kKinds[index % kKinds.size()]) +
+         CompoundName(index, /*salt=*/3);
+}
+
+}  // namespace distinct

@@ -1,0 +1,53 @@
+// Synthetic person-name pools with Zipfian frequency.
+//
+// The automatic training-set construction (paper §3) depends on real
+// bibliographies containing many rare (first, last) combinations; sampling
+// first and last names independently from Zipf-distributed pools reproduces
+// that: a few names dominate while a long tail of combinations occurs once
+// or twice. Names are deterministic syllable compounds ("Bramor Kelvaris"),
+// so they never collide with the paper's planted ambiguous names.
+
+#ifndef DISTINCT_DBLP_NAME_POOL_H_
+#define DISTINCT_DBLP_NAME_POOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace distinct {
+
+/// Deterministic pools of `num_first` first and `num_last` last names.
+class NamePool {
+ public:
+  /// `zipf_s` is the Zipf exponent for both pools (> 0).
+  NamePool(size_t num_first, size_t num_last, double zipf_s);
+
+  size_t num_first() const { return num_first_; }
+  size_t num_last() const { return num_last_; }
+
+  /// The i-th first/last name by popularity rank (0 = most common).
+  std::string FirstName(size_t rank) const;
+  std::string LastName(size_t rank) const;
+
+  /// Samples rank indices from the Zipf distributions.
+  size_t SampleFirstRank(Rng& rng) const { return first_zipf_.Sample(rng); }
+  size_t SampleLastRank(Rng& rng) const { return last_zipf_.Sample(rng); }
+
+  /// "First Last" with both parts Zipf-sampled.
+  std::string SampleFullName(Rng& rng) const;
+
+  /// Deterministic institution-style name for community labeling,
+  /// e.g. "University of Velmar".
+  static std::string InstitutionName(size_t index);
+
+ private:
+  size_t num_first_;
+  size_t num_last_;
+  ZipfSampler first_zipf_;
+  ZipfSampler last_zipf_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_DBLP_NAME_POOL_H_

@@ -1,0 +1,70 @@
+#include "dblp/schema.h"
+
+namespace distinct {
+
+StatusOr<Database> MakeEmptyDblpDatabase() {
+  Database db;
+
+  auto authors = Table::Create(
+      kAuthorsTable,
+      {ColumnSpec{"author_id", ColumnType::kInt64, /*is_primary_key=*/true,
+                  ""},
+       ColumnSpec{"name", ColumnType::kString, false, ""}});
+  DISTINCT_RETURN_IF_ERROR(authors.status());
+
+  auto conferences = Table::Create(
+      kConferencesTable,
+      {ColumnSpec{"conf_id", ColumnType::kInt64, true, ""},
+       ColumnSpec{"name", ColumnType::kString, false, ""},
+       ColumnSpec{"publisher", ColumnType::kString, false, ""}});
+  DISTINCT_RETURN_IF_ERROR(conferences.status());
+
+  auto proceedings = Table::Create(
+      kProceedingsTable,
+      {ColumnSpec{"proc_id", ColumnType::kInt64, true, ""},
+       ColumnSpec{"conf_id", ColumnType::kInt64, false, kConferencesTable},
+       ColumnSpec{"year", ColumnType::kInt64, false, ""},
+       ColumnSpec{"location", ColumnType::kString, false, ""}});
+  DISTINCT_RETURN_IF_ERROR(proceedings.status());
+
+  auto publications = Table::Create(
+      kPublicationsTable,
+      {ColumnSpec{"paper_id", ColumnType::kInt64, true, ""},
+       ColumnSpec{"title", ColumnType::kString, false, ""},
+       ColumnSpec{"proc_id", ColumnType::kInt64, false, kProceedingsTable}});
+  DISTINCT_RETURN_IF_ERROR(publications.status());
+
+  auto publish = Table::Create(
+      kPublishTable,
+      {ColumnSpec{"pub_id", ColumnType::kInt64, true, ""},
+       ColumnSpec{"author_id", ColumnType::kInt64, false, kAuthorsTable},
+       ColumnSpec{"paper_id", ColumnType::kInt64, false,
+                  kPublicationsTable}});
+  DISTINCT_RETURN_IF_ERROR(publish.status());
+
+  for (auto* table : {&authors, &conferences, &proceedings, &publications,
+                      &publish}) {
+    auto id = db.AddTable(*std::move(*table));
+    DISTINCT_RETURN_IF_ERROR(id.status());
+  }
+  return db;
+}
+
+ReferenceSpec DblpReferenceSpec() {
+  ReferenceSpec spec;
+  spec.reference_table = kPublishTable;
+  spec.identity_column = "author_id";
+  spec.name_table = kAuthorsTable;
+  spec.name_column = "name";
+  return spec;
+}
+
+std::vector<std::pair<std::string, std::string>> DblpDefaultPromotions() {
+  return {
+      {kProceedingsTable, "year"},
+      {kProceedingsTable, "location"},
+      {kConferencesTable, "publisher"},
+  };
+}
+
+}  // namespace distinct

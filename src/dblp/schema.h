@@ -1,0 +1,46 @@
+// The DBLP schema of the paper's Fig. 2, expressed in this library's
+// relational engine.
+//
+//   Authors(author_id PK, name)
+//   Publish(pub_id PK, author_id -> Authors, paper_id -> Publications)
+//   Publications(paper_id PK, title, proc_id -> Proceedings)
+//   Proceedings(proc_id PK, conf_id -> Conferences, year, location)
+//   Conferences(conf_id PK, name, publisher)
+//
+// Natural keys from the figure (author name, conference name) are replaced
+// by surrogate int64 keys; the promoted attributes (year, location,
+// publisher) carry the figure's non-key attribute linkage.
+
+#ifndef DISTINCT_DBLP_SCHEMA_H_
+#define DISTINCT_DBLP_SCHEMA_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/reference_spec.h"
+
+namespace distinct {
+
+/// Table name constants.
+inline constexpr char kAuthorsTable[] = "Authors";
+inline constexpr char kPublishTable[] = "Publish";
+inline constexpr char kPublicationsTable[] = "Publications";
+inline constexpr char kProceedingsTable[] = "Proceedings";
+inline constexpr char kConferencesTable[] = "Conferences";
+
+/// An empty database with the five DBLP tables.
+StatusOr<Database> MakeEmptyDblpDatabase();
+
+/// References are Publish rows; names live in Authors.name.
+ReferenceSpec DblpReferenceSpec();
+
+/// The non-key attributes DISTINCT promotes to tuples on this schema:
+/// Proceedings.year, Proceedings.location, Conferences.publisher.
+std::vector<std::pair<std::string, std::string>> DblpDefaultPromotions();
+
+}  // namespace distinct
+
+#endif  // DISTINCT_DBLP_SCHEMA_H_

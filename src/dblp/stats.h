@@ -1,0 +1,42 @@
+// Dataset statistics for the Table 1 harness and diagnostics.
+
+#ifndef DISTINCT_DBLP_STATS_H_
+#define DISTINCT_DBLP_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dblp/generator.h"
+#include "relational/database.h"
+#include "relational/reference_spec.h"
+
+namespace distinct {
+
+/// Global counts over a DBLP-shaped database.
+struct DblpStats {
+  int64_t num_author_names = 0;
+  int64_t num_papers = 0;
+  int64_t num_references = 0;
+  int64_t num_conferences = 0;
+  int64_t num_proceedings = 0;
+  double refs_per_paper = 0.0;
+  double refs_per_name = 0.0;
+  /// Names carried by k references, for k buckets 1,2,3-5,6-10,11+.
+  int64_t name_count_by_refs[5] = {0, 0, 0, 0, 0};
+
+  std::string DebugString() const;
+};
+
+/// Computes counts. The database must follow the DBLP table names.
+StatusOr<DblpStats> ComputeDblpStats(const Database& db);
+
+/// Number of references carrying `name` (0 when the name is absent).
+StatusOr<int64_t> CountReferencesForName(const Database& db,
+                                         const ReferenceSpec& spec,
+                                         const std::string& name);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_DBLP_STATS_H_

@@ -1,0 +1,212 @@
+#include "dblp/xml_loader.h"
+
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+#include "dblp/schema.h"
+#include "xml/xml_parser.h"
+
+namespace distinct {
+namespace {
+
+/// One publication record accumulated from the XML stream.
+struct Record {
+  std::vector<std::string> authors;
+  std::string title;
+  std::string venue;  // booktitle or journal
+  int64_t year = -1;
+};
+
+bool IsPublicationElement(std::string_view name) {
+  return name == "article" || name == "inproceedings" ||
+         name == "incollection" || name == "book";
+}
+
+class DblpXmlHandler : public XmlHandler {
+ public:
+  void OnStartElement(std::string_view name,
+                      const std::vector<XmlAttribute>& /*attributes*/) override {
+    if (IsPublicationElement(name)) {
+      in_record_ = true;
+      current_ = Record();
+      return;
+    }
+    if (!in_record_) {
+      if (name != "dblp") {
+        ++skipped_;
+      }
+      return;
+    }
+    field_ = name;
+    text_.clear();
+  }
+
+  void OnEndElement(std::string_view name) override {
+    if (IsPublicationElement(name)) {
+      if (!current_.authors.empty()) {
+        records_.push_back(std::move(current_));
+      } else {
+        ++skipped_;
+      }
+      in_record_ = false;
+      field_.clear();
+      return;
+    }
+    if (!in_record_) {
+      return;
+    }
+    const std::string value(StripWhitespace(text_));
+    if (field_ == "author" || field_ == "editor") {
+      if (!value.empty()) {
+        current_.authors.push_back(value);
+      }
+    } else if (field_ == "title") {
+      current_.title = value;
+    } else if (field_ == "booktitle" ||
+               (field_ == "journal" && current_.venue.empty())) {
+      current_.venue = value;
+    } else if (field_ == "year") {
+      if (auto year = ParseInt64(value); year.has_value()) {
+        current_.year = *year;
+      }
+    }
+    field_.clear();
+    text_.clear();
+  }
+
+  void OnText(std::string_view text) override {
+    if (in_record_ && !field_.empty()) {
+      text_ += text;
+    }
+  }
+
+  std::vector<Record>& records() { return records_; }
+  int64_t skipped() const { return skipped_; }
+
+ private:
+  bool in_record_ = false;
+  Record current_;
+  std::string field_;
+  std::string text_;
+  std::vector<Record> records_;
+  int64_t skipped_ = 0;
+};
+
+StatusOr<XmlLoadResult> BuildDatabase(std::vector<Record> records,
+                                      int64_t skipped,
+                                      const XmlLoadOptions& options) {
+  // Reference counts for the min_refs_per_author filter.
+  std::unordered_map<std::string, int64_t> refs_per_author;
+  for (const Record& record : records) {
+    for (const std::string& author : record.authors) {
+      ++refs_per_author[author];
+    }
+  }
+
+  auto db_or = MakeEmptyDblpDatabase();
+  DISTINCT_RETURN_IF_ERROR(db_or.status());
+  Database db = *std::move(db_or);
+  Table* authors = *db.FindMutableTable(kAuthorsTable);
+  Table* conferences = *db.FindMutableTable(kConferencesTable);
+  Table* proceedings = *db.FindMutableTable(kProceedingsTable);
+  Table* publications = *db.FindMutableTable(kPublicationsTable);
+  Table* publish = *db.FindMutableTable(kPublishTable);
+
+  Dictionary author_ids;
+  Dictionary conference_ids;
+  std::unordered_map<int64_t, int64_t> proc_ids;  // (conf<<16|year) -> proc
+  int64_t next_proc = 0;
+  int64_t next_pub = 0;
+  XmlLoadResult result;
+
+  for (size_t r = 0; r < records.size(); ++r) {
+    const Record& record = records[r];
+    const std::string venue =
+        record.venue.empty() ? std::string("unknown-venue") : record.venue;
+
+    const int64_t conf_before = conference_ids.size();
+    const int64_t conf_id = conference_ids.Intern(venue);
+    if (conf_id == conf_before) {
+      DISTINCT_RETURN_IF_ERROR(
+          conferences
+              ->AppendRow({Value::Int(conf_id), Value::Str(venue),
+                           Value::Str("unknown-publisher")})
+              .status());
+    }
+
+    const int64_t year = record.year >= 0 ? record.year : 0;
+    const int64_t proc_key = (conf_id << 16) | (year & 0xffff);
+    auto [it, inserted] = proc_ids.emplace(proc_key, next_proc);
+    if (inserted) {
+      DISTINCT_RETURN_IF_ERROR(
+          proceedings
+              ->AppendRow({Value::Int(next_proc), Value::Int(conf_id),
+                           Value::Int(year), Value::Null()})
+              .status());
+      ++next_proc;
+    }
+    const int64_t proc_id = it->second;
+
+    const int64_t paper_id = static_cast<int64_t>(r);
+    DISTINCT_RETURN_IF_ERROR(
+        publications
+            ->AppendRow({Value::Int(paper_id), Value::Str(record.title),
+                         Value::Int(proc_id)})
+            .status());
+
+    for (const std::string& author : record.authors) {
+      if (options.min_refs_per_author > 0 &&
+          refs_per_author[author] < options.min_refs_per_author) {
+        continue;
+      }
+      const int64_t author_before = author_ids.size();
+      const int64_t author_id = author_ids.Intern(author);
+      if (author_id == author_before) {
+        DISTINCT_RETURN_IF_ERROR(
+            authors->AppendRow({Value::Int(author_id), Value::Str(author)})
+                .status());
+      }
+      DISTINCT_RETURN_IF_ERROR(
+          publish
+              ->AppendRow({Value::Int(next_pub++), Value::Int(author_id),
+                           Value::Int(paper_id)})
+              .status());
+    }
+  }
+
+  result.db = std::move(db);
+  result.records_loaded = static_cast<int64_t>(records.size());
+  result.records_skipped = skipped;
+  return result;
+}
+
+}  // namespace
+
+StatusOr<XmlLoadResult> LoadDblpXml(const std::string& content,
+                                    const XmlLoadOptions& options) {
+  DblpXmlHandler handler;
+  DISTINCT_RETURN_IF_ERROR(XmlParser::Parse(content, handler));
+  return BuildDatabase(std::move(handler.records()), handler.skipped(),
+                       options);
+}
+
+StatusOr<XmlLoadResult> LoadDblpXmlFile(const std::string& path,
+                                        const XmlLoadOptions& options) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return NotFoundError("cannot open '" + path + "'");
+  }
+  std::string content;
+  char buffer[1 << 16];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+    content.append(buffer, read);
+  }
+  return LoadDblpXml(content, options);
+}
+
+}  // namespace distinct

@@ -1,0 +1,43 @@
+// Loads a dblp.xml-shaped document into the DBLP relational schema.
+//
+// The paper evaluates on the real DBLP dump; this loader lets the pipeline
+// run unchanged on that dump when available (the synthetic generator stands
+// in for it offline — see DESIGN.md §5). Publication records (<article>,
+// <inproceedings>, <incollection>, <book>) become Publications rows, their
+// <author> children become Publish references, and venue/year pairs become
+// Conferences/Proceedings rows.
+
+#ifndef DISTINCT_DBLP_XML_LOADER_H_
+#define DISTINCT_DBLP_XML_LOADER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace distinct {
+
+struct XmlLoadOptions {
+  /// Drop authors with fewer references than this after loading (the paper
+  /// removes authors with no more than 2 papers). 0 keeps everyone.
+  int min_refs_per_author = 0;
+};
+
+struct XmlLoadResult {
+  Database db;
+  int64_t records_loaded = 0;
+  int64_t records_skipped = 0;  // unsupported element kinds
+};
+
+/// Parses `content` as DBLP XML and builds the database.
+StatusOr<XmlLoadResult> LoadDblpXml(const std::string& content,
+                                    const XmlLoadOptions& options = {});
+
+/// Reads and parses `path`.
+StatusOr<XmlLoadResult> LoadDblpXmlFile(const std::string& path,
+                                        const XmlLoadOptions& options = {});
+
+}  // namespace distinct
+
+#endif  // DISTINCT_DBLP_XML_LOADER_H_

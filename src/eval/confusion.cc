@@ -1,0 +1,112 @@
+#include "eval/confusion.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace distinct {
+
+ConfusionReport AnalyzeConfusion(const std::vector<int>& truth,
+                                 const std::vector<int>& predicted) {
+  DISTINCT_CHECK(truth.size() == predicted.size());
+  ConfusionReport report;
+
+  // Contingency counts: (entity, cluster) -> refs.
+  std::map<std::pair<int, int>, int64_t> cells;
+  std::map<int, std::vector<std::pair<int, int64_t>>> clusters_of_entity;
+  std::map<int, std::vector<std::pair<int, int64_t>>> entities_of_cluster;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ++cells[{truth[i], predicted[i]}];
+  }
+  for (const auto& [key, count] : cells) {
+    clusters_of_entity[key.first].emplace_back(key.second, count);
+    entities_of_cluster[key.second].emplace_back(key.first, count);
+  }
+
+  // Merge errors: within each predicted cluster, every pair of entities
+  // contributes cell1 * cell2 false-positive pairs. Accumulated per entity
+  // pair across clusters.
+  std::map<std::pair<int, int>, int64_t> merge_cost;
+  for (const auto& [cluster, entities] : entities_of_cluster) {
+    for (size_t a = 0; a < entities.size(); ++a) {
+      for (size_t b = a + 1; b < entities.size(); ++b) {
+        const auto key = std::minmax(entities[a].first, entities[b].first);
+        const int64_t cost = entities[a].second * entities[b].second;
+        merge_cost[{key.first, key.second}] += cost;
+        report.false_positive_pairs += cost;
+      }
+    }
+  }
+  for (const auto& [pair, cost] : merge_cost) {
+    report.merges.push_back(MergeError{pair.first, pair.second, cost});
+  }
+  std::stable_sort(report.merges.begin(), report.merges.end(),
+                   [](const MergeError& a, const MergeError& b) {
+                     return a.pair_cost > b.pair_cost;
+                   });
+
+  // Split errors: within each entity, every pair of fragments contributes
+  // cell1 * cell2 false-negative pairs.
+  for (const auto& [entity, fragments] : clusters_of_entity) {
+    if (fragments.size() < 2) {
+      continue;
+    }
+    int64_t cost = 0;
+    for (size_t a = 0; a < fragments.size(); ++a) {
+      for (size_t b = a + 1; b < fragments.size(); ++b) {
+        cost += fragments[a].second * fragments[b].second;
+      }
+    }
+    report.splits.push_back(
+        SplitError{entity, static_cast<int>(fragments.size()), cost});
+    report.false_negative_pairs += cost;
+  }
+  std::stable_sort(report.splits.begin(), report.splits.end(),
+                   [](const SplitError& a, const SplitError& b) {
+                     return a.pair_cost > b.pair_cost;
+                   });
+  return report;
+}
+
+std::string ConfusionReport::Render(
+    const std::vector<std::string>& entity_names, size_t max_rows) const {
+  auto name_of = [&](int entity) {
+    if (entity >= 0 &&
+        static_cast<size_t>(entity) < entity_names.size() &&
+        !entity_names[static_cast<size_t>(entity)].empty()) {
+      return entity_names[static_cast<size_t>(entity)];
+    }
+    return StrFormat("entity %d", entity);
+  };
+
+  std::string out = StrFormat(
+      "confusion: %lld false-positive pairs, %lld false-negative pairs\n",
+      static_cast<long long>(false_positive_pairs),
+      static_cast<long long>(false_negative_pairs));
+  if (!merges.empty()) {
+    out += "top merge mistakes (two people in one cluster):\n";
+    for (size_t m = 0; m < merges.size() && m < max_rows; ++m) {
+      out += StrFormat("  %s  +  %s   (%lld pairs)\n",
+                       name_of(merges[m].entity1).c_str(),
+                       name_of(merges[m].entity2).c_str(),
+                       static_cast<long long>(merges[m].pair_cost));
+    }
+  }
+  if (!splits.empty()) {
+    out += "top split mistakes (one person, several clusters):\n";
+    for (size_t s = 0; s < splits.size() && s < max_rows; ++s) {
+      out += StrFormat("  %s   in %d fragments (%lld pairs)\n",
+                       name_of(splits[s].entity).c_str(),
+                       splits[s].num_fragments,
+                       static_cast<long long>(splits[s].pair_cost));
+    }
+  }
+  if (merges.empty() && splits.empty()) {
+    out += "no mistakes.\n";
+  }
+  return out;
+}
+
+}  // namespace distinct

@@ -1,0 +1,51 @@
+// Error analysis: which entities were merged together, which entities were
+// split apart, and how much each mistake costs in pairwise terms.
+//
+// The paper's Fig. 5 annotates its Wei Wang diagram with arrows marking
+// the mistakes; this module computes the underlying list.
+
+#ifndef DISTINCT_EVAL_CONFUSION_H_
+#define DISTINCT_EVAL_CONFUSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distinct {
+
+/// Two entities whose references share a predicted cluster: a precision
+/// mistake. `pair_cost` is the number of false-positive reference pairs
+/// they contribute.
+struct MergeError {
+  int entity1 = -1;
+  int entity2 = -1;
+  int64_t pair_cost = 0;
+};
+
+/// One entity spread over several predicted clusters: a recall mistake.
+/// `pair_cost` is the number of false-negative reference pairs.
+struct SplitError {
+  int entity = -1;
+  int num_fragments = 0;
+  int64_t pair_cost = 0;
+};
+
+/// The full mistake inventory of one clustering.
+struct ConfusionReport {
+  std::vector<MergeError> merges;  // ordered by descending pair cost
+  std::vector<SplitError> splits;  // ordered by descending pair cost
+  int64_t false_positive_pairs = 0;
+  int64_t false_negative_pairs = 0;
+
+  /// Multi-line rendering with optional entity names.
+  std::string Render(const std::vector<std::string>& entity_names = {},
+                     size_t max_rows = 10) const;
+};
+
+/// Computes the inventory for dense assignments of equal length.
+ConfusionReport AnalyzeConfusion(const std::vector<int>& truth,
+                                 const std::vector<int>& predicted);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_EVAL_CONFUSION_H_

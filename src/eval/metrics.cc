@@ -1,0 +1,160 @@
+#include "eval/metrics.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace distinct {
+
+double HarmonicMean(double a, double b) {
+  if (a <= 0.0 || b <= 0.0) {
+    return 0.0;
+  }
+  return 2.0 * a * b / (a + b);
+}
+
+std::string PairwiseScores::DebugString() const {
+  return StrFormat(
+      "precision=%.4f recall=%.4f f1=%.4f (tp=%lld fp=%lld fn=%lld)",
+      precision, recall, f1, static_cast<long long>(true_positives),
+      static_cast<long long>(false_positives),
+      static_cast<long long>(false_negatives));
+}
+
+PairwiseScores PairwisePrecisionRecall(const std::vector<int>& truth,
+                                       const std::vector<int>& predicted) {
+  DISTINCT_CHECK(truth.size() == predicted.size());
+  const size_t n = truth.size();
+
+  // Count co-membership via contingency table instead of O(n^2) pairs.
+  // tp = Σ_cells C(n_ij, 2); predicted pairs = Σ_pred C(n_j, 2); etc.
+  auto choose2 = [](int64_t m) { return m * (m - 1) / 2; };
+
+  std::unordered_map<int64_t, int64_t> cell_counts;
+  std::unordered_map<int, int64_t> truth_counts;
+  std::unordered_map<int, int64_t> pred_counts;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t key =
+        (static_cast<int64_t>(truth[i]) << 32) ^
+        static_cast<int64_t>(static_cast<uint32_t>(predicted[i]));
+    ++cell_counts[key];
+    ++truth_counts[truth[i]];
+    ++pred_counts[predicted[i]];
+  }
+
+  int64_t tp = 0;
+  for (const auto& [key, count] : cell_counts) {
+    tp += choose2(count);
+  }
+  int64_t predicted_pairs = 0;
+  for (const auto& [id, count] : pred_counts) {
+    predicted_pairs += choose2(count);
+  }
+  int64_t truth_pairs = 0;
+  for (const auto& [id, count] : truth_counts) {
+    truth_pairs += choose2(count);
+  }
+
+  PairwiseScores scores;
+  scores.true_positives = tp;
+  scores.false_positives = predicted_pairs - tp;
+  scores.false_negatives = truth_pairs - tp;
+  scores.precision =
+      predicted_pairs == 0
+          ? 1.0
+          : static_cast<double>(tp) / static_cast<double>(predicted_pairs);
+  scores.recall = truth_pairs == 0 ? 1.0
+                                   : static_cast<double>(tp) /
+                                         static_cast<double>(truth_pairs);
+  scores.f1 = HarmonicMean(scores.precision, scores.recall);
+  scores.total_pairs = choose2(static_cast<int64_t>(n));
+  if (scores.total_pairs > 0) {
+    const int64_t wrong = scores.false_positives + scores.false_negatives;
+    scores.accuracy = 1.0 - static_cast<double>(wrong) /
+                                static_cast<double>(scores.total_pairs);
+  }
+  return scores;
+}
+
+BCubedScores BCubed(const std::vector<int>& truth,
+                    const std::vector<int>& predicted) {
+  DISTINCT_CHECK(truth.size() == predicted.size());
+  const size_t n = truth.size();
+  BCubedScores scores;
+  if (n == 0) {
+    return scores;
+  }
+
+  std::unordered_map<int64_t, int64_t> cell_counts;
+  std::unordered_map<int, int64_t> truth_counts;
+  std::unordered_map<int, int64_t> pred_counts;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t key =
+        (static_cast<int64_t>(truth[i]) << 32) ^
+        static_cast<int64_t>(static_cast<uint32_t>(predicted[i]));
+    ++cell_counts[key];
+    ++truth_counts[truth[i]];
+    ++pred_counts[predicted[i]];
+  }
+
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t key =
+        (static_cast<int64_t>(truth[i]) << 32) ^
+        static_cast<int64_t>(static_cast<uint32_t>(predicted[i]));
+    const double cell = static_cast<double>(cell_counts[key]);
+    precision_sum += cell / static_cast<double>(pred_counts[predicted[i]]);
+    recall_sum += cell / static_cast<double>(truth_counts[truth[i]]);
+  }
+  scores.precision = precision_sum / static_cast<double>(n);
+  scores.recall = recall_sum / static_cast<double>(n);
+  scores.f1 = HarmonicMean(scores.precision, scores.recall);
+  return scores;
+}
+
+double AdjustedRandIndex(const std::vector<int>& truth,
+                         const std::vector<int>& predicted) {
+  DISTINCT_CHECK(truth.size() == predicted.size());
+  const size_t n = truth.size();
+  if (n < 2) {
+    return 1.0;
+  }
+  auto choose2 = [](int64_t m) {
+    return static_cast<double>(m) * static_cast<double>(m - 1) / 2.0;
+  };
+
+  std::unordered_map<int64_t, int64_t> cell_counts;
+  std::unordered_map<int, int64_t> truth_counts;
+  std::unordered_map<int, int64_t> pred_counts;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t key =
+        (static_cast<int64_t>(truth[i]) << 32) ^
+        static_cast<int64_t>(static_cast<uint32_t>(predicted[i]));
+    ++cell_counts[key];
+    ++truth_counts[truth[i]];
+    ++pred_counts[predicted[i]];
+  }
+  double index = 0.0;
+  for (const auto& [key, count] : cell_counts) {
+    index += choose2(count);
+  }
+  double sum_truth = 0.0;
+  for (const auto& [id, count] : truth_counts) {
+    sum_truth += choose2(count);
+  }
+  double sum_pred = 0.0;
+  for (const auto& [id, count] : pred_counts) {
+    sum_pred += choose2(count);
+  }
+  const double total = choose2(static_cast<int64_t>(n));
+  const double expected = sum_truth * sum_pred / total;
+  const double maximum = 0.5 * (sum_truth + sum_pred);
+  if (maximum == expected) {
+    return 1.0;  // degenerate: both clusterings trivial
+  }
+  return (index - expected) / (maximum - expected);
+}
+
+}  // namespace distinct

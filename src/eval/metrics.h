@@ -1,0 +1,60 @@
+// Clustering accuracy metrics (paper §5).
+//
+// Pairwise precision/recall/f-measure: TP counts reference pairs co-clustered
+// in both the prediction and the truth, FP pairs co-clustered only in the
+// prediction, FN pairs co-clustered only in the truth. B-cubed metrics are
+// provided as an extension (they weight by reference, not by pair).
+
+#ifndef DISTINCT_EVAL_METRICS_H_
+#define DISTINCT_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace distinct {
+
+/// Pairwise counts and derived scores.
+struct PairwiseScores {
+  int64_t true_positives = 0;
+  int64_t false_positives = 0;
+  int64_t false_negatives = 0;
+  int64_t total_pairs = 0;  // C(n, 2)
+  double precision = 1.0;   // 1.0 when no predicted pairs exist
+  double recall = 1.0;      // 1.0 when no true pairs exist
+  double f1 = 1.0;
+  /// Fraction of reference pairs whose co-membership decision is correct:
+  /// (TP + TN) / C(n, 2).
+  double accuracy = 1.0;
+
+  std::string DebugString() const;
+};
+
+/// Computes pairwise scores of `predicted` against `truth`. Both are dense
+/// cluster assignments over the same references (equal length). Cluster id
+/// values need not align between the two; only co-membership matters.
+PairwiseScores PairwisePrecisionRecall(const std::vector<int>& truth,
+                                       const std::vector<int>& predicted);
+
+/// B-cubed precision/recall/F1.
+struct BCubedScores {
+  double precision = 1.0;
+  double recall = 1.0;
+  double f1 = 1.0;
+};
+
+BCubedScores BCubed(const std::vector<int>& truth,
+                    const std::vector<int>& predicted);
+
+/// Adjusted Rand Index: pair-counting agreement corrected for chance.
+/// 1 for identical clusterings, ~0 for random ones, negative for worse
+/// than chance. Hubert & Arabie's formulation over the contingency table.
+double AdjustedRandIndex(const std::vector<int>& truth,
+                         const std::vector<int>& predicted);
+
+/// Harmonic mean helper; 0 when either input is 0.
+double HarmonicMean(double a, double b);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_EVAL_METRICS_H_

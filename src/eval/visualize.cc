@@ -1,0 +1,68 @@
+#include "eval/visualize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace distinct {
+
+std::string RenderClusterDiagram(const std::vector<ReferenceDisplay>& refs,
+                                 const std::vector<std::string>& entity_names,
+                                 bool show_references) {
+  // entity -> predicted cluster -> count (and reference labels).
+  std::map<int, std::map<int, std::vector<const ReferenceDisplay*>>> groups;
+  std::map<int, std::set<int>> entities_in_cluster;
+  for (const ReferenceDisplay& ref : refs) {
+    groups[ref.truth][ref.predicted].push_back(&ref);
+    entities_in_cluster[ref.predicted].insert(ref.truth);
+  }
+
+  auto entity_name = [&](int entity) {
+    if (entity >= 0 && static_cast<size_t>(entity) < entity_names.size() &&
+        !entity_names[static_cast<size_t>(entity)].empty()) {
+      return entity_names[static_cast<size_t>(entity)];
+    }
+    return StrFormat("entity %d", entity);
+  };
+
+  std::string out;
+  int split_entities = 0;
+  int merged_clusters = 0;
+  for (const auto& [entity, clusters] : groups) {
+    size_t total = 0;
+    for (const auto& [cluster, members] : clusters) {
+      total += members.size();
+    }
+    out += StrFormat("%s  (%zu refs)\n", entity_name(entity).c_str(), total);
+    if (clusters.size() > 1) {
+      ++split_entities;
+    }
+    for (const auto& [cluster, members] : clusters) {
+      const bool merged = entities_in_cluster[cluster].size() > 1;
+      out += StrFormat("  cluster %-3d : %3zu refs%s%s\n", cluster,
+                       members.size(),
+                       clusters.size() > 1 ? "  [SPLIT]" : "",
+                       merged ? "  [MERGED with other entity]" : "");
+      if (show_references) {
+        for (const ReferenceDisplay* ref : members) {
+          out += "      - " + ref->label + "\n";
+        }
+      }
+    }
+  }
+  for (const auto& [cluster, entities] : entities_in_cluster) {
+    if (entities.size() > 1) {
+      ++merged_clusters;
+    }
+  }
+  out += StrFormat(
+      "summary: %zu entities, %zu predicted clusters, "
+      "%d split entities, %d merged clusters\n",
+      groups.size(), entities_in_cluster.size(), split_entities,
+      merged_clusters);
+  return out;
+}
+
+}  // namespace distinct

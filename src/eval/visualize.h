@@ -1,0 +1,29 @@
+// Fig. 5-style textual visualization of a clustering against ground truth.
+//
+// For each true entity, shows how its references were distributed over
+// predicted clusters, then lists the two mistake types: splits (one entity,
+// several clusters) and merges (one cluster, several entities).
+
+#ifndef DISTINCT_EVAL_VISUALIZE_H_
+#define DISTINCT_EVAL_VISUALIZE_H_
+
+#include <string>
+#include <vector>
+
+namespace distinct {
+
+/// Inputs for one reference.
+struct ReferenceDisplay {
+  std::string label;  // e.g. paper title or "paper 17 @ VLDB 1997"
+  int truth = -1;     // true entity id
+  int predicted = -1; // predicted cluster id
+};
+
+/// Optional names for the true entities (e.g. affiliations).
+std::string RenderClusterDiagram(const std::vector<ReferenceDisplay>& refs,
+                                 const std::vector<std::string>& entity_names,
+                                 bool show_references = false);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_EVAL_VISUALIZE_H_

@@ -1,0 +1,249 @@
+#include "music/catalog.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "dblp/name_pool.h"
+
+namespace distinct {
+namespace {
+
+/// A real song before table construction.
+struct Song {
+  std::string title;
+  int artist = -1;
+  int tracks = 1;           // how many albums carry it
+  bool is_ambiguous = false;
+  int case_index = -1;
+  int case_song_index = -1;
+};
+
+}  // namespace
+
+StatusOr<Database> MakeEmptyMusicDatabase() {
+  Database db;
+
+  auto artists = Table::Create(
+      kArtistsTable, {ColumnSpec{"artist_id", ColumnType::kInt64, true, ""},
+                      ColumnSpec{"name", ColumnType::kString, false, ""},
+                      ColumnSpec{"genre", ColumnType::kString, false, ""}});
+  DISTINCT_RETURN_IF_ERROR(artists.status());
+  auto labels = Table::Create(
+      kLabelsTable, {ColumnSpec{"label_id", ColumnType::kInt64, true, ""},
+                     ColumnSpec{"name", ColumnType::kString, false, ""},
+                     ColumnSpec{"country", ColumnType::kString, false, ""}});
+  DISTINCT_RETURN_IF_ERROR(labels.status());
+  auto albums = Table::Create(
+      kAlbumsTable,
+      {ColumnSpec{"album_id", ColumnType::kInt64, true, ""},
+       ColumnSpec{"title", ColumnType::kString, false, ""},
+       ColumnSpec{"artist_id", ColumnType::kInt64, false, kArtistsTable},
+       ColumnSpec{"label_id", ColumnType::kInt64, false, kLabelsTable},
+       ColumnSpec{"year", ColumnType::kInt64, false, ""}});
+  DISTINCT_RETURN_IF_ERROR(albums.status());
+  auto songs = Table::Create(
+      kSongsTable, {ColumnSpec{"song_id", ColumnType::kInt64, true, ""},
+                    ColumnSpec{"title", ColumnType::kString, false, ""}});
+  DISTINCT_RETURN_IF_ERROR(songs.status());
+  auto tracks = Table::Create(
+      kTracksTable,
+      {ColumnSpec{"track_id", ColumnType::kInt64, true, ""},
+       ColumnSpec{"song_id", ColumnType::kInt64, false, kSongsTable},
+       ColumnSpec{"album_id", ColumnType::kInt64, false, kAlbumsTable}});
+  DISTINCT_RETURN_IF_ERROR(tracks.status());
+
+  for (auto* table : {&artists, &labels, &albums, &songs, &tracks}) {
+    DISTINCT_RETURN_IF_ERROR(db.AddTable(*std::move(*table)).status());
+  }
+  return db;
+}
+
+ReferenceSpec MusicReferenceSpec() {
+  ReferenceSpec spec;
+  spec.reference_table = kTracksTable;
+  spec.identity_column = "song_id";
+  spec.name_table = kSongsTable;
+  spec.name_column = "title";
+  return spec;
+}
+
+std::vector<std::pair<std::string, std::string>> MusicDefaultPromotions() {
+  return {
+      {kLabelsTable, "country"},
+      {kAlbumsTable, "year"},
+      {kArtistsTable, "genre"},
+  };
+}
+
+StatusOr<MusicDataset> GenerateMusicCatalog(const MusicConfig& config) {
+  if (config.num_artists < 1 || config.num_labels < 1 ||
+      config.albums_per_artist < 1) {
+    return InvalidArgumentError("music generator: degenerate config");
+  }
+  const std::vector<AmbiguousTitleSpec> specs =
+      config.ambiguous.empty()
+          ? std::vector<AmbiguousTitleSpec>{{"Forgotten", 8, 30}}
+          : config.ambiguous;
+  for (const AmbiguousTitleSpec& spec : specs) {
+    if (spec.num_songs < 1 || spec.num_tracks < spec.num_songs) {
+      return InvalidArgumentError("music generator: ambiguous title '" +
+                                  spec.title +
+                                  "' needs tracks >= songs >= 1");
+    }
+    if (spec.num_songs > config.num_artists) {
+      return InvalidArgumentError(
+          "music generator: more ambiguous songs than artists");
+    }
+  }
+
+  Rng rng(config.seed);
+  auto db_or = MakeEmptyMusicDatabase();
+  DISTINCT_RETURN_IF_ERROR(db_or.status());
+  Database db = *std::move(db_or);
+
+  Table* artists = *db.FindMutableTable(kArtistsTable);
+  Table* labels = *db.FindMutableTable(kLabelsTable);
+  Table* albums = *db.FindMutableTable(kAlbumsTable);
+  Table* songs_table = *db.FindMutableTable(kSongsTable);
+  Table* tracks = *db.FindMutableTable(kTracksTable);
+
+  // Labels and artists. Every artist signs with one label and one genre.
+  for (int l = 0; l < config.num_labels; ++l) {
+    DISTINCT_RETURN_IF_ERROR(
+        labels
+            ->AppendRow({Value::Int(l), Value::Str(StrFormat("Label%02d", l)),
+                         Value::Str(StrFormat(
+                             "Country%d",
+                             static_cast<int>(rng.UniformInt(1, 12))))})
+            .status());
+  }
+  std::vector<int> label_of_artist(static_cast<size_t>(config.num_artists));
+  for (int a = 0; a < config.num_artists; ++a) {
+    label_of_artist[static_cast<size_t>(a)] =
+        static_cast<int>(rng.UniformInt(0, config.num_labels - 1));
+    DISTINCT_RETURN_IF_ERROR(
+        artists
+            ->AppendRow(
+                {Value::Int(a),
+                 Value::Str(NamePool::InstitutionName(
+                     static_cast<size_t>(a) + 1000)),
+                 Value::Str(StrFormat(
+                     "Genre%d",
+                     static_cast<int>(rng.UniformInt(
+                         1, std::max(config.num_genres, 1)))))})
+            .status());
+  }
+
+  // Albums: each artist releases albums_per_artist records on its label.
+  std::vector<std::vector<int64_t>> albums_of_artist(
+      static_cast<size_t>(config.num_artists));
+  int64_t next_album = 0;
+  for (int a = 0; a < config.num_artists; ++a) {
+    for (int r = 0; r < config.albums_per_artist; ++r) {
+      const int64_t year = rng.UniformInt(config.start_year,
+                                          config.end_year);
+      DISTINCT_RETURN_IF_ERROR(
+          albums
+              ->AppendRow({Value::Int(next_album),
+                           Value::Str(StrFormat("Album %lld",
+                                                static_cast<long long>(
+                                                    next_album))),
+                           Value::Int(a),
+                           Value::Int(label_of_artist[static_cast<size_t>(a)]),
+                           Value::Int(year)})
+              .status());
+      albums_of_artist[static_cast<size_t>(a)].push_back(next_album);
+      ++next_album;
+    }
+  }
+
+  // Songs: regular ones (unique titles) plus planted ambiguous titles.
+  std::vector<Song> songs;
+  for (int a = 0; a < config.num_artists; ++a) {
+    for (int s = 0; s < config.songs_per_artist; ++s) {
+      Song song;
+      song.title = StrFormat("Song %d-%d", a, s);
+      song.artist = a;
+      song.tracks = 1 + rng.Poisson(std::max(
+                            0.1, config.mean_tracks_per_song - 1.0));
+      songs.push_back(std::move(song));
+    }
+  }
+  std::vector<MusicCase> cases(specs.size());
+  for (size_t c = 0; c < specs.size(); ++c) {
+    const AmbiguousTitleSpec& spec = specs[c];
+    cases[c].title = spec.title;
+    cases[c].num_songs = spec.num_songs;
+    // Distinct artists for the planted songs.
+    const std::vector<size_t> chosen = rng.SampleWithoutReplacement(
+        static_cast<size_t>(config.num_artists),
+        static_cast<size_t>(spec.num_songs));
+    int remaining = spec.num_tracks;
+    for (int s = 0; s < spec.num_songs; ++s) {
+      Song song;
+      song.title = spec.title;
+      song.artist = static_cast<int>(chosen[static_cast<size_t>(s)]);
+      const int left = spec.num_songs - s - 1;
+      const int max_here = remaining - left;  // leave >= 1 per later song
+      song.tracks = (s == spec.num_songs - 1)
+                        ? remaining
+                        : 1 + static_cast<int>(rng.UniformInt(
+                                  0, std::max(0, std::min(max_here - 1,
+                                                          2 * spec.num_tracks /
+                                                              spec.num_songs))));
+      remaining -= song.tracks;
+      song.is_ambiguous = true;
+      song.case_index = static_cast<int>(c);
+      song.case_song_index = s;
+      cases[c].song_labels.push_back(
+          spec.title + " (" +
+          NamePool::InstitutionName(static_cast<size_t>(song.artist) + 1000) +
+          ")");
+      songs.push_back(std::move(song));
+    }
+  }
+
+  // Tables: one Songs row per distinct title (the ambiguity), then tracks.
+  Dictionary title_ids;
+  std::vector<int64_t> song_row_of(songs.size());
+  for (size_t s = 0; s < songs.size(); ++s) {
+    const int64_t before = title_ids.size();
+    const int64_t title_id = title_ids.Intern(songs[s].title);
+    if (title_id == before) {
+      DISTINCT_RETURN_IF_ERROR(
+          songs_table
+              ->AppendRow({Value::Int(title_id), Value::Str(songs[s].title)})
+              .status());
+    }
+    song_row_of[s] = title_id;
+  }
+
+  int64_t next_track = 0;
+  for (size_t s = 0; s < songs.size(); ++s) {
+    const Song& song = songs[s];
+    const auto& own_albums = albums_of_artist[static_cast<size_t>(song.artist)];
+    for (int t = 0; t < song.tracks; ++t) {
+      const int64_t album = own_albums[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(own_albums.size()) - 1))];
+      DISTINCT_RETURN_IF_ERROR(
+          tracks
+              ->AppendRow({Value::Int(next_track),
+                           Value::Int(song_row_of[s]), Value::Int(album)})
+              .status());
+      if (song.is_ambiguous) {
+        MusicCase& c = cases[static_cast<size_t>(song.case_index)];
+        c.track_rows.push_back(static_cast<int32_t>(next_track));
+        c.truth.push_back(song.case_song_index);
+      }
+      ++next_track;
+    }
+  }
+
+  MusicDataset dataset;
+  dataset.db = std::move(db);
+  dataset.cases = std::move(cases);
+  return dataset;
+}
+
+}  // namespace distinct

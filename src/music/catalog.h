@@ -1,0 +1,90 @@
+// A second domain: the AllMusic-style catalog from the paper's
+// introduction ("72 songs and 3 albums named 'Forgotten'").
+//
+// Schema:
+//   Artists(artist_id PK, name, genre)
+//   Labels(label_id PK, name, country)
+//   Albums(album_id PK, title, artist_id -> Artists, label_id -> Labels,
+//          year)
+//   Songs(song_id PK, title)        <- one row per distinct TITLE
+//   Tracks(track_id PK, song_id -> Songs, album_id -> Albums)
+//
+// References are Tracks rows; several real songs can share one Songs row
+// (the title), and DISTINCT splits a title's tracks by real song using the
+// album/artist/label linkage. Exercises the engine's schema-agnosticism
+// end to end with generated ground truth.
+
+#ifndef DISTINCT_MUSIC_CATALOG_H_
+#define DISTINCT_MUSIC_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/reference_spec.h"
+
+namespace distinct {
+
+inline constexpr char kArtistsTable[] = "Artists";
+inline constexpr char kLabelsTable[] = "Labels";
+inline constexpr char kAlbumsTable[] = "Albums";
+inline constexpr char kSongsTable[] = "Songs";
+inline constexpr char kTracksTable[] = "Tracks";
+
+/// An empty database with the five catalog tables.
+StatusOr<Database> MakeEmptyMusicDatabase();
+
+/// References are Tracks rows; names live in Songs.title.
+ReferenceSpec MusicReferenceSpec();
+
+/// Promotable non-key attributes: Labels.country, Albums.year,
+/// Artists.genre.
+std::vector<std::pair<std::string, std::string>> MusicDefaultPromotions();
+
+/// One planted ambiguous title: `num_songs` distinct real songs carrying
+/// `title`, together appearing on `num_tracks` tracks.
+struct AmbiguousTitleSpec {
+  std::string title;
+  int num_songs = 0;
+  int num_tracks = 0;
+};
+
+struct MusicConfig {
+  uint64_t seed = 42;
+  int num_artists = 120;
+  int num_labels = 10;
+  int num_genres = 8;
+  int albums_per_artist = 4;
+  int songs_per_artist = 12;
+  /// Tracks per regular song (same song on several of its artist's
+  /// albums: studio, live, compilation).
+  double mean_tracks_per_song = 1.8;
+  int start_year = 1990;
+  int end_year = 2006;
+  /// Planted ambiguous titles; empty means a default "Forgotten" case
+  /// (8 songs, 30 tracks) echoing the paper's motivation.
+  std::vector<AmbiguousTitleSpec> ambiguous;
+};
+
+/// Ground truth for one planted title.
+struct MusicCase {
+  std::string title;
+  int num_songs = 0;
+  std::vector<int32_t> track_rows;  // rows of Tracks, parallel to truth
+  std::vector<int> truth;           // dense real-song index per track
+  std::vector<std::string> song_labels;  // e.g. "Forgotten (Nightfall)"
+};
+
+struct MusicDataset {
+  Database db;
+  std::vector<MusicCase> cases;
+};
+
+/// Generates a catalog. Deterministic in `config.seed`.
+StatusOr<MusicDataset> GenerateMusicCatalog(const MusicConfig& config);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_MUSIC_CATALOG_H_

@@ -1,0 +1,184 @@
+#include "prop/propagation.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace distinct {
+namespace {
+
+/// Recursive DFS state shared across the traversal.
+struct DfsContext {
+  const LinkGraph* link = nullptr;
+  const JoinPath* path = nullptr;
+  int64_t remaining_instances = 0;
+  bool truncated = false;
+  /// Node id at each depth (node_at[0] == path->start_node).
+  std::vector<int> node_at;
+  int32_t start_tuple = -1;
+  bool exclude_start_tuple = false;
+  std::unordered_map<int32_t, std::pair<double, double>> accumulator;
+};
+
+void Dfs(DfsContext& ctx, size_t depth, int32_t tuple, double forward,
+         double reverse) {
+  if (depth == ctx.path->steps.size()) {
+    if (ctx.remaining_instances <= 0) {
+      ctx.truncated = true;
+      return;
+    }
+    --ctx.remaining_instances;
+    auto& slot = ctx.accumulator[tuple];
+    slot.first += forward;
+    slot.second += reverse;
+    return;
+  }
+  if (ctx.truncated && ctx.remaining_instances <= 0) {
+    return;
+  }
+  const JoinStep& step = ctx.path->steps[depth];
+  const std::span<const int32_t> targets = ctx.link->Neighbors(step, tuple);
+  if (targets.empty()) {
+    return;  // NULL FK or no referencing rows: this mass is lost.
+  }
+  const double share = forward / static_cast<double>(targets.size());
+  const bool check_origin =
+      ctx.exclude_start_tuple &&
+      ctx.node_at[depth + 1] == ctx.node_at[0];
+  for (const int32_t target : targets) {
+    if (check_origin && target == ctx.start_tuple) {
+      continue;  // walks through the origin carry no identity signal
+    }
+    const int64_t back = ctx.link->ReverseFanout(step, target);
+    // `tuple` itself is reachable from `target` against the step, so the
+    // reverse fanout is at least 1.
+    Dfs(ctx, depth + 1, target, share,
+        reverse / static_cast<double>(back));
+  }
+}
+
+/// Level-wise computation. Forward: F_0 = {origin: 1}; F_{i+1}(t) =
+/// Σ_s F_i(s) / fanout_i(s) over s's step-i neighbors t. Backward:
+/// B_0 = {origin: 1}; B_{i+1}(t) = Σ_{s ∈ step-(i+1) neighbors of t,
+/// walked backwards} B_i(s) / reverse_fanout_{i+1}(t). The profile pairs
+/// F_k with B_k. Origin exclusion zeroes the origin's mass at every
+/// intermediate level whose node is the start node.
+NeighborProfile ComputeLevelWise(const LinkGraph& link, const JoinPath& path,
+                                 int32_t start_tuple,
+                                 const PropagationOptions& options,
+                                 const std::vector<int>& node_at) {
+  const size_t k = path.steps.size();
+  using Dist = std::unordered_map<int32_t, double>;
+
+  // Forward sweep.
+  std::vector<Dist> forward(k + 1);
+  forward[0][start_tuple] = 1.0;
+  for (size_t i = 0; i < k; ++i) {
+    const JoinStep& step = path.steps[i];
+    const bool exclude_target = options.exclude_start_tuple &&
+                                node_at[i + 1] == node_at[0];
+    for (const auto& [tuple, mass] : forward[i]) {
+      const std::span<const int32_t> targets = link.Neighbors(step, tuple);
+      if (targets.empty()) {
+        continue;
+      }
+      const double share = mass / static_cast<double>(targets.size());
+      for (const int32_t target : targets) {
+        if (exclude_target && target == start_tuple) {
+          continue;
+        }
+        forward[i + 1][target] += share;
+      }
+    }
+  }
+
+  // Backward sweep: B_i lives on level i's universe; the recurrence walks
+  // step i in reverse, from level i-1 values.
+  Dist backward_prev;
+  backward_prev[start_tuple] = 1.0;
+  for (size_t i = 0; i < k; ++i) {
+    const JoinStep& step = path.steps[i];
+    Dist backward;
+    const bool exclude_here = options.exclude_start_tuple && i + 1 < k &&
+                              node_at[i + 1] == node_at[0];
+    // Only tuples actually reachable forward matter for the profile.
+    for (const auto& [tuple, unused] : forward[i + 1]) {
+      if (exclude_here && tuple == start_tuple) {
+        continue;
+      }
+      const std::span<const int32_t> sources =
+          step.forward ? link.Reverse(step.edge_id, tuple)
+                       : link.Forward(step.edge_id, tuple);
+      if (sources.empty()) {
+        continue;
+      }
+      double mass = 0.0;
+      for (const int32_t source : sources) {
+        auto it = backward_prev.find(source);
+        if (it != backward_prev.end()) {
+          mass += it->second;
+        }
+      }
+      if (mass > 0.0) {
+        backward[tuple] = mass / static_cast<double>(sources.size());
+      }
+    }
+    backward_prev = std::move(backward);
+  }
+
+  std::vector<ProfileEntry> entries;
+  entries.reserve(forward[k].size());
+  for (const auto& [tuple, fwd] : forward[k]) {
+    auto it = backward_prev.find(tuple);
+    const double rev = it == backward_prev.end() ? 0.0 : it->second;
+    entries.push_back(ProfileEntry{tuple, fwd, rev});
+  }
+  return NeighborProfile(std::move(entries));
+}
+
+}  // namespace
+
+NeighborProfile PropagationEngine::Compute(
+    const JoinPath& path, int32_t start_tuple,
+    const PropagationOptions& options) const {
+  DISTINCT_CHECK(path.start_node >= 0);
+  DISTINCT_CHECK(!path.steps.empty());
+  DISTINCT_DCHECK(start_tuple >= 0 &&
+                  start_tuple < link_->NumTuples(path.start_node));
+
+  std::vector<int> node_at;
+  node_at.reserve(path.steps.size() + 1);
+  node_at.push_back(path.start_node);
+  {
+    const SchemaGraph& schema = link_->schema();
+    int node = path.start_node;
+    for (const JoinStep& step : path.steps) {
+      node = schema.Traverse(node, IncidentEdge{step.edge_id, step.forward});
+      node_at.push_back(node);
+    }
+  }
+
+  if (options.algorithm == PropagationAlgorithm::kLevelWise) {
+    return ComputeLevelWise(*link_, path, start_tuple, options, node_at);
+  }
+
+  DfsContext ctx;
+  ctx.link = link_;
+  ctx.path = &path;
+  ctx.remaining_instances = options.max_instances;
+  ctx.start_tuple = start_tuple;
+  ctx.exclude_start_tuple = options.exclude_start_tuple;
+  ctx.node_at = std::move(node_at);
+
+  Dfs(ctx, 0, start_tuple, 1.0, 1.0);
+
+  std::vector<ProfileEntry> entries;
+  entries.reserve(ctx.accumulator.size());
+  for (const auto& [tuple, probs] : ctx.accumulator) {
+    entries.push_back(ProfileEntry{tuple, probs.first, probs.second});
+  }
+  NeighborProfile profile(std::move(entries));
+  profile.set_truncated(ctx.truncated);
+  return profile;
+}
+
+}  // namespace distinct

@@ -1,0 +1,71 @@
+// Probability propagation along join paths (paper §2.2).
+//
+// Starting at a reference's tuple with probability 1, each step splits the
+// mass uniformly over the tuples joinable along the next path step. The
+// same depth-first traversal accumulates both Prob_P(r -> t) (forward) and
+// Prob_P(t -> r) (reverse): for a path instance r = t0, t1, ..., tk,
+//   forward = Π_i 1 / fanout(t_{i-1} along step i)
+//   reverse = Π_i 1 / fanout(t_i against step i)
+// and multiple instances ending at the same tuple sum.
+
+#ifndef DISTINCT_PROP_PROPAGATION_H_
+#define DISTINCT_PROP_PROPAGATION_H_
+
+#include <cstdint>
+
+#include "prop/link_graph.h"
+#include "prop/profile.h"
+#include "relational/join_path.h"
+
+namespace distinct {
+
+/// How profiles are computed. Both produce the same probabilities (up to
+/// floating-point summation order).
+enum class PropagationAlgorithm {
+  /// Depth-first enumeration of path instances (the paper's Fig. 3
+  /// procedure). Cost grows with the number of instances.
+  kDepthFirst,
+  /// Level-wise dynamic programming: one forward and one backward sweep
+  /// over the distinct tuples of each path level. Cost grows with the
+  /// number of distinct (level, tuple) pairs — much cheaper on paths that
+  /// fan out and reconverge (e.g. Publish -> Publications -> Publish ->
+  /// Authors -> Publish).
+  kLevelWise,
+};
+
+/// Limits for one propagation.
+struct PropagationOptions {
+  PropagationAlgorithm algorithm = PropagationAlgorithm::kDepthFirst;
+
+  /// Cap on visited path instances (kDepthFirst only); propagation
+  /// truncates beyond it and the resulting profile is flagged. Guards
+  /// against pathological fanouts.
+  int64_t max_instances = 5'000'000;
+
+  /// Prune walks that revisit the origin tuple. Without this, every path of
+  /// the form Publish -> Publications -> Publish(origin) -> Authors reaches
+  /// the reference's own name tuple — a neighbor that *all* identically
+  /// named references share by construction, which is pure noise for
+  /// disambiguation yet looks like a perfect signal on the rare-name
+  /// training set.
+  bool exclude_start_tuple = true;
+};
+
+/// Computes neighbor profiles. Borrows the link graph, which must outlive
+/// the engine. Stateless and safe to share across threads.
+class PropagationEngine {
+ public:
+  explicit PropagationEngine(const LinkGraph& link) : link_(&link) {}
+
+  /// Profile of `start_tuple` (a row of `path.start_node`'s table) along
+  /// `path`.
+  NeighborProfile Compute(const JoinPath& path, int32_t start_tuple,
+                          const PropagationOptions& options = {}) const;
+
+ private:
+  const LinkGraph* link_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_PROP_PROPAGATION_H_

@@ -1,0 +1,67 @@
+// CSV import/export for tables.
+//
+// Format: RFC-4180-style quoting (fields containing the separator, quotes,
+// or newlines are wrapped in double quotes; embedded quotes doubled). The
+// first line is the header; on import it must match the table schema's
+// column names. NULL cells round-trip as completely empty unquoted fields;
+// an empty *quoted* field ("") is an empty string.
+
+#ifndef DISTINCT_RELATIONAL_CSV_H_
+#define DISTINCT_RELATIONAL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace distinct {
+
+struct CsvOptions {
+  char separator = ',';
+};
+
+/// Renders the table (header + rows) as CSV text.
+std::string TableToCsv(const Table& table, const CsvOptions& options = {});
+
+/// Appends the rows of `text` (header line required) to `table`. The header
+/// must name exactly the table's columns in order. Returns the number of
+/// rows appended; fails atomically per row (rows before the failure stay).
+StatusOr<int64_t> AppendCsvToTable(const std::string& text, Table& table,
+                                   const CsvOptions& options = {});
+
+/// Writes/reads a CSV file.
+Status SaveTableCsv(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+StatusOr<int64_t> LoadTableCsv(const std::string& path, Table& table,
+                               const CsvOptions& options = {});
+
+/// Writes every table of `db` as `<directory>/<table>.csv`.
+Status SaveDatabaseCsv(const Database& db, const std::string& directory,
+                       const CsvOptions& options = {});
+
+/// Loads `<directory>/<table>.csv` into every (empty) table of `db`; the
+/// database supplies the schema. Missing files are an error.
+Status LoadDatabaseCsv(Database& db, const std::string& directory,
+                       const CsvOptions& options = {});
+
+/// One parsed CSV field. `quoted` distinguishes NULL (empty, unquoted)
+/// from the empty string (`""`).
+struct CsvField {
+  std::string value;
+  bool quoted = false;
+
+  bool operator==(const CsvField& other) const {
+    return value == other.value && quoted == other.quoted;
+  }
+};
+
+/// Splits one CSV document into records of fields (exposed for tests).
+/// Handles quoted fields with embedded separators, quotes, and newlines.
+StatusOr<std::vector<std::vector<CsvField>>> ParseCsv(
+    const std::string& text, const CsvOptions& options = {});
+
+}  // namespace distinct
+
+#endif  // DISTINCT_RELATIONAL_CSV_H_

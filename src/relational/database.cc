@@ -1,0 +1,105 @@
+#include "relational/database.h"
+
+#include "common/string_util.h"
+
+namespace distinct {
+
+StatusOr<int> Database::AddTable(Table table) {
+  if (by_name_.contains(table.name())) {
+    return AlreadyExistsError("table '" + table.name() + "' already exists");
+  }
+  const int id = num_tables();
+  by_name_.emplace(table.name(), id);
+  tables_.push_back(std::make_unique<Table>(std::move(table)));
+  return id;
+}
+
+const Table& Database::table(int id) const {
+  DISTINCT_CHECK(id >= 0 && id < num_tables());
+  return *tables_[static_cast<size_t>(id)];
+}
+
+Table& Database::mutable_table(int id) {
+  DISTINCT_CHECK(id >= 0 && id < num_tables());
+  return *tables_[static_cast<size_t>(id)];
+}
+
+StatusOr<int> Database::TableId(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return NotFoundError("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+StatusOr<const Table*> Database::FindTable(const std::string& name) const {
+  auto id = TableId(name);
+  if (!id.ok()) {
+    return id.status();
+  }
+  return &table(*id);
+}
+
+StatusOr<Table*> Database::FindMutableTable(const std::string& name) {
+  auto id = TableId(name);
+  if (!id.ok()) {
+    return id.status();
+  }
+  return &mutable_table(*id);
+}
+
+Status Database::ValidateIntegrity() const {
+  for (const auto& table_ptr : tables_) {
+    const Table& table = *table_ptr;
+    for (int col = 0; col < table.num_columns(); ++col) {
+      const ColumnSpec& spec = table.column(col);
+      if (spec.fk_table.empty()) {
+        continue;
+      }
+      auto target = FindTable(spec.fk_table);
+      if (!target.ok()) {
+        return FailedPreconditionError(
+            "table '" + table.name() + "' column '" + spec.name +
+            "' references missing table '" + spec.fk_table + "'");
+      }
+      if ((*target)->primary_key_column() < 0) {
+        return FailedPreconditionError(
+            "table '" + table.name() + "' column '" + spec.name +
+            "' references table '" + spec.fk_table +
+            "' which has no primary key");
+      }
+      for (int64_t row = 0; row < table.num_rows(); ++row) {
+        if (table.IsNull(row, col)) {
+          continue;
+        }
+        const int64_t pk = table.GetInt(row, col);
+        if (!(*target)->RowForPrimaryKey(pk).ok()) {
+          return FailedPreconditionError(StrFormat(
+              "table '%s' row %lld column '%s': dangling FK %lld into '%s'",
+              table.name().c_str(), static_cast<long long>(row),
+              spec.name.c_str(), static_cast<long long>(pk),
+              spec.fk_table.c_str()));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+int64_t Database::TotalRows() const {
+  int64_t total = 0;
+  for (const auto& table_ptr : tables_) {
+    total += table_ptr->num_rows();
+  }
+  return total;
+}
+
+std::string Database::DebugString() const {
+  std::string out = StrFormat("Database with %d tables:\n", num_tables());
+  for (const auto& table_ptr : tables_) {
+    out += "  " + table_ptr->DebugString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace distinct

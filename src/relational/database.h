@@ -1,0 +1,59 @@
+// A catalog of tables with foreign-key integrity validation.
+
+#ifndef DISTINCT_RELATIONAL_DATABASE_H_
+#define DISTINCT_RELATIONAL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace distinct {
+
+/// Owns a set of tables; table ids are dense and stable.
+class Database {
+ public:
+  Database() = default;
+
+  // Movable, not copyable (tables can be large).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Adds a table; its name must be unique. Returns the table id.
+  StatusOr<int> AddTable(Table table);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+
+  const Table& table(int id) const;
+  Table& mutable_table(int id);
+
+  /// Table id by name, or NotFound.
+  StatusOr<int> TableId(const std::string& name) const;
+
+  /// Table reference by name, or NotFound.
+  StatusOr<const Table*> FindTable(const std::string& name) const;
+  StatusOr<Table*> FindMutableTable(const std::string& name);
+
+  /// Checks that every FK column references an existing table with a primary
+  /// key and that every non-NULL FK value resolves. Expensive; intended for
+  /// loaders and tests.
+  Status ValidateIntegrity() const;
+
+  /// Total rows across all tables.
+  int64_t TotalRows() const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_RELATIONAL_DATABASE_H_

@@ -1,0 +1,53 @@
+#include "relational/reference_spec.h"
+
+namespace distinct {
+
+StatusOr<ResolvedReferenceSpec> ResolveReferenceSpec(
+    const Database& db, const ReferenceSpec& spec) {
+  ResolvedReferenceSpec resolved;
+
+  auto ref_table_id = db.TableId(spec.reference_table);
+  if (!ref_table_id.ok()) {
+    return ref_table_id.status();
+  }
+  resolved.reference_table_id = *ref_table_id;
+
+  auto name_table_id = db.TableId(spec.name_table);
+  if (!name_table_id.ok()) {
+    return name_table_id.status();
+  }
+  resolved.name_table_id = *name_table_id;
+
+  const Table& ref_table = db.table(resolved.reference_table_id);
+  auto identity_col = ref_table.ColumnIndex(spec.identity_column);
+  if (!identity_col.ok()) {
+    return identity_col.status();
+  }
+  resolved.identity_column = *identity_col;
+  if (ref_table.column(resolved.identity_column).fk_table !=
+      spec.name_table) {
+    return InvalidArgumentError(
+        "reference spec: '" + spec.reference_table + "." +
+        spec.identity_column + "' is not a foreign key to '" +
+        spec.name_table + "'");
+  }
+
+  const Table& name_table = db.table(resolved.name_table_id);
+  auto name_col = name_table.ColumnIndex(spec.name_column);
+  if (!name_col.ok()) {
+    return name_col.status();
+  }
+  resolved.name_column = *name_col;
+  if (name_table.column(resolved.name_column).type != ColumnType::kString) {
+    return InvalidArgumentError("reference spec: '" + spec.name_table + "." +
+                                spec.name_column +
+                                "' is not a string column");
+  }
+  if (name_table.primary_key_column() < 0) {
+    return InvalidArgumentError("reference spec: '" + spec.name_table +
+                                "' has no primary key");
+  }
+  return resolved;
+}
+
+}  // namespace distinct

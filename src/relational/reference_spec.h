@@ -1,0 +1,43 @@
+// Identifies which rows of a database are the "references" DISTINCT
+// resolves, and where their (ambiguous) names live.
+//
+// For DBLP: references are Publish rows; Publish.author_id points into
+// Authors, whose `name` column holds the textual author name. One Authors
+// row exists per distinct name string — the database cannot tell same-named
+// people apart, which is exactly the problem.
+
+#ifndef DISTINCT_RELATIONAL_REFERENCE_SPEC_H_
+#define DISTINCT_RELATIONAL_REFERENCE_SPEC_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace distinct {
+
+/// Names of the tables/columns that define the reference universe.
+struct ReferenceSpec {
+  std::string reference_table;  // table whose rows are references
+  std::string identity_column;  // FK column -> name_table's primary key
+  std::string name_table;       // table of distinct names
+  std::string name_column;      // string column holding the name
+};
+
+/// The spec resolved against a concrete database (ids instead of names).
+struct ResolvedReferenceSpec {
+  int reference_table_id = -1;
+  int identity_column = -1;
+  int name_table_id = -1;
+  int name_column = -1;
+};
+
+/// Resolves and validates `spec` against `db`: the tables must exist, the
+/// identity column must be an FK to `name_table`, and the name column must
+/// be a string column.
+StatusOr<ResolvedReferenceSpec> ResolveReferenceSpec(const Database& db,
+                                                     const ReferenceSpec& spec);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_RELATIONAL_REFERENCE_SPEC_H_

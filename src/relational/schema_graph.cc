@@ -1,0 +1,142 @@
+#include "relational/schema_graph.h"
+
+namespace distinct {
+
+StatusOr<SchemaGraph> SchemaGraph::Build(const Database& db) {
+  SchemaGraph graph(db);
+  for (int t = 0; t < db.num_tables(); ++t) {
+    SchemaNode node;
+    node.id = t;
+    node.table_id = t;
+    node.name = db.table(t).name();
+    graph.AddNode(node);
+  }
+  for (int t = 0; t < db.num_tables(); ++t) {
+    const Table& table = db.table(t);
+    for (int col = 0; col < table.num_columns(); ++col) {
+      const ColumnSpec& spec = table.column(col);
+      if (spec.fk_table.empty()) {
+        continue;
+      }
+      auto target = db.TableId(spec.fk_table);
+      if (!target.ok()) {
+        return target.status();
+      }
+      if (db.table(*target).primary_key_column() < 0) {
+        return FailedPreconditionError(
+            "FK '" + table.name() + "." + spec.name + "' references '" +
+            spec.fk_table + "' which has no primary key");
+      }
+      SchemaEdge edge;
+      edge.from_node = t;
+      edge.to_node = *target;
+      edge.table_id = t;
+      edge.column = col;
+      edge.name = table.name() + "." + spec.name + "->" + spec.fk_table;
+      graph.AddEdge(edge);
+    }
+  }
+  return graph;
+}
+
+Status SchemaGraph::PromoteAttribute(const std::string& table_name,
+                                     const std::string& column_name) {
+  auto table_id = db_->TableId(table_name);
+  if (!table_id.ok()) {
+    return table_id.status();
+  }
+  const Table& table = db_->table(*table_id);
+  auto col = table.ColumnIndex(column_name);
+  if (!col.ok()) {
+    return col.status();
+  }
+  const ColumnSpec& spec = table.column(*col);
+  if (spec.is_primary_key || !spec.fk_table.empty()) {
+    return InvalidArgumentError("cannot promote key column '" + table_name +
+                                "." + column_name + "'");
+  }
+  const std::string node_name = table_name + "." + column_name;
+  for (const SchemaNode& node : nodes_) {
+    if (node.is_attribute && node.name == node_name) {
+      return Status::Ok();  // Already promoted.
+    }
+  }
+
+  SchemaNode node;
+  node.is_attribute = true;
+  node.table_id = *table_id;
+  node.column = *col;
+  node.name = node_name;
+  const int node_id = AddNode(node);
+
+  SchemaEdge edge;
+  edge.from_node = *table_id;
+  edge.to_node = node_id;
+  edge.table_id = *table_id;
+  edge.column = *col;
+  edge.is_attribute_edge = true;
+  edge.name = node_name;
+  AddEdge(edge);
+  return Status::Ok();
+}
+
+const SchemaNode& SchemaGraph::node(int id) const {
+  DISTINCT_CHECK(id >= 0 && id < num_nodes());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const SchemaEdge& SchemaGraph::edge(int id) const {
+  DISTINCT_CHECK(id >= 0 && id < num_edges());
+  return edges_[static_cast<size_t>(id)];
+}
+
+StatusOr<int> SchemaGraph::NodeForTable(const std::string& name) const {
+  return db_->TableId(name);
+}
+
+const std::vector<IncidentEdge>& SchemaGraph::incident(int node_id) const {
+  DISTINCT_CHECK(node_id >= 0 && node_id < num_nodes());
+  return incident_[static_cast<size_t>(node_id)];
+}
+
+int SchemaGraph::Traverse([[maybe_unused]] int at_node,
+                          const IncidentEdge& step) const {
+  const SchemaEdge& e = edge(step.edge_id);
+  if (step.forward) {
+    DISTINCT_DCHECK(e.from_node == at_node);
+    return e.to_node;
+  }
+  DISTINCT_DCHECK(e.to_node == at_node);
+  return e.from_node;
+}
+
+int SchemaGraph::AddNode(SchemaNode node) {
+  node.id = num_nodes();
+  nodes_.push_back(node);
+  incident_.emplace_back();
+  return node.id;
+}
+
+void SchemaGraph::AddEdge(SchemaEdge edge) {
+  edge.id = num_edges();
+  edges_.push_back(edge);
+  incident_[static_cast<size_t>(edge.from_node)].push_back(
+      IncidentEdge{edge.id, /*forward=*/true});
+  incident_[static_cast<size_t>(edge.to_node)].push_back(
+      IncidentEdge{edge.id, /*forward=*/false});
+}
+
+std::string SchemaGraph::DebugString() const {
+  std::string out = "SchemaGraph nodes:\n";
+  for (const SchemaNode& node : nodes_) {
+    out += "  [" + std::to_string(node.id) + "] " + node.name +
+           (node.is_attribute ? " (attribute)" : "") + "\n";
+  }
+  out += "edges:\n";
+  for (const SchemaEdge& edge : edges_) {
+    out += "  [" + std::to_string(edge.id) + "] " + edge.name + "\n";
+  }
+  return out;
+}
+
+}  // namespace distinct

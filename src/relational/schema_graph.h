@@ -1,0 +1,97 @@
+// The schema graph: relations (and promoted attributes) as nodes, foreign
+// keys as edges.
+//
+// DISTINCT's join paths are walks in this graph. Following the paper (§2.1),
+// non-key attribute values can be promoted to first-class tuples: promoting
+// `Conferences.publisher` adds an attribute node whose "tuples" are the
+// distinct publisher values and an edge from Conferences to it, so shared
+// attribute values and joined tuples are handled by one mechanism.
+
+#ifndef DISTINCT_RELATIONAL_SCHEMA_GRAPH_H_
+#define DISTINCT_RELATIONAL_SCHEMA_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace distinct {
+
+/// A node: either a real table or a promoted-attribute value domain.
+struct SchemaNode {
+  int id = -1;
+  bool is_attribute = false;
+  /// Real node: the table id. Attribute node: the table owning the column.
+  int table_id = -1;
+  /// Attribute node only: the promoted column index in `table_id`.
+  int column = -1;
+  /// "Publish" for tables, "Proceedings.year" for attribute nodes.
+  std::string name;
+};
+
+/// A directed schema edge from the relation holding the reference
+/// (FK column / promoted column) to the referenced node. Traversals may walk
+/// it in either direction.
+struct SchemaEdge {
+  int id = -1;
+  int from_node = -1;
+  int to_node = -1;
+  /// Table and column holding the FK (or promoted attribute) cells.
+  int table_id = -1;
+  int column = -1;
+  bool is_attribute_edge = false;
+  /// "Publish.author_id->Authors" or "Proceedings.year".
+  std::string name;
+};
+
+/// One traversable direction of an edge at a node.
+struct IncidentEdge {
+  int edge_id = -1;
+  bool forward = true;  // true: from_node -> to_node
+};
+
+/// Immutable after construction + promotions. Borrows the Database, which
+/// must outlive the graph.
+class SchemaGraph {
+ public:
+  /// Builds nodes for every table and edges for every FK column.
+  static StatusOr<SchemaGraph> Build(const Database& db);
+
+  /// Promotes `table`.`column` (must exist, not be a PK or FK) to an
+  /// attribute node with a connecting edge. Idempotent per column.
+  Status PromoteAttribute(const std::string& table_name,
+                          const std::string& column_name);
+
+  const Database& db() const { return *db_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const SchemaNode& node(int id) const;
+  const SchemaEdge& edge(int id) const;
+
+  /// Node id of the table `name`, or NotFound (table node ids == table ids).
+  StatusOr<int> NodeForTable(const std::string& name) const;
+
+  /// Directions leaving `node_id`.
+  const std::vector<IncidentEdge>& incident(int node_id) const;
+
+  /// The node reached when standing at `at_node` and taking `step`.
+  int Traverse(int at_node, const IncidentEdge& step) const;
+
+  std::string DebugString() const;
+
+ private:
+  explicit SchemaGraph(const Database& db) : db_(&db) {}
+
+  int AddNode(SchemaNode node);
+  void AddEdge(SchemaEdge edge);
+
+  const Database* db_;
+  std::vector<SchemaNode> nodes_;
+  std::vector<SchemaEdge> edges_;
+  std::vector<std::vector<IncidentEdge>> incident_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_RELATIONAL_SCHEMA_GRAPH_H_

@@ -1,0 +1,66 @@
+#include "relational/value.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace distinct {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Value Value::Int(int64_t v) {
+  Value value;
+  value.type_ = ColumnType::kInt64;
+  value.int_value_ = v;
+  return value;
+}
+
+Value Value::Str(std::string v) {
+  Value value;
+  value.type_ = ColumnType::kString;
+  value.string_value_ = std::move(v);
+  return value;
+}
+
+Value Value::Null() {
+  Value value;
+  value.is_null_ = true;
+  return value;
+}
+
+int64_t Value::AsInt() const {
+  DISTINCT_CHECK(!is_null_ && type_ == ColumnType::kInt64);
+  return int_value_;
+}
+
+const std::string& Value::AsString() const {
+  DISTINCT_CHECK(!is_null_ && type_ == ColumnType::kString);
+  return string_value_;
+}
+
+std::string Value::DebugString() const {
+  if (is_null_) {
+    return "NULL";
+  }
+  if (type_ == ColumnType::kInt64) {
+    return StrFormat("%lld", static_cast<long long>(int_value_));
+  }
+  return "\"" + string_value_ + "\"";
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null_ != other.is_null_) return false;
+  if (is_null_) return true;
+  if (type_ != other.type_) return false;
+  if (type_ == ColumnType::kInt64) return int_value_ == other.int_value_;
+  return string_value_ == other.string_value_;
+}
+
+}  // namespace distinct

@@ -1,0 +1,56 @@
+// Typed cell values used at the Table API boundary.
+//
+// Internally tables store every cell as int64 (string cells are
+// dictionary-encoded per column); `Value` is the typed wrapper rows are
+// inserted and read with.
+
+#ifndef DISTINCT_RELATIONAL_VALUE_H_
+#define DISTINCT_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace distinct {
+
+/// Column types supported by the engine.
+enum class ColumnType {
+  kInt64,
+  kString,
+};
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// A tagged int64-or-string cell value.
+class Value {
+ public:
+  static Value Int(int64_t v);
+  static Value Str(std::string v);
+
+  /// Sentinel for a NULL foreign key / missing cell.
+  static Value Null();
+
+  ColumnType type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  /// Requires type() == kInt64 and !is_null().
+  int64_t AsInt() const;
+
+  /// Requires type() == kString and !is_null().
+  const std::string& AsString() const;
+
+  std::string DebugString() const;
+
+  bool operator==(const Value& other) const;
+
+ private:
+  Value() = default;
+
+  ColumnType type_ = ColumnType::kInt64;
+  bool is_null_ = false;
+  int64_t int_value_ = 0;
+  std::string string_value_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_RELATIONAL_VALUE_H_

@@ -1,0 +1,42 @@
+#include "sim/feature_vector.h"
+
+#include "sim/resemblance.h"
+#include "sim/walk_probability.h"
+
+namespace distinct {
+
+FeatureExtractor::FeatureExtractor(const PropagationEngine& engine,
+                                   std::vector<JoinPath> paths,
+                                   PropagationOptions options)
+    : engine_(&engine), paths_(std::move(paths)), options_(options) {}
+
+const std::vector<NeighborProfile>& FeatureExtractor::ProfilesFor(
+    int32_t ref) {
+  auto it = cache_.find(ref);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+  std::vector<NeighborProfile> profiles;
+  profiles.reserve(paths_.size());
+  for (const JoinPath& path : paths_) {
+    profiles.push_back(engine_->Compute(path, ref, options_));
+  }
+  return cache_.emplace(ref, std::move(profiles)).first->second;
+}
+
+PairFeatures FeatureExtractor::Compute(int32_t ref1, int32_t ref2) {
+  const std::vector<NeighborProfile>& p1 = ProfilesFor(ref1);
+  const std::vector<NeighborProfile>& p2 = ProfilesFor(ref2);
+  PairFeatures features;
+  features.resemblance.resize(paths_.size());
+  features.walk.resize(paths_.size());
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    features.resemblance[i] = SetResemblance(p1[i], p2[i]);
+    features.walk[i] = SymmetricWalkProbability(p1[i], p2[i]);
+  }
+  return features;
+}
+
+void FeatureExtractor::ClearCache() { cache_.clear(); }
+
+}  // namespace distinct

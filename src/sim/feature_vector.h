@@ -1,0 +1,59 @@
+// Per-pair feature extraction: one resemblance and one walk-probability
+// value per join path.
+//
+// The extractor owns a profile cache so that resolving a name with n
+// references costs n propagations per path plus O(n^2) sparse merges, not
+// O(n^2) propagations.
+
+#ifndef DISTINCT_SIM_FEATURE_VECTOR_H_
+#define DISTINCT_SIM_FEATURE_VECTOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "prop/propagation.h"
+#include "relational/join_path.h"
+
+namespace distinct {
+
+/// Similarities of one reference pair along every join path; the inputs to
+/// both the SVM (training) and the similarity model (resolution).
+struct PairFeatures {
+  std::vector<double> resemblance;  // indexed by path
+  std::vector<double> walk;         // indexed by path
+};
+
+/// Computes and caches per-reference profiles, and derives pair features.
+class FeatureExtractor {
+ public:
+  /// Borrows the engine; `paths` must all start at the reference relation's
+  /// node.
+  FeatureExtractor(const PropagationEngine& engine,
+                   std::vector<JoinPath> paths,
+                   PropagationOptions options = {});
+
+  size_t num_paths() const { return paths_.size(); }
+  const std::vector<JoinPath>& paths() const { return paths_; }
+
+  /// Profiles of `ref` along every path; computed once then cached.
+  const std::vector<NeighborProfile>& ProfilesFor(int32_t ref);
+
+  /// Pair features for two references of the same relation.
+  PairFeatures Compute(int32_t ref1, int32_t ref2);
+
+  /// Drops all cached profiles (e.g., between names).
+  void ClearCache();
+
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  const PropagationEngine* engine_;
+  std::vector<JoinPath> paths_;
+  PropagationOptions options_;
+  std::unordered_map<int32_t, std::vector<NeighborProfile>> cache_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SIM_FEATURE_VECTOR_H_

@@ -1,0 +1,44 @@
+#include "sim/resemblance.h"
+
+#include <algorithm>
+
+namespace distinct {
+
+double SetResemblance(const NeighborProfile& a, const NeighborProfile& b) {
+  if (a.empty() || b.empty()) {
+    return 0.0;
+  }
+  double numerator = 0.0;
+  double denominator = 0.0;
+
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].tuple < eb[j].tuple) {
+      denominator += ea[i].forward;
+      ++i;
+    } else if (eb[j].tuple < ea[i].tuple) {
+      denominator += eb[j].forward;
+      ++j;
+    } else {
+      numerator += std::min(ea[i].forward, eb[j].forward);
+      denominator += std::max(ea[i].forward, eb[j].forward);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < ea.size(); ++i) {
+    denominator += ea[i].forward;
+  }
+  for (; j < eb.size(); ++j) {
+    denominator += eb[j].forward;
+  }
+  if (denominator <= 0.0) {
+    return 0.0;
+  }
+  return numerator / denominator;
+}
+
+}  // namespace distinct

@@ -1,0 +1,22 @@
+// Set resemblance between neighbor profiles (paper §2.3).
+//
+// The connection-strength-weighted Jaccard coefficient:
+//   Resem_P(r1, r2) = Σ_{t ∈ NB∩} min(p1(t), p2(t))
+//                   / Σ_{t ∈ NB∪} max(p1(t), p2(t))
+// where p_i(t) = Prob_P(r_i -> t). Both profiles must be over the same join
+// path (same end-node tuple universe).
+
+#ifndef DISTINCT_SIM_RESEMBLANCE_H_
+#define DISTINCT_SIM_RESEMBLANCE_H_
+
+#include "prop/profile.h"
+
+namespace distinct {
+
+/// Weighted Jaccard of two profiles; 0 when either is empty.
+/// Always in [0, 1]; 1 iff the profiles are identical as weighted sets.
+double SetResemblance(const NeighborProfile& a, const NeighborProfile& b);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SIM_RESEMBLANCE_H_

@@ -1,0 +1,86 @@
+#include "sim/similarity_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace distinct {
+
+SimilarityModel::SimilarityModel(std::vector<double> resem_weights,
+                                 std::vector<double> walk_weights,
+                                 std::vector<std::string> path_names)
+    : resem_weights_(std::move(resem_weights)),
+      walk_weights_(std::move(walk_weights)),
+      path_names_(std::move(path_names)) {
+  DISTINCT_CHECK(resem_weights_.size() == walk_weights_.size());
+  DISTINCT_CHECK(path_names_.empty() ||
+                 path_names_.size() == resem_weights_.size());
+}
+
+SimilarityModel SimilarityModel::Uniform(
+    size_t num_paths, std::vector<std::string> path_names) {
+  DISTINCT_CHECK(num_paths > 0);
+  const double w = 1.0 / static_cast<double>(num_paths);
+  return SimilarityModel(std::vector<double>(num_paths, w),
+                         std::vector<double>(num_paths, w),
+                         std::move(path_names));
+}
+
+double SimilarityModel::Resemblance(const PairFeatures& features) const {
+  DISTINCT_DCHECK(features.resemblance.size() == resem_weights_.size());
+  double sim = 0.0;
+  for (size_t i = 0; i < resem_weights_.size(); ++i) {
+    sim += resem_weights_[i] * features.resemblance[i];
+  }
+  return std::max(sim, 0.0);
+}
+
+double SimilarityModel::Walk(const PairFeatures& features) const {
+  DISTINCT_DCHECK(features.walk.size() == walk_weights_.size());
+  double sim = 0.0;
+  for (size_t i = 0; i < walk_weights_.size(); ++i) {
+    sim += walk_weights_[i] * features.walk[i];
+  }
+  return std::max(sim, 0.0);
+}
+
+void SimilarityModel::ClampAndNormalize() {
+  auto clamp_and_normalize = [](std::vector<double>& weights) {
+    for (double& w : weights) {
+      w = std::max(w, 0.0);
+    }
+    const double total =
+        std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total > 0.0) {
+      for (double& w : weights) {
+        w /= total;
+      }
+    } else {
+      // Degenerate model (nothing positive): fall back to uniform.
+      const double uniform = 1.0 / static_cast<double>(weights.size());
+      std::fill(weights.begin(), weights.end(), uniform);
+    }
+  };
+  clamp_and_normalize(resem_weights_);
+  clamp_and_normalize(walk_weights_);
+}
+
+std::string SimilarityModel::DebugString() const {
+  std::vector<size_t> order(resem_weights_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return resem_weights_[a] > resem_weights_[b];
+  });
+  std::string out = "path weights (resem, walk):\n";
+  for (const size_t i : order) {
+    const std::string name =
+        path_names_.empty() ? StrFormat("path %zu", i) : path_names_[i];
+    out += StrFormat("  %-70s %8.5f %8.5f\n", name.c_str(),
+                     resem_weights_[i], walk_weights_[i]);
+  }
+  return out;
+}
+
+}  // namespace distinct

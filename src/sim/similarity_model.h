@@ -1,0 +1,60 @@
+// The per-join-path weight model (paper §3, Eq. 1).
+//
+// Overall similarity is a weighted combination of per-path similarities:
+//   Resem(r1, r2) = Σ_P w_resem(P) · Resem_P(r1, r2)
+//   Walk(r1, r2)  = Σ_P w_walk(P)  · Walk_P(r1, r2)
+// Supervised weights come from a linear SVM trained on the automatically
+// constructed training set; the unsupervised baselines use uniform weights.
+
+#ifndef DISTINCT_SIM_SIMILARITY_MODEL_H_
+#define DISTINCT_SIM_SIMILARITY_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/feature_vector.h"
+
+namespace distinct {
+
+/// Weighted combination of per-path similarities.
+class SimilarityModel {
+ public:
+  SimilarityModel() = default;
+
+  /// Model with explicit weights. Both vectors are indexed by path.
+  SimilarityModel(std::vector<double> resem_weights,
+                  std::vector<double> walk_weights,
+                  std::vector<std::string> path_names = {});
+
+  /// Uniform (unsupervised) model: every path weighs 1/num_paths.
+  static SimilarityModel Uniform(size_t num_paths,
+                                 std::vector<std::string> path_names = {});
+
+  size_t num_paths() const { return resem_weights_.size(); }
+  const std::vector<double>& resem_weights() const { return resem_weights_; }
+  const std::vector<double>& walk_weights() const { return walk_weights_; }
+  const std::vector<std::string>& path_names() const { return path_names_; }
+
+  /// Σ_P w_resem(P) · features.resemblance[P] (clamped at 0).
+  double Resemblance(const PairFeatures& features) const;
+
+  /// Σ_P w_walk(P) · features.walk[P] (clamped at 0).
+  double Walk(const PairFeatures& features) const;
+
+  /// Zeroes negative weights and rescales each weight vector to sum to 1,
+  /// making supervised and unsupervised similarities share a scale (so one
+  /// min-sim threshold is meaningful across variants).
+  void ClampAndNormalize();
+
+  /// Multi-line table of per-path weights, largest resemblance weight first.
+  std::string DebugString() const;
+
+ private:
+  std::vector<double> resem_weights_;
+  std::vector<double> walk_weights_;
+  std::vector<std::string> path_names_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SIM_SIMILARITY_MODEL_H_

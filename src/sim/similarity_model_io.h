@@ -1,0 +1,33 @@
+// Text (de)serialization of a trained SimilarityModel, so the offline
+// phase (training-set construction + SVM fit) can run once and its result
+// be reused across processes.
+//
+// Format (line oriented, '#' comments allowed):
+//   distinct-similarity-model v1
+//   paths <n>
+//   <resem_weight> <walk_weight>\t<path description>
+//   ...
+// Weights round-trip exactly (%.17g); the path description is free text
+// used to detect schema drift at load time.
+
+#ifndef DISTINCT_SIM_SIMILARITY_MODEL_IO_H_
+#define DISTINCT_SIM_SIMILARITY_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sim/similarity_model.h"
+
+namespace distinct {
+
+std::string SerializeSimilarityModel(const SimilarityModel& model);
+
+StatusOr<SimilarityModel> ParseSimilarityModel(const std::string& text);
+
+Status SaveSimilarityModel(const SimilarityModel& model,
+                           const std::string& path);
+StatusOr<SimilarityModel> LoadSimilarityModel(const std::string& path);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SIM_SIMILARITY_MODEL_IO_H_

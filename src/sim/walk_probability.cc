@@ -1,0 +1,30 @@
+#include "sim/walk_probability.h"
+
+namespace distinct {
+
+double WalkProbability(const NeighborProfile& a, const NeighborProfile& b) {
+  double total = 0.0;
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].tuple < eb[j].tuple) {
+      ++i;
+    } else if (eb[j].tuple < ea[i].tuple) {
+      ++j;
+    } else {
+      total += ea[i].forward * eb[j].reverse;
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+double SymmetricWalkProbability(const NeighborProfile& a,
+                                const NeighborProfile& b) {
+  return 0.5 * (WalkProbability(a, b) + WalkProbability(b, a));
+}
+
+}  // namespace distinct

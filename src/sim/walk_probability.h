@@ -1,0 +1,27 @@
+// Random walk probability between references along one join path
+// (paper §2.4).
+//
+// The probability of walking from r1 out along P and back to r2 along the
+// reverse path factorizes through the shared neighbor tuples:
+//   Walk_P(r1 -> r2) = Σ_{t ∈ NB_P(r1) ∩ NB_P(r2)} Prob_P(r1->t) · Prob_P(t->r2)
+// Both factors were already computed during propagation, so this is a
+// linear merge of the two sorted profiles.
+
+#ifndef DISTINCT_SIM_WALK_PROBABILITY_H_
+#define DISTINCT_SIM_WALK_PROBABILITY_H_
+
+#include "prop/profile.h"
+
+namespace distinct {
+
+/// Directed walk probability r_a -> ... -> r_b via the shared neighbors.
+double WalkProbability(const NeighborProfile& a, const NeighborProfile& b);
+
+/// Symmetrized walk probability: mean of both directions. This is the
+/// linkage-strength measure DISTINCT pairs with set resemblance.
+double SymmetricWalkProbability(const NeighborProfile& a,
+                                const NeighborProfile& b);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SIM_WALK_PROBABILITY_H_

@@ -1,0 +1,220 @@
+#include "svm/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace distinct {
+namespace {
+
+Status ValidateProblem(const SvmProblem& problem) {
+  if (problem.x.empty()) {
+    return InvalidArgumentError("SVM: empty training set");
+  }
+  if (problem.x.size() != problem.y.size()) {
+    return InvalidArgumentError(StrFormat(
+        "SVM: %zu feature rows but %zu labels", problem.x.size(),
+        problem.y.size()));
+  }
+  const size_t width = problem.x.front().size();
+  if (width == 0) {
+    return InvalidArgumentError("SVM: zero-width feature rows");
+  }
+  bool has_positive = false;
+  bool has_negative = false;
+  for (size_t i = 0; i < problem.x.size(); ++i) {
+    if (problem.x[i].size() != width) {
+      return InvalidArgumentError(
+          StrFormat("SVM: row %zu has width %zu, expected %zu", i,
+                    problem.x[i].size(), width));
+    }
+    if (problem.y[i] == 1) {
+      has_positive = true;
+    } else if (problem.y[i] == -1) {
+      has_negative = true;
+    } else {
+      return InvalidArgumentError(
+          StrFormat("SVM: label %d at row %zu is not +1/-1", problem.y[i], i));
+    }
+  }
+  if (!has_positive || !has_negative) {
+    return InvalidArgumentError("SVM: training set has only one class");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+double LinearSvmModel::Decision(const std::vector<double>& x) const {
+  DISTINCT_CHECK(x.size() == weights_.size());
+  double value = bias_;
+  for (size_t i = 0; i < x.size(); ++i) {
+    value += weights_[i] * x[i];
+  }
+  return value;
+}
+
+int LinearSvmModel::Predict(const std::vector<double>& x) const {
+  return Decision(x) >= 0.0 ? 1 : -1;
+}
+
+double LinearSvmModel::Accuracy(const SvmProblem& problem) const {
+  if (problem.x.empty()) {
+    return 0.0;
+  }
+  int64_t correct = 0;
+  for (size_t i = 0; i < problem.x.size(); ++i) {
+    if (Predict(problem.x[i]) == problem.y[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(problem.x.size());
+}
+
+StatusOr<LinearSvmModel> TrainLinearSvm(const SvmProblem& problem,
+                                        const SvmParams& params) {
+  DISTINCT_RETURN_IF_ERROR(ValidateProblem(problem));
+  if (params.c <= 0.0) {
+    return InvalidArgumentError("SVM: C must be positive");
+  }
+
+  const size_t n = problem.num_examples();
+  const size_t raw_dim = problem.num_features();
+  const size_t dim = raw_dim + (params.fit_bias ? 1 : 0);
+
+  // L2-loss runs the same coordinate updates with a diagonal shift
+  // D_ii = 1/(2C) and an unbounded upper box (Hsieh et al., ICML 2008).
+  const bool squared = params.loss == SvmLoss::kSquaredHinge;
+  const double diagonal_shift = squared ? 1.0 / (2.0 * params.c) : 0.0;
+  const double upper_bound =
+      squared ? std::numeric_limits<double>::infinity() : params.c;
+
+  // Augmented rows (bias feature == 1) and their squared norms Q_ii.
+  auto feature = [&](size_t i, size_t f) -> double {
+    return f < raw_dim ? problem.x[i][f] : 1.0;
+  };
+  std::vector<double> q_diag(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double q = diagonal_shift;
+    for (size_t f = 0; f < dim; ++f) {
+      const double v = feature(i, f);
+      q += v * v;
+    }
+    q_diag[i] = q;
+  }
+
+  std::vector<double> w(dim, 0.0);
+  std::vector<double> alpha(n, 0.0);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  Rng rng(params.seed);
+
+  for (int epoch = 0; epoch < params.max_epochs; ++epoch) {
+    rng.Shuffle(order);
+    double max_violation = 0.0;
+
+    for (const size_t i : order) {
+      if (q_diag[i] <= 0.0) {
+        continue;  // all-zero row carries no information
+      }
+      const double yi = static_cast<double>(problem.y[i]);
+      double wx = 0.0;
+      for (size_t f = 0; f < dim; ++f) {
+        wx += w[f] * feature(i, f);
+      }
+      const double gradient = yi * wx - 1.0 + diagonal_shift * alpha[i];
+
+      // Projected gradient for the box constraint 0 <= alpha_i <= U.
+      double projected = gradient;
+      if (alpha[i] <= 0.0) {
+        projected = std::min(gradient, 0.0);
+      } else if (alpha[i] >= upper_bound) {
+        projected = std::max(gradient, 0.0);
+      }
+      max_violation = std::max(max_violation, std::fabs(projected));
+      if (std::fabs(projected) < 1e-12) {
+        continue;
+      }
+
+      const double old_alpha = alpha[i];
+      alpha[i] =
+          std::clamp(old_alpha - gradient / q_diag[i], 0.0, upper_bound);
+      const double delta = (alpha[i] - old_alpha) * yi;
+      if (delta != 0.0) {
+        for (size_t f = 0; f < dim; ++f) {
+          w[f] += delta * feature(i, f);
+        }
+      }
+    }
+
+    if (max_violation < params.epsilon) {
+      break;
+    }
+  }
+
+  double bias = 0.0;
+  if (params.fit_bias) {
+    bias = w.back();
+    w.pop_back();
+  }
+  return LinearSvmModel(std::move(w), bias);
+}
+
+StatusOr<double> CrossValidateAccuracy(const SvmProblem& problem,
+                                       const SvmParams& params, int k) {
+  DISTINCT_RETURN_IF_ERROR(ValidateProblem(problem));
+  if (k < 2) {
+    return InvalidArgumentError("cross-validation requires k >= 2");
+  }
+
+  // Stratified fold assignment: shuffle each class, deal round-robin.
+  const size_t n = problem.num_examples();
+  std::vector<int> fold_of(n, -1);
+  Rng rng(params.seed ^ 0x9e3779b97f4a7c15ULL);
+  for (const int label : {1, -1}) {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < n; ++i) {
+      if (problem.y[i] == label) {
+        members.push_back(i);
+      }
+    }
+    if (members.size() < static_cast<size_t>(k)) {
+      return InvalidArgumentError(StrFormat(
+          "cross-validation: class %+d has %zu examples, need >= %d", label,
+          members.size(), k));
+    }
+    rng.Shuffle(members);
+    for (size_t j = 0; j < members.size(); ++j) {
+      fold_of[members[j]] = static_cast<int>(j % static_cast<size_t>(k));
+    }
+  }
+
+  int64_t correct = 0;
+  for (int fold = 0; fold < k; ++fold) {
+    SvmProblem train;
+    SvmProblem test;
+    for (size_t i = 0; i < n; ++i) {
+      SvmProblem& target = (fold_of[i] == fold) ? test : train;
+      target.x.push_back(problem.x[i]);
+      target.y.push_back(problem.y[i]);
+    }
+    auto model = TrainLinearSvm(train, params);
+    if (!model.ok()) {
+      return model.status();
+    }
+    for (size_t i = 0; i < test.x.size(); ++i) {
+      if (model->Predict(test.x[i]) == test.y[i]) {
+        ++correct;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace distinct

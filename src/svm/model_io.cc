@@ -1,0 +1,105 @@
+#include "svm/model_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/string_util.h"
+
+namespace distinct {
+namespace {
+
+constexpr char kMagic[] = "distinct-svm-model v1";
+
+}  // namespace
+
+std::string SerializeSvmModel(const LinearSvmModel& model) {
+  std::string out = kMagic;
+  out += '\n';
+  out += StrFormat("bias %.17g\n", model.bias());
+  out += StrFormat("weights %zu\n", model.weights().size());
+  for (const double w : model.weights()) {
+    out += StrFormat("%.17g\n", w);
+  }
+  return out;
+}
+
+StatusOr<LinearSvmModel> ParseSvmModel(const std::string& text) {
+  std::vector<std::string> lines;
+  for (std::string& line : Split(text, '\n')) {
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') {
+      continue;
+    }
+    lines.emplace_back(stripped);
+  }
+  if (lines.empty() || lines[0] != kMagic) {
+    return DataLossError("SVM model: missing or unknown header");
+  }
+  if (lines.size() < 3) {
+    return DataLossError("SVM model: truncated");
+  }
+
+  if (!StartsWith(lines[1], "bias ")) {
+    return DataLossError("SVM model: expected 'bias' line");
+  }
+  auto bias = ParseDouble(std::string_view(lines[1]).substr(5));
+  if (!bias.has_value()) {
+    return DataLossError("SVM model: malformed bias");
+  }
+
+  if (!StartsWith(lines[2], "weights ")) {
+    return DataLossError("SVM model: expected 'weights' line");
+  }
+  auto count = ParseInt64(std::string_view(lines[2]).substr(8));
+  if (!count.has_value() || *count < 0) {
+    return DataLossError("SVM model: malformed weight count");
+  }
+  if (lines.size() != 3 + static_cast<size_t>(*count)) {
+    return DataLossError(StrFormat(
+        "SVM model: expected %lld weights, found %zu lines",
+        static_cast<long long>(*count), lines.size() - 3));
+  }
+
+  std::vector<double> weights;
+  weights.reserve(static_cast<size_t>(*count));
+  for (int64_t i = 0; i < *count; ++i) {
+    auto w = ParseDouble(lines[3 + static_cast<size_t>(i)]);
+    if (!w.has_value()) {
+      return DataLossError(StrFormat(
+          "SVM model: malformed weight at index %lld",
+          static_cast<long long>(i)));
+    }
+    weights.push_back(*w);
+  }
+  return LinearSvmModel(std::move(weights), *bias);
+}
+
+Status SaveSvmModel(const LinearSvmModel& model, const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open '" + path + "' for writing");
+  }
+  const std::string text = SerializeSvmModel(model);
+  if (std::fwrite(text.data(), 1, text.size(), file.get()) != text.size()) {
+    return DataLossError("short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+StatusOr<LinearSvmModel> LoadSvmModel(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return NotFoundError("cannot open '" + path + "'");
+  }
+  std::string text;
+  char buffer[1 << 14];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+    text.append(buffer, read);
+  }
+  return ParseSvmModel(text);
+}
+
+}  // namespace distinct

@@ -1,0 +1,33 @@
+// Text (de)serialization of trained SVM models.
+//
+// Format (line oriented, '#' comments allowed):
+//   distinct-svm-model v1
+//   bias <double>
+//   weights <n>
+//   <w0>
+//   ...
+// Doubles round-trip exactly via %.17g.
+
+#ifndef DISTINCT_SVM_MODEL_IO_H_
+#define DISTINCT_SVM_MODEL_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "svm/linear_svm.h"
+
+namespace distinct {
+
+/// Serializes `model` to the text format above.
+std::string SerializeSvmModel(const LinearSvmModel& model);
+
+/// Parses a model; rejects version/shape mismatches and malformed numbers.
+StatusOr<LinearSvmModel> ParseSvmModel(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveSvmModel(const LinearSvmModel& model, const std::string& path);
+StatusOr<LinearSvmModel> LoadSvmModel(const std::string& path);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SVM_MODEL_IO_H_

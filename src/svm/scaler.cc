@@ -1,0 +1,57 @@
+#include "svm/scaler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace distinct {
+
+void MaxAbsScaler::Fit(const std::vector<std::vector<double>>& rows) {
+  DISTINCT_CHECK(!rows.empty());
+  scales_.assign(rows.front().size(), 0.0);
+  for (const std::vector<double>& row : rows) {
+    DISTINCT_CHECK(row.size() == scales_.size());
+    for (size_t f = 0; f < row.size(); ++f) {
+      scales_[f] = std::max(scales_[f], std::fabs(row[f]));
+    }
+  }
+  for (double& scale : scales_) {
+    if (scale <= 0.0) {
+      scale = 1.0;
+    }
+  }
+}
+
+std::vector<double> MaxAbsScaler::Transform(
+    const std::vector<double>& row) const {
+  DISTINCT_CHECK(fitted());
+  DISTINCT_CHECK(row.size() == scales_.size());
+  std::vector<double> out(row.size());
+  for (size_t f = 0; f < row.size(); ++f) {
+    out[f] = row[f] / scales_[f];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> MaxAbsScaler::TransformAll(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const std::vector<double>& row : rows) {
+    out.push_back(Transform(row));
+  }
+  return out;
+}
+
+std::vector<double> MaxAbsScaler::UnscaleWeights(
+    const std::vector<double>& weights) const {
+  DISTINCT_CHECK(fitted());
+  DISTINCT_CHECK(weights.size() == scales_.size());
+  std::vector<double> out(weights.size());
+  for (size_t f = 0; f < weights.size(); ++f) {
+    out[f] = weights[f] / scales_[f];
+  }
+  return out;
+}
+
+}  // namespace distinct

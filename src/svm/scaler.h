@@ -1,0 +1,43 @@
+// Per-feature max-abs scaling.
+//
+// Walk probabilities are orders of magnitude smaller than resemblances;
+// scaling each feature by its maximum absolute training value keeps the SVM
+// well conditioned. `UnscaleWeights` maps learned weights back to raw
+// feature space so the similarity model can consume unscaled features.
+
+#ifndef DISTINCT_SVM_SCALER_H_
+#define DISTINCT_SVM_SCALER_H_
+
+#include <vector>
+
+namespace distinct {
+
+/// Fits on training rows, transforms rows, and back-transforms weights.
+class MaxAbsScaler {
+ public:
+  MaxAbsScaler() = default;
+
+  /// Records max |x| per feature. Features that are identically zero get
+  /// scale 1 (transform leaves them zero).
+  void Fit(const std::vector<std::vector<double>>& rows);
+
+  /// x[f] / scale[f], element-wise. Requires Fit() first.
+  std::vector<double> Transform(const std::vector<double>& row) const;
+  std::vector<std::vector<double>> TransformAll(
+      const std::vector<std::vector<double>>& rows) const;
+
+  /// Maps weights learned on scaled features to raw feature space:
+  /// w_raw[f] = w_scaled[f] / scale[f].
+  std::vector<double> UnscaleWeights(
+      const std::vector<double>& weights) const;
+
+  const std::vector<double>& scales() const { return scales_; }
+  bool fitted() const { return !scales_.empty(); }
+
+ private:
+  std::vector<double> scales_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SVM_SCALER_H_

@@ -1,0 +1,62 @@
+// Rare-name detection for automatic training-set construction (paper §3).
+//
+// Most entities have distinct names; a full name whose first AND last parts
+// are both rare across the database is very likely unique, so its
+// references can be assumed equivalent (positives) and references of two
+// different rare names distinct (negatives) — no manual labeling needed.
+
+#ifndef DISTINCT_TRAIN_RARE_NAMES_H_
+#define DISTINCT_TRAIN_RARE_NAMES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/reference_spec.h"
+
+namespace distinct {
+
+struct RareNameOptions {
+  /// A name part is rare when it occurs on at most this many distinct
+  /// author names.
+  int max_first_name_count = 3;
+  int max_last_name_count = 3;
+  /// Likely-unique authors need at least this many references to yield
+  /// positive pairs.
+  int min_refs = 2;
+  /// Authors with huge reference lists are skipped: a "rare" name with very
+  /// many papers is suspicious, and pairs from one author would dominate.
+  int max_refs = 60;
+};
+
+/// A likely-unique author and its references.
+struct UniqueAuthor {
+  int64_t name_row = -1;  // row in the name table
+  std::string name;
+  std::vector<int32_t> publish_rows;
+};
+
+/// Scans the database for likely-unique authors.
+class RareNameIndex {
+ public:
+  static StatusOr<RareNameIndex> Build(const Database& db,
+                                       const ReferenceSpec& spec,
+                                       const RareNameOptions& options = {});
+
+  const std::vector<UniqueAuthor>& unique_authors() const {
+    return unique_authors_;
+  }
+
+  /// Diagnostics: how many names were examined / passed the rarity test.
+  int64_t names_scanned() const { return names_scanned_; }
+
+ private:
+  std::vector<UniqueAuthor> unique_authors_;
+  int64_t names_scanned_ = 0;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_TRAIN_RARE_NAMES_H_

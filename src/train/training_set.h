@@ -1,0 +1,43 @@
+// Automatic training-pair sampling (paper §3).
+//
+// Positive examples: two references of one likely-unique author.
+// Negative examples: references of two different likely-unique authors.
+// The paper uses 1000 of each; both counts are configurable.
+
+#ifndef DISTINCT_TRAIN_TRAINING_SET_H_
+#define DISTINCT_TRAIN_TRAINING_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "train/rare_names.h"
+
+namespace distinct {
+
+/// One labeled reference pair.
+struct TrainingPair {
+  int32_t ref1 = -1;  // Publish rows
+  int32_t ref2 = -1;
+  int label = 0;  // +1 equivalent, -1 distinct
+};
+
+struct TrainingSetOptions {
+  int num_positive = 1000;
+  int num_negative = 1000;
+  uint64_t seed = 7;
+  RareNameOptions rare;
+  /// At most this many positive pairs may come from one author, so a few
+  /// prolific rare-name authors cannot dominate the training set.
+  int max_pairs_per_author = 8;
+};
+
+/// Samples pairs from the likely-unique authors of `db`. Fails when the
+/// database has too few rare names to fill the requested counts.
+StatusOr<std::vector<TrainingPair>> BuildTrainingSet(
+    const Database& db, const ReferenceSpec& spec,
+    const TrainingSetOptions& options = {});
+
+}  // namespace distinct
+
+#endif  // DISTINCT_TRAIN_TRAINING_SET_H_

@@ -1,0 +1,364 @@
+#include "xml/xml_parser.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/string_util.h"
+
+namespace distinct {
+namespace {
+
+struct NamedEntity {
+  const char* name;
+  const char* utf8;
+};
+
+// Predefined XML entities plus the latin-1 names DBLP author strings use.
+constexpr NamedEntity kNamedEntities[] = {
+    {"amp", "&"},      {"lt", "<"},       {"gt", ">"},
+    {"quot", "\""},    {"apos", "'"},     {"nbsp", " "},
+    {"auml", "ä"}, {"ouml", "ö"}, {"uuml", "ü"},
+    {"Auml", "Ä"}, {"Ouml", "Ö"}, {"Uuml", "Ü"},
+    {"szlig", "ß"}, {"eacute", "é"}, {"egrave", "è"},
+    {"aacute", "á"}, {"agrave", "à"}, {"iacute", "í"},
+    {"oacute", "ó"}, {"uacute", "ú"}, {"ccedil", "ç"},
+    {"ntilde", "ñ"}, {"atilde", "ã"}, {"otilde", "õ"},
+    {"acirc", "â"}, {"ecirc", "ê"}, {"icirc", "î"},
+    {"ocirc", "ô"}, {"ucirc", "û"}, {"aring", "å"},
+    {"oslash", "ø"}, {"aelig", "æ"},
+};
+
+void AppendUtf8(std::string& out, uint32_t codepoint) {
+  if (codepoint <= 0x7f) {
+    out += static_cast<char>(codepoint);
+  } else if (codepoint <= 0x7ff) {
+    out += static_cast<char>(0xc0 | (codepoint >> 6));
+    out += static_cast<char>(0x80 | (codepoint & 0x3f));
+  } else if (codepoint <= 0xffff) {
+    out += static_cast<char>(0xe0 | (codepoint >> 12));
+    out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3f));
+    out += static_cast<char>(0x80 | (codepoint & 0x3f));
+  } else {
+    out += static_cast<char>(0xf0 | (codepoint >> 18));
+    out += static_cast<char>(0x80 | ((codepoint >> 12) & 0x3f));
+    out += static_cast<char>(0x80 | ((codepoint >> 6) & 0x3f));
+    out += static_cast<char>(0x80 | (codepoint & 0x3f));
+  }
+}
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsXmlSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Cursor over the document with error reporting by byte offset.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  size_t pos() const { return pos_; }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+  }
+  void Advance(size_t n = 1) { pos_ += n; }
+
+  bool ConsumePrefix(std::string_view prefix) {
+    if (text_.substr(pos_, prefix.size()) == prefix) {
+      pos_ += prefix.size();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && IsXmlSpace(Peek())) {
+      Advance();
+    }
+  }
+
+  /// Advances past `terminator`, returning false if it never occurs.
+  bool SkipPast(std::string_view terminator) {
+    const size_t found = text_.find(terminator, pos_);
+    if (found == std::string_view::npos) {
+      return false;
+    }
+    pos_ = found + terminator.size();
+    return true;
+  }
+
+  std::string_view Slice(size_t begin, size_t end) const {
+    return text_.substr(begin, end - begin);
+  }
+
+  Status Error(const std::string& what) const {
+    return DataLossError(StrFormat("XML parse error at byte %zu: %s", pos_,
+                                   what.c_str()));
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+StatusOr<std::string> ReadName(Cursor& cursor) {
+  if (cursor.AtEnd() || !IsNameStartChar(cursor.Peek())) {
+    return cursor.Error("expected a name");
+  }
+  const size_t begin = cursor.pos();
+  while (!cursor.AtEnd() && IsNameChar(cursor.Peek())) {
+    cursor.Advance();
+  }
+  return std::string(cursor.Slice(begin, cursor.pos()));
+}
+
+StatusOr<std::vector<XmlAttribute>> ReadAttributes(Cursor& cursor) {
+  std::vector<XmlAttribute> attributes;
+  while (true) {
+    cursor.SkipSpace();
+    if (cursor.AtEnd()) {
+      return cursor.Error("unterminated start tag");
+    }
+    const char c = cursor.Peek();
+    if (c == '>' || c == '/' || c == '?') {
+      return attributes;
+    }
+    auto name = ReadName(cursor);
+    if (!name.ok()) {
+      return name.status();
+    }
+    cursor.SkipSpace();
+    if (cursor.AtEnd() || cursor.Peek() != '=') {
+      return cursor.Error("expected '=' after attribute name");
+    }
+    cursor.Advance();
+    cursor.SkipSpace();
+    if (cursor.AtEnd() || (cursor.Peek() != '"' && cursor.Peek() != '\'')) {
+      return cursor.Error("expected quoted attribute value");
+    }
+    const char quote = cursor.Peek();
+    cursor.Advance();
+    const size_t begin = cursor.pos();
+    while (!cursor.AtEnd() && cursor.Peek() != quote) {
+      cursor.Advance();
+    }
+    if (cursor.AtEnd()) {
+      return cursor.Error("unterminated attribute value");
+    }
+    attributes.push_back(XmlAttribute{
+        *std::move(name),
+        DecodeXmlEntities(cursor.Slice(begin, cursor.pos()))});
+    cursor.Advance();  // closing quote
+  }
+}
+
+}  // namespace
+
+void XmlHandler::OnStartElement(std::string_view /*name*/,
+                                const std::vector<XmlAttribute>& /*attrs*/) {}
+void XmlHandler::OnEndElement(std::string_view /*name*/) {}
+void XmlHandler::OnText(std::string_view /*text*/) {}
+
+std::string DecodeXmlEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c != '&') {
+      out += c;
+      ++i;
+      continue;
+    }
+    const size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      out += c;  // Not a reference; keep the ampersand literally.
+      ++i;
+      continue;
+    }
+    const std::string_view body = text.substr(i + 1, semi - i - 1);
+    if (!body.empty() && body[0] == '#') {
+      uint32_t codepoint = 0;
+      bool valid = body.size() > 1;
+      if (body.size() > 2 && (body[1] == 'x' || body[1] == 'X')) {
+        for (size_t k = 2; k < body.size() && valid; ++k) {
+          const char h = body[k];
+          codepoint <<= 4;
+          if (h >= '0' && h <= '9') {
+            codepoint |= static_cast<uint32_t>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            codepoint |= static_cast<uint32_t>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            codepoint |= static_cast<uint32_t>(h - 'A' + 10);
+          } else {
+            valid = false;
+          }
+        }
+        valid = valid && body.size() > 2;
+      } else {
+        for (size_t k = 1; k < body.size() && valid; ++k) {
+          if (body[k] < '0' || body[k] > '9') {
+            valid = false;
+          } else {
+            codepoint = codepoint * 10 + static_cast<uint32_t>(body[k] - '0');
+          }
+        }
+      }
+      if (valid && codepoint > 0 && codepoint <= 0x10ffff) {
+        AppendUtf8(out, codepoint);
+        i = semi + 1;
+        continue;
+      }
+    } else {
+      bool matched = false;
+      for (const NamedEntity& entity : kNamedEntities) {
+        if (body == entity.name) {
+          out += entity.utf8;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        i = semi + 1;
+        continue;
+      }
+    }
+    out += c;  // Unknown reference: preserve literally.
+    ++i;
+  }
+  return out;
+}
+
+Status XmlParser::Parse(std::string_view content, XmlHandler& handler) {
+  Cursor cursor(content);
+  std::vector<std::string> open_elements;
+
+  while (!cursor.AtEnd()) {
+    if (cursor.Peek() != '<') {
+      // Character data up to the next tag.
+      const size_t begin = cursor.pos();
+      while (!cursor.AtEnd() && cursor.Peek() != '<') {
+        cursor.Advance();
+      }
+      if (!open_elements.empty()) {
+        const std::string decoded =
+            DecodeXmlEntities(cursor.Slice(begin, cursor.pos()));
+        if (!decoded.empty()) {
+          handler.OnText(decoded);
+        }
+      }
+      continue;
+    }
+
+    if (cursor.ConsumePrefix("<!--")) {
+      if (!cursor.SkipPast("-->")) {
+        return cursor.Error("unterminated comment");
+      }
+      continue;
+    }
+    if (cursor.ConsumePrefix("<![CDATA[")) {
+      const size_t begin = cursor.pos();
+      if (!cursor.SkipPast("]]>")) {
+        return cursor.Error("unterminated CDATA section");
+      }
+      if (!open_elements.empty()) {
+        handler.OnText(cursor.Slice(begin, cursor.pos() - 3));
+      }
+      continue;
+    }
+    if (cursor.ConsumePrefix("<!DOCTYPE")) {
+      // Skip, honoring an optional internal subset in brackets.
+      int depth = 0;
+      while (!cursor.AtEnd()) {
+        const char c = cursor.Peek();
+        cursor.Advance();
+        if (c == '[') {
+          ++depth;
+        } else if (c == ']') {
+          --depth;
+        } else if (c == '>' && depth <= 0) {
+          break;
+        }
+      }
+      continue;
+    }
+    if (cursor.ConsumePrefix("<?")) {
+      if (!cursor.SkipPast("?>")) {
+        return cursor.Error("unterminated processing instruction");
+      }
+      continue;
+    }
+    if (cursor.ConsumePrefix("</")) {
+      cursor.SkipSpace();
+      auto name = ReadName(cursor);
+      if (!name.ok()) {
+        return name.status();
+      }
+      cursor.SkipSpace();
+      if (cursor.AtEnd() || cursor.Peek() != '>') {
+        return cursor.Error("malformed end tag");
+      }
+      cursor.Advance();
+      if (open_elements.empty() || open_elements.back() != *name) {
+        return cursor.Error("mismatched end tag </" + *name + ">");
+      }
+      handler.OnEndElement(*name);
+      open_elements.pop_back();
+      continue;
+    }
+
+    // Start tag.
+    cursor.Advance();  // '<'
+    auto name = ReadName(cursor);
+    if (!name.ok()) {
+      return name.status();
+    }
+    auto attributes = ReadAttributes(cursor);
+    if (!attributes.ok()) {
+      return attributes.status();
+    }
+    if (cursor.ConsumePrefix("/>")) {
+      handler.OnStartElement(*name, *attributes);
+      handler.OnEndElement(*name);
+      continue;
+    }
+    if (cursor.AtEnd() || cursor.Peek() != '>') {
+      return cursor.Error("malformed start tag <" + *name + ">");
+    }
+    cursor.Advance();
+    handler.OnStartElement(*name, *attributes);
+    open_elements.push_back(*std::move(name));
+  }
+
+  if (!open_elements.empty()) {
+    return DataLossError("XML parse error: unclosed element <" +
+                         open_elements.back() + ">");
+  }
+  return Status::Ok();
+}
+
+Status XmlParser::ParseFile(const std::string& path, XmlHandler& handler) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (file == nullptr) {
+    return NotFoundError("cannot open file '" + path + "'");
+  }
+  std::string content;
+  char buffer[1 << 16];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
+    content.append(buffer, read);
+  }
+  return Parse(content, handler);
+}
+
+}  // namespace distinct

@@ -1,0 +1,58 @@
+// A small SAX-style XML parser.
+//
+// Scope: enough of XML 1.0 to stream `dblp.xml`-shaped documents — elements,
+// attributes, character data, comments, CDATA, processing instructions, a
+// skipped DOCTYPE, numeric character references, the predefined entities,
+// and the ISO latin named entities DBLP uses for author names. It is not a
+// validating parser.
+
+#ifndef DISTINCT_XML_XML_PARSER_H_
+#define DISTINCT_XML_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace distinct {
+
+struct XmlAttribute {
+  std::string name;
+  std::string value;  // entity-decoded
+};
+
+/// Receives parse events. Default implementations ignore everything, so
+/// handlers override only what they consume.
+class XmlHandler {
+ public:
+  virtual ~XmlHandler() = default;
+
+  /// `<name attr="v">` or `<name/>` (the latter also fires OnEndElement).
+  virtual void OnStartElement(std::string_view name,
+                              const std::vector<XmlAttribute>& attributes);
+
+  virtual void OnEndElement(std::string_view name);
+
+  /// Entity-decoded character data; may arrive in multiple chunks.
+  virtual void OnText(std::string_view text);
+};
+
+/// Streaming parser over an in-memory document.
+class XmlParser {
+ public:
+  /// Parses `content`, firing events on `handler`. Returns the first
+  /// syntax error (with byte offset) or OK. Checks that tags balance.
+  static Status Parse(std::string_view content, XmlHandler& handler);
+
+  /// Convenience: reads `path` fully and parses it.
+  static Status ParseFile(const std::string& path, XmlHandler& handler);
+};
+
+/// Decodes entity and character references in `text` ("&amp;" -> "&").
+/// Unknown entities are preserved literally. Exposed for tests.
+std::string DecodeXmlEntities(std::string_view text);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_XML_XML_PARSER_H_

@@ -1,0 +1,85 @@
+#include "block/name_blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "dblp/schema.h"
+
+namespace distinct {
+namespace {
+
+Database MakeDbWithNames(const std::vector<std::string>& names) {
+  auto db = MakeEmptyDblpDatabase();
+  DISTINCT_CHECK(db.ok());
+  Table* authors = *db->FindMutableTable(kAuthorsTable);
+  for (size_t i = 0; i < names.size(); ++i) {
+    DISTINCT_CHECK(authors
+                       ->AppendRow({Value::Int(static_cast<int64_t>(i)),
+                                    Value::Str(names[i])})
+                       .ok());
+  }
+  return *std::move(db);
+}
+
+TEST(NameBlockingTest, GroupsSpellingVariants) {
+  Database db = MakeDbWithNames(
+      {"Wei Wang", "Wei  Wang", "WEI WANG", "Bing Liu", "Jim Smith"});
+  auto blocks = BlockSimilarNames(db, DblpReferenceSpec());
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 1u);  // only the Wei Wang variants block
+  EXPECT_EQ((*blocks)[0].names.size(), 3u);
+  EXPECT_EQ((*blocks)[0].name_rows, (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(NameBlockingTest, SingletonsOptional) {
+  Database db = MakeDbWithNames({"Wei Wang", "Bing Liu"});
+  BlockingOptions options;
+  auto blocks = BlockSimilarNames(db, DblpReferenceSpec(), options);
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_TRUE(blocks->empty());
+
+  options.include_singletons = true;
+  blocks = BlockSimilarNames(db, DblpReferenceSpec(), options);
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_EQ(blocks->size(), 2u);
+}
+
+TEST(NameBlockingTest, TransitiveChainsFormOneBlock) {
+  // A~B and B~C should land in one component even if A!~C directly.
+  Database db = MakeDbWithNames(
+      {"Jonathan Smith", "Jonathon Smith", "Jonathon Smyth"});
+  BlockingOptions options;
+  options.threshold = 0.55;
+  auto blocks = BlockSimilarNames(db, DblpReferenceSpec(), options);
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 1u);
+  EXPECT_EQ((*blocks)[0].names.size(), 3u);
+}
+
+TEST(NameBlockingTest, ThresholdValidation) {
+  Database db = MakeDbWithNames({"A B"});
+  BlockingOptions options;
+  options.threshold = 0.0;
+  EXPECT_FALSE(BlockSimilarNames(db, DblpReferenceSpec(), options).ok());
+  options.threshold = 1.5;
+  EXPECT_FALSE(BlockSimilarNames(db, DblpReferenceSpec(), options).ok());
+}
+
+TEST(NameBlockingTest, OrderedByBlockSize) {
+  Database db = MakeDbWithNames({"Jim Smith", "Jim  Smith", "Wei Wang",
+                                 "Wei  Wang", "WEI WANG", "Solo Name"});
+  auto blocks = BlockSimilarNames(db, DblpReferenceSpec());
+  ASSERT_TRUE(blocks.ok());
+  ASSERT_EQ(blocks->size(), 2u);
+  EXPECT_EQ((*blocks)[0].names.size(), 3u);  // Wei Wang x3 first
+  EXPECT_EQ((*blocks)[1].names.size(), 2u);
+}
+
+TEST(NameBlockingTest, EmptyNameTable) {
+  Database db = MakeDbWithNames({});
+  auto blocks = BlockSimilarNames(db, DblpReferenceSpec());
+  ASSERT_TRUE(blocks.ok());
+  EXPECT_TRUE(blocks->empty());
+}
+
+}  // namespace
+}  // namespace distinct

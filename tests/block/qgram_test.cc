@@ -1,0 +1,154 @@
+#include "block/qgram.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(NormalizeNameTest, LowercasesAndCollapsesWhitespace) {
+  EXPECT_EQ(NormalizeName("Wei  WANG "), "wei wang");
+  EXPECT_EQ(NormalizeName("\tJim\nSmith"), "jim smith");
+  EXPECT_EQ(NormalizeName(""), "");
+  EXPECT_EQ(NormalizeName("   "), "");
+  EXPECT_EQ(NormalizeName("abc"), "abc");
+}
+
+TEST(QGramsTest, PaddedGrams) {
+  const auto grams = QGrams("ab", 3);
+  EXPECT_EQ(grams, (std::vector<std::string>{"##a", "#ab", "ab#", "b##"}));
+}
+
+TEST(QGramsTest, EmptyTextHasNoGrams) {
+  EXPECT_TRUE(QGrams("", 3).empty());
+  EXPECT_TRUE(QGrams("  ", 3).empty());
+}
+
+TEST(QGramsTest, NormalizationApplied) {
+  EXPECT_EQ(QGrams("AB", 3), QGrams("ab", 3));
+  EXPECT_EQ(QGrams("a  b", 2), QGrams("a b", 2));
+}
+
+TEST(QGramJaccardTest, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("Wei Wang", "wei wang"), 1.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("", ""), 1.0);
+}
+
+TEST(QGramJaccardTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("aaaa", "zzzz"), 0.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("abc", ""), 0.0);
+}
+
+TEST(QGramJaccardTest, SimilarNamesScoreHigh) {
+  EXPECT_GT(QGramJaccard("Wei Wang", "Wei  Wang"), 0.99);
+  EXPECT_GT(QGramJaccard("Wei Wang", "Wei Wangg"), 0.6);
+  EXPECT_LT(QGramJaccard("Wei Wang", "Bing Liu"), 0.2);
+  EXPECT_GT(QGramJaccard("Jonathan Smith", "Jonathon Smith"), 0.5);
+}
+
+TEST(QGramJaccardTest, SymmetricAndBounded) {
+  const char* names[] = {"Wei Wang", "Wei Wangg", "Bing Liu", "B Liu", ""};
+  for (const char* a : names) {
+    for (const char* b : names) {
+      const double ab = QGramJaccard(a, b);
+      EXPECT_DOUBLE_EQ(ab, QGramJaccard(b, a));
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+    }
+  }
+}
+
+TEST(QGramIndexTest, LookupFindsSimilarNames) {
+  QGramIndex index;
+  const int wei = index.Add("Wei Wang");
+  index.Add("Bing Liu");
+  const int wei2 = index.Add("Wei  Wang");
+  EXPECT_EQ(index.size(), 3);
+
+  const auto results = index.Lookup("wei wang", 0.9);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_DOUBLE_EQ(results[0].similarity, 1.0);
+  // Both Wei Wang variants match with similarity 1 (ordered by id).
+  EXPECT_EQ(results[0].id2, wei);
+  EXPECT_EQ(results[1].id2, wei2);
+}
+
+TEST(QGramIndexTest, LookupThresholdFilters) {
+  QGramIndex index;
+  index.Add("Wei Wang");
+  index.Add("Wei Wangg");
+  EXPECT_EQ(index.Lookup("Wei Wang", 0.99).size(), 1u);
+  EXPECT_EQ(index.Lookup("Wei Wang", 0.5).size(), 2u);
+  EXPECT_TRUE(index.Lookup("Zzz Yyy", 0.5).empty());
+}
+
+TEST(QGramIndexTest, LookupOrdersByDescendingSimilarity) {
+  QGramIndex index;
+  index.Add("Wei Wangggggg");
+  index.Add("Wei Wang");
+  index.Add("Wei Wangg");
+  const auto results = index.Lookup("Wei Wang", 0.2);
+  ASSERT_GE(results.size(), 2u);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].similarity, results[i].similarity);
+  }
+  EXPECT_EQ(index.name(results[0].id2), "Wei Wang");
+}
+
+TEST(QGramIndexTest, SelfJoinFindsEachPairOnce) {
+  QGramIndex index;
+  index.Add("Wei Wang");   // 0
+  index.Add("wei wang");   // 1 (identical normalized)
+  index.Add("Wei Wangg");  // 2
+  index.Add("Bing Liu");   // 3
+
+  const auto pairs = index.SimilarPairs(0.5);
+  // (0,1), (0,2), (1,2) — Bing Liu matches nothing.
+  ASSERT_EQ(pairs.size(), 3u);
+  for (const SimilarPair& pair : pairs) {
+    EXPECT_LT(pair.id1, pair.id2);
+    EXPECT_GE(pair.similarity, 0.5);
+    EXPECT_NE(pair.id1, 3);
+    EXPECT_NE(pair.id2, 3);
+  }
+  EXPECT_EQ(pairs[0].id1, 0);
+  EXPECT_EQ(pairs[0].id2, 1);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 1.0);
+}
+
+TEST(QGramIndexTest, SelfJoinMatchesBruteForce) {
+  QGramIndex index;
+  const char* names[] = {"Wei Wang", "Wei Wangg", "Wei Wong", "Bing Liu",
+                         "Bing  Liu", "Jim Smith", "Jim Smyth", "J Smith"};
+  for (const char* name : names) {
+    index.Add(name);
+  }
+  const double threshold = 0.4;
+  const auto pairs = index.SimilarPairs(threshold);
+  // Brute force.
+  std::vector<SimilarPair> expected;
+  for (int i = 0; i < index.size(); ++i) {
+    for (int j = i + 1; j < index.size(); ++j) {
+      const double s = QGramJaccard(names[i], names[j]);
+      if (s >= threshold) {
+        expected.push_back(SimilarPair{i, j, s});
+      }
+    }
+  }
+  ASSERT_EQ(pairs.size(), expected.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    EXPECT_EQ(pairs[p].id1, expected[p].id1);
+    EXPECT_EQ(pairs[p].id2, expected[p].id2);
+    EXPECT_NEAR(pairs[p].similarity, expected[p].similarity, 1e-12);
+  }
+}
+
+TEST(QGramIndexDeathTest, InvalidArguments) {
+  EXPECT_DEATH(QGramIndex(1), "CHECK failed");
+  QGramIndex index;
+  index.Add("x");
+  EXPECT_DEATH(index.Lookup("x", 0.0), "CHECK failed");
+  EXPECT_DEATH(index.name(5), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,206 @@
+#include "cluster/agglomerative.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace distinct {
+namespace {
+
+/// Two well-separated blocks {0,1,2} and {3,4}.
+void TwoBlocks(PairMatrix& resem, PairMatrix& walk) {
+  auto block = [](size_t i) { return i < 3 ? 0 : 1; };
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const bool same = block(i) == block(j);
+      resem.set(i, j, same ? 0.5 : 0.01);
+      walk.set(i, j, same ? 1e-3 : 1e-6);
+    }
+  }
+}
+
+TEST(AgglomerativeTest, RecoversPlantedBlocks) {
+  PairMatrix resem(5);
+  PairMatrix walk(5);
+  TwoBlocks(resem, walk);
+  AgglomerativeOptions options;
+  options.min_sim = 1e-3;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[0], result.assignment[2]);
+  EXPECT_EQ(result.assignment[3], result.assignment[4]);
+  EXPECT_NE(result.assignment[0], result.assignment[3]);
+  EXPECT_EQ(result.num_merges, 3);
+}
+
+TEST(AgglomerativeTest, HighMinSimKeepsSingletons) {
+  PairMatrix resem(5);
+  PairMatrix walk(5);
+  TwoBlocks(resem, walk);
+  AgglomerativeOptions options;
+  options.min_sim = 10.0;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.num_clusters, 5);
+  EXPECT_EQ(result.num_merges, 0);
+}
+
+TEST(AgglomerativeTest, ZeroMinSimMergesEverythingLinked) {
+  PairMatrix resem(5, 0.1);
+  PairMatrix walk(5, 1e-4);
+  AgglomerativeOptions options;
+  options.min_sim = 1e-9;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.num_clusters, 1);
+  EXPECT_EQ(result.num_merges, 4);
+}
+
+TEST(AgglomerativeTest, EmptyAndSingleton) {
+  const ClusteringResult empty =
+      ClusterReferences(PairMatrix(0), PairMatrix(0), {});
+  EXPECT_EQ(empty.num_clusters, 0);
+  EXPECT_TRUE(empty.assignment.empty());
+
+  const ClusteringResult one =
+      ClusterReferences(PairMatrix(1), PairMatrix(1), {});
+  EXPECT_EQ(one.num_clusters, 1);
+  EXPECT_EQ(one.assignment, std::vector<int>{0});
+}
+
+TEST(AgglomerativeTest, ResemblanceOnlyIgnoresWalk) {
+  PairMatrix resem(4);
+  PairMatrix walk(4);
+  // Resemblance links {0,1}; walk links {2,3} strongly.
+  resem.set(0, 1, 0.9);
+  walk.set(2, 3, 0.9);
+  AgglomerativeOptions options;
+  options.min_sim = 0.1;
+  options.measure = ClusterMeasure::kResemblanceOnly;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_NE(result.assignment[2], result.assignment[3]);
+}
+
+TEST(AgglomerativeTest, WalkOnlyIgnoresResemblance) {
+  PairMatrix resem(4);
+  PairMatrix walk(4);
+  resem.set(0, 1, 0.9);
+  walk.set(2, 3, 0.9);
+  AgglomerativeOptions options;
+  options.min_sim = 0.1;
+  options.measure = ClusterMeasure::kWalkOnly;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[2], result.assignment[3]);
+}
+
+TEST(AgglomerativeTest, CompositeNeedsBothSignals) {
+  PairMatrix resem(4);
+  PairMatrix walk(4);
+  // Pair (0,1): resemblance only. Pair (2,3): both measures.
+  resem.set(0, 1, 0.9);
+  resem.set(2, 3, 0.9);
+  walk.set(2, 3, 0.9);
+  AgglomerativeOptions options;
+  options.min_sim = 0.5;
+  options.measure = ClusterMeasure::kComposite;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  // sqrt(0.9 * 0) = 0 < 0.5 for (0,1); sqrt(0.9 * 0.9) = 0.9 for (2,3).
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[2], result.assignment[3]);
+}
+
+TEST(AgglomerativeTest, GeometricVsArithmeticCombination) {
+  PairMatrix resem(2);
+  PairMatrix walk(2);
+  resem.set(0, 1, 0.8);
+  walk.set(0, 1, 1e-6);
+  AgglomerativeOptions options;
+  options.min_sim = 0.01;
+  options.combine = CombineRule::kGeometricMean;
+  // sqrt(0.8e-6) ≈ 9e-4 < 0.01: no merge.
+  EXPECT_EQ(ClusterReferences(resem, walk, options).num_clusters, 2);
+  options.combine = CombineRule::kArithmeticMean;
+  // (0.8 + 1e-6)/2 ≈ 0.4 > 0.01: the large measure drowns the small one.
+  EXPECT_EQ(ClusterReferences(resem, walk, options).num_clusters, 1);
+}
+
+TEST(AgglomerativeTest, BruteForceMatchesIncremental) {
+  Rng rng(71);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 20;
+    PairMatrix resem(n);
+    PairMatrix walk(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        resem.set(i, j, rng.UniformDouble());
+        walk.set(i, j, rng.UniformDouble() * 1e-2);
+      }
+    }
+    AgglomerativeOptions options;
+    options.min_sim = 0.02;
+    options.incremental = true;
+    const ClusteringResult incremental =
+        ClusterReferences(resem, walk, options);
+    options.incremental = false;
+    const ClusteringResult brute = ClusterReferences(resem, walk, options);
+    EXPECT_EQ(incremental.assignment, brute.assignment);
+    EXPECT_EQ(incremental.num_merges, brute.num_merges);
+  }
+}
+
+TEST(AgglomerativeTest, AssignmentIdsAreDense) {
+  PairMatrix resem(6);
+  PairMatrix walk(6);
+  resem.set(0, 3, 0.9);
+  walk.set(0, 3, 0.9);
+  AgglomerativeOptions options;
+  options.min_sim = 0.5;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  std::set<int> ids(result.assignment.begin(), result.assignment.end());
+  EXPECT_EQ(static_cast<int>(ids.size()), result.num_clusters);
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), result.num_clusters - 1);
+}
+
+TEST(AgglomerativeTest, DebugString) {
+  PairMatrix resem(2);
+  PairMatrix walk(2);
+  const ClusteringResult result = ClusterReferences(resem, walk, {});
+  EXPECT_NE(result.DebugString().find("2 references"), std::string::npos);
+}
+
+/// Property sweep over sizes: merging monotonically decreases cluster count
+/// and every reference lands in exactly one cluster.
+class AgglomerativeSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AgglomerativeSizeTest, BasicInvariants) {
+  const size_t n = GetParam();
+  Rng rng(n * 31 + 1);
+  PairMatrix resem(n);
+  PairMatrix walk(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      resem.set(i, j, rng.UniformDouble());
+      walk.set(i, j, rng.UniformDouble() * 1e-3);
+    }
+  }
+  AgglomerativeOptions options;
+  options.min_sim = 5e-3;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.assignment.size(), n);
+  EXPECT_EQ(result.num_clusters + result.num_merges,
+            static_cast<int>(n));
+  for (const int id : result.assignment) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, result.num_clusters);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AgglomerativeSizeTest,
+                         ::testing::Values(2, 3, 10, 37, 100));
+
+}  // namespace
+}  // namespace distinct

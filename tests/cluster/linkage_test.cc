@@ -1,0 +1,121 @@
+#include "cluster/linkage.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace distinct {
+namespace {
+
+TEST(LinkageTest, NamesAreStable) {
+  EXPECT_STREQ(LinkageToString(Linkage::kSingle), "single-link");
+  EXPECT_STREQ(LinkageToString(Linkage::kComplete), "complete-link");
+  EXPECT_STREQ(LinkageToString(Linkage::kAverage), "average-link");
+}
+
+TEST(LinkageTest, TinyInputs) {
+  EXPECT_EQ(HierarchicalCluster(PairMatrix(0), Linkage::kAverage, 0.5)
+                .num_clusters,
+            0);
+  EXPECT_EQ(HierarchicalCluster(PairMatrix(1), Linkage::kAverage, 0.5)
+                .num_clusters,
+            1);
+}
+
+/// A chain: 0-1 strong, 1-2 strong, 0-2 weak.
+PairMatrix Chain() {
+  PairMatrix sim(3);
+  sim.set(0, 1, 0.9);
+  sim.set(1, 2, 0.9);
+  sim.set(0, 2, 0.1);
+  return sim;
+}
+
+TEST(LinkageTest, SingleLinkChainsThrough) {
+  // After merging {0,1}, single-link sim to 2 is max(0.9, 0.1) = 0.9.
+  const ClusteringResult result =
+      HierarchicalCluster(Chain(), Linkage::kSingle, 0.5);
+  EXPECT_EQ(result.num_clusters, 1);
+}
+
+TEST(LinkageTest, CompleteLinkBreaksChains) {
+  // After merging {0,1}, complete-link sim to 2 is min(0.9, 0.1) = 0.1.
+  const ClusteringResult result =
+      HierarchicalCluster(Chain(), Linkage::kComplete, 0.5);
+  EXPECT_EQ(result.num_clusters, 2);
+}
+
+TEST(LinkageTest, AverageLinkIsInBetween) {
+  // After merging {0,1}, average sim to 2 is (0.9 + 0.1)/2 = 0.5.
+  EXPECT_EQ(
+      HierarchicalCluster(Chain(), Linkage::kAverage, 0.45).num_clusters, 1);
+  EXPECT_EQ(
+      HierarchicalCluster(Chain(), Linkage::kAverage, 0.55).num_clusters, 2);
+}
+
+TEST(LinkageTest, AverageLinkWeightsBySize) {
+  // Cluster {0,1,2} dense; point 3 similar to 0 only.
+  PairMatrix sim(4);
+  sim.set(0, 1, 1.0);
+  sim.set(0, 2, 1.0);
+  sim.set(1, 2, 1.0);
+  sim.set(0, 3, 0.6);
+  sim.set(1, 3, 0.0);
+  sim.set(2, 3, 0.0);
+  // Average sim({0,1,2}, {3}) = 0.2.
+  EXPECT_EQ(HierarchicalCluster(sim, Linkage::kAverage, 0.25).num_clusters,
+            2);
+  EXPECT_EQ(HierarchicalCluster(sim, Linkage::kAverage, 0.15).num_clusters,
+            1);
+}
+
+TEST(LinkageTest, AllLinkagesAgreeOnWellSeparatedBlocks) {
+  PairMatrix sim(6);
+  auto block = [](size_t i) { return i / 3; };
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      sim.set(i, j, block(i) == block(j) ? 0.9 : 0.0);
+    }
+  }
+  for (const Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    const ClusteringResult result =
+        HierarchicalCluster(sim, linkage, 0.5);
+    EXPECT_EQ(result.num_clusters, 2) << LinkageToString(linkage);
+    EXPECT_EQ(result.assignment[0], result.assignment[2]);
+    EXPECT_EQ(result.assignment[3], result.assignment[5]);
+    EXPECT_NE(result.assignment[0], result.assignment[3]);
+  }
+}
+
+/// Property: single-link never produces more clusters than complete-link.
+class LinkageOrderTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LinkageOrderTest, SingleCoarsensCompleteRefines) {
+  Rng rng(GetParam());
+  const size_t n = 24;
+  PairMatrix sim(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      sim.set(i, j, rng.UniformDouble());
+    }
+  }
+  const double min_sim = 0.6;
+  const int single =
+      HierarchicalCluster(sim, Linkage::kSingle, min_sim).num_clusters;
+  const int average =
+      HierarchicalCluster(sim, Linkage::kAverage, min_sim).num_clusters;
+  const int complete =
+      HierarchicalCluster(sim, Linkage::kComplete, min_sim).num_clusters;
+  // Single-link yields the connected components of the threshold graph;
+  // average- and complete-link clusters always live inside one component,
+  // so single-link is the coarsest of the three.
+  EXPECT_LE(single, average);
+  EXPECT_LE(single, complete);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkageOrderTest,
+                         ::testing::Values(2, 12, 77, 303, 4242));
+
+}  // namespace
+}  // namespace distinct

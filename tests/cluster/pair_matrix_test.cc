@@ -1,0 +1,58 @@
+#include "cluster/pair_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(PairMatrixTest, InitialValue) {
+  PairMatrix matrix(4, 0.5);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_DOUBLE_EQ(matrix.at(i, j), 0.5);
+    }
+  }
+}
+
+TEST(PairMatrixTest, SetIsSymmetric) {
+  PairMatrix matrix(3);
+  matrix.set(0, 2, 0.7);
+  EXPECT_DOUBLE_EQ(matrix.at(0, 2), 0.7);
+  EXPECT_DOUBLE_EQ(matrix.at(2, 0), 0.7);
+  matrix.set(2, 1, 0.3);
+  EXPECT_DOUBLE_EQ(matrix.at(1, 2), 0.3);
+}
+
+TEST(PairMatrixTest, CellsAreIndependent) {
+  PairMatrix matrix(5);
+  int value = 0;
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      matrix.set(i, j, static_cast<double>(value++));
+    }
+  }
+  value = 0;
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_DOUBLE_EQ(matrix.at(i, j), static_cast<double>(value++));
+    }
+  }
+}
+
+TEST(PairMatrixTest, TinyMatrices) {
+  PairMatrix zero(0);
+  EXPECT_EQ(zero.size(), 0u);
+  EXPECT_DOUBLE_EQ(zero.MaxValue(), 0.0);
+  PairMatrix one(1);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.MaxValue(), 0.0);
+}
+
+TEST(PairMatrixTest, MaxValue) {
+  PairMatrix matrix(3, 0.1);
+  matrix.set(2, 1, 0.9);
+  EXPECT_DOUBLE_EQ(matrix.MaxValue(), 0.9);
+}
+
+}  // namespace
+}  // namespace distinct

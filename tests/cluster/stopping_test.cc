@@ -1,0 +1,175 @@
+// Tests for the merge log (dendrogram) and the largest-gap stopping rule.
+
+#include <gtest/gtest.h>
+
+#include "cluster/agglomerative.h"
+#include "common/rng.h"
+
+namespace distinct {
+namespace {
+
+/// Blocks {0,1,2} and {3,4} with in-block similarity ~0.5 and cross-block
+/// similarity ~5e-3: a two-decade gap for the gap rule to find.
+void GappedBlocks(PairMatrix& resem, PairMatrix& walk, Rng& rng) {
+  auto block = [](size_t i) { return i < 3 ? 0 : 1; };
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const bool same = block(i) == block(j);
+      resem.set(i, j, same ? 0.45 + 0.1 * rng.UniformDouble()
+                           : 4e-3 + 2e-3 * rng.UniformDouble());
+      walk.set(i, j, same ? 1e-3 : 1e-5);
+    }
+  }
+}
+
+TEST(MergeLogTest, RecordsEveryMerge) {
+  PairMatrix resem(4, 0.5);
+  PairMatrix walk(4, 1e-3);
+  AgglomerativeOptions options;
+  options.min_sim = 1e-6;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.num_clusters, 1);
+  ASSERT_EQ(result.merges.size(), 3u);
+  EXPECT_EQ(result.num_merges, 3);
+  for (const MergeStep& merge : result.merges) {
+    EXPECT_GE(merge.into, 0);
+    EXPECT_GE(merge.from, 0);
+    EXPECT_NE(merge.into, merge.from);
+    EXPECT_GT(merge.similarity, 0.0);
+  }
+}
+
+TEST(MergeLogTest, SimilaritiesAreRecordedAtMergeTime) {
+  // Uniform similarities: every recorded merge similarity must be the
+  // composite of equal-valued cells (monotone non-increasing is the
+  // classic dendrogram property for average-style linkages on uniform
+  // data).
+  PairMatrix resem(6, 0.3);
+  PairMatrix walk(6, 1e-3);
+  AgglomerativeOptions options;
+  options.min_sim = 1e-9;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  ASSERT_EQ(result.merges.size(), 5u);
+  for (const MergeStep& merge : result.merges) {
+    EXPECT_GT(merge.similarity, 0.0);
+  }
+}
+
+TEST(LargestGapTest, FindsThePlantedCut) {
+  Rng rng(5);
+  PairMatrix resem(5);
+  PairMatrix walk(5);
+  GappedBlocks(resem, walk, rng);
+
+  AgglomerativeOptions options;
+  options.min_sim = 1e-9;  // no threshold help: the gap must do the work
+  options.stopping = StoppingRule::kLargestGap;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_EQ(result.assignment[0], result.assignment[2]);
+  EXPECT_EQ(result.assignment[3], result.assignment[4]);
+  EXPECT_NE(result.assignment[0], result.assignment[3]);
+}
+
+TEST(LargestGapTest, FixedThresholdWouldOvermergeHere) {
+  Rng rng(5);
+  PairMatrix resem(5);
+  PairMatrix walk(5);
+  GappedBlocks(resem, walk, rng);
+
+  AgglomerativeOptions options;
+  options.min_sim = 1e-9;
+  options.stopping = StoppingRule::kFixedThreshold;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.num_clusters, 1);  // merges straight through the gap
+}
+
+TEST(LargestGapTest, NoPronouncedGapKeepsAllMerges) {
+  // Smoothly decaying similarities (ratio < 3 between consecutive merges):
+  // the gap rule should not cut anything.
+  PairMatrix resem(4);
+  PairMatrix walk(4);
+  // Chain with gently decreasing strengths.
+  resem.set(0, 1, 0.50);
+  resem.set(1, 2, 0.40);
+  resem.set(2, 3, 0.30);
+  resem.set(0, 2, 0.35);
+  resem.set(1, 3, 0.28);
+  resem.set(0, 3, 0.26);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      walk.set(i, j, 1e-3);
+    }
+  }
+  AgglomerativeOptions fixed;
+  fixed.min_sim = 1e-9;
+  AgglomerativeOptions gap = fixed;
+  gap.stopping = StoppingRule::kLargestGap;
+  const ClusteringResult fixed_result =
+      ClusterReferences(resem, walk, fixed);
+  const ClusteringResult gap_result = ClusterReferences(resem, walk, gap);
+  EXPECT_EQ(gap_result.num_clusters, fixed_result.num_clusters);
+  EXPECT_EQ(gap_result.assignment, fixed_result.assignment);
+}
+
+TEST(LargestGapTest, MinSimFloorStillApplies) {
+  Rng rng(9);
+  PairMatrix resem(5);
+  PairMatrix walk(5);
+  GappedBlocks(resem, walk, rng);
+  AgglomerativeOptions options;
+  options.stopping = StoppingRule::kLargestGap;
+  options.min_sim = 10.0;  // floor above everything: nothing merges
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.num_clusters, 5);
+  EXPECT_TRUE(result.merges.empty());
+}
+
+TEST(LargestGapTest, SingleMergeSequencesPassThrough) {
+  PairMatrix resem(2);
+  PairMatrix walk(2);
+  resem.set(0, 1, 0.5);
+  walk.set(0, 1, 1e-3);
+  AgglomerativeOptions options;
+  options.min_sim = 1e-9;
+  options.stopping = StoppingRule::kLargestGap;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.num_clusters, 1);
+}
+
+TEST(MergeLogTest, AssignmentConsistentWithMerges) {
+  Rng rng(31);
+  const size_t n = 20;
+  PairMatrix resem(n);
+  PairMatrix walk(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      resem.set(i, j, rng.UniformDouble());
+      walk.set(i, j, rng.UniformDouble() * 1e-3);
+    }
+  }
+  AgglomerativeOptions options;
+  options.min_sim = 5e-3;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  // Replay the merges with union-find; components must equal assignment.
+  std::vector<int> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    return parent[static_cast<size_t>(x)] == x
+               ? x
+               : (parent[static_cast<size_t>(x)] =
+                      find(parent[static_cast<size_t>(x)]));
+  };
+  for (const MergeStep& merge : result.merges) {
+    parent[static_cast<size_t>(find(merge.from))] = find(merge.into);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(result.assignment[i] == result.assignment[j],
+                find(static_cast<int>(i)) == find(static_cast<int>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,58 @@
+#include "common/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIdsInOrder) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern("a"), 0);
+  EXPECT_EQ(dict.Intern("b"), 1);
+  EXPECT_EQ(dict.Intern("c"), 2);
+  EXPECT_EQ(dict.size(), 3);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  const int64_t id = dict.Intern("x");
+  EXPECT_EQ(dict.Intern("x"), id);
+  EXPECT_EQ(dict.size(), 1);
+}
+
+TEST(DictionaryTest, LookupRoundTrips) {
+  Dictionary dict;
+  const int64_t a = dict.Intern("alpha");
+  const int64_t b = dict.Intern("beta");
+  EXPECT_EQ(dict.Lookup(a), "alpha");
+  EXPECT_EQ(dict.Lookup(b), "beta");
+}
+
+TEST(DictionaryTest, FindWithoutInserting) {
+  Dictionary dict;
+  dict.Intern("present");
+  EXPECT_EQ(dict.Find("present"), 0);
+  EXPECT_FALSE(dict.Find("absent").has_value());
+  EXPECT_EQ(dict.size(), 1);
+}
+
+TEST(DictionaryTest, EmptyStringIsAValidKey) {
+  Dictionary dict;
+  const int64_t id = dict.Intern("");
+  EXPECT_EQ(dict.Lookup(id), "");
+  EXPECT_EQ(dict.Find(""), id);
+}
+
+TEST(DictionaryTest, ManyStrings) {
+  Dictionary dict;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.Intern("key" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(dict.size(), 1000);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.Lookup(i), "key" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,105 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser;
+  parser.AddInt64("count", 10, "a count");
+  parser.AddDouble("rate", 0.5, "a rate");
+  parser.AddBool("verbose", false, "noise");
+  parser.AddString("name", "default", "a name");
+  return parser;
+}
+
+Status ParseArgs(FlagParser& parser, std::vector<const char*> args) {
+  return parser.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, DefaultsApply) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {}).ok());
+  EXPECT_EQ(parser.GetInt64("count"), 10);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+  EXPECT_EQ(parser.GetString("name"), "default");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--count=3", "--rate=0.25",
+                                 "--name=wei wang", "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(parser.GetInt64("count"), 3);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("rate"), 0.25);
+  EXPECT_EQ(parser.GetString("name"), "wei wang");
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagsTest, SpaceSeparatedValue) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--count", "7", "--name", "x"}).ok());
+  EXPECT_EQ(parser.GetInt64("count"), 7);
+  EXPECT_EQ(parser.GetString("name"), "x");
+}
+
+TEST(FlagsTest, BareBooleanAndNegation) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--verbose"}).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+
+  FlagParser parser2 = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser2, {"--verbose", "--no-verbose"}).ok());
+  EXPECT_FALSE(parser2.GetBool("verbose"));
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"input.xml", "--count=1", "out.txt"}).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"input.xml", "out.txt"}));
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagParser parser = MakeParser();
+  const Status status = ParseArgs(parser, {"--bogus=1"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bogus"), std::string::npos);
+}
+
+TEST(FlagsTest, MalformedValueIsError) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(ParseArgs(parser, {"--count=abc"}).ok());
+  FlagParser parser2 = MakeParser();
+  EXPECT_FALSE(ParseArgs(parser2, {"--rate=zz"}).ok());
+  FlagParser parser3 = MakeParser();
+  EXPECT_FALSE(ParseArgs(parser3, {"--verbose=maybe"}).ok());
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  FlagParser parser = MakeParser();
+  EXPECT_FALSE(ParseArgs(parser, {"--count"}).ok());
+}
+
+TEST(FlagsTest, HelpListsFlagsAndDefaults) {
+  FlagParser parser = MakeParser();
+  const std::string help = parser.Help();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("default 10"), std::string::npos);
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("\"default\""), std::string::npos);
+}
+
+TEST(FlagsTest, BoolAcceptsNumericLiterals) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--verbose=1"}).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  FlagParser parser2 = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser2, {"--verbose=0"}).ok());
+  EXPECT_FALSE(parser2.GetBool("verbose"));
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,211 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 reference implementation.
+  uint64_t state = 0;
+  const uint64_t first = SplitMix64Next(state);
+  EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformInt(4, 4), 4);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.UniformInt(0, 9));
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(21);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += rng.Poisson(3.5);
+  }
+  EXPECT_NEAR(total / n, 3.5, 0.1);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(8);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 20000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(29);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<size_t> sample = rng.SampleWithoutReplacement(20, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (const size_t s : sample) {
+      EXPECT_LT(s, 20u);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(29);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 1.1);
+  double total = 0.0;
+  for (size_t r = 0; r < zipf.size(); ++r) {
+    total += zipf.Probability(r);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, ProbabilityDecreasesWithRank) {
+  ZipfSampler zipf(50, 0.9);
+  for (size_t r = 1; r < zipf.size(); ++r) {
+    EXPECT_GT(zipf.Probability(r - 1), zipf.Probability(r));
+  }
+}
+
+TEST(ZipfSamplerTest, SampleMatchesHeadProbability) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(31);
+  int head = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(rng) == 0) {
+      ++head;
+    }
+  }
+  EXPECT_NEAR(head / static_cast<double>(n), zipf.Probability(0), 0.01);
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(1);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_NEAR(zipf.Probability(0), 1.0, 1e-12);
+}
+
+/// Property sweep: UniformInt over several (lo, hi) ranges has correct mean.
+class UniformIntRangeTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(UniformIntRangeTest, MeanIsCenterOfRange) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t v = rng.UniformInt(lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LE(v, hi);
+    sum += static_cast<double>(v);
+  }
+  const double expected = (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+  const double span = static_cast<double>(hi - lo) + 1.0;
+  EXPECT_NEAR(sum / n, expected, span * 0.02 + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformIntRangeTest,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(0, 1),
+                      std::make_pair<int64_t, int64_t>(-10, 10),
+                      std::make_pair<int64_t, int64_t>(0, 999),
+                      std::make_pair<int64_t, int64_t>(-1000, -900),
+                      std::make_pair<int64_t, int64_t>(5, 5)));
+
+}  // namespace
+}  // namespace distinct

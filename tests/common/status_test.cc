@@ -1,0 +1,100 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = NotFoundError("missing table");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing table");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: missing table");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("x"), NotFoundError("x"));
+  EXPECT_FALSE(NotFoundError("x") == NotFoundError("y"));
+  EXPECT_FALSE(NotFoundError("x") == InvalidArgumentError("x"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, EveryFactoryProducesItsCode) {
+  EXPECT_EQ(InvalidArgumentError("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("m").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("m").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(UnimplementedError("m").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("m").code(), StatusCode::kInternal);
+  EXPECT_EQ(DataLossError("m").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFoundError("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = *std::move(result);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result = std::string("hello");
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(StatusOrTest, MutableAccess) {
+  StatusOr<std::string> result = std::string("a");
+  *result += "b";
+  EXPECT_EQ(result.value(), "ab");
+}
+
+Status FailInner() { return InvalidArgumentError("inner"); }
+
+Status UseReturnIfError() {
+  DISTINCT_RETURN_IF_ERROR(FailInner());
+  return InternalError("unreachable");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UseReturnIfError().code(), StatusCode::kInvalidArgument);
+}
+
+Status UseReturnIfErrorOk() {
+  DISTINCT_RETURN_IF_ERROR(Status::Ok());
+  return InternalError("reached");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorFallsThroughOnOk) {
+  EXPECT_EQ(UseReturnIfErrorOk().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace distinct

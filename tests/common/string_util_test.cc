@@ -1,0 +1,100 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(SplitTest, KeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, SkipEmptyDropsThem) {
+  EXPECT_EQ(SplitSkipEmpty(",a,,b,", ','),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(SplitSkipEmpty("", ',').empty());
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  const std::vector<std::string> pieces = {"x", "y", "z"};
+  EXPECT_EQ(Join(pieces, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(pieces, ","), ','), pieces);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(PrefixSuffixTest, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ToLowerAsciiTest, LowersOnlyAscii) {
+  EXPECT_EQ(ToLowerAscii("HeLLo 123"), "hello 123");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-17"), -17);
+  EXPECT_EQ(ParseInt64("  8 "), 8);
+  EXPECT_EQ(ParseInt64("0"), 0);
+}
+
+TEST(ParseInt64Test, InvalidInputs) {
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("abc").has_value());
+  EXPECT_FALSE(ParseInt64("12x").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").has_value());
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2e-3"), -2e-3);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" 7 "), 7.0);
+}
+
+TEST(ParseDoubleTest, InvalidInputs) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("x").has_value());
+  EXPECT_FALSE(ParseDouble("1.5.2").has_value());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string long_string(500, 'a');
+  EXPECT_EQ(StrFormat("%s", long_string.c_str()).size(), 500u);
+}
+
+TEST(NamePartsTest, FirstAndLast) {
+  EXPECT_EQ(FirstNameOf("Wei Wang"), "Wei");
+  EXPECT_EQ(LastNameOf("Wei Wang"), "Wang");
+  EXPECT_EQ(FirstNameOf("Philip S. Yu"), "Philip");
+  EXPECT_EQ(LastNameOf("Philip S. Yu"), "Yu");
+  EXPECT_EQ(FirstNameOf("Plato"), "Plato");
+  EXPECT_EQ(LastNameOf("Plato"), "Plato");
+  EXPECT_EQ(FirstNameOf("  Jim Smith  "), "Jim");
+  EXPECT_EQ(LastNameOf(""), "");
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,62 @@
+#include "common/text_table.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRule) {
+  TextTable table({"name", "value"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name  value"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAlign) {
+  TextTable table({"a", "b"});
+  table.AddRow({"longcell", "x"});
+  table.AddRow({"s", "y"});
+  const std::string out = table.Render();
+  // Both data rows place column b at the same offset.
+  const size_t first_row = out.find("longcell");
+  const size_t second_row = out.find("s", first_row + 8);
+  ASSERT_NE(first_row, std::string::npos);
+  ASSERT_NE(second_row, std::string::npos);
+  const size_t x_col = out.find('x', first_row) - first_row;
+  const size_t y_col = out.find('y', second_row) - second_row;
+  EXPECT_EQ(x_col, y_col);
+}
+
+TEST(TextTableTest, RightAlignment) {
+  TextTable table({"num"});
+  table.SetRightAlign(0);
+  table.AddRow({"5"});
+  table.AddRow({"123"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("  5\n"), std::string::npos);
+  EXPECT_NE(out.find("123\n"), std::string::npos);
+}
+
+TEST(TextTableTest, CountsRows) {
+  TextTable table({"h"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"r1"});
+  table.AddRow({"r2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TextTableTest, EndsWithNewline) {
+  TextTable table({"h"});
+  table.AddRow({"r"});
+  const std::string out = table.Render();
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(TextTableDeathTest, ArityMismatchAborts) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace distinct

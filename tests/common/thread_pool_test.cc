@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must finish everything.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitWork) {
+  // Wait() counts re-submitted tasks as in-flight.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const int64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) {
+    h.store(0);
+  }
+  ParallelFor(pool, n, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroAndNegativeAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(pool, 0, [&](int64_t) { ++calls; });
+  ParallelFor(pool, -5, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, WorksWithMoreThreadsThanItems) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 3, [&](int64_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ParallelForTest, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 5; ++round) {
+    ParallelFor(pool, 20, [&](int64_t i) { total.fetch_add(i); });
+  }
+  EXPECT_EQ(total.load(), 5 * (19 * 20 / 2));
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,74 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace distinct {
+namespace {
+
+TEST(PipelineTest, PromotedSchemaGraphHasAttributeNodes) {
+  Database db = testing_util::MakeMiniDblp();
+  DistinctConfig config;
+  config.promotions = DblpDefaultPromotions();
+  auto graph = BuildPromotedSchemaGraph(db, config);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ((*graph)->num_nodes(), db.num_tables() + 3);
+  EXPECT_EQ((*graph)->num_edges(), 4 + 3);
+}
+
+TEST(PipelineTest, BadPromotionFails) {
+  Database db = testing_util::MakeMiniDblp();
+  DistinctConfig config;
+  config.promotions = {{"Proceedings", "no_such_column"}};
+  EXPECT_FALSE(BuildPromotedSchemaGraph(db, config).ok());
+}
+
+TEST(PipelineTest, ReferencePathsExcludeIdentityFirstStep) {
+  Database db = testing_util::MakeMiniDblp();
+  DistinctConfig config;
+  config.max_path_length = 3;
+  auto graph = BuildPromotedSchemaGraph(db, config);
+  ASSERT_TRUE(graph.ok());
+  auto resolved = ResolveReferenceSpec(db, DblpReferenceSpec());
+  ASSERT_TRUE(resolved.ok());
+
+  const auto paths = EnumerateReferencePaths(**graph, *resolved, config);
+  for (const JoinPath& path : paths) {
+    const SchemaEdge& first = (*graph)->edge(path.steps.front().edge_id);
+    const bool is_identity_forward =
+        path.steps.front().forward &&
+        first.table_id == resolved->reference_table_id &&
+        first.column == resolved->identity_column;
+    EXPECT_FALSE(is_identity_forward) << path.Describe(**graph);
+  }
+}
+
+TEST(PipelineTest, IdentityFirstStepCanBeEnabled) {
+  Database db = testing_util::MakeMiniDblp();
+  DistinctConfig config;
+  config.max_path_length = 2;
+  config.exclude_identity_first_step = false;
+  auto graph = BuildPromotedSchemaGraph(db, config);
+  auto resolved = ResolveReferenceSpec(db, DblpReferenceSpec());
+  const auto with = EnumerateReferencePaths(**graph, *resolved, config);
+
+  config.exclude_identity_first_step = true;
+  const auto without = EnumerateReferencePaths(**graph, *resolved, config);
+  EXPECT_GT(with.size(), without.size());
+}
+
+TEST(PipelineTest, MaxPathLengthRespected) {
+  Database db = testing_util::MakeMiniDblp();
+  DistinctConfig config;
+  config.max_path_length = 2;
+  auto graph = BuildPromotedSchemaGraph(db, config);
+  auto resolved = ResolveReferenceSpec(db, DblpReferenceSpec());
+  for (const JoinPath& path :
+       EnumerateReferencePaths(**graph, *resolved, config)) {
+    EXPECT_LE(path.length(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,146 @@
+#include "core/scan.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace distinct {
+namespace {
+
+TEST(ScanTest, GroupsReferencesByName) {
+  Database db = testing_util::MakeMiniDblp();
+  auto groups = ScanNameGroups(db, DblpReferenceSpec());
+  ASSERT_TRUE(groups.ok());
+  // Wei Wang: 3 refs, Jiong Yang: 2 refs; others below min_refs=2.
+  ASSERT_EQ(groups->size(), 2u);
+  EXPECT_EQ((*groups)[0].name, "Wei Wang");
+  EXPECT_EQ((*groups)[0].refs, (std::vector<int32_t>{0, 2, 6}));
+  EXPECT_EQ((*groups)[1].name, "Jiong Yang");
+  EXPECT_EQ((*groups)[1].refs.size(), 2u);
+}
+
+TEST(ScanTest, MinRefsFilter) {
+  Database db = testing_util::MakeMiniDblp();
+  ScanOptions options;
+  options.min_refs = 1;
+  auto groups = ScanNameGroups(db, DblpReferenceSpec(), options);
+  ASSERT_TRUE(groups.ok());
+  // Everyone in Publish: Wei Wang, Jiong Yang, Jian Pei, Haixun Wang.
+  EXPECT_EQ(groups->size(), 4u);
+  options.min_refs = 3;
+  groups = ScanNameGroups(db, DblpReferenceSpec(), options);
+  EXPECT_EQ(groups->size(), 1u);
+}
+
+TEST(ScanTest, MaxRefsCap) {
+  Database db = testing_util::MakeMiniDblp();
+  ScanOptions options;
+  options.min_refs = 1;
+  options.max_refs = 2;
+  auto groups = ScanNameGroups(db, DblpReferenceSpec(), options);
+  ASSERT_TRUE(groups.ok());
+  for (const NameGroup& group : *groups) {
+    EXPECT_LE(group.refs.size(), 2u);
+    EXPECT_NE(group.name, "Wei Wang");
+  }
+}
+
+TEST(ScanTest, OrderedByDescendingRefCount) {
+  Database db = testing_util::MakeMiniDblp();
+  ScanOptions options;
+  options.min_refs = 1;
+  auto groups = ScanNameGroups(db, DblpReferenceSpec(), options);
+  ASSERT_TRUE(groups.ok());
+  for (size_t i = 1; i < groups->size(); ++i) {
+    EXPECT_GE((*groups)[i - 1].refs.size(), (*groups)[i].refs.size());
+  }
+}
+
+TEST(ScanTest, BadSpecFails) {
+  Database db = testing_util::MakeMiniDblp();
+  ReferenceSpec spec = DblpReferenceSpec();
+  spec.reference_table = "Ghost";
+  EXPECT_FALSE(ScanNameGroups(db, spec).ok());
+}
+
+class ResolveAllTest : public ::testing::Test {
+ protected:
+  ResolveAllTest() : db_(testing_util::MakeMiniDblp()) {
+    DistinctConfig config;
+    config.supervised = false;
+    config.min_sim = 1e-3;
+    auto engine = Distinct::Create(db_, DblpReferenceSpec(), config);
+    DISTINCT_CHECK(engine.ok());
+    engine_ = std::make_unique<Distinct>(*std::move(engine));
+  }
+
+  Database db_;
+  std::unique_ptr<Distinct> engine_;
+};
+
+TEST_F(ResolveAllTest, ResolvesEveryGroup) {
+  auto groups = ScanNameGroups(db_, DblpReferenceSpec());
+  ASSERT_TRUE(groups.ok());
+  std::vector<BulkResolution> results;
+  auto stats = ResolveAllNames(*engine_, *groups, &results);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->names_resolved, 2);
+  EXPECT_EQ(stats->total_refs, 5);
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].name, "Wei Wang");
+  // Wei Wang splits (refs 0,2 vs 6); total clusters across names >= 3.
+  EXPECT_GE(stats->total_clusters, 3);
+  EXPECT_GE(stats->names_split, 1);
+  EXPECT_GE(stats->seconds, 0.0);
+}
+
+TEST_F(ResolveAllTest, CallbackCanAbort) {
+  auto groups = ScanNameGroups(db_, DblpReferenceSpec());
+  ASSERT_TRUE(groups.ok());
+  int calls = 0;
+  auto stats = ResolveAllNames(*engine_, *groups, nullptr,
+                               [&](const BulkResolution&) {
+                                 ++calls;
+                                 return false;  // abort after the first
+                               });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats->names_resolved, 1);
+}
+
+TEST_F(ResolveAllTest, EmptyGroupListIsFine) {
+  auto stats = ResolveAllNames(*engine_, {});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->names_resolved, 0);
+}
+
+TEST_F(ResolveAllTest, ParallelMatchesSequential) {
+  ScanOptions options;
+  options.min_refs = 1;
+  auto groups = ScanNameGroups(db_, DblpReferenceSpec(), options);
+  ASSERT_TRUE(groups.ok());
+
+  std::vector<BulkResolution> sequential;
+  auto seq_stats = ResolveAllNames(*engine_, *groups, &sequential);
+  ASSERT_TRUE(seq_stats.ok());
+
+  for (const int threads : {1, 2, 4}) {
+    std::vector<BulkResolution> parallel;
+    auto par_stats =
+        ResolveAllNamesParallel(*engine_, *groups, threads, &parallel);
+    ASSERT_TRUE(par_stats.ok());
+    EXPECT_EQ(par_stats->names_resolved, seq_stats->names_resolved);
+    EXPECT_EQ(par_stats->total_clusters, seq_stats->total_clusters);
+    EXPECT_EQ(par_stats->names_split, seq_stats->names_split);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (size_t g = 0; g < parallel.size(); ++g) {
+      EXPECT_EQ(parallel[g].name, sequential[g].name);
+      EXPECT_EQ(parallel[g].clustering.assignment,
+                sequential[g].clustering.assignment)
+          << parallel[g].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace distinct

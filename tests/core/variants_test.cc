@@ -1,0 +1,66 @@
+#include "core/variants.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(VariantsTest, SixVariantsInPaperOrder) {
+  const auto variants = AllMethodVariants();
+  ASSERT_EQ(variants.size(), 6u);
+  EXPECT_EQ(variants.front(), MethodVariant::kDistinct);
+}
+
+TEST(VariantsTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const MethodVariant variant : AllMethodVariants()) {
+    EXPECT_TRUE(names.insert(MethodVariantName(variant)).second);
+  }
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_TRUE(names.contains("DISTINCT"));
+}
+
+TEST(VariantsTest, DistinctIsSupervisedComposite) {
+  const DistinctConfig config =
+      ApplyVariant(DistinctConfig{}, MethodVariant::kDistinct);
+  EXPECT_TRUE(config.supervised);
+  EXPECT_EQ(config.measure, ClusterMeasure::kComposite);
+}
+
+TEST(VariantsTest, UnsupervisedVariantsTurnOffTraining) {
+  for (const MethodVariant variant :
+       {MethodVariant::kUnsupervisedCombined,
+        MethodVariant::kUnsupervisedResem,
+        MethodVariant::kUnsupervisedWalk}) {
+    EXPECT_FALSE(ApplyVariant(DistinctConfig{}, variant).supervised)
+        << MethodVariantName(variant);
+  }
+}
+
+TEST(VariantsTest, MeasureMatchesVariant) {
+  EXPECT_EQ(ApplyVariant(DistinctConfig{}, MethodVariant::kSupervisedResem)
+                .measure,
+            ClusterMeasure::kResemblanceOnly);
+  EXPECT_EQ(ApplyVariant(DistinctConfig{}, MethodVariant::kSupervisedWalk)
+                .measure,
+            ClusterMeasure::kWalkOnly);
+  EXPECT_EQ(
+      ApplyVariant(DistinctConfig{}, MethodVariant::kUnsupervisedCombined)
+          .measure,
+      ClusterMeasure::kComposite);
+}
+
+TEST(VariantsTest, OtherConfigFieldsPreserved) {
+  DistinctConfig base;
+  base.min_sim = 0.123;
+  base.max_path_length = 2;
+  const DistinctConfig config =
+      ApplyVariant(base, MethodVariant::kUnsupervisedWalk);
+  EXPECT_DOUBLE_EQ(config.min_sim, 0.123);
+  EXPECT_EQ(config.max_path_length, 2);
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,113 @@
+#include "dblp/dataset_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "dblp/schema.h"
+#include "dblp/stats.h"
+
+namespace distinct {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  DatasetIoTest() {
+    // ctest runs each case as its own process in parallel; the directory
+    // must be unique per process AND per test to avoid collisions.
+    dir_ = ::testing::TempDir() + "/dataset_io_test_" +
+           std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
+    GeneratorConfig config;
+    config.seed = 13;
+    config.num_communities = 6;
+    config.authors_per_community = 8;
+    config.papers_per_community_year = 3.0;
+    config.ambiguous = {{"Wei Wang", 3, 12}, {"Bin Yu", 2, 6}};
+    auto dataset = GenerateDblpDataset(config);
+    DISTINCT_CHECK(dataset.ok());
+    dataset_ = std::make_unique<DblpDataset>(*std::move(dataset));
+  }
+
+  ~DatasetIoTest() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  std::unique_ptr<DblpDataset> dataset_;
+};
+
+TEST_F(DatasetIoTest, RoundTripPreservesDatabase) {
+  ASSERT_TRUE(SaveDataset(*dataset_, dir_).ok());
+  auto loaded = LoadDataset(dir_);
+  ASSERT_TRUE(loaded.ok());
+
+  auto original_stats = ComputeDblpStats(dataset_->db);
+  auto loaded_stats = ComputeDblpStats(loaded->db);
+  ASSERT_TRUE(original_stats.ok() && loaded_stats.ok());
+  EXPECT_EQ(loaded_stats->num_author_names,
+            original_stats->num_author_names);
+  EXPECT_EQ(loaded_stats->num_papers, original_stats->num_papers);
+  EXPECT_EQ(loaded_stats->num_references, original_stats->num_references);
+  EXPECT_TRUE(loaded->db.ValidateIntegrity().ok());
+}
+
+TEST_F(DatasetIoTest, RoundTripPreservesCases) {
+  ASSERT_TRUE(SaveDataset(*dataset_, dir_).ok());
+  auto loaded = LoadDataset(dir_);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->cases.size(), dataset_->cases.size());
+  for (size_t c = 0; c < loaded->cases.size(); ++c) {
+    EXPECT_EQ(loaded->cases[c].name, dataset_->cases[c].name);
+    EXPECT_EQ(loaded->cases[c].num_entities,
+              dataset_->cases[c].num_entities);
+    EXPECT_EQ(loaded->cases[c].publish_rows,
+              dataset_->cases[c].publish_rows);
+    EXPECT_EQ(loaded->cases[c].truth, dataset_->cases[c].truth);
+    EXPECT_EQ(loaded->cases[c].entity_names,
+              dataset_->cases[c].entity_names);
+  }
+}
+
+TEST_F(DatasetIoTest, LoadedDatasetSupportsTheFullPipeline) {
+  ASSERT_TRUE(SaveDataset(*dataset_, dir_).ok());
+  auto loaded = LoadDataset(dir_);
+  ASSERT_TRUE(loaded.ok());
+
+  DistinctConfig config;
+  config.supervised = false;
+  config.promotions = DblpDefaultPromotions();
+  auto engine = Distinct::Create(loaded->db, DblpReferenceSpec(), config);
+  ASSERT_TRUE(engine.ok());
+  auto evaluations = EvaluateCases(*engine, loaded->cases);
+  ASSERT_TRUE(evaluations.ok());
+  EXPECT_EQ(evaluations->size(), 2u);
+}
+
+TEST_F(DatasetIoTest, TruthMapCoversCaseRowsOnly) {
+  ASSERT_TRUE(SaveDataset(*dataset_, dir_).ok());
+  auto loaded = LoadDataset(dir_);
+  ASSERT_TRUE(loaded.ok());
+  // 3 + 2 case entities.
+  EXPECT_EQ(loaded->num_entities, 5);
+  int labeled = 0;
+  for (const int entity : loaded->entity_of_publish_row) {
+    if (entity >= 0) {
+      ++labeled;
+      EXPECT_LT(entity, 5);
+    }
+  }
+  EXPECT_EQ(labeled, 12 + 6);
+}
+
+TEST_F(DatasetIoTest, LoadFromMissingDirectoryFails) {
+  EXPECT_FALSE(LoadDataset("/no/such/dir").ok());
+  EXPECT_FALSE(LoadDblpDatabaseCsv("/no/such/dir").ok());
+  EXPECT_FALSE(LoadCasesCsv("/no/such/dir").ok());
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,206 @@
+// Statistical checks that the generator actually produces the structural
+// properties DESIGN.md §5 claims — the properties DISTINCT's accuracy
+// rests on. These are aggregate assertions with generous margins, not
+// exact-value golden tests.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dblp/generator.h"
+#include "dblp/schema.h"
+
+namespace distinct {
+namespace {
+
+class StructureTest : public ::testing::Test {
+ protected:
+  StructureTest() {
+    GeneratorConfig config;  // full-size default world
+    config.seed = 4242;
+    auto dataset = GenerateDblpDataset(config);
+    DISTINCT_CHECK(dataset.ok());
+    dataset_ = std::make_unique<DblpDataset>(*std::move(dataset));
+
+    const Table& publish = **dataset_->db.FindTable(kPublishTable);
+    const int paper_col = *publish.ColumnIndex("paper_id");
+    for (int64_t row = 0; row < publish.num_rows(); ++row) {
+      const int64_t paper = publish.GetInt(row, paper_col);
+      const int entity =
+          dataset_->entity_of_publish_row[static_cast<size_t>(row)];
+      authors_of_paper_[paper].push_back(entity);
+      papers_of_entity_[entity].push_back(paper);
+    }
+    const Table& publications = **dataset_->db.FindTable(kPublicationsTable);
+    const Table& proceedings = **dataset_->db.FindTable(kProceedingsTable);
+    const int proc_col = *publications.ColumnIndex("proc_id");
+    const int conf_col = *proceedings.ColumnIndex("conf_id");
+    for (int64_t paper = 0; paper < publications.num_rows(); ++paper) {
+      const int64_t proc = publications.GetInt(paper, proc_col);
+      const int64_t proc_row = *proceedings.RowForPrimaryKey(proc);
+      conference_of_paper_[paper] = proceedings.GetInt(proc_row, conf_col);
+    }
+  }
+
+  /// Fraction of (paper, paper) pairs of one entity sharing >= 1 coauthor.
+  double CoauthorShareRate(int entity) const {
+    const auto& papers = papers_of_entity_.at(entity);
+    int64_t shared = 0;
+    int64_t total = 0;
+    for (size_t a = 0; a < papers.size(); ++a) {
+      for (size_t b = a + 1; b < papers.size(); ++b) {
+        ++total;
+        std::set<int> coauthors_a;
+        for (const int author : authors_of_paper_.at(papers[a])) {
+          if (author != entity) coauthors_a.insert(author);
+        }
+        bool any = false;
+        for (const int author : authors_of_paper_.at(papers[b])) {
+          if (author != entity && coauthors_a.contains(author)) {
+            any = true;
+          }
+        }
+        shared += any ? 1 : 0;
+      }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(shared) /
+                            static_cast<double>(total);
+  }
+
+  std::unique_ptr<DblpDataset> dataset_;
+  std::map<int64_t, std::vector<int>> authors_of_paper_;
+  std::map<int, std::vector<int64_t>> papers_of_entity_;
+  std::map<int64_t, int64_t> conference_of_paper_;
+};
+
+TEST_F(StructureTest, RecurringCollaboratorsLinkOneEntitysPapers) {
+  // Averaged over the planted Wei Wang entities with enough papers, a
+  // clear majority of same-entity paper pairs share a coauthor.
+  const AmbiguousCase* wei = nullptr;
+  for (const AmbiguousCase& c : dataset_->cases) {
+    if (c.name == "Wei Wang") wei = &c;
+  }
+  ASSERT_NE(wei, nullptr);
+  std::set<int> entities;
+  for (size_t i = 0; i < wei->publish_rows.size(); ++i) {
+    entities.insert(dataset_->entity_of_publish_row[static_cast<size_t>(
+        wei->publish_rows[i])]);
+  }
+  double rate_sum = 0.0;
+  int counted = 0;
+  for (const int entity : entities) {
+    if (papers_of_entity_.at(entity).size() >= 8) {
+      rate_sum += CoauthorShareRate(entity);
+      ++counted;
+    }
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_GT(rate_sum / counted, 0.35);
+}
+
+TEST_F(StructureTest, CrossEntityCoauthorSharingIsRare) {
+  // Two different same-name entities share coauthors far less often.
+  const AmbiguousCase* wei = nullptr;
+  for (const AmbiguousCase& c : dataset_->cases) {
+    if (c.name == "Wei Wang") wei = &c;
+  }
+  ASSERT_NE(wei, nullptr);
+  int64_t shared = 0;
+  int64_t total = 0;
+  for (size_t i = 0; i < wei->publish_rows.size(); ++i) {
+    for (size_t j = i + 1; j < wei->publish_rows.size(); ++j) {
+      if (wei->truth[i] == wei->truth[j]) continue;
+      const Table& publish = **dataset_->db.FindTable(kPublishTable);
+      const int paper_col = *publish.ColumnIndex("paper_id");
+      const int64_t pa = publish.GetInt(wei->publish_rows[i], paper_col);
+      const int64_t pb = publish.GetInt(wei->publish_rows[j], paper_col);
+      std::set<int> a(authors_of_paper_.at(pa).begin(),
+                      authors_of_paper_.at(pa).end());
+      bool any = false;
+      for (const int author : authors_of_paper_.at(pb)) {
+        if (a.contains(author) &&
+            author != dataset_->entity_of_publish_row[static_cast<size_t>(
+                          wei->publish_rows[i])]) {
+          any = true;
+        }
+      }
+      shared += any ? 1 : 0;
+      ++total;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_LT(static_cast<double>(shared) / static_cast<double>(total), 0.05);
+}
+
+TEST_F(StructureTest, VenueLoyaltyConcentratesAnEntitysPapers) {
+  // For each prolific entity, the top-2 conferences should hold a clear
+  // majority of its papers.
+  int checked = 0;
+  double share_sum = 0.0;
+  for (const auto& [entity, papers] : papers_of_entity_) {
+    if (papers.size() < 15) continue;
+    std::map<int64_t, int> venue_counts;
+    for (const int64_t paper : papers) {
+      ++venue_counts[conference_of_paper_.at(paper)];
+    }
+    std::vector<int> counts;
+    for (const auto& [venue, count] : venue_counts) {
+      counts.push_back(count);
+    }
+    std::sort(counts.rbegin(), counts.rend());
+    int top2 = counts[0] + (counts.size() > 1 ? counts[1] : 0);
+    share_sum += static_cast<double>(top2) /
+                 static_cast<double>(papers.size());
+    ++checked;
+    if (checked >= 100) break;
+  }
+  ASSERT_GT(checked, 20);
+  EXPECT_GT(share_sum / checked, 0.5);
+}
+
+TEST_F(StructureTest, SkewedReferenceCountsAcrossEntities) {
+  // Within the Wei Wang case, the most prolific entity has several times
+  // the references of the least prolific (the paper's 57-vs-2 skew).
+  const AmbiguousCase* wei = nullptr;
+  for (const AmbiguousCase& c : dataset_->cases) {
+    if (c.name == "Wei Wang") wei = &c;
+  }
+  ASSERT_NE(wei, nullptr);
+  std::map<int, int> counts;
+  for (const int t : wei->truth) {
+    ++counts[t];
+  }
+  int min_count = 1 << 30;
+  int max_count = 0;
+  for (const auto& [entity, count] : counts) {
+    min_count = std::min(min_count, count);
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_GE(max_count, 5 * min_count);
+}
+
+TEST_F(StructureTest, AuthorsHaveHeavyTailedProductivity) {
+  // A few entities produce many papers, most produce few — Zipf-flavored
+  // prolificness.
+  std::vector<size_t> paper_counts;
+  for (const auto& [entity, papers] : papers_of_entity_) {
+    paper_counts.push_back(papers.size());
+  }
+  std::sort(paper_counts.rbegin(), paper_counts.rend());
+  ASSERT_GT(paper_counts.size(), 100u);
+  // Top decile accounts for well over its proportional share.
+  size_t total = 0;
+  for (const size_t c : paper_counts) total += c;
+  size_t top_decile = 0;
+  for (size_t i = 0; i < paper_counts.size() / 10; ++i) {
+    top_decile += paper_counts[i];
+  }
+  EXPECT_GT(static_cast<double>(top_decile) / static_cast<double>(total),
+            0.2);
+}
+
+}  // namespace
+}  // namespace distinct

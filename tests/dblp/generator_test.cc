@@ -1,0 +1,187 @@
+#include "dblp/generator.h"
+
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "dblp/schema.h"
+
+namespace distinct {
+namespace {
+
+/// Small config so generator tests stay fast.
+GeneratorConfig SmallConfig(uint64_t seed = 1) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.num_communities = 8;
+  config.authors_per_community = 10;
+  config.papers_per_community_year = 5.0;
+  config.start_year = 2000;
+  config.end_year = 2006;
+  config.ambiguous = {{"Wei Wang", 4, 30}, {"Bin Yu", 2, 10}};
+  return config;
+}
+
+TEST(GeneratorTest, ReferentialIntegrityHolds) {
+  auto dataset = GenerateDblpDataset(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_TRUE(dataset->db.ValidateIntegrity().ok());
+}
+
+TEST(GeneratorTest, AmbiguousCountsMatchSpecExactly) {
+  auto dataset = GenerateDblpDataset(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_EQ(dataset->cases.size(), 2u);
+  const AmbiguousCase& wei = dataset->cases[0];
+  EXPECT_EQ(wei.name, "Wei Wang");
+  EXPECT_EQ(wei.num_entities, 4);
+  EXPECT_EQ(wei.publish_rows.size(), 30u);
+  EXPECT_EQ(wei.truth.size(), 30u);
+  // Every entity index in range and every entity used at least once.
+  std::set<int> used(wei.truth.begin(), wei.truth.end());
+  EXPECT_EQ(used.size(), 4u);
+  EXPECT_EQ(*used.begin(), 0);
+  EXPECT_EQ(*used.rbegin(), 3);
+}
+
+TEST(GeneratorTest, CaseRowsReallyCarryTheName) {
+  auto dataset = GenerateDblpDataset(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  const Table& publish = **dataset->db.FindTable(kPublishTable);
+  const Table& authors = **dataset->db.FindTable(kAuthorsTable);
+  const int author_col = *publish.ColumnIndex("author_id");
+  const int name_col = *authors.ColumnIndex("name");
+  for (const AmbiguousCase& c : dataset->cases) {
+    for (const int32_t row : c.publish_rows) {
+      const int64_t author_pk = publish.GetInt(row, author_col);
+      const int64_t author_row = *authors.RowForPrimaryKey(author_pk);
+      EXPECT_EQ(authors.GetString(author_row, name_col), c.name);
+    }
+  }
+}
+
+TEST(GeneratorTest, CaseRowsAreExhaustive) {
+  // No other Publish row carries an ambiguous name.
+  auto dataset = GenerateDblpDataset(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  const Table& publish = **dataset->db.FindTable(kPublishTable);
+  const Table& authors = **dataset->db.FindTable(kAuthorsTable);
+  const int author_col = *publish.ColumnIndex("author_id");
+  const int name_col = *authors.ColumnIndex("name");
+  std::unordered_map<std::string, int64_t> counted;
+  for (int64_t row = 0; row < publish.num_rows(); ++row) {
+    const int64_t author_row =
+        *authors.RowForPrimaryKey(publish.GetInt(row, author_col));
+    ++counted[authors.GetString(author_row, name_col)];
+  }
+  EXPECT_EQ(counted["Wei Wang"], 30);
+  EXPECT_EQ(counted["Bin Yu"], 10);
+}
+
+TEST(GeneratorTest, EntityNamesProvided) {
+  auto dataset = GenerateDblpDataset(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  for (const AmbiguousCase& c : dataset->cases) {
+    ASSERT_EQ(c.entity_names.size(), static_cast<size_t>(c.num_entities));
+    for (const std::string& name : c.entity_names) {
+      EXPECT_NE(name.find(c.name), std::string::npos);
+      EXPECT_NE(name.find('@'), std::string::npos);
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  auto a = GenerateDblpDataset(SmallConfig(77));
+  auto b = GenerateDblpDataset(SmallConfig(77));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->db.TotalRows(), b->db.TotalRows());
+  ASSERT_EQ(a->cases.size(), b->cases.size());
+  for (size_t c = 0; c < a->cases.size(); ++c) {
+    EXPECT_EQ(a->cases[c].publish_rows, b->cases[c].publish_rows);
+    EXPECT_EQ(a->cases[c].truth, b->cases[c].truth);
+  }
+  EXPECT_EQ(a->entity_of_publish_row, b->entity_of_publish_row);
+}
+
+TEST(GeneratorTest, SeedsChangeTheWorld) {
+  auto a = GenerateDblpDataset(SmallConfig(1));
+  auto b = GenerateDblpDataset(SmallConfig(2));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->db.TotalRows(), b->db.TotalRows());
+}
+
+TEST(GeneratorTest, TruthCoversEveryPublishRow) {
+  auto dataset = GenerateDblpDataset(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  const Table& publish = **dataset->db.FindTable(kPublishTable);
+  EXPECT_EQ(dataset->entity_of_publish_row.size(),
+            static_cast<size_t>(publish.num_rows()));
+  for (const int entity : dataset->entity_of_publish_row) {
+    EXPECT_GE(entity, 0);
+    EXPECT_LT(entity, dataset->num_entities);
+  }
+}
+
+TEST(GeneratorTest, RefCountsAreSkewedAcrossEntities) {
+  GeneratorConfig config = SmallConfig();
+  config.ambiguous = {{"Wei Wang", 5, 100}};
+  auto dataset = GenerateDblpDataset(config);
+  ASSERT_TRUE(dataset.ok());
+  std::vector<int> counts(5, 0);
+  for (const int t : dataset->cases[0].truth) {
+    ++counts[static_cast<size_t>(t)];
+  }
+  // SkewedSplit assigns entity 0 the most references.
+  EXPECT_GT(counts[0], counts[4]);
+  for (const int count : counts) {
+    EXPECT_GE(count, 1);
+  }
+}
+
+TEST(GeneratorTest, DefaultSpecsAreTable1) {
+  const auto specs = PaperTable1Specs();
+  ASSERT_EQ(specs.size(), 10u);
+  EXPECT_EQ(specs[8].name, "Wei Wang");
+  EXPECT_EQ(specs[8].num_entities, 14);
+  EXPECT_EQ(specs[8].num_refs, 141);
+  auto dataset = GenerateDblpDataset(GeneratorConfig{});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->cases.size(), 10u);
+}
+
+TEST(GeneratorTest, RejectsInvalidConfigs) {
+  GeneratorConfig config = SmallConfig();
+  config.num_communities = 0;
+  EXPECT_FALSE(GenerateDblpDataset(config).ok());
+
+  config = SmallConfig();
+  config.end_year = config.start_year - 1;
+  EXPECT_FALSE(GenerateDblpDataset(config).ok());
+
+  config = SmallConfig();
+  config.ambiguous = {{"X", 5, 3}};  // refs < entities
+  EXPECT_FALSE(GenerateDblpDataset(config).ok());
+
+  config = SmallConfig();
+  config.ambiguous = {{"X", 0, 3}};
+  EXPECT_FALSE(GenerateDblpDataset(config).ok());
+}
+
+TEST(GeneratorTest, PapersHaveBoundedAuthorLists) {
+  auto dataset = GenerateDblpDataset(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  const Table& publish = **dataset->db.FindTable(kPublishTable);
+  const int paper_col = *publish.ColumnIndex("paper_id");
+  std::unordered_map<int64_t, int> authors_per_paper;
+  for (int64_t row = 0; row < publish.num_rows(); ++row) {
+    ++authors_per_paper[publish.GetInt(row, paper_col)];
+  }
+  for (const auto& [paper, count] : authors_per_paper) {
+    EXPECT_GE(count, 1);
+    EXPECT_LE(count, 20);
+  }
+}
+
+}  // namespace
+}  // namespace distinct

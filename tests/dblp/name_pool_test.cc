@@ -1,0 +1,104 @@
+#include "dblp/name_pool.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(NamePoolTest, NamesAreDistinctWithinPool) {
+  NamePool pool(400, 800, 1.0);
+  std::set<std::string> firsts;
+  for (size_t r = 0; r < pool.num_first(); ++r) {
+    EXPECT_TRUE(firsts.insert(pool.FirstName(r)).second)
+        << "duplicate first name at rank " << r;
+  }
+  std::set<std::string> lasts;
+  for (size_t r = 0; r < pool.num_last(); ++r) {
+    EXPECT_TRUE(lasts.insert(pool.LastName(r)).second)
+        << "duplicate last name at rank " << r;
+  }
+}
+
+TEST(NamePoolTest, NamesAreCapitalizedWords) {
+  NamePool pool(50, 50, 1.0);
+  for (size_t r = 0; r < 50; ++r) {
+    const std::string name = pool.FirstName(r);
+    ASSERT_FALSE(name.empty());
+    EXPECT_GE(name[0], 'A');
+    EXPECT_LE(name[0], 'Z');
+    EXPECT_EQ(name.find(' '), std::string::npos);
+  }
+}
+
+TEST(NamePoolTest, FullNameHasTwoParts) {
+  NamePool pool(100, 100, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const std::string name = pool.SampleFullName(rng);
+    const size_t space = name.find(' ');
+    ASSERT_NE(space, std::string::npos);
+    EXPECT_GT(space, 0u);
+    EXPECT_LT(space, name.size() - 1);
+  }
+}
+
+TEST(NamePoolTest, SamplingFavorsLowRanks) {
+  NamePool pool(200, 200, 1.0);
+  Rng rng(5);
+  int head = 0;
+  int tail = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const size_t rank = pool.SampleFirstRank(rng);
+    if (rank < 20) ++head;
+    if (rank >= 180) ++tail;
+  }
+  EXPECT_GT(head, tail * 3);
+}
+
+TEST(NamePoolTest, DeterministicNames) {
+  NamePool a(100, 100, 1.0);
+  NamePool b(100, 100, 1.0);
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a.FirstName(r), b.FirstName(r));
+    EXPECT_EQ(a.LastName(r), b.LastName(r));
+  }
+}
+
+TEST(NamePoolTest, FirstAndLastPoolsDiffer) {
+  // The salts differ, so the pools should not be identical element-wise.
+  NamePool pool(100, 100, 1.0);
+  int same = 0;
+  for (size_t r = 0; r < 100; ++r) {
+    if (pool.FirstName(r) == pool.LastName(r)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(NamePoolTest, InstitutionNames) {
+  const std::string inst = NamePool::InstitutionName(7);
+  EXPECT_FALSE(inst.empty());
+  EXPECT_NE(NamePool::InstitutionName(1), NamePool::InstitutionName(2));
+  // Deterministic.
+  EXPECT_EQ(NamePool::InstitutionName(7), inst);
+}
+
+TEST(NamePoolTest, NoCollisionWithPaperNames) {
+  // The planted ambiguous names are real names; pool names are synthetic
+  // syllable compounds, so they never collide.
+  NamePool pool(400, 800, 1.0);
+  const std::set<std::string> planted = {"Wei", "Wang", "Bing", "Liu",
+                                         "Smith", "Gupta", "Yu"};
+  for (size_t r = 0; r < pool.num_first(); ++r) {
+    EXPECT_FALSE(planted.contains(pool.FirstName(r)));
+  }
+  for (size_t r = 0; r < pool.num_last(); ++r) {
+    EXPECT_FALSE(planted.contains(pool.LastName(r)));
+  }
+}
+
+}  // namespace
+}  // namespace distinct

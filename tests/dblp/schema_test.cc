@@ -1,0 +1,63 @@
+#include "dblp/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(DblpSchemaTest, HasFiveTables) {
+  auto db = MakeEmptyDblpDatabase();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_tables(), 5);
+  for (const char* name : {kAuthorsTable, kPublishTable, kPublicationsTable,
+                           kProceedingsTable, kConferencesTable}) {
+    EXPECT_TRUE(db->TableId(name).ok()) << name;
+  }
+}
+
+TEST(DblpSchemaTest, ForeignKeysFormFig2Chain) {
+  auto db = MakeEmptyDblpDatabase();
+  ASSERT_TRUE(db.ok());
+  const Table& publish = **db->FindTable(kPublishTable);
+  EXPECT_EQ(publish.column(*publish.ColumnIndex("author_id")).fk_table,
+            kAuthorsTable);
+  EXPECT_EQ(publish.column(*publish.ColumnIndex("paper_id")).fk_table,
+            kPublicationsTable);
+  const Table& publications = **db->FindTable(kPublicationsTable);
+  EXPECT_EQ(publications.column(*publications.ColumnIndex("proc_id")).fk_table,
+            kProceedingsTable);
+  const Table& proceedings = **db->FindTable(kProceedingsTable);
+  EXPECT_EQ(proceedings.column(*proceedings.ColumnIndex("conf_id")).fk_table,
+            kConferencesTable);
+}
+
+TEST(DblpSchemaTest, EveryTableHasPrimaryKey) {
+  auto db = MakeEmptyDblpDatabase();
+  ASSERT_TRUE(db.ok());
+  for (int t = 0; t < db->num_tables(); ++t) {
+    EXPECT_GE(db->table(t).primary_key_column(), 0) << db->table(t).name();
+  }
+}
+
+TEST(DblpSchemaTest, ReferenceSpecResolves) {
+  auto db = MakeEmptyDblpDatabase();
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(ResolveReferenceSpec(*db, DblpReferenceSpec()).ok());
+}
+
+TEST(DblpSchemaTest, DefaultPromotionsAreValidColumns) {
+  auto db = MakeEmptyDblpDatabase();
+  ASSERT_TRUE(db.ok());
+  for (const auto& [table_name, column_name] : DblpDefaultPromotions()) {
+    auto table = db->FindTable(table_name);
+    ASSERT_TRUE(table.ok()) << table_name;
+    auto column = (*table)->ColumnIndex(column_name);
+    ASSERT_TRUE(column.ok()) << table_name << "." << column_name;
+    const ColumnSpec& spec = (*table)->column(*column);
+    EXPECT_FALSE(spec.is_primary_key);
+    EXPECT_TRUE(spec.fk_table.empty());
+  }
+}
+
+}  // namespace
+}  // namespace distinct

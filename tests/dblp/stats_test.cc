@@ -1,0 +1,59 @@
+#include "dblp/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace distinct {
+namespace {
+
+TEST(StatsTest, MiniDblpCounts) {
+  Database db = testing_util::MakeMiniDblp();
+  auto stats = ComputeDblpStats(db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_author_names, 5);
+  EXPECT_EQ(stats->num_papers, 3);
+  EXPECT_EQ(stats->num_references, 7);
+  EXPECT_EQ(stats->num_conferences, 3);
+  EXPECT_EQ(stats->num_proceedings, 3);
+  EXPECT_NEAR(stats->refs_per_paper, 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats->refs_per_name, 7.0 / 5.0, 1e-12);
+}
+
+TEST(StatsTest, RefBuckets) {
+  Database db = testing_util::MakeMiniDblp();
+  auto stats = ComputeDblpStats(db);
+  ASSERT_TRUE(stats.ok());
+  // Wei Wang: 3 refs; Jiong Yang: 2; Jian Pei: 1; Haixun Wang: 1;
+  // Aidong Zhang: 0 (not in Publish, so absent from buckets).
+  EXPECT_EQ(stats->name_count_by_refs[0], 2);  // one ref
+  EXPECT_EQ(stats->name_count_by_refs[1], 1);  // two refs
+  EXPECT_EQ(stats->name_count_by_refs[2], 1);  // 3-5 refs
+  EXPECT_EQ(stats->name_count_by_refs[3], 0);
+  EXPECT_EQ(stats->name_count_by_refs[4], 0);
+}
+
+TEST(StatsTest, DebugStringMentionsCounts) {
+  Database db = testing_util::MakeMiniDblp();
+  auto stats = ComputeDblpStats(db);
+  const std::string debug = stats->DebugString();
+  EXPECT_NE(debug.find("papers=3"), std::string::npos);
+  EXPECT_NE(debug.find("references=7"), std::string::npos);
+}
+
+TEST(StatsTest, FailsOnNonDblpDatabase) {
+  Database db;
+  EXPECT_FALSE(ComputeDblpStats(db).ok());
+}
+
+TEST(CountReferencesTest, CountsByName) {
+  Database db = testing_util::MakeMiniDblp();
+  const ReferenceSpec spec = DblpReferenceSpec();
+  EXPECT_EQ(*CountReferencesForName(db, spec, "Wei Wang"), 3);
+  EXPECT_EQ(*CountReferencesForName(db, spec, "Jiong Yang"), 2);
+  EXPECT_EQ(*CountReferencesForName(db, spec, "Aidong Zhang"), 0);
+  EXPECT_EQ(*CountReferencesForName(db, spec, "Nobody"), 0);
+}
+
+}  // namespace
+}  // namespace distinct

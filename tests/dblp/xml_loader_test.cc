@@ -1,0 +1,126 @@
+#include "dblp/xml_loader.h"
+
+#include <gtest/gtest.h>
+
+#include "dblp/schema.h"
+#include "dblp/stats.h"
+
+namespace distinct {
+namespace {
+
+constexpr char kSampleXml[] = R"(<?xml version="1.0"?>
+<!DOCTYPE dblp SYSTEM "dblp.dtd">
+<dblp>
+  <inproceedings key="conf/vldb/WangYM97">
+    <author>Wei Wang</author><author>Jiong Yang</author>
+    <author>Richard Muntz</author>
+    <title>STING</title>
+    <booktitle>VLDB</booktitle>
+    <year>1997</year>
+  </inproceedings>
+  <inproceedings key="conf/sigmod/WangW02">
+    <author>Haixun Wang</author><author>Wei Wang</author>
+    <title>Clustering by pattern similarity</title>
+    <booktitle>SIGMOD</booktitle>
+    <year>2002</year>
+  </inproceedings>
+  <article key="journals/tods/Yang03">
+    <author>Jiong Yang</author>
+    <title>Some article</title>
+    <journal>TODS</journal>
+    <year>2003</year>
+  </article>
+  <www key="homepages/w/WeiWang"><author>Wei Wang</author></www>
+  <proceedings key="conf/vldb/97"><title>VLDB 97</title></proceedings>
+</dblp>)";
+
+TEST(XmlLoaderTest, LoadsRecordsIntoSchema) {
+  auto result = LoadDblpXml(kSampleXml);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records_loaded, 3);
+  auto stats = ComputeDblpStats(result->db);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_papers, 3);
+  // Authors: Wei Wang, Jiong Yang, Richard Muntz, Haixun Wang.
+  EXPECT_EQ(stats->num_author_names, 4);
+  EXPECT_EQ(stats->num_references, 6);
+  // Venues: VLDB, SIGMOD, TODS.
+  EXPECT_EQ(stats->num_conferences, 3);
+}
+
+TEST(XmlLoaderTest, ReferencesResolveByName) {
+  auto result = LoadDblpXml(kSampleXml);
+  ASSERT_TRUE(result.ok());
+  const ReferenceSpec spec = DblpReferenceSpec();
+  EXPECT_EQ(*CountReferencesForName(result->db, spec, "Wei Wang"), 2);
+  EXPECT_EQ(*CountReferencesForName(result->db, spec, "Jiong Yang"), 2);
+  EXPECT_EQ(*CountReferencesForName(result->db, spec, "Richard Muntz"), 1);
+}
+
+TEST(XmlLoaderTest, IntegrityHolds) {
+  auto result = LoadDblpXml(kSampleXml);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->db.ValidateIntegrity().ok());
+}
+
+TEST(XmlLoaderTest, ProceedingsShareVenueYear) {
+  auto result = LoadDblpXml(kSampleXml);
+  ASSERT_TRUE(result.ok());
+  auto stats = ComputeDblpStats(result->db);
+  // (VLDB,1997), (SIGMOD,2002), (TODS,2003).
+  EXPECT_EQ(stats->num_proceedings, 3);
+}
+
+TEST(XmlLoaderTest, MinRefsFilterDropsRareAuthors) {
+  XmlLoadOptions options;
+  options.min_refs_per_author = 2;
+  auto result = LoadDblpXml(kSampleXml, options);
+  ASSERT_TRUE(result.ok());
+  const ReferenceSpec spec = DblpReferenceSpec();
+  EXPECT_EQ(*CountReferencesForName(result->db, spec, "Wei Wang"), 2);
+  EXPECT_EQ(*CountReferencesForName(result->db, spec, "Richard Muntz"), 0);
+  auto stats = ComputeDblpStats(result->db);
+  EXPECT_EQ(stats->num_author_names, 2);  // Wei Wang, Jiong Yang
+}
+
+TEST(XmlLoaderTest, EntityDecodedAuthorNames) {
+  const char* xml =
+      "<dblp><article key=\"x\"><author>J&ouml;rg M&uuml;ller</author>"
+      "<title>T</title><journal>J</journal><year>2000</year>"
+      "</article></dblp>";
+  auto result = LoadDblpXml(xml);
+  ASSERT_TRUE(result.ok());
+  const ReferenceSpec spec = DblpReferenceSpec();
+  EXPECT_EQ(*CountReferencesForName(result->db, spec, "Jörg Müller"), 1);
+}
+
+TEST(XmlLoaderTest, MissingVenueAndYearTolerated) {
+  const char* xml =
+      "<dblp><article key=\"x\"><author>A B</author><title>T</title>"
+      "</article></dblp>";
+  auto result = LoadDblpXml(xml);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records_loaded, 1);
+  EXPECT_TRUE(result->db.ValidateIntegrity().ok());
+}
+
+TEST(XmlLoaderTest, RecordsWithoutAuthorsSkipped) {
+  const char* xml =
+      "<dblp><article key=\"x\"><title>No author</title></article></dblp>";
+  auto result = LoadDblpXml(xml);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records_loaded, 0);
+  EXPECT_GE(result->records_skipped, 1);
+}
+
+TEST(XmlLoaderTest, MalformedXmlFails) {
+  EXPECT_FALSE(LoadDblpXml("<dblp><article>").ok());
+}
+
+TEST(XmlLoaderTest, MissingFileFails) {
+  EXPECT_EQ(LoadDblpXmlFile("/no/such/dblp.xml").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace distinct

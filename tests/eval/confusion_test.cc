@@ -1,0 +1,111 @@
+#include "eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace distinct {
+namespace {
+
+TEST(ConfusionTest, PerfectClusteringHasNoErrors) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2};
+  const ConfusionReport report = AnalyzeConfusion(truth, truth);
+  EXPECT_TRUE(report.merges.empty());
+  EXPECT_TRUE(report.splits.empty());
+  EXPECT_EQ(report.false_positive_pairs, 0);
+  EXPECT_EQ(report.false_negative_pairs, 0);
+  EXPECT_NE(report.Render().find("no mistakes"), std::string::npos);
+}
+
+TEST(ConfusionTest, MergeErrorCost) {
+  // Entities 0 (2 refs) and 1 (3 refs) share predicted cluster 0.
+  const std::vector<int> truth = {0, 0, 1, 1, 1};
+  const std::vector<int> predicted = {0, 0, 0, 0, 0};
+  const ConfusionReport report = AnalyzeConfusion(truth, predicted);
+  ASSERT_EQ(report.merges.size(), 1u);
+  EXPECT_EQ(report.merges[0].entity1, 0);
+  EXPECT_EQ(report.merges[0].entity2, 1);
+  EXPECT_EQ(report.merges[0].pair_cost, 6);  // 2 * 3
+  EXPECT_EQ(report.false_positive_pairs, 6);
+  EXPECT_TRUE(report.splits.empty());
+}
+
+TEST(ConfusionTest, SplitErrorCost) {
+  // Entity 0's four refs in fragments of 2, 1, 1.
+  const std::vector<int> truth = {0, 0, 0, 0};
+  const std::vector<int> predicted = {0, 0, 1, 2};
+  const ConfusionReport report = AnalyzeConfusion(truth, predicted);
+  ASSERT_EQ(report.splits.size(), 1u);
+  EXPECT_EQ(report.splits[0].entity, 0);
+  EXPECT_EQ(report.splits[0].num_fragments, 3);
+  EXPECT_EQ(report.splits[0].pair_cost, 2 * 1 + 2 * 1 + 1 * 1);
+  EXPECT_TRUE(report.merges.empty());
+}
+
+TEST(ConfusionTest, CostsMatchPairwiseMetrics) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2, 2};
+  const std::vector<int> predicted = {0, 1, 1, 1, 2, 2, 3};
+  const ConfusionReport report = AnalyzeConfusion(truth, predicted);
+  const PairwiseScores scores = PairwisePrecisionRecall(truth, predicted);
+  EXPECT_EQ(report.false_positive_pairs, scores.false_positives);
+  EXPECT_EQ(report.false_negative_pairs, scores.false_negatives);
+}
+
+TEST(ConfusionTest, MergeAcrossSeveralClustersAccumulates) {
+  // Entities 0 and 1 collide in cluster 0 (1x1) AND cluster 1 (1x1).
+  const std::vector<int> truth = {0, 1, 0, 1};
+  const std::vector<int> predicted = {0, 0, 1, 1};
+  const ConfusionReport report = AnalyzeConfusion(truth, predicted);
+  ASSERT_EQ(report.merges.size(), 1u);
+  EXPECT_EQ(report.merges[0].pair_cost, 2);
+}
+
+TEST(ConfusionTest, OrderedByDescendingCost) {
+  // Entity 2 (3 refs) merged with entity 3 (3 refs): cost 9.
+  // Entity 0 (1 ref) merged with entity 1 (1 ref): cost 1.
+  const std::vector<int> truth = {0, 1, 2, 2, 2, 3, 3, 3};
+  const std::vector<int> predicted = {0, 0, 1, 1, 1, 1, 1, 1};
+  const ConfusionReport report = AnalyzeConfusion(truth, predicted);
+  ASSERT_EQ(report.merges.size(), 2u);
+  EXPECT_EQ(report.merges[0].pair_cost, 9);
+  EXPECT_EQ(report.merges[1].pair_cost, 1);
+}
+
+TEST(ConfusionTest, RenderUsesEntityNames) {
+  const std::vector<int> truth = {0, 1};
+  const std::vector<int> predicted = {0, 0};
+  const ConfusionReport report = AnalyzeConfusion(truth, predicted);
+  const std::string rendered =
+      report.Render({"Wei Wang @ UNC", "Wei Wang @ UNSW"});
+  EXPECT_NE(rendered.find("Wei Wang @ UNC"), std::string::npos);
+  EXPECT_NE(rendered.find("Wei Wang @ UNSW"), std::string::npos);
+  // Falls back to indices when names are missing.
+  const std::string bare = report.Render();
+  EXPECT_NE(bare.find("entity 0"), std::string::npos);
+}
+
+TEST(ConfusionTest, MaxRowsTruncates) {
+  std::vector<int> truth;
+  std::vector<int> predicted;
+  // Five split entities.
+  for (int e = 0; e < 5; ++e) {
+    truth.push_back(e);
+    truth.push_back(e);
+    predicted.push_back(2 * e);
+    predicted.push_back(2 * e + 1);
+  }
+  const ConfusionReport report = AnalyzeConfusion(truth, predicted);
+  EXPECT_EQ(report.splits.size(), 5u);
+  const std::string rendered = report.Render({}, /*max_rows=*/2);
+  // Only two "in N fragments" rows rendered.
+  size_t occurrences = 0;
+  size_t at = 0;
+  while ((at = rendered.find("fragments", at)) != std::string::npos) {
+    ++occurrences;
+    at += 1;
+  }
+  EXPECT_EQ(occurrences, 2u);
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,212 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace distinct {
+namespace {
+
+TEST(PairwiseTest, PerfectClustering) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2};
+  const PairwiseScores scores = PairwisePrecisionRecall(truth, truth);
+  EXPECT_EQ(scores.true_positives, 2);
+  EXPECT_EQ(scores.false_positives, 0);
+  EXPECT_EQ(scores.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(scores.precision, 1.0);
+  EXPECT_DOUBLE_EQ(scores.recall, 1.0);
+  EXPECT_DOUBLE_EQ(scores.f1, 1.0);
+  EXPECT_DOUBLE_EQ(scores.accuracy, 1.0);
+  EXPECT_EQ(scores.total_pairs, 10);
+}
+
+TEST(PairwiseTest, ClusterIdsNeedNotAlign) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> predicted = {7, 7, 3, 3};
+  const PairwiseScores scores = PairwisePrecisionRecall(truth, predicted);
+  EXPECT_DOUBLE_EQ(scores.f1, 1.0);
+}
+
+TEST(PairwiseTest, AllSingletonsPrediction) {
+  const std::vector<int> truth = {0, 0, 0};
+  const std::vector<int> predicted = {0, 1, 2};
+  const PairwiseScores scores = PairwisePrecisionRecall(truth, predicted);
+  EXPECT_EQ(scores.true_positives, 0);
+  EXPECT_EQ(scores.false_positives, 0);
+  EXPECT_EQ(scores.false_negatives, 3);
+  EXPECT_DOUBLE_EQ(scores.precision, 1.0);  // vacuous
+  EXPECT_DOUBLE_EQ(scores.recall, 0.0);
+  EXPECT_DOUBLE_EQ(scores.f1, 0.0);
+}
+
+TEST(PairwiseTest, AllMergedPrediction) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 0, 0, 0};
+  const PairwiseScores scores = PairwisePrecisionRecall(truth, predicted);
+  // Truth pairs: 2. Predicted pairs: 6. TP = 2.
+  EXPECT_EQ(scores.true_positives, 2);
+  EXPECT_EQ(scores.false_positives, 4);
+  EXPECT_EQ(scores.false_negatives, 0);
+  EXPECT_DOUBLE_EQ(scores.recall, 1.0);
+  EXPECT_NEAR(scores.precision, 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(scores.accuracy, 1.0 - 4.0 / 6.0, 1e-12);
+}
+
+TEST(PairwiseTest, HandComputedMixedCase) {
+  // truth:     {0,1} {2,3}
+  // predicted: {0,1,2} {3}
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 0, 0, 1};
+  const PairwiseScores scores = PairwisePrecisionRecall(truth, predicted);
+  // predicted pairs: (0,1),(0,2),(1,2). TP: (0,1). FP: 2. FN: (2,3).
+  EXPECT_EQ(scores.true_positives, 1);
+  EXPECT_EQ(scores.false_positives, 2);
+  EXPECT_EQ(scores.false_negatives, 1);
+  EXPECT_NEAR(scores.precision, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(scores.recall, 0.5, 1e-12);
+  EXPECT_NEAR(scores.f1, HarmonicMean(1.0 / 3.0, 0.5), 1e-12);
+}
+
+TEST(PairwiseTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(PairwisePrecisionRecall({}, {}).f1, 1.0);
+  EXPECT_DOUBLE_EQ(PairwisePrecisionRecall({0}, {0}).f1, 1.0);
+  EXPECT_EQ(PairwisePrecisionRecall({0}, {0}).total_pairs, 0);
+}
+
+TEST(PairwiseTest, SymmetryOfErrors) {
+  // Swapping truth and prediction swaps FP and FN.
+  const std::vector<int> a = {0, 0, 1, 1, 2};
+  const std::vector<int> b = {0, 1, 1, 2, 2};
+  const PairwiseScores ab = PairwisePrecisionRecall(a, b);
+  const PairwiseScores ba = PairwisePrecisionRecall(b, a);
+  EXPECT_EQ(ab.true_positives, ba.true_positives);
+  EXPECT_EQ(ab.false_positives, ba.false_negatives);
+  EXPECT_EQ(ab.false_negatives, ba.false_positives);
+}
+
+TEST(HarmonicMeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(HarmonicMean(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicMean(1.0, 0.0), 0.0);
+  EXPECT_NEAR(HarmonicMean(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BCubedTest, PerfectClustering) {
+  const std::vector<int> truth = {0, 0, 1};
+  const BCubedScores scores = BCubed(truth, truth);
+  EXPECT_DOUBLE_EQ(scores.precision, 1.0);
+  EXPECT_DOUBLE_EQ(scores.recall, 1.0);
+  EXPECT_DOUBLE_EQ(scores.f1, 1.0);
+}
+
+TEST(BCubedTest, HandComputed) {
+  // truth {0,1} {2}; predicted {0,1,2}.
+  const std::vector<int> truth = {0, 0, 1};
+  const std::vector<int> predicted = {0, 0, 0};
+  const BCubedScores scores = BCubed(truth, predicted);
+  // precision per item: 2/3, 2/3, 1/3 -> 5/9. recall: 1, 1, 1.
+  EXPECT_NEAR(scores.precision, 5.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(scores.recall, 1.0);
+}
+
+TEST(BCubedTest, SingletonsGivePerfectPrecision) {
+  const std::vector<int> truth = {0, 0, 1};
+  const std::vector<int> predicted = {0, 1, 2};
+  const BCubedScores scores = BCubed(truth, predicted);
+  EXPECT_DOUBLE_EQ(scores.precision, 1.0);
+  // recall per item: 1/2, 1/2, 1 -> 2/3.
+  EXPECT_NEAR(scores.recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(BCubedTest, EmptyInput) {
+  const BCubedScores scores = BCubed({}, {});
+  EXPECT_DOUBLE_EQ(scores.precision, 1.0);
+  EXPECT_DOUBLE_EQ(scores.recall, 1.0);
+}
+
+TEST(AdjustedRandTest, PerfectAgreementIsOne) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(truth, truth), 1.0);
+  // Relabeled clusters still agree perfectly.
+  const std::vector<int> relabeled = {7, 7, 3, 3, 9};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(truth, relabeled), 1.0);
+}
+
+TEST(AdjustedRandTest, HandComputed) {
+  // Classic example: truth {0,0,0,1,1,1}, predicted {0,0,1,1,2,2}.
+  // nij cells: (0,0)=2 (0,1)=1 (1,1)=1 (1,2)=2.
+  // index = 1 + 0 + 0 + 1 = 2; sum_truth = 3+3 = 6; sum_pred = 1+1+1 = 3.
+  // total = 15; expected = 6*3/15 = 1.2; max = 4.5.
+  // ARI = (2 - 1.2) / (4.5 - 1.2) = 0.8/3.3.
+  const std::vector<int> truth = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> predicted = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(AdjustedRandIndex(truth, predicted), 0.8 / 3.3, 1e-12);
+}
+
+TEST(AdjustedRandTest, DegenerateClusterings) {
+  // Both trivial (all one cluster): defined as 1.
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0, 0, 0}, {1, 1, 1}), 1.0);
+  // Tiny inputs.
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0}, {0}), 1.0);
+}
+
+TEST(AdjustedRandTest, RandomClusteringsScoreNearZero) {
+  Rng rng(77);
+  double total = 0.0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> a(60);
+    std::vector<int> b(60);
+    for (size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<int>(rng.UniformInt(0, 4));
+      b[i] = static_cast<int>(rng.UniformInt(0, 4));
+    }
+    total += AdjustedRandIndex(a, b);
+  }
+  EXPECT_NEAR(total / trials, 0.0, 0.05);
+}
+
+TEST(AdjustedRandTest, BetterClusteringScoresHigher) {
+  const std::vector<int> truth = {0, 0, 0, 1, 1, 1, 2, 2, 2};
+  const std::vector<int> good = {0, 0, 0, 1, 1, 1, 2, 2, 1};
+  const std::vector<int> bad = {0, 1, 2, 0, 1, 2, 0, 1, 2};
+  EXPECT_GT(AdjustedRandIndex(truth, good), AdjustedRandIndex(truth, bad));
+}
+
+/// Property sweep: pairwise and B-cubed agree on the extremes and stay in
+/// [0,1] on random clusterings.
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, ScoresStayInUnitInterval) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, 40));
+    std::vector<int> truth(n);
+    std::vector<int> predicted(n);
+    for (size_t i = 0; i < n; ++i) {
+      truth[i] = static_cast<int>(rng.UniformInt(0, 5));
+      predicted[i] = static_cast<int>(rng.UniformInt(0, 5));
+    }
+    const PairwiseScores pairwise = PairwisePrecisionRecall(truth, predicted);
+    for (const double v : {pairwise.precision, pairwise.recall, pairwise.f1,
+                           pairwise.accuracy}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    const BCubedScores bcubed = BCubed(truth, predicted);
+    for (const double v : {bcubed.precision, bcubed.recall, bcubed.f1}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    // Identity: both metrics are perfect when predicted == truth.
+    EXPECT_DOUBLE_EQ(PairwisePrecisionRecall(truth, truth).f1, 1.0);
+    EXPECT_DOUBLE_EQ(BCubed(truth, truth).f1, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(5, 55, 555, 5555));
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,70 @@
+#include "eval/visualize.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+std::vector<ReferenceDisplay> MakeRefs(
+    const std::vector<std::pair<int, int>>& truth_pred) {
+  std::vector<ReferenceDisplay> refs;
+  for (size_t i = 0; i < truth_pred.size(); ++i) {
+    ReferenceDisplay ref;
+    ref.label = "ref" + std::to_string(i);
+    ref.truth = truth_pred[i].first;
+    ref.predicted = truth_pred[i].second;
+    refs.push_back(std::move(ref));
+  }
+  return refs;
+}
+
+TEST(VisualizeTest, PerfectClusteringHasNoMistakes) {
+  const auto refs = MakeRefs({{0, 0}, {0, 0}, {1, 1}});
+  const std::string diagram = RenderClusterDiagram(refs, {"Ann", "Bob"});
+  EXPECT_NE(diagram.find("Ann"), std::string::npos);
+  EXPECT_NE(diagram.find("Bob"), std::string::npos);
+  EXPECT_EQ(diagram.find("[SPLIT]"), std::string::npos);
+  EXPECT_EQ(diagram.find("[MERGED"), std::string::npos);
+  EXPECT_NE(diagram.find("0 split entities, 0 merged clusters"),
+            std::string::npos);
+}
+
+TEST(VisualizeTest, SplitEntityIsFlagged) {
+  const auto refs = MakeRefs({{0, 0}, {0, 1}, {0, 1}});
+  const std::string diagram = RenderClusterDiagram(refs, {});
+  EXPECT_NE(diagram.find("[SPLIT]"), std::string::npos);
+  EXPECT_NE(diagram.find("1 split entities"), std::string::npos);
+}
+
+TEST(VisualizeTest, MergedClusterIsFlagged) {
+  const auto refs = MakeRefs({{0, 0}, {1, 0}});
+  const std::string diagram = RenderClusterDiagram(refs, {});
+  EXPECT_NE(diagram.find("[MERGED"), std::string::npos);
+  EXPECT_NE(diagram.find("1 merged clusters"), std::string::npos);
+}
+
+TEST(VisualizeTest, FallbackEntityNames) {
+  const auto refs = MakeRefs({{3, 0}});
+  const std::string diagram = RenderClusterDiagram(refs, {});
+  EXPECT_NE(diagram.find("entity 3"), std::string::npos);
+}
+
+TEST(VisualizeTest, ShowReferencesListsLabels) {
+  const auto refs = MakeRefs({{0, 0}, {0, 0}});
+  const std::string without = RenderClusterDiagram(refs, {});
+  EXPECT_EQ(without.find("ref0"), std::string::npos);
+  const std::string with =
+      RenderClusterDiagram(refs, {}, /*show_references=*/true);
+  EXPECT_NE(with.find("ref0"), std::string::npos);
+  EXPECT_NE(with.find("ref1"), std::string::npos);
+}
+
+TEST(VisualizeTest, SummaryCountsEntitiesAndClusters) {
+  const auto refs = MakeRefs({{0, 0}, {1, 1}, {2, 1}});
+  const std::string diagram = RenderClusterDiagram(refs, {});
+  EXPECT_NE(diagram.find("3 entities, 2 predicted clusters"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,139 @@
+// Integration: train DISTINCT on a generated database and check it beats
+// trivial baselines on the planted ambiguous names. Uses a reduced world so
+// the suite stays fast.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "core/variants.h"
+#include "dblp/schema.h"
+
+namespace distinct {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig generator;
+    generator.seed = 17;
+    generator.num_communities = 16;
+    generator.authors_per_community = 20;
+    generator.papers_per_community_year = 8.0;
+    generator.ambiguous = {
+        {"Wei Wang", 6, 50},
+        {"Bing Liu", 4, 40},
+        {"Jim Smith", 3, 15},
+    };
+    auto dataset = GenerateDblpDataset(generator);
+    DISTINCT_CHECK(dataset.ok());
+    dataset_ = new DblpDataset(*std::move(dataset));
+
+    DistinctConfig config;
+    config.promotions = DblpDefaultPromotions();
+    config.training.num_positive = 300;
+    config.training.num_negative = 300;
+    auto engine = Distinct::Create(dataset_->db, DblpReferenceSpec(),
+                                   config);
+    DISTINCT_CHECK(engine.ok());
+    engine_ = new Distinct(*std::move(engine));
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete dataset_;
+    engine_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static DblpDataset* dataset_;
+  static Distinct* engine_;
+};
+
+DblpDataset* EndToEndTest::dataset_ = nullptr;
+Distinct* EndToEndTest::engine_ = nullptr;
+
+TEST_F(EndToEndTest, BeatsTrivialBaselinesOnEveryCase) {
+  auto evaluations = EvaluateCases(*engine_, dataset_->cases);
+  ASSERT_TRUE(evaluations.ok());
+  for (const CaseEvaluation& evaluation : *evaluations) {
+    // Trivial baseline 1: everything in one cluster (f1 = recall-heavy).
+    const std::vector<int> all_one(evaluation.num_refs, 0);
+    const AmbiguousCase* c = nullptr;
+    for (const AmbiguousCase& candidate : dataset_->cases) {
+      if (candidate.name == evaluation.name) c = &candidate;
+    }
+    ASSERT_NE(c, nullptr);
+    const double merge_all_f1 =
+        PairwisePrecisionRecall(c->truth, all_one).f1;
+    // Trivial baseline 2: all singletons (f1 = 0).
+    EXPECT_GT(evaluation.scores.f1, merge_all_f1)
+        << evaluation.name << ": " << evaluation.scores.DebugString();
+    EXPECT_GT(evaluation.scores.f1, 0.5) << evaluation.name;
+  }
+}
+
+TEST_F(EndToEndTest, LearnedWeightsPreferCoauthorPaths) {
+  // The heaviest resemblance weight must sit on a path through a second
+  // Publish hop or Authors (coauthor-flavored), not on a year/location
+  // path.
+  const SimilarityModel& model = engine_->model();
+  size_t best = 0;
+  for (size_t p = 1; p < model.num_paths(); ++p) {
+    if (model.resem_weights()[p] > model.resem_weights()[best]) {
+      best = p;
+    }
+  }
+  const std::string& name = model.path_names()[best];
+  EXPECT_NE(name.find("Authors"), std::string::npos) << name;
+}
+
+TEST_F(EndToEndTest, SupervisedCompositeBeatsUnsupervisedBaselines) {
+  auto supervised_matrices =
+      ComputeCaseMatrices(*engine_, dataset_->cases);
+  ASSERT_TRUE(supervised_matrices.ok());
+  AgglomerativeOptions options = engine_->cluster_options();
+  const AggregateScores distinct_scores =
+      Aggregate(EvaluateWithOptions(*supervised_matrices, options));
+
+  DistinctConfig unsupervised_config;
+  unsupervised_config.promotions = DblpDefaultPromotions();
+  unsupervised_config.supervised = false;
+  auto unsupervised =
+      Distinct::Create(dataset_->db, DblpReferenceSpec(),
+                       unsupervised_config);
+  ASSERT_TRUE(unsupervised.ok());
+  auto unsupervised_matrices =
+      ComputeCaseMatrices(*unsupervised, dataset_->cases);
+  ASSERT_TRUE(unsupervised_matrices.ok());
+
+  for (const ClusterMeasure measure :
+       {ClusterMeasure::kResemblanceOnly, ClusterMeasure::kWalkOnly}) {
+    AgglomerativeOptions baseline_options;
+    baseline_options.measure = measure;
+    baseline_options.min_sim = BestMinSim(
+        *unsupervised_matrices, baseline_options, DefaultMinSimGrid());
+    const AggregateScores baseline = Aggregate(
+        EvaluateWithOptions(*unsupervised_matrices, baseline_options));
+    EXPECT_GT(distinct_scores.f1 + 1e-9, baseline.f1);
+  }
+}
+
+TEST_F(EndToEndTest, ResolveNameAgreesWithCaseRows) {
+  for (const AmbiguousCase& c : dataset_->cases) {
+    auto refs = engine_->RefsForName(c.name);
+    ASSERT_TRUE(refs.ok());
+    EXPECT_EQ(*refs, c.publish_rows) << c.name;
+  }
+}
+
+TEST_F(EndToEndTest, TrainingReportIsFilled) {
+  const TrainingReport& report = engine_->report();
+  EXPECT_EQ(report.num_training_pairs, 600u);
+  EXPECT_GT(report.num_paths, 10);
+  EXPECT_GT(report.seconds_total, 0.0);
+  EXPECT_GE(report.seconds_total,
+            report.seconds_features + report.seconds_svm - 1e-6);
+}
+
+}  // namespace
+}  // namespace distinct

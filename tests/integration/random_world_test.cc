@@ -1,0 +1,111 @@
+// Property tests over randomly configured generated worlds: structural
+// invariants that must hold for ANY seed/shape, not just the tuned default.
+
+#include <gtest/gtest.h>
+
+#include "core/distinct.h"
+#include "dblp/generator.h"
+#include "dblp/schema.h"
+#include "dblp/stats.h"
+#include "prop/propagation.h"
+
+namespace distinct {
+namespace {
+
+struct WorldShape {
+  uint64_t seed;
+  int communities;
+  int authors_per_community;
+  double papers_per_year;
+  int entities;
+  int refs;
+};
+
+class RandomWorldTest : public ::testing::TestWithParam<WorldShape> {
+ protected:
+  static GeneratorConfig ConfigFor(const WorldShape& shape) {
+    GeneratorConfig config;
+    config.seed = shape.seed;
+    config.num_communities = shape.communities;
+    config.authors_per_community = shape.authors_per_community;
+    config.papers_per_community_year = shape.papers_per_year;
+    config.ambiguous = {{"Wei Wang", shape.entities, shape.refs}};
+    return config;
+  }
+};
+
+TEST_P(RandomWorldTest, IntegrityAndExactCounts) {
+  auto dataset = GenerateDblpDataset(ConfigFor(GetParam()));
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_TRUE(dataset->db.ValidateIntegrity().ok());
+  ASSERT_EQ(dataset->cases.size(), 1u);
+  EXPECT_EQ(dataset->cases[0].publish_rows.size(),
+            static_cast<size_t>(GetParam().refs));
+  EXPECT_EQ(*CountReferencesForName(dataset->db, DblpReferenceSpec(),
+                                    "Wei Wang"),
+            GetParam().refs);
+}
+
+TEST_P(RandomWorldTest, ForwardMassConservesWithoutExclusion) {
+  auto dataset = GenerateDblpDataset(ConfigFor(GetParam()));
+  ASSERT_TRUE(dataset.ok());
+
+  auto schema = SchemaGraph::Build(dataset->db);
+  ASSERT_TRUE(schema.ok());
+  for (const auto& [table, column] : DblpDefaultPromotions()) {
+    ASSERT_TRUE(schema->PromoteAttribute(table, column).ok());
+  }
+  auto link = LinkGraph::Build(*schema);
+  ASSERT_TRUE(link.ok());
+  PropagationEngine engine(*link);
+
+  PathEnumerationOptions enumeration;
+  enumeration.max_length = 4;
+  const auto paths = EnumerateJoinPaths(
+      *schema, *dataset->db.TableId(kPublishTable), enumeration);
+  PropagationOptions options;
+  options.exclude_start_tuple = false;
+
+  // Sample a handful of references; every path conserves probability mass
+  // because the generator never emits NULL foreign keys.
+  const auto& refs = dataset->cases[0].publish_rows;
+  for (size_t s = 0; s < refs.size(); s += std::max<size_t>(refs.size() / 4, 1)) {
+    for (const JoinPath& path : paths) {
+      const NeighborProfile profile =
+          engine.Compute(path, refs[s], options);
+      EXPECT_NEAR(profile.ForwardSum(), 1.0, 1e-9)
+          << path.Describe(*schema);
+    }
+  }
+}
+
+TEST_P(RandomWorldTest, UnsupervisedResolutionIsWellFormed) {
+  auto dataset = GenerateDblpDataset(ConfigFor(GetParam()));
+  ASSERT_TRUE(dataset.ok());
+  DistinctConfig config;
+  config.supervised = false;
+  config.promotions = DblpDefaultPromotions();
+  auto engine = Distinct::Create(dataset->db, DblpReferenceSpec(), config);
+  ASSERT_TRUE(engine.ok());
+  auto result = engine->ResolveName("Wei Wang");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->refs.size(), static_cast<size_t>(GetParam().refs));
+  EXPECT_GE(result->clustering.num_clusters, 1);
+  EXPECT_LE(result->clustering.num_clusters, GetParam().refs);
+  // Dense cluster ids.
+  for (const int id : result->clustering.assignment) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, result->clustering.num_clusters);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandomWorldTest,
+    ::testing::Values(WorldShape{1, 4, 8, 4.0, 2, 8},
+                      WorldShape{2, 12, 15, 6.0, 5, 30},
+                      WorldShape{3, 6, 25, 10.0, 3, 24},
+                      WorldShape{99, 20, 10, 3.0, 8, 40},
+                      WorldShape{7, 3, 40, 12.0, 2, 60}));
+
+}  // namespace
+}  // namespace distinct

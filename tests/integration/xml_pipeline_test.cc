@@ -1,0 +1,95 @@
+// Integration: the full pipeline over a database loaded from DBLP-shaped
+// XML — exercises NULL locations (the loader leaves location NULL), shared
+// venue linkage, and unsupervised resolution end to end.
+
+#include <gtest/gtest.h>
+
+#include "core/distinct.h"
+#include "dblp/schema.h"
+#include "dblp/xml_loader.h"
+
+namespace distinct {
+namespace {
+
+constexpr char kXml[] = R"(<?xml version="1.0"?>
+<dblp>
+  <inproceedings key="a"><author>Wei Wang</author>
+    <author>Jiong Yang</author><author>Richard Muntz</author>
+    <title>P1</title><booktitle>VLDB</booktitle><year>1997</year>
+  </inproceedings>
+  <inproceedings key="b"><author>Wei Wang</author>
+    <author>Jiong Yang</author>
+    <title>P2</title><booktitle>VLDB</booktitle><year>1998</year>
+  </inproceedings>
+  <inproceedings key="c"><author>Wei Wang</author>
+    <author>Xuemin Lin</author>
+    <title>P3</title><booktitle>ICDE</booktitle><year>2001</year>
+  </inproceedings>
+  <inproceedings key="d"><author>Wei Wang</author>
+    <author>Xuemin Lin</author>
+    <title>P4</title><booktitle>ADMA</booktitle><year>2005</year>
+  </inproceedings>
+  <article key="e"><author>Jiong Yang</author><author>Philip S. Yu</author>
+    <title>P5</title><journal>TKDE</journal><year>2003</year>
+  </article>
+</dblp>)";
+
+class XmlPipelineTest : public ::testing::Test {
+ protected:
+  XmlPipelineTest() {
+    auto loaded = LoadDblpXml(kXml);
+    DISTINCT_CHECK(loaded.ok());
+    db_ = std::make_unique<Database>(std::move(loaded->db));
+
+    DistinctConfig config;
+    config.supervised = false;
+    // No publisher promotion: the XML loader fills every conference with
+    // the same placeholder publisher, which under uniform (unsupervised)
+    // weights would glue every pair together. (The supervised model learns
+    // a zero weight for such constant attributes instead.)
+    config.promotions = {{kProceedingsTable, "year"},
+                         {kProceedingsTable, "location"}};
+    config.min_sim = 1e-3;
+    auto engine = Distinct::Create(*db_, DblpReferenceSpec(), config);
+    DISTINCT_CHECK(engine.ok());
+    engine_ = std::make_unique<Distinct>(*std::move(engine));
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Distinct> engine_;
+};
+
+TEST_F(XmlPipelineTest, NullLocationsAreTolerated) {
+  // The loader stores NULL locations; promotion + propagation must not
+  // choke on them (mass through the location path is simply lost).
+  auto result = engine_->ResolveName("Wei Wang");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->refs.size(), 4u);
+}
+
+TEST_F(XmlPipelineTest, CoauthorLinkageGroupsTheRightPapers) {
+  auto result = engine_->ResolveName("Wei Wang");
+  ASSERT_TRUE(result.ok());
+  const auto& assignment = result->clustering.assignment;
+  ASSERT_EQ(assignment.size(), 4u);
+  // Papers a,b share Jiong Yang; papers c,d share Xuemin Lin. The two
+  // groups share nothing.
+  EXPECT_EQ(assignment[0], assignment[1]);
+  EXPECT_EQ(assignment[2], assignment[3]);
+  EXPECT_NE(assignment[0], assignment[2]);
+}
+
+TEST_F(XmlPipelineTest, LinkedReferencesOfOneAuthorMerge) {
+  auto result = engine_->ResolveName("Jiong Yang");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->refs.size(), 3u);
+  // The two VLDB papers share coauthor Wei Wang and must merge; the TKDE
+  // article shares nothing with them (different coauthor, venue, year),
+  // so it rightly stays apart — the recall limit the paper reports.
+  const auto& assignment = result->clustering.assignment;
+  EXPECT_EQ(assignment[0], assignment[1]);
+  EXPECT_NE(assignment[0], assignment[2]);
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,132 @@
+// The level-wise propagation algorithm must agree with the depth-first
+// reference on every path, tuple, and option combination.
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/distinct.h"
+#include "dblp/generator.h"
+#include "prop/propagation.h"
+
+namespace distinct {
+namespace {
+
+void ExpectProfilesEqual(const NeighborProfile& a, const NeighborProfile& b,
+                         const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (size_t e = 0; e < a.size(); ++e) {
+    EXPECT_EQ(a.entries()[e].tuple, b.entries()[e].tuple) << context;
+    EXPECT_NEAR(a.entries()[e].forward, b.entries()[e].forward, 1e-12)
+        << context;
+    EXPECT_NEAR(a.entries()[e].reverse, b.entries()[e].reverse, 1e-12)
+        << context;
+  }
+}
+
+class LevelWiseTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(LevelWiseTest, AgreesWithDepthFirstOnMiniWorld) {
+  Database db = testing_util::MakeMiniDblp();
+  auto schema = SchemaGraph::Build(db);
+  ASSERT_TRUE(schema.ok());
+  for (const auto& [table, column] : DblpDefaultPromotions()) {
+    ASSERT_TRUE(schema->PromoteAttribute(table, column).ok());
+  }
+  auto link = LinkGraph::Build(*schema);
+  ASSERT_TRUE(link.ok());
+  PropagationEngine engine(*link);
+
+  PathEnumerationOptions enumeration;
+  enumeration.max_length = 4;
+  const auto paths = EnumerateJoinPaths(
+      *schema, *db.TableId(kPublishTable), enumeration);
+  ASSERT_FALSE(paths.empty());
+
+  PropagationOptions dfs;
+  dfs.algorithm = PropagationAlgorithm::kDepthFirst;
+  dfs.exclude_start_tuple = GetParam();
+  PropagationOptions level = dfs;
+  level.algorithm = PropagationAlgorithm::kLevelWise;
+
+  const Table& publish = **db.FindTable(kPublishTable);
+  for (int32_t ref = 0; ref < publish.num_rows(); ++ref) {
+    for (const JoinPath& path : paths) {
+      ExpectProfilesEqual(
+          engine.Compute(path, ref, dfs), engine.Compute(path, ref, level),
+          path.Describe(*schema) + " ref " + std::to_string(ref));
+    }
+  }
+}
+
+TEST_P(LevelWiseTest, AgreesWithDepthFirstOnGeneratedWorld) {
+  GeneratorConfig config;
+  config.seed = 23;
+  config.num_communities = 6;
+  config.authors_per_community = 10;
+  config.papers_per_community_year = 4.0;
+  config.ambiguous = {{"Wei Wang", 3, 18}};
+  auto dataset = GenerateDblpDataset(config);
+  ASSERT_TRUE(dataset.ok());
+
+  auto schema = SchemaGraph::Build(dataset->db);
+  ASSERT_TRUE(schema.ok());
+  for (const auto& [table, column] : DblpDefaultPromotions()) {
+    ASSERT_TRUE(schema->PromoteAttribute(table, column).ok());
+  }
+  auto link = LinkGraph::Build(*schema);
+  ASSERT_TRUE(link.ok());
+  PropagationEngine engine(*link);
+
+  PathEnumerationOptions enumeration;
+  enumeration.max_length = 4;
+  const auto paths = EnumerateJoinPaths(
+      *schema, *dataset->db.TableId(kPublishTable), enumeration);
+
+  PropagationOptions dfs;
+  dfs.algorithm = PropagationAlgorithm::kDepthFirst;
+  dfs.exclude_start_tuple = GetParam();
+  PropagationOptions level = dfs;
+  level.algorithm = PropagationAlgorithm::kLevelWise;
+
+  for (const int32_t ref : dataset->cases[0].publish_rows) {
+    for (const JoinPath& path : paths) {
+      ExpectProfilesEqual(
+          engine.Compute(path, ref, dfs), engine.Compute(path, ref, level),
+          path.Describe(*schema) + " ref " + std::to_string(ref));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ExcludeOriginOnOff, LevelWiseTest,
+                         ::testing::Bool());
+
+TEST(LevelWiseEndToEndTest, PipelineProducesSameClusters) {
+  GeneratorConfig generator;
+  generator.seed = 29;
+  generator.num_communities = 8;
+  generator.authors_per_community = 12;
+  generator.ambiguous = {{"Wei Wang", 4, 24}};
+  auto dataset = GenerateDblpDataset(generator);
+  ASSERT_TRUE(dataset.ok());
+
+  DistinctConfig dfs_config;
+  dfs_config.supervised = false;
+  dfs_config.promotions = DblpDefaultPromotions();
+  DistinctConfig level_config = dfs_config;
+  level_config.propagation.algorithm = PropagationAlgorithm::kLevelWise;
+
+  auto dfs_engine =
+      Distinct::Create(dataset->db, DblpReferenceSpec(), dfs_config);
+  auto level_engine =
+      Distinct::Create(dataset->db, DblpReferenceSpec(), level_config);
+  ASSERT_TRUE(dfs_engine.ok() && level_engine.ok());
+
+  auto dfs_result = dfs_engine->ResolveName("Wei Wang");
+  auto level_result = level_engine->ResolveName("Wei Wang");
+  ASSERT_TRUE(dfs_result.ok() && level_result.ok());
+  EXPECT_EQ(dfs_result->clustering.assignment,
+            level_result->clustering.assignment);
+}
+
+}  // namespace
+}  // namespace distinct

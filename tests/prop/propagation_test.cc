@@ -1,0 +1,184 @@
+// Hand-verified probability propagation on the Fig. 1-style mini database
+// (see test_util.h for the exact contents).
+
+#include "prop/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace distinct {
+namespace {
+
+using testing_util::kWeiWangRef0;
+using testing_util::kWeiWangRef1;
+
+class PropagationTest : public ::testing::Test {
+ protected:
+  PropagationTest() : db_(testing_util::MakeMiniDblp()) {
+    auto graph = SchemaGraph::Build(db_);
+    DISTINCT_CHECK(graph.ok());
+    schema_ = std::make_unique<SchemaGraph>(*std::move(graph));
+    DISTINCT_CHECK(schema_->PromoteAttribute(kProceedingsTable, "year").ok());
+    auto link = LinkGraph::Build(*schema_);
+    DISTINCT_CHECK(link.ok());
+    link_ = std::make_unique<LinkGraph>(*std::move(link));
+    engine_ = std::make_unique<PropagationEngine>(*link_);
+    publish_ = *db_.TableId(kPublishTable);
+  }
+
+  /// Builds a path by matching its Describe() suffix edges.
+  JoinPath PathFromDescription(const std::string& description,
+                               int max_length = 4) {
+    PathEnumerationOptions options;
+    options.max_length = max_length;
+    for (const JoinPath& path :
+         EnumerateJoinPaths(*schema_, publish_, options)) {
+      if (path.Describe(*schema_) == description) {
+        return path;
+      }
+    }
+    ADD_FAILURE() << "no path " << description;
+    return JoinPath{};
+  }
+
+  Database db_;
+  std::unique_ptr<SchemaGraph> schema_;
+  std::unique_ptr<LinkGraph> link_;
+  std::unique_ptr<PropagationEngine> engine_;
+  int publish_ = -1;
+};
+
+TEST_F(PropagationTest, SingleStepPaperPath) {
+  const JoinPath path =
+      PathFromDescription("Publish -paper_id-> Publications");
+  const NeighborProfile profile = engine_->Compute(path, kWeiWangRef0);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_EQ(profile.entries()[0].tuple, 0);  // paper 0
+  EXPECT_DOUBLE_EQ(profile.entries()[0].forward, 1.0);
+  // Reverse: paper 0 has two Publish rows, so Prob(paper0 -> ref0) = 1/2.
+  EXPECT_DOUBLE_EQ(profile.entries()[0].reverse, 0.5);
+}
+
+TEST_F(PropagationTest, CoauthorPathExcludesOrigin) {
+  const JoinPath path = PathFromDescription(
+      "Publish -paper_id-> Publications <-paper_id- Publish "
+      "-author_id-> Authors");
+  // Ref 0 is on paper 0 with Jiong Yang. With the origin excluded, the only
+  // coauthor name reached is Jiong Yang with forward 1/2 (the other half of
+  // the probability flowed into the origin and was discarded).
+  const NeighborProfile profile = engine_->Compute(path, kWeiWangRef0);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_EQ(profile.entries()[0].tuple, testing_util::kJiongYang);
+  EXPECT_DOUBLE_EQ(profile.entries()[0].forward, 0.5);
+  // Reverse: 1/2 (into paper 0) * 1 * 1/2 (Jiong Yang has two refs) = 1/4.
+  EXPECT_DOUBLE_EQ(profile.entries()[0].reverse, 0.25);
+}
+
+TEST_F(PropagationTest, CoauthorPathWithOriginIncluded) {
+  const JoinPath path = PathFromDescription(
+      "Publish -paper_id-> Publications <-paper_id- Publish "
+      "-author_id-> Authors");
+  PropagationOptions options;
+  options.exclude_start_tuple = false;
+  const NeighborProfile profile =
+      engine_->Compute(path, kWeiWangRef0, options);
+  // Now both paper-0 authors appear: Wei Wang (via the origin) and Jiong
+  // Yang, 1/2 each.
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile.ForwardOf(testing_util::kWeiWang), 0.5);
+  EXPECT_DOUBLE_EQ(profile.ForwardOf(testing_util::kJiongYang), 0.5);
+  EXPECT_DOUBLE_EQ(profile.ForwardSum(), 1.0);
+}
+
+TEST_F(PropagationTest, ThreeAuthorPaper) {
+  const JoinPath path = PathFromDescription(
+      "Publish -paper_id-> Publications <-paper_id- Publish "
+      "-author_id-> Authors");
+  // Ref 1 (row 2) is on paper 1 with Haixun Wang and Jiong Yang.
+  const NeighborProfile profile = engine_->Compute(path, kWeiWangRef1);
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_DOUBLE_EQ(profile.ForwardOf(testing_util::kHaixunWang), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(profile.ForwardOf(testing_util::kJiongYang), 1.0 / 3.0);
+  // Reverse to ref1: via Haixun Wang (1 ref): 1/3 * 1 * 1 = 1/3.
+  //                  via Jiong Yang (2 refs): 1/3 * 1 * 1/2 = 1/6.
+  for (const ProfileEntry& entry : profile.entries()) {
+    if (entry.tuple == testing_util::kHaixunWang) {
+      EXPECT_DOUBLE_EQ(entry.reverse, 1.0 / 3.0);
+    } else {
+      EXPECT_DOUBLE_EQ(entry.reverse, 1.0 / 6.0);
+    }
+  }
+}
+
+TEST_F(PropagationTest, PromotedYearPath) {
+  const JoinPath path = PathFromDescription(
+      "Publish -paper_id-> Publications -proc_id-> Proceedings "
+      "-year-> Proceedings.year");
+  const NeighborProfile profile = engine_->Compute(path, kWeiWangRef0);
+  ASSERT_EQ(profile.size(), 1u);
+  EXPECT_DOUBLE_EQ(profile.entries()[0].forward, 1.0);
+  // Reverse: 1/2 (paper 0 rows) * 1 (proc 0 has one paper) * 1 (one
+  // proceedings in 1997) = 1/2.
+  EXPECT_DOUBLE_EQ(profile.entries()[0].reverse, 0.5);
+}
+
+TEST_F(PropagationTest, ForwardMassConservedWithoutExclusion) {
+  PropagationOptions options;
+  options.exclude_start_tuple = false;
+  PathEnumerationOptions enumeration;
+  enumeration.max_length = 3;
+  for (const JoinPath& path :
+       EnumerateJoinPaths(*schema_, publish_, enumeration)) {
+    const NeighborProfile profile =
+        engine_->Compute(path, kWeiWangRef0, options);
+    EXPECT_NEAR(profile.ForwardSum(), 1.0, 1e-12)
+        << path.Describe(*schema_);
+  }
+}
+
+TEST_F(PropagationTest, ReverseProbabilitiesAreValidProbabilities) {
+  PathEnumerationOptions enumeration;
+  enumeration.max_length = 4;
+  for (const JoinPath& path :
+       EnumerateJoinPaths(*schema_, publish_, enumeration)) {
+    for (int32_t ref : {0, 2, 6}) {
+      const NeighborProfile profile = engine_->Compute(path, ref);
+      for (const ProfileEntry& entry : profile.entries()) {
+        EXPECT_GT(entry.forward, 0.0);
+        EXPECT_LE(entry.forward, 1.0 + 1e-12);
+        EXPECT_GT(entry.reverse, 0.0);
+        EXPECT_LE(entry.reverse, 1.0 + 1e-12);
+      }
+    }
+  }
+}
+
+TEST_F(PropagationTest, TruncationSetsFlag) {
+  const JoinPath path = PathFromDescription(
+      "Publish -paper_id-> Publications <-paper_id- Publish "
+      "-author_id-> Authors");
+  PropagationOptions options;
+  options.max_instances = 1;
+  const NeighborProfile profile =
+      engine_->Compute(path, kWeiWangRef1, options);
+  EXPECT_TRUE(profile.truncated());
+  EXPECT_LE(profile.size(), 1u);
+}
+
+TEST_F(PropagationTest, DeterministicAcrossCalls) {
+  const JoinPath path = PathFromDescription(
+      "Publish -paper_id-> Publications <-paper_id- Publish "
+      "-author_id-> Authors");
+  const NeighborProfile a = engine_->Compute(path, kWeiWangRef1);
+  const NeighborProfile b = engine_->Compute(path, kWeiWangRef1);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].tuple, b.entries()[i].tuple);
+    EXPECT_DOUBLE_EQ(a.entries()[i].forward, b.entries()[i].forward);
+    EXPECT_DOUBLE_EQ(a.entries()[i].reverse, b.entries()[i].reverse);
+  }
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,95 @@
+#include "relational/database.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace distinct {
+namespace {
+
+Table MakeTable(const std::string& name) {
+  return *Table::Create(name, {ColumnSpec{"id", ColumnType::kInt64, true,
+                                          ""}});
+}
+
+TEST(DatabaseTest, AddAndFindTables) {
+  Database db;
+  EXPECT_EQ(*db.AddTable(MakeTable("a")), 0);
+  EXPECT_EQ(*db.AddTable(MakeTable("b")), 1);
+  EXPECT_EQ(db.num_tables(), 2);
+  EXPECT_EQ(*db.TableId("b"), 1);
+  EXPECT_EQ((*db.FindTable("a"))->name(), "a");
+  EXPECT_EQ(db.TableId("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, DuplicateNameRejected) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(MakeTable("t")).ok());
+  EXPECT_EQ(db.AddTable(MakeTable("t")).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, MutableAccess) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(MakeTable("t")).ok());
+  Table* table = *db.FindMutableTable("t");
+  ASSERT_TRUE(table->AppendRow({Value::Int(1)}).ok());
+  EXPECT_EQ(db.table(0).num_rows(), 1);
+}
+
+TEST(DatabaseTest, TotalRows) {
+  Database db = testing_util::MakeMiniDblp();
+  // 5 authors + 3 conferences + 3 proceedings + 3 papers + 7 publish rows.
+  EXPECT_EQ(db.TotalRows(), 21);
+}
+
+TEST(DatabaseTest, ValidateIntegrityPassesOnMiniDblp) {
+  Database db = testing_util::MakeMiniDblp();
+  EXPECT_TRUE(db.ValidateIntegrity().ok());
+}
+
+TEST(DatabaseTest, ValidateCatchesDanglingFk) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(MakeTable("target")).ok());
+  auto referrer = Table::Create(
+      "referrer", {ColumnSpec{"id", ColumnType::kInt64, true, ""},
+                   ColumnSpec{"fk", ColumnType::kInt64, false, "target"}});
+  ASSERT_TRUE(referrer.ok());
+  ASSERT_TRUE(
+      referrer->AppendRow({Value::Int(0), Value::Int(99)}).ok());
+  ASSERT_TRUE(db.AddTable(*std::move(referrer)).ok());
+  const Status status = db.ValidateIntegrity();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("dangling"), std::string::npos);
+}
+
+TEST(DatabaseTest, ValidateCatchesMissingTargetTable) {
+  Database db;
+  auto referrer = Table::Create(
+      "referrer", {ColumnSpec{"id", ColumnType::kInt64, true, ""},
+                   ColumnSpec{"fk", ColumnType::kInt64, false, "ghost"}});
+  ASSERT_TRUE(db.AddTable(*std::move(referrer)).ok());
+  EXPECT_FALSE(db.ValidateIntegrity().ok());
+}
+
+TEST(DatabaseTest, ValidateAllowsNullFks) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(MakeTable("target")).ok());
+  auto referrer = Table::Create(
+      "referrer", {ColumnSpec{"id", ColumnType::kInt64, true, ""},
+                   ColumnSpec{"fk", ColumnType::kInt64, false, "target"}});
+  ASSERT_TRUE(referrer->AppendRow({Value::Int(0), Value::Null()}).ok());
+  ASSERT_TRUE(db.AddTable(*std::move(referrer)).ok());
+  EXPECT_TRUE(db.ValidateIntegrity().ok());
+}
+
+TEST(DatabaseTest, DebugStringListsTables) {
+  Database db = testing_util::MakeMiniDblp();
+  const std::string debug = db.DebugString();
+  EXPECT_NE(debug.find("Authors"), std::string::npos);
+  EXPECT_NE(debug.find("Publish"), std::string::npos);
+  EXPECT_NE(debug.find("5 tables"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace distinct

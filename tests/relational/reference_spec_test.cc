@@ -1,0 +1,64 @@
+#include "relational/reference_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace distinct {
+namespace {
+
+TEST(ReferenceSpecTest, ResolvesDblpSpec) {
+  Database db = testing_util::MakeMiniDblp();
+  auto resolved = ResolveReferenceSpec(db, DblpReferenceSpec());
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->reference_table_id, *db.TableId(kPublishTable));
+  EXPECT_EQ(resolved->name_table_id, *db.TableId(kAuthorsTable));
+  EXPECT_EQ(db.table(resolved->reference_table_id)
+                .column(resolved->identity_column)
+                .name,
+            "author_id");
+  EXPECT_EQ(
+      db.table(resolved->name_table_id).column(resolved->name_column).name,
+      "name");
+}
+
+TEST(ReferenceSpecTest, MissingTablesFail) {
+  Database db = testing_util::MakeMiniDblp();
+  ReferenceSpec spec = DblpReferenceSpec();
+  spec.reference_table = "Nope";
+  EXPECT_EQ(ResolveReferenceSpec(db, spec).status().code(),
+            StatusCode::kNotFound);
+
+  spec = DblpReferenceSpec();
+  spec.name_table = "Nope";
+  EXPECT_FALSE(ResolveReferenceSpec(db, spec).ok());
+}
+
+TEST(ReferenceSpecTest, MissingColumnsFail) {
+  Database db = testing_util::MakeMiniDblp();
+  ReferenceSpec spec = DblpReferenceSpec();
+  spec.identity_column = "nope";
+  EXPECT_FALSE(ResolveReferenceSpec(db, spec).ok());
+
+  spec = DblpReferenceSpec();
+  spec.name_column = "nope";
+  EXPECT_FALSE(ResolveReferenceSpec(db, spec).ok());
+}
+
+TEST(ReferenceSpecTest, IdentityMustBeFkToNameTable) {
+  Database db = testing_util::MakeMiniDblp();
+  ReferenceSpec spec = DblpReferenceSpec();
+  spec.identity_column = "paper_id";  // FK, but to the wrong table
+  const auto resolved = ResolveReferenceSpec(db, spec);
+  EXPECT_EQ(resolved.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReferenceSpecTest, NameColumnMustBeString) {
+  Database db = testing_util::MakeMiniDblp();
+  ReferenceSpec spec = DblpReferenceSpec();
+  spec.name_column = "author_id";
+  EXPECT_FALSE(ResolveReferenceSpec(db, spec).ok());
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,141 @@
+#include "relational/schema_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace distinct {
+namespace {
+
+TEST(SchemaGraphTest, BuildsNodesForEveryTable) {
+  Database db = testing_util::MakeMiniDblp();
+  auto graph = SchemaGraph::Build(db);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_nodes(), db.num_tables());
+  for (int t = 0; t < db.num_tables(); ++t) {
+    EXPECT_EQ(graph->node(t).name, db.table(t).name());
+    EXPECT_FALSE(graph->node(t).is_attribute);
+  }
+}
+
+TEST(SchemaGraphTest, BuildsEdgesForEveryForeignKey) {
+  Database db = testing_util::MakeMiniDblp();
+  auto graph = SchemaGraph::Build(db);
+  ASSERT_TRUE(graph.ok());
+  // Publish.author_id, Publish.paper_id, Publications.proc_id,
+  // Proceedings.conf_id.
+  EXPECT_EQ(graph->num_edges(), 4);
+}
+
+TEST(SchemaGraphTest, EdgeEndpointsAreCorrect) {
+  Database db = testing_util::MakeMiniDblp();
+  auto graph = SchemaGraph::Build(db);
+  ASSERT_TRUE(graph.ok());
+  const int publish = *graph->NodeForTable(kPublishTable);
+  const int authors = *graph->NodeForTable(kAuthorsTable);
+  bool found = false;
+  for (int e = 0; e < graph->num_edges(); ++e) {
+    const SchemaEdge& edge = graph->edge(e);
+    if (edge.from_node == publish && edge.to_node == authors) {
+      found = true;
+      EXPECT_EQ(edge.table_id, publish);
+      EXPECT_FALSE(edge.is_attribute_edge);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SchemaGraphTest, IncidentListsBothDirections) {
+  Database db = testing_util::MakeMiniDblp();
+  auto graph = SchemaGraph::Build(db);
+  ASSERT_TRUE(graph.ok());
+  const int publish = *graph->NodeForTable(kPublishTable);
+  const int authors = *graph->NodeForTable(kAuthorsTable);
+  // Publish has two outgoing FKs, nothing references Publish.
+  EXPECT_EQ(graph->incident(publish).size(), 2u);
+  // Authors has one incoming edge.
+  ASSERT_EQ(graph->incident(authors).size(), 1u);
+  EXPECT_FALSE(graph->incident(authors)[0].forward);
+}
+
+TEST(SchemaGraphTest, TraverseFollowsDirections) {
+  Database db = testing_util::MakeMiniDblp();
+  auto graph = SchemaGraph::Build(db);
+  ASSERT_TRUE(graph.ok());
+  const int publish = *graph->NodeForTable(kPublishTable);
+  for (const IncidentEdge& incident : graph->incident(publish)) {
+    const int neighbor = graph->Traverse(publish, incident);
+    EXPECT_NE(neighbor, publish);
+    // Round trip.
+    EXPECT_EQ(graph->Traverse(neighbor,
+                              IncidentEdge{incident.edge_id,
+                                           !incident.forward}),
+              publish);
+  }
+}
+
+TEST(SchemaGraphTest, PromoteAttributeAddsNodeAndEdge) {
+  Database db = testing_util::MakeMiniDblp();
+  auto graph = SchemaGraph::Build(db);
+  ASSERT_TRUE(graph.ok());
+  const int nodes_before = graph->num_nodes();
+  const int edges_before = graph->num_edges();
+  ASSERT_TRUE(graph->PromoteAttribute(kConferencesTable, "publisher").ok());
+  EXPECT_EQ(graph->num_nodes(), nodes_before + 1);
+  EXPECT_EQ(graph->num_edges(), edges_before + 1);
+  const SchemaNode& node = graph->node(nodes_before);
+  EXPECT_TRUE(node.is_attribute);
+  EXPECT_EQ(node.name, "Conferences.publisher");
+  const SchemaEdge& edge = graph->edge(edges_before);
+  EXPECT_TRUE(edge.is_attribute_edge);
+  EXPECT_EQ(edge.to_node, node.id);
+}
+
+TEST(SchemaGraphTest, PromoteIsIdempotent) {
+  Database db = testing_util::MakeMiniDblp();
+  auto graph = SchemaGraph::Build(db);
+  ASSERT_TRUE(graph->PromoteAttribute(kProceedingsTable, "year").ok());
+  const int nodes = graph->num_nodes();
+  ASSERT_TRUE(graph->PromoteAttribute(kProceedingsTable, "year").ok());
+  EXPECT_EQ(graph->num_nodes(), nodes);
+}
+
+TEST(SchemaGraphTest, PromoteRejectsKeys) {
+  Database db = testing_util::MakeMiniDblp();
+  auto graph = SchemaGraph::Build(db);
+  EXPECT_FALSE(graph->PromoteAttribute(kProceedingsTable, "proc_id").ok());
+  EXPECT_FALSE(graph->PromoteAttribute(kProceedingsTable, "conf_id").ok());
+  EXPECT_FALSE(graph->PromoteAttribute(kProceedingsTable, "missing").ok());
+  EXPECT_FALSE(graph->PromoteAttribute("NoSuchTable", "year").ok());
+}
+
+TEST(SchemaGraphTest, PromotedIntAttributeWorks) {
+  Database db = testing_util::MakeMiniDblp();
+  auto graph = SchemaGraph::Build(db);
+  EXPECT_TRUE(graph->PromoteAttribute(kProceedingsTable, "year").ok());
+}
+
+TEST(SchemaGraphTest, DebugStringMentionsEverything) {
+  Database db = testing_util::MakeMiniDblp();
+  auto graph = SchemaGraph::Build(db);
+  ASSERT_TRUE(graph->PromoteAttribute(kConferencesTable, "publisher").ok());
+  const std::string debug = graph->DebugString();
+  EXPECT_NE(debug.find("Publish"), std::string::npos);
+  EXPECT_NE(debug.find("Conferences.publisher"), std::string::npos);
+  EXPECT_NE(debug.find("(attribute)"), std::string::npos);
+}
+
+TEST(SchemaGraphTest, FkToTableWithoutPkFails) {
+  Database db;
+  auto no_pk = Table::Create(
+      "no_pk", {ColumnSpec{"v", ColumnType::kInt64, false, ""}});
+  ASSERT_TRUE(db.AddTable(*std::move(no_pk)).ok());
+  auto referrer = Table::Create(
+      "referrer", {ColumnSpec{"id", ColumnType::kInt64, true, ""},
+                   ColumnSpec{"fk", ColumnType::kInt64, false, "no_pk"}});
+  ASSERT_TRUE(db.AddTable(*std::move(referrer)).ok());
+  EXPECT_FALSE(SchemaGraph::Build(db).ok());
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,157 @@
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+Table MakeAuthors() {
+  auto table = Table::Create(
+      "Authors", {ColumnSpec{"id", ColumnType::kInt64, true, ""},
+                  ColumnSpec{"name", ColumnType::kString, false, ""}});
+  return *std::move(table);
+}
+
+TEST(TableCreateTest, RejectsBadSchemas) {
+  EXPECT_FALSE(Table::Create("", {ColumnSpec{"a", ColumnType::kInt64, false, ""}}).ok());
+  EXPECT_FALSE(Table::Create("t", {}).ok());
+  EXPECT_FALSE(
+      Table::Create("t", {ColumnSpec{"a", ColumnType::kInt64, false, ""},
+                          ColumnSpec{"a", ColumnType::kInt64, false, ""}}).ok());
+  EXPECT_FALSE(Table::Create("t", {ColumnSpec{"", ColumnType::kInt64, false, ""}}).ok());
+  // Two primary keys.
+  EXPECT_FALSE(Table::Create("t", {ColumnSpec{"a", ColumnType::kInt64, true,
+                                              ""},
+                                   ColumnSpec{"b", ColumnType::kInt64, true,
+                                              ""}})
+                   .ok());
+  // String primary key.
+  EXPECT_FALSE(
+      Table::Create("t", {ColumnSpec{"a", ColumnType::kString, true, ""}})
+          .ok());
+  // String foreign key.
+  EXPECT_FALSE(
+      Table::Create("t", {ColumnSpec{"a", ColumnType::kString, false, "x"}})
+          .ok());
+}
+
+TEST(TableTest, AppendAndReadBack) {
+  Table table = MakeAuthors();
+  ASSERT_TRUE(table.AppendRow({Value::Int(7), Value::Str("Wei Wang")}).ok());
+  EXPECT_EQ(table.num_rows(), 1);
+  EXPECT_EQ(table.GetInt(0, 0), 7);
+  EXPECT_EQ(table.GetString(0, 1), "Wei Wang");
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table table = MakeAuthors();
+  EXPECT_FALSE(table.AppendRow({Value::Int(1)}).ok());
+  EXPECT_FALSE(
+      table.AppendRow({Value::Int(1), Value::Str("a"), Value::Str("b")})
+          .ok());
+  EXPECT_EQ(table.num_rows(), 0);
+}
+
+TEST(TableTest, TypeMismatchRejected) {
+  Table table = MakeAuthors();
+  EXPECT_FALSE(table.AppendRow({Value::Str("x"), Value::Str("a")}).ok());
+  EXPECT_FALSE(table.AppendRow({Value::Int(1), Value::Int(2)}).ok());
+}
+
+TEST(TableTest, DuplicatePrimaryKeyRejected) {
+  Table table = MakeAuthors();
+  ASSERT_TRUE(table.AppendRow({Value::Int(1), Value::Str("a")}).ok());
+  const auto duplicate = table.AppendRow({Value::Int(1), Value::Str("b")});
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(table.num_rows(), 1);
+}
+
+TEST(TableTest, NullPrimaryKeyRejected) {
+  Table table = MakeAuthors();
+  EXPECT_FALSE(table.AppendRow({Value::Null(), Value::Str("a")}).ok());
+}
+
+TEST(TableTest, NullCellsRoundTrip) {
+  Table table = MakeAuthors();
+  ASSERT_TRUE(table.AppendRow({Value::Int(1), Value::Null()}).ok());
+  EXPECT_TRUE(table.IsNull(0, 1));
+  EXPECT_TRUE(table.GetValue(0, 1).is_null());
+  EXPECT_FALSE(table.IsNull(0, 0));
+}
+
+TEST(TableTest, PrimaryKeyLookup) {
+  Table table = MakeAuthors();
+  ASSERT_TRUE(table.AppendRow({Value::Int(10), Value::Str("a")}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Int(20), Value::Str("b")}).ok());
+  EXPECT_EQ(*table.RowForPrimaryKey(20), 1);
+  EXPECT_EQ(*table.RowForPrimaryKey(10), 0);
+  EXPECT_EQ(table.RowForPrimaryKey(99).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TableTest, NoPrimaryKeyLookupFails) {
+  auto table = Table::Create("t", {ColumnSpec{"v", ColumnType::kInt64, false, ""}});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->RowForPrimaryKey(0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(table->primary_key_column(), -1);
+}
+
+TEST(TableTest, ColumnIndex) {
+  Table table = MakeAuthors();
+  EXPECT_EQ(*table.ColumnIndex("name"), 1);
+  EXPECT_EQ(*table.ColumnIndex("id"), 0);
+  EXPECT_EQ(table.ColumnIndex("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TableTest, StringDictionaryIsShared) {
+  Table table = MakeAuthors();
+  ASSERT_TRUE(table.AppendRow({Value::Int(1), Value::Str("same")}).ok());
+  ASSERT_TRUE(table.AppendRow({Value::Int(2), Value::Str("same")}).ok());
+  EXPECT_EQ(table.raw(0, 1), table.raw(1, 1));
+  EXPECT_EQ(table.dictionary(1).size(), 1);
+}
+
+TEST(TableTest, FindAndInternString) {
+  Table table = MakeAuthors();
+  EXPECT_FALSE(table.FindString(1, "ghost").has_value());
+  const int64_t id = table.InternString(1, "ghost");
+  EXPECT_EQ(table.FindString(1, "ghost"), id);
+  EXPECT_EQ(table.num_rows(), 0);  // interning adds no rows
+}
+
+TEST(TableTest, ReservedNullSentinelRejected) {
+  Table table = MakeAuthors();
+  EXPECT_FALSE(
+      table.AppendRow({Value::Int(kNullCell), Value::Str("a")}).ok());
+}
+
+TEST(TableTest, DebugStringMentionsSchema) {
+  Table table = MakeAuthors();
+  const std::string debug = table.DebugString();
+  EXPECT_NE(debug.find("Authors"), std::string::npos);
+  EXPECT_NE(debug.find("PK"), std::string::npos);
+  EXPECT_NE(debug.find("0 rows"), std::string::npos);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int(5).AsInt(), 5);
+  EXPECT_EQ(Value::Str("s").AsString(), "s");
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(5).DebugString(), "5");
+  EXPECT_EQ(Value::Str("s").DebugString(), "\"s\"");
+  EXPECT_EQ(Value::Null().DebugString(), "NULL");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_FALSE(Value::Int(5) == Value::Int(6));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_FALSE(Value::Str("a") == Value::Int(0));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_FALSE(Value::Null() == Value::Int(0));
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,109 @@
+#include "sim/resemblance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace distinct {
+namespace {
+
+NeighborProfile Profile(std::vector<ProfileEntry> entries) {
+  return NeighborProfile(std::move(entries));
+}
+
+TEST(SetResemblanceTest, IdenticalProfilesScoreOne) {
+  const NeighborProfile p =
+      Profile({{1, 0.5, 0.1}, {4, 0.3, 0.1}, {9, 0.2, 0.1}});
+  EXPECT_DOUBLE_EQ(SetResemblance(p, p), 1.0);
+}
+
+TEST(SetResemblanceTest, DisjointProfilesScoreZero) {
+  const NeighborProfile a = Profile({{1, 0.5, 0.0}, {2, 0.5, 0.0}});
+  const NeighborProfile b = Profile({{3, 0.5, 0.0}, {4, 0.5, 0.0}});
+  EXPECT_DOUBLE_EQ(SetResemblance(a, b), 0.0);
+}
+
+TEST(SetResemblanceTest, EmptyProfileScoresZero) {
+  const NeighborProfile a = Profile({{1, 1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(SetResemblance(a, NeighborProfile()), 0.0);
+  EXPECT_DOUBLE_EQ(SetResemblance(NeighborProfile(), a), 0.0);
+  EXPECT_DOUBLE_EQ(SetResemblance(NeighborProfile(), NeighborProfile()),
+                   0.0);
+}
+
+TEST(SetResemblanceTest, HandComputedPartialOverlap) {
+  // a = {1: 0.5}, b = {1: 1/3, 2: 1/3}.
+  // numerator = min(0.5, 1/3) = 1/3.
+  // denominator = max(0.5, 1/3) + 1/3 = 5/6.
+  const NeighborProfile a = Profile({{1, 0.5, 0.0}});
+  const NeighborProfile b = Profile({{1, 1.0 / 3, 0.0}, {2, 1.0 / 3, 0.0}});
+  EXPECT_NEAR(SetResemblance(a, b), (1.0 / 3) / (5.0 / 6), 1e-12);
+}
+
+TEST(SetResemblanceTest, WeightsMatterNotJustMembership) {
+  const NeighborProfile a = Profile({{1, 0.9, 0.0}, {2, 0.1, 0.0}});
+  const NeighborProfile b1 = Profile({{1, 0.9, 0.0}, {2, 0.1, 0.0}});
+  const NeighborProfile b2 = Profile({{1, 0.1, 0.0}, {2, 0.9, 0.0}});
+  EXPECT_GT(SetResemblance(a, b1), SetResemblance(a, b2));
+}
+
+/// Property sweep over random profiles: symmetry, range, and identity.
+class ResemblancePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  NeighborProfile RandomProfile(Rng& rng, int max_tuples) {
+    std::vector<ProfileEntry> entries;
+    const int n = static_cast<int>(rng.UniformInt(0, max_tuples));
+    for (int t = 0; t < n; ++t) {
+      if (rng.Bernoulli(0.6)) {
+        entries.push_back(ProfileEntry{t, rng.UniformDouble() + 1e-9,
+                                       rng.UniformDouble()});
+      }
+    }
+    return NeighborProfile(std::move(entries));
+  }
+};
+
+TEST_P(ResemblancePropertyTest, SymmetricAndBounded) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const NeighborProfile a = RandomProfile(rng, 30);
+    const NeighborProfile b = RandomProfile(rng, 30);
+    const double ab = SetResemblance(a, b);
+    const double ba = SetResemblance(b, a);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+}
+
+TEST_P(ResemblancePropertyTest, SelfSimilarityIsOne) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int trial = 0; trial < 100; ++trial) {
+    const NeighborProfile a = RandomProfile(rng, 30);
+    if (!a.empty()) {
+      EXPECT_DOUBLE_EQ(SetResemblance(a, a), 1.0);
+    }
+  }
+}
+
+TEST_P(ResemblancePropertyTest, SubsetScoresLessThanEqualSets) {
+  Rng rng(GetParam() ^ 0x123456);
+  for (int trial = 0; trial < 100; ++trial) {
+    NeighborProfile a = RandomProfile(rng, 30);
+    if (a.size() < 2) continue;
+    // b = a with one entry dropped: resemblance must be < 1.
+    std::vector<ProfileEntry> entries = a.entries();
+    entries.pop_back();
+    const NeighborProfile b(std::move(entries));
+    EXPECT_LT(SetResemblance(a, b), 1.0);
+    EXPECT_GT(SetResemblance(a, b), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResemblancePropertyTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace distinct

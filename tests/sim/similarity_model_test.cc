@@ -1,0 +1,74 @@
+#include "sim/similarity_model.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+PairFeatures MakeFeatures(std::vector<double> resem,
+                          std::vector<double> walk) {
+  PairFeatures features;
+  features.resemblance = std::move(resem);
+  features.walk = std::move(walk);
+  return features;
+}
+
+TEST(SimilarityModelTest, UniformWeights) {
+  const SimilarityModel model = SimilarityModel::Uniform(4);
+  EXPECT_EQ(model.num_paths(), 4u);
+  for (const double w : model.resem_weights()) {
+    EXPECT_DOUBLE_EQ(w, 0.25);
+  }
+  const PairFeatures features =
+      MakeFeatures({1.0, 1.0, 0.0, 0.0}, {0.4, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(model.Resemblance(features), 0.5);
+  EXPECT_DOUBLE_EQ(model.Walk(features), 0.1);
+}
+
+TEST(SimilarityModelTest, WeightedCombination) {
+  const SimilarityModel model({0.8, 0.2}, {0.5, 0.5});
+  const PairFeatures features = MakeFeatures({0.5, 1.0}, {0.1, 0.3});
+  EXPECT_NEAR(model.Resemblance(features), 0.8 * 0.5 + 0.2 * 1.0, 1e-12);
+  EXPECT_NEAR(model.Walk(features), 0.5 * 0.1 + 0.5 * 0.3, 1e-12);
+}
+
+TEST(SimilarityModelTest, NegativeTotalsClampToZero) {
+  const SimilarityModel model({-1.0}, {-1.0});
+  const PairFeatures features = MakeFeatures({0.7}, {0.2});
+  EXPECT_DOUBLE_EQ(model.Resemblance(features), 0.0);
+  EXPECT_DOUBLE_EQ(model.Walk(features), 0.0);
+}
+
+TEST(SimilarityModelTest, ClampAndNormalizeZeroesNegativesAndSumsToOne) {
+  SimilarityModel model({2.0, -1.0, 2.0}, {0.0, 0.0, 5.0});
+  model.ClampAndNormalize();
+  EXPECT_DOUBLE_EQ(model.resem_weights()[0], 0.5);
+  EXPECT_DOUBLE_EQ(model.resem_weights()[1], 0.0);
+  EXPECT_DOUBLE_EQ(model.resem_weights()[2], 0.5);
+  EXPECT_DOUBLE_EQ(model.walk_weights()[2], 1.0);
+}
+
+TEST(SimilarityModelTest, AllNegativeFallsBackToUniform) {
+  SimilarityModel model({-1.0, -2.0}, {-0.5, -0.5});
+  model.ClampAndNormalize();
+  EXPECT_DOUBLE_EQ(model.resem_weights()[0], 0.5);
+  EXPECT_DOUBLE_EQ(model.resem_weights()[1], 0.5);
+  EXPECT_DOUBLE_EQ(model.walk_weights()[0], 0.5);
+}
+
+TEST(SimilarityModelTest, DebugStringShowsPathNames) {
+  const SimilarityModel model({0.9, 0.1}, {0.5, 0.5},
+                              {"coauthor-path", "venue-path"});
+  const std::string debug = model.DebugString();
+  EXPECT_NE(debug.find("coauthor-path"), std::string::npos);
+  EXPECT_NE(debug.find("venue-path"), std::string::npos);
+  // Sorted by resemblance weight: coauthor first.
+  EXPECT_LT(debug.find("coauthor-path"), debug.find("venue-path"));
+}
+
+TEST(SimilarityModelDeathTest, MismatchedWidthsAbort) {
+  EXPECT_DEATH(SimilarityModel({0.5}, {0.5, 0.5}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,85 @@
+#include "sim/walk_probability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace distinct {
+namespace {
+
+NeighborProfile Profile(std::vector<ProfileEntry> entries) {
+  return NeighborProfile(std::move(entries));
+}
+
+TEST(WalkProbabilityTest, HandComputed) {
+  // a: {t1: fwd 0.5}, b: {t1: rev 1/6}. Walk(a->b) = 0.5 * 1/6.
+  const NeighborProfile a = Profile({{1, 0.5, 0.25}});
+  const NeighborProfile b = Profile({{1, 1.0 / 3, 1.0 / 6}});
+  EXPECT_NEAR(WalkProbability(a, b), 0.5 / 6.0, 1e-12);
+  EXPECT_NEAR(WalkProbability(b, a), (1.0 / 3) * 0.25, 1e-12);
+  EXPECT_NEAR(SymmetricWalkProbability(a, b),
+              0.5 * (0.5 / 6.0 + 0.25 / 3.0), 1e-12);
+}
+
+TEST(WalkProbabilityTest, DisjointProfilesWalkZero) {
+  const NeighborProfile a = Profile({{1, 1.0, 1.0}});
+  const NeighborProfile b = Profile({{2, 1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(WalkProbability(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(SymmetricWalkProbability(a, b), 0.0);
+}
+
+TEST(WalkProbabilityTest, EmptyProfiles) {
+  const NeighborProfile a = Profile({{1, 1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(WalkProbability(a, NeighborProfile()), 0.0);
+  EXPECT_DOUBLE_EQ(WalkProbability(NeighborProfile(), a), 0.0);
+}
+
+TEST(WalkProbabilityTest, MultipleSharedTuplesSum) {
+  const NeighborProfile a = Profile({{1, 0.4, 0.2}, {2, 0.6, 0.3}});
+  const NeighborProfile b = Profile({{1, 0.5, 0.1}, {2, 0.5, 0.25}});
+  EXPECT_NEAR(WalkProbability(a, b), 0.4 * 0.1 + 0.6 * 0.25, 1e-12);
+}
+
+TEST(WalkProbabilityTest, DirectedWalkIsNotSymmetricButCombinedIs) {
+  const NeighborProfile a = Profile({{1, 0.9, 0.1}});
+  const NeighborProfile b = Profile({{1, 0.2, 0.8}});
+  EXPECT_NE(WalkProbability(a, b), WalkProbability(b, a));
+  EXPECT_DOUBLE_EQ(SymmetricWalkProbability(a, b),
+                   SymmetricWalkProbability(b, a));
+}
+
+/// Property sweep: symmetric walk probability is symmetric, non-negative,
+/// and bounded by 1 for probability-valued profiles.
+class WalkPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WalkPropertyTest, SymmetricNonNegativeBounded) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<ProfileEntry> ea;
+    std::vector<ProfileEntry> eb;
+    for (int t = 0; t < 20; ++t) {
+      if (rng.Bernoulli(0.5)) {
+        ea.push_back(
+            ProfileEntry{t, rng.UniformDouble(), rng.UniformDouble()});
+      }
+      if (rng.Bernoulli(0.5)) {
+        eb.push_back(
+            ProfileEntry{t, rng.UniformDouble(), rng.UniformDouble()});
+      }
+    }
+    const NeighborProfile a(std::move(ea));
+    const NeighborProfile b(std::move(eb));
+    const double sym = SymmetricWalkProbability(a, b);
+    EXPECT_DOUBLE_EQ(sym, SymmetricWalkProbability(b, a));
+    EXPECT_GE(sym, 0.0);
+    // Each direction is at most Σ fwd * rev <= Σ fwd <= n; with fwd/rev in
+    // [0,1] and <= 20 tuples the bound 20 is loose but structural.
+    EXPECT_LE(sym, 20.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalkPropertyTest,
+                         ::testing::Values(3, 17, 256, 9001));
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,70 @@
+#include "svm/model_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(ModelIoTest, RoundTripExact) {
+  const LinearSvmModel model({0.1, -2.5e-7, 3.14159265358979},
+                             -0.4999999999999999);
+  auto parsed = ParseSvmModel(SerializeSvmModel(model));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->weights().size(), 3u);
+  for (size_t f = 0; f < 3; ++f) {
+    EXPECT_DOUBLE_EQ(parsed->weights()[f], model.weights()[f]);
+  }
+  EXPECT_DOUBLE_EQ(parsed->bias(), model.bias());
+}
+
+TEST(ModelIoTest, EmptyWeights) {
+  const LinearSvmModel model({}, 1.0);
+  auto parsed = ParseSvmModel(SerializeSvmModel(model));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->weights().empty());
+}
+
+TEST(ModelIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n\ndistinct-svm-model v1\n# more\nbias 0.5\n"
+      "weights 1\n0.25\n\n";
+  auto parsed = ParseSvmModel(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->bias(), 0.5);
+  EXPECT_DOUBLE_EQ(parsed->weights()[0], 0.25);
+}
+
+TEST(ModelIoTest, RejectsCorruptedInputs) {
+  EXPECT_FALSE(ParseSvmModel("").ok());
+  EXPECT_FALSE(ParseSvmModel("wrong-magic v9\nbias 0\nweights 0\n").ok());
+  EXPECT_FALSE(
+      ParseSvmModel("distinct-svm-model v1\nbias x\nweights 0\n").ok());
+  EXPECT_FALSE(
+      ParseSvmModel("distinct-svm-model v1\nbias 0\nweights 2\n1.0\n").ok());
+  EXPECT_FALSE(
+      ParseSvmModel("distinct-svm-model v1\nbias 0\nweights 1\nzz\n").ok());
+  EXPECT_FALSE(
+      ParseSvmModel("distinct-svm-model v1\nweights 0\nbias 0\n").ok());
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const LinearSvmModel model({1.5, -0.5}, 2.0);
+  const std::string path = ::testing::TempDir() + "/svm_model_test.txt";
+  ASSERT_TRUE(SaveSvmModel(model, path).ok());
+  auto loaded = LoadSvmModel(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded->weights()[0], 1.5);
+  EXPECT_DOUBLE_EQ(loaded->weights()[1], -0.5);
+  EXPECT_DOUBLE_EQ(loaded->bias(), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadSvmModel("/no/such/model.txt").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace distinct

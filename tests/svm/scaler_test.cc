@@ -1,0 +1,70 @@
+#include "svm/scaler.h"
+
+#include <gtest/gtest.h>
+
+namespace distinct {
+namespace {
+
+TEST(ScalerTest, ScalesByMaxAbs) {
+  MaxAbsScaler scaler;
+  scaler.Fit({{2.0, -4.0}, {1.0, 3.0}});
+  EXPECT_DOUBLE_EQ(scaler.scales()[0], 2.0);
+  EXPECT_DOUBLE_EQ(scaler.scales()[1], 4.0);
+  const std::vector<double> scaled = scaler.Transform({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(scaled[0], 0.5);
+  EXPECT_DOUBLE_EQ(scaled[1], 0.5);
+}
+
+TEST(ScalerTest, ZeroFeatureGetsScaleOne) {
+  MaxAbsScaler scaler;
+  scaler.Fit({{0.0, 1.0}, {0.0, 2.0}});
+  EXPECT_DOUBLE_EQ(scaler.scales()[0], 1.0);
+  EXPECT_DOUBLE_EQ(scaler.Transform({0.0, 1.0})[0], 0.0);
+}
+
+TEST(ScalerTest, TransformAll) {
+  MaxAbsScaler scaler;
+  scaler.Fit({{10.0}});
+  const auto all = scaler.TransformAll({{10.0}, {5.0}, {0.0}});
+  EXPECT_DOUBLE_EQ(all[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(all[1][0], 0.5);
+  EXPECT_DOUBLE_EQ(all[2][0], 0.0);
+}
+
+TEST(ScalerTest, UnscaleWeightsInvertsTransform) {
+  // For any x: w_scaled . transform(x) == unscale(w_scaled) . x.
+  MaxAbsScaler scaler;
+  scaler.Fit({{4.0, 0.5, 3.0}});
+  const std::vector<double> w_scaled = {1.0, -2.0, 0.25};
+  const std::vector<double> w_raw = scaler.UnscaleWeights(w_scaled);
+  const std::vector<double> x = {1.7, 0.3, -2.2};
+  const std::vector<double> x_scaled = scaler.Transform(x);
+  double scaled_dot = 0.0;
+  double raw_dot = 0.0;
+  for (size_t f = 0; f < x.size(); ++f) {
+    scaled_dot += w_scaled[f] * x_scaled[f];
+    raw_dot += w_raw[f] * x[f];
+  }
+  EXPECT_NEAR(scaled_dot, raw_dot, 1e-12);
+}
+
+TEST(ScalerTest, FittedFlag) {
+  MaxAbsScaler scaler;
+  EXPECT_FALSE(scaler.fitted());
+  scaler.Fit({{1.0}});
+  EXPECT_TRUE(scaler.fitted());
+}
+
+TEST(ScalerDeathTest, TransformBeforeFitAborts) {
+  MaxAbsScaler scaler;
+  EXPECT_DEATH(scaler.Transform({1.0}), "CHECK failed");
+}
+
+TEST(ScalerDeathTest, WidthMismatchAborts) {
+  MaxAbsScaler scaler;
+  scaler.Fit({{1.0, 2.0}});
+  EXPECT_DEATH(scaler.Transform({1.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace distinct
