@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_incremental.dir/bench/bench_ablation_incremental.cpp.o"
+  "CMakeFiles/bench_ablation_incremental.dir/bench/bench_ablation_incremental.cpp.o.d"
+  "CMakeFiles/bench_ablation_incremental.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_ablation_incremental.dir/bench/bench_util.cc.o.d"
+  "bench/bench_ablation_incremental"
+  "bench/bench_ablation_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_comparison.dir/bench/bench_fig4_comparison.cpp.o"
+  "CMakeFiles/bench_fig4_comparison.dir/bench/bench_fig4_comparison.cpp.o.d"
+  "CMakeFiles/bench_fig4_comparison.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig4_comparison.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig4_comparison"
+  "bench/bench_fig4_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

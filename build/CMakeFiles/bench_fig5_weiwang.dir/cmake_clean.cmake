@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_weiwang.dir/bench/bench_fig5_weiwang.cpp.o"
+  "CMakeFiles/bench_fig5_weiwang.dir/bench/bench_fig5_weiwang.cpp.o.d"
+  "CMakeFiles/bench_fig5_weiwang.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_fig5_weiwang.dir/bench/bench_util.cc.o.d"
+  "bench/bench_fig5_weiwang"
+  "bench/bench_fig5_weiwang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_weiwang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minsim_sweep.dir/bench/bench_minsim_sweep.cpp.o"
+  "CMakeFiles/bench_minsim_sweep.dir/bench/bench_minsim_sweep.cpp.o.d"
+  "CMakeFiles/bench_minsim_sweep.dir/bench/bench_util.cc.o"
+  "CMakeFiles/bench_minsim_sweep.dir/bench/bench_util.cc.o.d"
+  "bench/bench_minsim_sweep"
+  "bench/bench_minsim_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minsim_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

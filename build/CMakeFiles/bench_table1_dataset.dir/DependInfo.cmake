@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_dataset.cpp" "CMakeFiles/bench_table1_dataset.dir/bench/bench_table1_dataset.cpp.o" "gcc" "CMakeFiles/bench_table1_dataset.dir/bench/bench_table1_dataset.cpp.o.d"
+  "/root/repo/bench/bench_util.cc" "CMakeFiles/bench_table1_dataset.dir/bench/bench_util.cc.o" "gcc" "CMakeFiles/bench_table1_dataset.dir/bench/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/distinct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_music.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_dblp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_prop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

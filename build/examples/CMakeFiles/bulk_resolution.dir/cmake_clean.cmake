@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_resolution.dir/bulk_resolution.cpp.o"
+  "CMakeFiles/bulk_resolution.dir/bulk_resolution.cpp.o.d"
+  "bulk_resolution"
+  "bulk_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_case_study.dir/dblp_case_study.cpp.o"
+  "CMakeFiles/dblp_case_study.dir/dblp_case_study.cpp.o.d"
+  "dblp_case_study"
+  "dblp_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

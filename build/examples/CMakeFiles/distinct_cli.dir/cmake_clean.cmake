@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_cli.dir/distinct_cli.cpp.o"
+  "CMakeFiles/distinct_cli.dir/distinct_cli.cpp.o.d"
+  "distinct_cli"
+  "distinct_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_variants.dir/name_variants.cpp.o"
+  "CMakeFiles/name_variants.dir/name_variants.cpp.o.d"
+  "name_variants"
+  "name_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

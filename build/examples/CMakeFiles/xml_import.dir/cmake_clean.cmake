@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_import.dir/xml_import.cpp.o"
+  "CMakeFiles/xml_import.dir/xml_import.cpp.o.d"
+  "xml_import"
+  "xml_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/name_blocking.cc" "src/CMakeFiles/distinct_block.dir/block/name_blocking.cc.o" "gcc" "src/CMakeFiles/distinct_block.dir/block/name_blocking.cc.o.d"
+  "/root/repo/src/block/qgram.cc" "src/CMakeFiles/distinct_block.dir/block/qgram.cc.o" "gcc" "src/CMakeFiles/distinct_block.dir/block/qgram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/distinct_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

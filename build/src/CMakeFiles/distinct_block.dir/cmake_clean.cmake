@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_block.dir/block/name_blocking.cc.o"
+  "CMakeFiles/distinct_block.dir/block/name_blocking.cc.o.d"
+  "CMakeFiles/distinct_block.dir/block/qgram.cc.o"
+  "CMakeFiles/distinct_block.dir/block/qgram.cc.o.d"
+  "libdistinct_block.a"
+  "libdistinct_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/agglomerative.cc" "src/CMakeFiles/distinct_cluster.dir/cluster/agglomerative.cc.o" "gcc" "src/CMakeFiles/distinct_cluster.dir/cluster/agglomerative.cc.o.d"
+  "/root/repo/src/cluster/linkage.cc" "src/CMakeFiles/distinct_cluster.dir/cluster/linkage.cc.o" "gcc" "src/CMakeFiles/distinct_cluster.dir/cluster/linkage.cc.o.d"
+  "/root/repo/src/cluster/pair_matrix.cc" "src/CMakeFiles/distinct_cluster.dir/cluster/pair_matrix.cc.o" "gcc" "src/CMakeFiles/distinct_cluster.dir/cluster/pair_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/distinct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

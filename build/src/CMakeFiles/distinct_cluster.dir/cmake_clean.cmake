@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_cluster.dir/cluster/agglomerative.cc.o"
+  "CMakeFiles/distinct_cluster.dir/cluster/agglomerative.cc.o.d"
+  "CMakeFiles/distinct_cluster.dir/cluster/linkage.cc.o"
+  "CMakeFiles/distinct_cluster.dir/cluster/linkage.cc.o.d"
+  "CMakeFiles/distinct_cluster.dir/cluster/pair_matrix.cc.o"
+  "CMakeFiles/distinct_cluster.dir/cluster/pair_matrix.cc.o.d"
+  "libdistinct_cluster.a"
+  "libdistinct_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

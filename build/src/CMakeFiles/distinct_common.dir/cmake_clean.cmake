@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_common.dir/common/dictionary.cc.o"
+  "CMakeFiles/distinct_common.dir/common/dictionary.cc.o.d"
+  "CMakeFiles/distinct_common.dir/common/flags.cc.o"
+  "CMakeFiles/distinct_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/distinct_common.dir/common/rng.cc.o"
+  "CMakeFiles/distinct_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/distinct_common.dir/common/status.cc.o"
+  "CMakeFiles/distinct_common.dir/common/status.cc.o.d"
+  "CMakeFiles/distinct_common.dir/common/string_util.cc.o"
+  "CMakeFiles/distinct_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/distinct_common.dir/common/text_table.cc.o"
+  "CMakeFiles/distinct_common.dir/common/text_table.cc.o.d"
+  "CMakeFiles/distinct_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/distinct_common.dir/common/thread_pool.cc.o.d"
+  "libdistinct_common.a"
+  "libdistinct_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_core.dir/core/distinct.cc.o"
+  "CMakeFiles/distinct_core.dir/core/distinct.cc.o.d"
+  "CMakeFiles/distinct_core.dir/core/evaluation.cc.o"
+  "CMakeFiles/distinct_core.dir/core/evaluation.cc.o.d"
+  "CMakeFiles/distinct_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/distinct_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/distinct_core.dir/core/scan.cc.o"
+  "CMakeFiles/distinct_core.dir/core/scan.cc.o.d"
+  "CMakeFiles/distinct_core.dir/core/variants.cc.o"
+  "CMakeFiles/distinct_core.dir/core/variants.cc.o.d"
+  "libdistinct_core.a"
+  "libdistinct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dblp/dataset_io.cc" "src/CMakeFiles/distinct_dblp.dir/dblp/dataset_io.cc.o" "gcc" "src/CMakeFiles/distinct_dblp.dir/dblp/dataset_io.cc.o.d"
+  "/root/repo/src/dblp/generator.cc" "src/CMakeFiles/distinct_dblp.dir/dblp/generator.cc.o" "gcc" "src/CMakeFiles/distinct_dblp.dir/dblp/generator.cc.o.d"
+  "/root/repo/src/dblp/name_pool.cc" "src/CMakeFiles/distinct_dblp.dir/dblp/name_pool.cc.o" "gcc" "src/CMakeFiles/distinct_dblp.dir/dblp/name_pool.cc.o.d"
+  "/root/repo/src/dblp/schema.cc" "src/CMakeFiles/distinct_dblp.dir/dblp/schema.cc.o" "gcc" "src/CMakeFiles/distinct_dblp.dir/dblp/schema.cc.o.d"
+  "/root/repo/src/dblp/stats.cc" "src/CMakeFiles/distinct_dblp.dir/dblp/stats.cc.o" "gcc" "src/CMakeFiles/distinct_dblp.dir/dblp/stats.cc.o.d"
+  "/root/repo/src/dblp/xml_loader.cc" "src/CMakeFiles/distinct_dblp.dir/dblp/xml_loader.cc.o" "gcc" "src/CMakeFiles/distinct_dblp.dir/dblp/xml_loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/distinct_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_dblp.dir/dblp/dataset_io.cc.o"
+  "CMakeFiles/distinct_dblp.dir/dblp/dataset_io.cc.o.d"
+  "CMakeFiles/distinct_dblp.dir/dblp/generator.cc.o"
+  "CMakeFiles/distinct_dblp.dir/dblp/generator.cc.o.d"
+  "CMakeFiles/distinct_dblp.dir/dblp/name_pool.cc.o"
+  "CMakeFiles/distinct_dblp.dir/dblp/name_pool.cc.o.d"
+  "CMakeFiles/distinct_dblp.dir/dblp/schema.cc.o"
+  "CMakeFiles/distinct_dblp.dir/dblp/schema.cc.o.d"
+  "CMakeFiles/distinct_dblp.dir/dblp/stats.cc.o"
+  "CMakeFiles/distinct_dblp.dir/dblp/stats.cc.o.d"
+  "CMakeFiles/distinct_dblp.dir/dblp/xml_loader.cc.o"
+  "CMakeFiles/distinct_dblp.dir/dblp/xml_loader.cc.o.d"
+  "libdistinct_dblp.a"
+  "libdistinct_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

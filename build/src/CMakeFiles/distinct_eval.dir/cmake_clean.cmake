@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_eval.dir/eval/confusion.cc.o"
+  "CMakeFiles/distinct_eval.dir/eval/confusion.cc.o.d"
+  "CMakeFiles/distinct_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/distinct_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/distinct_eval.dir/eval/visualize.cc.o"
+  "CMakeFiles/distinct_eval.dir/eval/visualize.cc.o.d"
+  "libdistinct_eval.a"
+  "libdistinct_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_music.dir/music/catalog.cc.o"
+  "CMakeFiles/distinct_music.dir/music/catalog.cc.o.d"
+  "libdistinct_music.a"
+  "libdistinct_music.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

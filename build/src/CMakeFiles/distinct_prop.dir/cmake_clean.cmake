@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_prop.dir/prop/link_graph.cc.o"
+  "CMakeFiles/distinct_prop.dir/prop/link_graph.cc.o.d"
+  "CMakeFiles/distinct_prop.dir/prop/profile.cc.o"
+  "CMakeFiles/distinct_prop.dir/prop/profile.cc.o.d"
+  "CMakeFiles/distinct_prop.dir/prop/propagation.cc.o"
+  "CMakeFiles/distinct_prop.dir/prop/propagation.cc.o.d"
+  "libdistinct_prop.a"
+  "libdistinct_prop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

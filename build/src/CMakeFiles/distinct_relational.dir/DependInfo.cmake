@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/csv.cc" "src/CMakeFiles/distinct_relational.dir/relational/csv.cc.o" "gcc" "src/CMakeFiles/distinct_relational.dir/relational/csv.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/CMakeFiles/distinct_relational.dir/relational/database.cc.o" "gcc" "src/CMakeFiles/distinct_relational.dir/relational/database.cc.o.d"
+  "/root/repo/src/relational/join_path.cc" "src/CMakeFiles/distinct_relational.dir/relational/join_path.cc.o" "gcc" "src/CMakeFiles/distinct_relational.dir/relational/join_path.cc.o.d"
+  "/root/repo/src/relational/reference_spec.cc" "src/CMakeFiles/distinct_relational.dir/relational/reference_spec.cc.o" "gcc" "src/CMakeFiles/distinct_relational.dir/relational/reference_spec.cc.o.d"
+  "/root/repo/src/relational/schema_graph.cc" "src/CMakeFiles/distinct_relational.dir/relational/schema_graph.cc.o" "gcc" "src/CMakeFiles/distinct_relational.dir/relational/schema_graph.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/distinct_relational.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/distinct_relational.dir/relational/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/distinct_relational.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/distinct_relational.dir/relational/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/distinct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_relational.dir/relational/csv.cc.o"
+  "CMakeFiles/distinct_relational.dir/relational/csv.cc.o.d"
+  "CMakeFiles/distinct_relational.dir/relational/database.cc.o"
+  "CMakeFiles/distinct_relational.dir/relational/database.cc.o.d"
+  "CMakeFiles/distinct_relational.dir/relational/join_path.cc.o"
+  "CMakeFiles/distinct_relational.dir/relational/join_path.cc.o.d"
+  "CMakeFiles/distinct_relational.dir/relational/reference_spec.cc.o"
+  "CMakeFiles/distinct_relational.dir/relational/reference_spec.cc.o.d"
+  "CMakeFiles/distinct_relational.dir/relational/schema_graph.cc.o"
+  "CMakeFiles/distinct_relational.dir/relational/schema_graph.cc.o.d"
+  "CMakeFiles/distinct_relational.dir/relational/table.cc.o"
+  "CMakeFiles/distinct_relational.dir/relational/table.cc.o.d"
+  "CMakeFiles/distinct_relational.dir/relational/value.cc.o"
+  "CMakeFiles/distinct_relational.dir/relational/value.cc.o.d"
+  "libdistinct_relational.a"
+  "libdistinct_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

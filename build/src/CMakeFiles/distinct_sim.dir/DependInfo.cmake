@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/feature_vector.cc" "src/CMakeFiles/distinct_sim.dir/sim/feature_vector.cc.o" "gcc" "src/CMakeFiles/distinct_sim.dir/sim/feature_vector.cc.o.d"
+  "/root/repo/src/sim/resemblance.cc" "src/CMakeFiles/distinct_sim.dir/sim/resemblance.cc.o" "gcc" "src/CMakeFiles/distinct_sim.dir/sim/resemblance.cc.o.d"
+  "/root/repo/src/sim/similarity_model.cc" "src/CMakeFiles/distinct_sim.dir/sim/similarity_model.cc.o" "gcc" "src/CMakeFiles/distinct_sim.dir/sim/similarity_model.cc.o.d"
+  "/root/repo/src/sim/similarity_model_io.cc" "src/CMakeFiles/distinct_sim.dir/sim/similarity_model_io.cc.o" "gcc" "src/CMakeFiles/distinct_sim.dir/sim/similarity_model_io.cc.o.d"
+  "/root/repo/src/sim/walk_probability.cc" "src/CMakeFiles/distinct_sim.dir/sim/walk_probability.cc.o" "gcc" "src/CMakeFiles/distinct_sim.dir/sim/walk_probability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/distinct_prop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/distinct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

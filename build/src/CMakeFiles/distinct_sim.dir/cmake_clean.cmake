@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_sim.dir/sim/feature_vector.cc.o"
+  "CMakeFiles/distinct_sim.dir/sim/feature_vector.cc.o.d"
+  "CMakeFiles/distinct_sim.dir/sim/resemblance.cc.o"
+  "CMakeFiles/distinct_sim.dir/sim/resemblance.cc.o.d"
+  "CMakeFiles/distinct_sim.dir/sim/similarity_model.cc.o"
+  "CMakeFiles/distinct_sim.dir/sim/similarity_model.cc.o.d"
+  "CMakeFiles/distinct_sim.dir/sim/similarity_model_io.cc.o"
+  "CMakeFiles/distinct_sim.dir/sim/similarity_model_io.cc.o.d"
+  "CMakeFiles/distinct_sim.dir/sim/walk_probability.cc.o"
+  "CMakeFiles/distinct_sim.dir/sim/walk_probability.cc.o.d"
+  "libdistinct_sim.a"
+  "libdistinct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/linear_svm.cc" "src/CMakeFiles/distinct_svm.dir/svm/linear_svm.cc.o" "gcc" "src/CMakeFiles/distinct_svm.dir/svm/linear_svm.cc.o.d"
+  "/root/repo/src/svm/model_io.cc" "src/CMakeFiles/distinct_svm.dir/svm/model_io.cc.o" "gcc" "src/CMakeFiles/distinct_svm.dir/svm/model_io.cc.o.d"
+  "/root/repo/src/svm/scaler.cc" "src/CMakeFiles/distinct_svm.dir/svm/scaler.cc.o" "gcc" "src/CMakeFiles/distinct_svm.dir/svm/scaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/distinct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

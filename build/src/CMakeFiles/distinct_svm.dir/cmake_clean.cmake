@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_svm.dir/svm/linear_svm.cc.o"
+  "CMakeFiles/distinct_svm.dir/svm/linear_svm.cc.o.d"
+  "CMakeFiles/distinct_svm.dir/svm/model_io.cc.o"
+  "CMakeFiles/distinct_svm.dir/svm/model_io.cc.o.d"
+  "CMakeFiles/distinct_svm.dir/svm/scaler.cc.o"
+  "CMakeFiles/distinct_svm.dir/svm/scaler.cc.o.d"
+  "libdistinct_svm.a"
+  "libdistinct_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

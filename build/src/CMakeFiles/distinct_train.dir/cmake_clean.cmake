@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_train.dir/train/rare_names.cc.o"
+  "CMakeFiles/distinct_train.dir/train/rare_names.cc.o.d"
+  "CMakeFiles/distinct_train.dir/train/training_set.cc.o"
+  "CMakeFiles/distinct_train.dir/train/training_set.cc.o.d"
+  "libdistinct_train.a"
+  "libdistinct_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_xml.dir/xml/xml_parser.cc.o"
+  "CMakeFiles/distinct_xml.dir/xml/xml_parser.cc.o.d"
+  "libdistinct_xml.a"
+  "libdistinct_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_test.dir/dblp/dataset_io_test.cc.o"
+  "CMakeFiles/dblp_test.dir/dblp/dataset_io_test.cc.o.d"
+  "CMakeFiles/dblp_test.dir/dblp/generator_structure_test.cc.o"
+  "CMakeFiles/dblp_test.dir/dblp/generator_structure_test.cc.o.d"
+  "CMakeFiles/dblp_test.dir/dblp/generator_test.cc.o"
+  "CMakeFiles/dblp_test.dir/dblp/generator_test.cc.o.d"
+  "CMakeFiles/dblp_test.dir/dblp/name_pool_test.cc.o"
+  "CMakeFiles/dblp_test.dir/dblp/name_pool_test.cc.o.d"
+  "CMakeFiles/dblp_test.dir/dblp/schema_test.cc.o"
+  "CMakeFiles/dblp_test.dir/dblp/schema_test.cc.o.d"
+  "CMakeFiles/dblp_test.dir/dblp/stats_test.cc.o"
+  "CMakeFiles/dblp_test.dir/dblp/stats_test.cc.o.d"
+  "CMakeFiles/dblp_test.dir/dblp/xml_loader_test.cc.o"
+  "CMakeFiles/dblp_test.dir/dblp/xml_loader_test.cc.o.d"
+  "dblp_test"
+  "dblp_test.pdb"
+  "dblp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_test.dir/prop/levelwise_test.cc.o"
+  "CMakeFiles/prop_test.dir/prop/levelwise_test.cc.o.d"
+  "CMakeFiles/prop_test.dir/prop/link_graph_test.cc.o"
+  "CMakeFiles/prop_test.dir/prop/link_graph_test.cc.o.d"
+  "CMakeFiles/prop_test.dir/prop/profile_test.cc.o"
+  "CMakeFiles/prop_test.dir/prop/profile_test.cc.o.d"
+  "CMakeFiles/prop_test.dir/prop/propagation_test.cc.o"
+  "CMakeFiles/prop_test.dir/prop/propagation_test.cc.o.d"
+  "prop_test"
+  "prop_test.pdb"
+  "prop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_test.dir/relational/csv_fuzz_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/csv_fuzz_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/csv_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/csv_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/database_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/database_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/join_path_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/join_path_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/reference_spec_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/reference_spec_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/schema_graph_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/schema_graph_test.cc.o.d"
+  "CMakeFiles/relational_test.dir/relational/table_test.cc.o"
+  "CMakeFiles/relational_test.dir/relational/table_test.cc.o.d"
+  "relational_test"
+  "relational_test.pdb"
+  "relational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/feature_vector_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/feature_vector_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/resemblance_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/resemblance_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/similarity_model_io_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/similarity_model_io_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/similarity_model_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/similarity_model_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/walk_probability_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/walk_probability_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
