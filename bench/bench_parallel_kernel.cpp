@@ -1,0 +1,146 @@
+// Parallel similarity-kernel speedup: profile building + tiled pair-matrix
+// fill for one synthetic mega-name (n >= 500 references) at 1/2/4/8 worker
+// threads, verifying that every configuration reproduces the serial
+// matrices bit-for-bit. Speedup is only observable on multicore hardware;
+// the harness prints the cores actually available so single-core CI output
+// is self-explaining.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/text_table.h"
+#include "common/thread_pool.h"
+#include "dblp/schema.h"
+#include "sim/parallel_kernel.h"
+#include "sim/profile_store.h"
+
+namespace {
+
+using namespace distinct;
+
+bool MatricesEqual(const std::pair<PairMatrix, PairMatrix>& a,
+                   const std::pair<PairMatrix, PairMatrix>& b) {
+  if (a.first.size() != b.first.size()) return false;
+  for (size_t i = 0; i < a.first.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (a.first.at(i, j) != b.first.at(i, j)) return false;
+      if (a.second.at(i, j) != b.second.at(i, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace distinct;
+  using namespace distinct::bench;
+
+  FlagParser flags;
+  flags.AddInt64("seed", static_cast<int64_t>(kDefaultSeed),
+                 "generator seed");
+  flags.AddInt64("refs", 600, "references on the synthetic mega-name");
+  flags.AddInt64("repeat", 3, "timed repetitions per configuration");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+
+  PrintBanner("bench_parallel_kernel",
+              "kernel parallelization (implementation, not a paper figure)");
+
+  const int refs_target = static_cast<int>(flags.GetInt64("refs"));
+  GeneratorConfig generator = StandardGeneratorConfig(
+      static_cast<uint64_t>(flags.GetInt64("seed")));
+  generator.ambiguous = {{"Wei Wang", 8, refs_target}};
+  DblpDataset dataset = MustGenerate(generator);
+
+  // Unsupervised: path-weight training is not what is being measured.
+  DistinctConfig config;
+  config.supervised = false;
+  config.promotions = DblpDefaultPromotions();
+  Distinct engine = MustCreate(dataset.db, config);
+
+  auto refs = engine.RefsForName("Wei Wang");
+  if (!refs.ok()) {
+    std::fprintf(stderr, "%s\n", refs.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("mega-name 'Wei Wang': %zu references, %zu join paths, "
+              "%u hardware threads\n\n",
+              refs->size(), engine.paths().size(),
+              std::thread::hardware_concurrency());
+
+  const int repeat = static_cast<int>(flags.GetInt64("repeat"));
+  const auto& prop_engine = engine.propagation_engine();
+  const auto& paths = engine.paths();
+  const auto& options = engine.config().propagation;
+
+  // Serial baseline: no pool anywhere.
+  double serial_profiles = 0.0;
+  double serial_matrix = 0.0;
+  std::pair<PairMatrix, PairMatrix> baseline(PairMatrix(0), PairMatrix(0));
+  for (int r = 0; r < repeat; ++r) {
+    Stopwatch profiles_watch;
+    const ProfileStore store =
+        ProfileStore::Build(prop_engine, paths, options, *refs);
+    serial_profiles += profiles_watch.Seconds();
+    Stopwatch matrix_watch;
+    auto matrices = ComputePairMatrices(store, engine.model());
+    serial_matrix += matrix_watch.Seconds();
+    baseline = std::move(matrices);
+  }
+  serial_profiles /= repeat;
+  serial_matrix /= repeat;
+  const double serial_total = serial_profiles + serial_matrix;
+
+  TextTable table({"threads", "profiles (s)", "matrix (s)", "total (s)",
+                   "speedup", "exact"});
+  for (size_t c = 0; c <= 5; ++c) table.SetRightAlign(c);
+  table.AddRow({"serial", StrFormat("%.3f", serial_profiles),
+                StrFormat("%.3f", serial_matrix),
+                StrFormat("%.3f", serial_total), "1.00", "-"});
+
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    double pool_profiles = 0.0;
+    double pool_matrix = 0.0;
+    bool exact = true;
+    for (int r = 0; r < repeat; ++r) {
+      Stopwatch profiles_watch;
+      const ProfileStore store =
+          ProfileStore::Build(prop_engine, paths, options, *refs, &pool);
+      pool_profiles += profiles_watch.Seconds();
+      Stopwatch matrix_watch;
+      const auto matrices = ComputePairMatrices(store, engine.model(), &pool);
+      pool_matrix += matrix_watch.Seconds();
+      exact = exact && MatricesEqual(matrices, baseline);
+    }
+    pool_profiles /= repeat;
+    pool_matrix /= repeat;
+    const double total = pool_profiles + pool_matrix;
+    table.AddRow({StrFormat("%d", threads),
+                  StrFormat("%.3f", pool_profiles),
+                  StrFormat("%.3f", pool_matrix), StrFormat("%.3f", total),
+                  StrFormat("%.2f", total > 0 ? serial_total / total : 0.0),
+                  exact ? "yes" : "NO"});
+    if (!exact) {
+      std::fprintf(stderr,
+                   "error: %d-thread kernel diverged from the serial "
+                   "matrices\n",
+                   threads);
+      return 1;
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nboth phases fan out over one shared pool (per-reference "
+      "propagation, then tiled lower-triangle fill); results are "
+      "bit-identical at every thread count, so speedup tracks available "
+      "cores.\n");
+  return 0;
+}

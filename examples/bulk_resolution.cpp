@@ -40,6 +40,10 @@ int main(int argc, char** argv) {
 
   DistinctConfig config;
   config.promotions = DblpDefaultPromotions();
+  // The engine-level kernel pool parallelizes training features and any
+  // direct ResolveName calls; the bulk scan below builds its own pool and
+  // nests group and tile parallelism inside it.
+  config.num_threads = static_cast<int>(flags.GetInt64("threads"));
 
   // Train-once / reuse: load a saved model when present, else train and
   // save one.
@@ -69,7 +73,7 @@ int main(int argc, char** argv) {
   ScanOptions scan;
   scan.min_refs = static_cast<int>(flags.GetInt64("min-refs"));
   scan.max_refs = static_cast<int>(flags.GetInt64("max-refs"));
-  auto groups = ScanNameGroups(dataset->db, DblpReferenceSpec(), scan);
+  auto groups = ScanNameGroups(*engine, scan);
   if (!groups.ok()) {
     std::fprintf(stderr, "%s\n", groups.status().ToString().c_str());
     return 1;

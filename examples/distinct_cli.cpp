@@ -38,6 +38,8 @@ void Usage() {
                "usage: distinct_cli <generate|train|resolve|scan|eval> "
                "[flags]\n"
                "  common flags: --dir=DATA --model=FILE --min-sim=0.03\n"
+               "                --threads=N --stopping=fixed|largest-gap\n"
+               "                --no-incremental\n"
                "  generate: --seed=N\n"
                "  resolve:  --name=\"Wei Wang\"\n"
                "  scan:     --min-refs=N --threads=N\n");
@@ -48,6 +50,16 @@ StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags) {
   config.promotions = DblpDefaultPromotions();
   config.min_sim = flags.GetDouble("min-sim");
   config.auto_min_sim = flags.GetBool("auto-min-sim");
+  config.num_threads = static_cast<int>(flags.GetInt64("threads"));
+  config.incremental = flags.GetBool("incremental");
+  const std::string stopping = flags.GetString("stopping");
+  if (stopping == "largest-gap" || stopping == "gap") {
+    config.stopping = StoppingRule::kLargestGap;
+  } else if (stopping != "fixed") {
+    return InvalidArgumentError(
+        "--stopping must be 'fixed' or 'largest-gap', got '" + stopping +
+        "'");
+  }
   const std::string model_path = flags.GetString("model");
   if (!model_path.empty()) {
     auto model = LoadSimilarityModel(model_path);
@@ -82,6 +94,7 @@ int RunTrain(const FlagParser& flags) {
   DistinctConfig config;
   config.promotions = DblpDefaultPromotions();
   config.min_sim = flags.GetDouble("min-sim");
+  config.num_threads = static_cast<int>(flags.GetInt64("threads"));
   auto engine = Distinct::Create(*db, DblpReferenceSpec(), config);
   if (!engine.ok()) return Fail(engine.status());
   const TrainingReport& report = engine->report();
@@ -125,7 +138,8 @@ int RunScan(const FlagParser& flags) {
   ScanOptions scan;
   scan.min_refs = static_cast<int>(flags.GetInt64("min-refs"));
   scan.max_refs = static_cast<int>(flags.GetInt64("max-refs"));
-  auto groups = ScanNameGroups(*db, DblpReferenceSpec(), scan);
+  // Served from the engine's name index; no second pass over the tables.
+  auto groups = ScanNameGroups(*engine, scan);
   if (!groups.ok()) return Fail(groups.status());
 
   std::vector<BulkResolution> results;
@@ -188,10 +202,16 @@ int main(int argc, char** argv) {
   flags.AddInt64("seed", 42, "generator seed");
   flags.AddInt64("min-refs", 6, "scan: minimum references per name");
   flags.AddInt64("max-refs", 500, "scan: maximum references per name");
-  flags.AddInt64("threads", 1, "scan: worker threads");
+  flags.AddInt64("threads", 1,
+                 "worker threads (similarity kernel; scan: also names)");
   flags.AddDouble("min-sim", 3e-2, "clustering merge threshold");
   flags.AddBool("auto-min-sim", false,
                 "derive min-sim from the training pairs (ignores --min-sim)");
+  flags.AddString("stopping", "fixed",
+                  "merge stopping rule: fixed | largest-gap");
+  flags.AddBool("incremental", true,
+                "incremental cluster-sum maintenance (--no-incremental "
+                "recomputes from the base matrices)");
   if (Status s = flags.Parse(argc - 2, argv + 2); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
                  flags.Help().c_str());

@@ -67,6 +67,44 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ParallelForShared(ThreadPool& pool, int64_t n,
+                       const std::function<void(int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  struct State {
+    std::atomic<int64_t> next{0};
+    std::atomic<int64_t> done{0};
+    std::mutex mutex;
+    std::condition_variable finished;
+  };
+  auto state = std::make_shared<State>();
+  // Capturing &fn is safe: the caller blocks until done == n, and any helper
+  // dequeued afterwards sees next >= n and returns without touching fn.
+  auto drain = [state, n, &fn] {
+    while (true) {
+      const int64_t i = state->next.fetch_add(1);
+      if (i >= n) {
+        return;
+      }
+      fn(i);
+      if (state->done.fetch_add(1) + 1 == n) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->finished.notify_all();
+      }
+    }
+  };
+  // The caller is one runner; at most n - 1 helpers can find work.
+  const int64_t helpers =
+      std::min<int64_t>(pool.num_threads(), n - 1);
+  for (int64_t t = 0; t < helpers; ++t) {
+    pool.Submit(drain);
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->finished.wait(lock, [&] { return state->done.load() == n; });
+}
+
 void ParallelFor(ThreadPool& pool, int64_t n,
                  const std::function<void(int64_t)>& fn) {
   if (n <= 0) {

@@ -48,9 +48,20 @@ class ThreadPool {
 };
 
 /// Runs fn(0..n-1) on the pool and waits for completion. `fn` must be safe
-/// to call concurrently for different indices.
+/// to call concurrently for different indices. Must be called from outside
+/// the pool (it waits via ThreadPool::Wait, which counts *all* in-flight
+/// tasks); from inside a pool task use ParallelForShared.
 void ParallelFor(ThreadPool& pool, int64_t n,
                  const std::function<void(int64_t)>& fn);
+
+/// Like ParallelFor, but re-entrant: the calling thread participates in the
+/// work and completion is tracked per call, not via ThreadPool::Wait. Safe
+/// to call from inside a pool task (nested parallelism, e.g. per-group tile
+/// work inside a per-group ParallelFor): helper tasks are enqueued for idle
+/// workers, and even if every worker is busy the caller alone drains all n
+/// indices, so progress never depends on another task finishing.
+void ParallelForShared(ThreadPool& pool, int64_t n,
+                       const std::function<void(int64_t)>& fn);
 
 }  // namespace distinct
 

@@ -1,10 +1,10 @@
 #include "core/distinct.h"
 
-#include <unordered_set>
-
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/pipeline.h"
+#include "sim/parallel_kernel.h"
+#include "sim/profile_store.h"
 
 namespace distinct {
 
@@ -74,6 +74,42 @@ StatusOr<Distinct> Distinct::Create(const Database& db,
     path_names.push_back(path.Describe(*engine.schema_graph_));
   }
 
+  if (engine.config_.num_threads > 1) {
+    engine.pool_ = std::make_unique<ThreadPool>(engine.config_.num_threads);
+  }
+
+  // Name -> reference-rows index, built once; RefsForName and
+  // ScanNameGroups(engine, ...) queries reuse it instead of rescanning the
+  // name and reference tables.
+  {
+    const Table& name_table = db.table(engine.resolved_.name_table_id);
+    const Table& ref_table = db.table(engine.resolved_.reference_table_id);
+    const int pk_col = name_table.primary_key_column();
+    std::unordered_map<int64_t, size_t> group_of_pk;
+    group_of_pk.reserve(static_cast<size_t>(name_table.num_rows()));
+    for (int64_t row = 0; row < name_table.num_rows(); ++row) {
+      const std::string& name =
+          name_table.GetString(row, engine.resolved_.name_column);
+      auto [it, inserted] =
+          engine.name_index_.emplace(name, engine.name_groups_.size());
+      if (inserted) {
+        engine.name_groups_.emplace_back(name, std::vector<int32_t>{});
+      }
+      group_of_pk[name_table.GetInt(row, pk_col)] = it->second;
+    }
+    for (int64_t row = 0; row < ref_table.num_rows(); ++row) {
+      if (ref_table.IsNull(row, engine.resolved_.identity_column)) {
+        continue;
+      }
+      auto it = group_of_pk.find(
+          ref_table.GetInt(row, engine.resolved_.identity_column));
+      if (it != group_of_pk.end()) {
+        engine.name_groups_[it->second].second.push_back(
+            static_cast<int32_t>(row));
+      }
+    }
+  }
+
   if (engine.config_.supervised) {
     Stopwatch watch;
     auto model = TrainSimilarityModel(db, spec, engine.config_,
@@ -87,8 +123,6 @@ StatusOr<Distinct> Distinct::Create(const Database& db,
         engine.report_.suggested_min_sim > 0.0) {
       engine.config_.min_sim = engine.report_.suggested_min_sim;
     }
-    // Training profiles are no longer needed; resolution caches per name.
-    engine.extractor_->ClearCache();
   } else {
     engine.model_ = SimilarityModel::Uniform(engine.extractor_->num_paths(),
                                              std::move(path_names));
@@ -107,62 +141,40 @@ AgglomerativeOptions Distinct::cluster_options() const {
   options.min_sim = config_.min_sim;
   options.measure = config_.measure;
   options.combine = config_.combine;
+  options.stopping = config_.stopping;
+  options.incremental = config_.incremental;
   return options;
 }
 
 StatusOr<std::vector<int32_t>> Distinct::RefsForName(
     const std::string& name) const {
-  const Table& name_table = db_->table(resolved_.name_table_id);
-  const Table& ref_table = db_->table(resolved_.reference_table_id);
-
   // Several name-table rows may carry the same string (e.g. two "Forgotten"
-  // songs the catalog already tells apart); references to any of them
-  // resemble each other, so collect them all.
-  std::unordered_set<int64_t> name_pks;
-  for (int64_t row = 0; row < name_table.num_rows(); ++row) {
-    if (name_table.GetString(row, resolved_.name_column) == name) {
-      name_pks.insert(
-          name_table.GetInt(row, name_table.primary_key_column()));
-    }
+  // songs the catalog already tells apart); the index collapses them into
+  // one group.
+  auto it = name_index_.find(name);
+  if (it == name_index_.end()) {
+    return std::vector<int32_t>{};
   }
-  std::vector<int32_t> refs;
-  if (name_pks.empty()) {
-    return refs;
-  }
-  for (int64_t row = 0; row < ref_table.num_rows(); ++row) {
-    if (!ref_table.IsNull(row, resolved_.identity_column) &&
-        name_pks.contains(
-            ref_table.GetInt(row, resolved_.identity_column))) {
-      refs.push_back(static_cast<int32_t>(row));
-    }
-  }
-  return refs;
+  return name_groups_[it->second].second;
 }
 
 StatusOr<std::pair<PairMatrix, PairMatrix>> Distinct::ComputeMatrices(
     const std::vector<int32_t>& refs) {
-  const size_t n = refs.size();
-  PairMatrix resem(n);
-  PairMatrix walk(n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < i; ++j) {
-      const PairFeatures features = extractor_->Compute(refs[i], refs[j]);
-      resem.set(i, j, model_.Resemblance(features));
-      walk.set(i, j, model_.Walk(features));
-    }
-  }
-  return std::make_pair(std::move(resem), std::move(walk));
+  // Phase 1: n propagations per path, each independent. Phase 2: tiled
+  // lower-triangle fill. Both fan out over the engine pool when configured;
+  // with num_threads == 1 this is exactly the old serial loop.
+  const ProfileStore store =
+      ProfileStore::Build(*engine_, extractor_->paths(), config_.propagation,
+                          refs, pool_.get());
+  return ComputePairMatrices(store, model_, pool_.get());
 }
 
 StatusOr<ClusteringResult> Distinct::ResolveRefs(
     const std::vector<int32_t>& refs) {
   auto matrices = ComputeMatrices(refs);
   DISTINCT_RETURN_IF_ERROR(matrices.status());
-  ClusteringResult result = ClusterReferences(
-      matrices->first, matrices->second, cluster_options());
-  // Per-name profile caches would otherwise accumulate across names.
-  extractor_->ClearCache();
-  return result;
+  return ClusterReferences(matrices->first, matrices->second,
+                           cluster_options());
 }
 
 StatusOr<Distinct::ResolveResult> Distinct::ResolveName(

@@ -16,11 +16,13 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "cluster/agglomerative.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "prop/propagation.h"
 #include "relational/join_path.h"
 #include "relational/reference_spec.h"
@@ -70,6 +72,19 @@ struct DistinctConfig {
   bool auto_min_sim = false;
   ClusterMeasure measure = ClusterMeasure::kComposite;
   CombineRule combine = CombineRule::kGeometricMean;
+  /// When to stop merging: the paper's fixed min-sim floor, or the
+  /// threshold-free largest-gap extension.
+  StoppingRule stopping = StoppingRule::kFixedThreshold;
+  /// When false, cluster-pair sums are recomputed from the base matrices at
+  /// every merge (the §4.2 cost ablation strawman).
+  bool incremental = true;
+
+  // --- Execution ---
+  /// Worker threads for the intra-name similarity kernel: per-reference
+  /// profile propagation and the tiled pair-matrix fill both fan out over
+  /// one shared pool. 1 keeps everything on the calling thread. Results
+  /// are bit-identical across thread counts.
+  int num_threads = 1;
 };
 
 /// Timings and diagnostics from Create().
@@ -129,13 +144,24 @@ class Distinct {
   StatusOr<std::pair<PairMatrix, PairMatrix>> ComputeMatrices(
       const std::vector<int32_t>& refs);
 
-  /// All reference rows whose name equals `name` (possibly empty).
+  /// All reference rows whose name equals `name` (possibly empty). Served
+  /// from the name index built at Create() time — no table scan per query.
   StatusOr<std::vector<int32_t>> RefsForName(const std::string& name) const;
+
+  /// Every (name, reference rows) group in name-table row order, built once
+  /// at Create() time. Rows of several same-named name-table entries are
+  /// one group. ScanNameGroups(engine, ...) filters this index instead of
+  /// rescanning the database.
+  const std::vector<std::pair<std::string, std::vector<int32_t>>>&
+  name_groups() const {
+    return name_groups_;
+  }
 
   const DistinctConfig& config() const { return config_; }
   const std::vector<JoinPath>& paths() const;
   /// The stateless propagation engine; safe to share across threads (build
-  /// one FeatureExtractor per thread on top of it).
+  /// a shared ProfileStore, or one FeatureExtractor per thread, on top of
+  /// it).
   const PropagationEngine& propagation_engine() const { return *engine_; }
   const SimilarityModel& model() const { return model_; }
   const TrainingReport& report() const { return report_; }
@@ -158,6 +184,12 @@ class Distinct {
   std::unique_ptr<FeatureExtractor> extractor_;
   SimilarityModel model_;
   TrainingReport report_;
+  /// Kernel pool, created at Create() when config.num_threads > 1; null in
+  /// serial mode.
+  std::unique_ptr<ThreadPool> pool_;
+  /// name -> position in name_groups_ (groups in name-table row order).
+  std::vector<std::pair<std::string, std::vector<int32_t>>> name_groups_;
+  std::unordered_map<std::string, size_t> name_index_;
 };
 
 }  // namespace distinct

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <string>
 #include <unordered_set>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "sim/profile_store.h"
 #include "svm/scaler.h"
 
 namespace distinct {
@@ -55,7 +58,45 @@ StatusOr<SimilarityModel> TrainSimilarityModel(
   Stopwatch features_watch;
   SvmProblem resem_problem;
   SvmProblem walk_problem;
-  std::unordered_set<int32_t> unique_refs;
+
+  // Similarity-kernel phase 1: profiles of every reference that appears in
+  // a training pair, fanned out over the configured thread count; phase 2:
+  // per-pair features from the frozen store, also parallel. Both phases
+  // are bit-identical to the serial extractor loop.
+  std::vector<int32_t> unique_refs;
+  {
+    std::unordered_set<int32_t> seen;
+    for (const TrainingPair& pair : *pairs) {
+      if (seen.insert(pair.ref1).second) {
+        unique_refs.push_back(pair.ref1);
+      }
+      if (seen.insert(pair.ref2).second) {
+        unique_refs.push_back(pair.ref2);
+      }
+    }
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (config.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(config.num_threads);
+  }
+  const ProfileStore store = ProfileStore::Build(
+      extractor.engine(), extractor.paths(), extractor.propagation_options(),
+      unique_refs, pool.get());
+  std::vector<PairFeatures> pair_features(pairs->size());
+  const auto features_of = [&](int64_t p) {
+    const TrainingPair& pair = (*pairs)[static_cast<size_t>(p)];
+    pair_features[static_cast<size_t>(p)] =
+        store.Features(static_cast<size_t>(store.IndexOf(pair.ref1)),
+                       static_cast<size_t>(store.IndexOf(pair.ref2)));
+  };
+  if (pool != nullptr) {
+    ParallelForShared(*pool, static_cast<int64_t>(pairs->size()),
+                      features_of);
+  } else {
+    for (size_t p = 0; p < pairs->size(); ++p) {
+      features_of(static_cast<int64_t>(p));
+    }
+  }
 
   // Positives go in unchanged; negative candidates are ranked by how many
   // join paths link them (pairs linked along many paths — e.g. shared
@@ -67,10 +108,9 @@ StatusOr<SimilarityModel> TrainSimilarityModel(
     size_t order = 0;  // original sampling order, for determinism
   };
   std::vector<NegativeCandidate> negatives;
-  for (const TrainingPair& pair : *pairs) {
-    PairFeatures features = extractor.Compute(pair.ref1, pair.ref2);
-    unique_refs.insert(pair.ref1);
-    unique_refs.insert(pair.ref2);
+  for (size_t p = 0; p < pairs->size(); ++p) {
+    const TrainingPair& pair = (*pairs)[p];
+    PairFeatures features = std::move(pair_features[p]);
     if (pair.label > 0) {
       resem_problem.x.push_back(std::move(features.resemblance));
       resem_problem.y.push_back(+1);

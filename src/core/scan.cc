@@ -1,13 +1,40 @@
 #include "core/scan.h"
 
 #include <algorithm>
-#include <atomic>
 #include <unordered_map>
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "sim/parallel_kernel.h"
+#include "sim/profile_store.h"
 
 namespace distinct {
+
+namespace {
+
+/// Applies the min/max-refs filters and the descending-size order shared by
+/// both ScanNameGroups overloads.
+std::vector<NameGroup> FilterAndSortGroups(std::vector<NameGroup> groups,
+                                           const ScanOptions& options) {
+  std::vector<NameGroup> filtered;
+  for (NameGroup& group : groups) {
+    const int refs = static_cast<int>(group.refs.size());
+    if (refs < options.min_refs) {
+      continue;
+    }
+    if (options.max_refs > 0 && refs > options.max_refs) {
+      continue;
+    }
+    filtered.push_back(std::move(group));
+  }
+  std::stable_sort(filtered.begin(), filtered.end(),
+                   [](const NameGroup& a, const NameGroup& b) {
+                     return a.refs.size() > b.refs.size();
+                   });
+  return filtered;
+}
+
+}  // namespace
 
 StatusOr<std::vector<NameGroup>> ScanNameGroups(const Database& db,
                                                 const ReferenceSpec& spec,
@@ -46,22 +73,20 @@ StatusOr<std::vector<NameGroup>> ScanNameGroups(const Database& db,
     }
   }
 
-  std::vector<NameGroup> filtered;
-  for (NameGroup& group : groups) {
-    const int refs = static_cast<int>(group.refs.size());
-    if (refs < options.min_refs) {
-      continue;
-    }
-    if (options.max_refs > 0 && refs > options.max_refs) {
-      continue;
-    }
-    filtered.push_back(std::move(group));
+  return FilterAndSortGroups(std::move(groups), options);
+}
+
+StatusOr<std::vector<NameGroup>> ScanNameGroups(const Distinct& engine,
+                                                const ScanOptions& options) {
+  std::vector<NameGroup> groups;
+  groups.reserve(engine.name_groups().size());
+  for (const auto& [name, refs] : engine.name_groups()) {
+    NameGroup group;
+    group.name = name;
+    group.refs = refs;
+    groups.push_back(std::move(group));
   }
-  std::stable_sort(filtered.begin(), filtered.end(),
-                   [](const NameGroup& a, const NameGroup& b) {
-                     return a.refs.size() > b.refs.size();
-                   });
-  return filtered;
+  return FilterAndSortGroups(std::move(groups), options);
 }
 
 StatusOr<BulkStats> ResolveAllNames(
@@ -107,39 +132,28 @@ StatusOr<BulkStats> ResolveAllNamesParallel(
 
   {
     ThreadPool pool(num_threads);
-    // One FeatureExtractor (profile cache) per worker thread; the
-    // propagation engine and model are shared read-only.
+    // Groups are one task each; a mega-group's profile propagations and
+    // pair-matrix tiles additionally fan out to the same pool from inside
+    // the group task (ParallelForShared is re-entrant, so idle workers
+    // help while busy ones keep resolving other groups). Each group gets
+    // a fresh read-only ProfileStore — nothing outlives the call, unlike
+    // the retired `thread_local` extractors keyed by engine address, which
+    // dangled when a destroyed engine's address was reused.
     const SimilarityModel& model = engine.model();
     const AgglomerativeOptions options = engine.cluster_options();
     ParallelFor(pool, static_cast<int64_t>(groups.size()),
                 [&](int64_t g) {
-                  thread_local std::unique_ptr<FeatureExtractor> extractor;
-                  thread_local const Distinct* extractor_owner = nullptr;
-                  if (extractor == nullptr || extractor_owner != &engine) {
-                    extractor = std::make_unique<FeatureExtractor>(
-                        engine.propagation_engine(), engine.paths(),
-                        engine.config().propagation);
-                    extractor_owner = &engine;
-                  }
                   const NameGroup& group = groups[static_cast<size_t>(g)];
-                  const size_t n = group.refs.size();
-                  PairMatrix resem(n);
-                  PairMatrix walk(n);
-                  for (size_t i = 0; i < n; ++i) {
-                    for (size_t j = 0; j < i; ++j) {
-                      const PairFeatures features = extractor->Compute(
-                          group.refs[i], group.refs[j]);
-                      resem.set(i, j, model.Resemblance(features));
-                      walk.set(i, j, model.Walk(features));
-                    }
-                  }
-                  extractor->ClearCache();
+                  const ProfileStore store = ProfileStore::Build(
+                      engine.propagation_engine(), engine.paths(),
+                      engine.config().propagation, group.refs, &pool);
+                  auto matrices = ComputePairMatrices(store, model, &pool);
                   BulkResolution& resolution =
                       local[static_cast<size_t>(g)];
                   resolution.name = group.name;
-                  resolution.num_refs = n;
-                  resolution.clustering =
-                      ClusterReferences(resem, walk, options);
+                  resolution.num_refs = group.refs.size();
+                  resolution.clustering = ClusterReferences(
+                      matrices.first, matrices.second, options);
                 });
   }
 

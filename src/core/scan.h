@@ -40,6 +40,11 @@ StatusOr<std::vector<NameGroup>> ScanNameGroups(const Database& db,
                                                 const ReferenceSpec& spec,
                                                 const ScanOptions& options = {});
 
+/// Same result, but served from the engine's name index (built once at
+/// Create() time) instead of rescanning the name and reference tables.
+StatusOr<std::vector<NameGroup>> ScanNameGroups(const Distinct& engine,
+                                                const ScanOptions& options = {});
+
 /// Result of resolving one name during a bulk run.
 struct BulkResolution {
   std::string name;
@@ -63,9 +68,13 @@ StatusOr<BulkStats> ResolveAllNames(
     std::vector<BulkResolution>* results = nullptr,
     const std::function<bool(const BulkResolution&)>& on_result = nullptr);
 
-/// Parallel variant: resolves names on `num_threads` workers (each thread
-/// gets its own profile cache; the shared propagation engine and model are
-/// read-only). Results are in group order, identical to the sequential
+/// Parallel variant: resolves names on `num_threads` workers. Small groups
+/// are resolved one-per-task; a mega-group additionally fans its own
+/// profile propagations and pair-matrix tiles out to the same pool
+/// (nested groups × tiles parallelism), so one "Wei Wang"-scale name no
+/// longer serializes the run. Each group's profiles live in a per-group
+/// read-only ProfileStore; the shared propagation engine and model are
+/// read-only. Results are in group order, bit-identical to the sequential
 /// ones. No callback/early-abort in this mode.
 StatusOr<BulkStats> ResolveAllNamesParallel(
     const Distinct& engine, const std::vector<NameGroup>& groups,

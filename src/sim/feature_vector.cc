@@ -24,17 +24,22 @@ const std::vector<NeighborProfile>& FeatureExtractor::ProfilesFor(
   return cache_.emplace(ref, std::move(profiles)).first->second;
 }
 
-PairFeatures FeatureExtractor::Compute(int32_t ref1, int32_t ref2) {
-  const std::vector<NeighborProfile>& p1 = ProfilesFor(ref1);
-  const std::vector<NeighborProfile>& p2 = ProfilesFor(ref2);
+PairFeatures ComputePairFeatures(const std::vector<NeighborProfile>& p1,
+                                 const std::vector<NeighborProfile>& p2) {
   PairFeatures features;
-  features.resemblance.resize(paths_.size());
-  features.walk.resize(paths_.size());
-  for (size_t i = 0; i < paths_.size(); ++i) {
+  features.resemblance.resize(p1.size());
+  features.walk.resize(p1.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
     features.resemblance[i] = SetResemblance(p1[i], p2[i]);
     features.walk[i] = SymmetricWalkProbability(p1[i], p2[i]);
   }
   return features;
+}
+
+PairFeatures FeatureExtractor::Compute(int32_t ref1, int32_t ref2) {
+  const std::vector<NeighborProfile>& p1 = ProfilesFor(ref1);
+  const std::vector<NeighborProfile>& p2 = ProfilesFor(ref2);
+  return ComputePairFeatures(p1, p2);
 }
 
 void FeatureExtractor::ClearCache() { cache_.clear(); }

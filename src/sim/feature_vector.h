@@ -24,6 +24,12 @@ struct PairFeatures {
   std::vector<double> walk;         // indexed by path
 };
 
+/// Pair features from two per-path profile vectors (one profile per path,
+/// same path order on both sides). Pure function of its inputs; shared by
+/// the caching FeatureExtractor and the read-only ProfileStore.
+PairFeatures ComputePairFeatures(const std::vector<NeighborProfile>& p1,
+                                 const std::vector<NeighborProfile>& p2);
+
 /// Computes and caches per-reference profiles, and derives pair features.
 class FeatureExtractor {
  public:
@@ -35,6 +41,8 @@ class FeatureExtractor {
 
   size_t num_paths() const { return paths_.size(); }
   const std::vector<JoinPath>& paths() const { return paths_; }
+  const PropagationEngine& engine() const { return *engine_; }
+  const PropagationOptions& propagation_options() const { return options_; }
 
   /// Profiles of `ref` along every path; computed once then cached.
   const std::vector<NeighborProfile>& ProfilesFor(int32_t ref);

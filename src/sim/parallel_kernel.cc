@@ -1,0 +1,58 @@
+#include "sim/parallel_kernel.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace distinct {
+
+std::pair<PairMatrix, PairMatrix> ComputePairMatrices(
+    const ProfileStore& store, const SimilarityModel& model,
+    ThreadPool* pool, const PairKernelOptions& options) {
+  const size_t n = store.num_refs();
+  PairMatrix resem(n);
+  PairMatrix walk(n);
+
+  const auto fill_cell = [&](size_t i, size_t j) {
+    const PairFeatures features = store.Features(i, j);
+    resem.set(i, j, model.Resemblance(features));
+    walk.set(i, j, model.Walk(features));
+  };
+
+  if (pool == nullptr ||
+      n < static_cast<size_t>(std::max(options.min_parallel_refs, 0))) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        fill_cell(i, j);
+      }
+    }
+    return std::make_pair(std::move(resem), std::move(walk));
+  }
+
+  const size_t tile = static_cast<size_t>(std::max(options.tile_size, 1));
+  const size_t blocks = (n + tile - 1) / tile;
+  std::vector<std::pair<uint32_t, uint32_t>> tiles;
+  tiles.reserve(blocks * (blocks + 1) / 2);
+  for (size_t bi = 0; bi < blocks; ++bi) {
+    for (size_t bj = 0; bj <= bi; ++bj) {
+      tiles.emplace_back(static_cast<uint32_t>(bi),
+                         static_cast<uint32_t>(bj));
+    }
+  }
+  ParallelForShared(*pool, static_cast<int64_t>(tiles.size()),
+                    [&](int64_t t) {
+                      const auto [bi, bj] = tiles[static_cast<size_t>(t)];
+                      const size_t i_end = std::min(n, (bi + 1) * tile);
+                      const size_t j_begin = bj * tile;
+                      for (size_t i = bi * tile; i < i_end; ++i) {
+                        const size_t j_end =
+                            std::min<size_t>((bj + 1) * tile, i);
+                        for (size_t j = j_begin; j < j_end; ++j) {
+                          fill_cell(i, j);
+                        }
+                      }
+                    });
+  return std::make_pair(std::move(resem), std::move(walk));
+}
+
+}  // namespace distinct

@@ -1,0 +1,43 @@
+// Phase 2 of the parallel intra-name similarity kernel: fill the
+// model-combined resemblance and walk PairMatrix over the strict lower
+// triangle from a ProfileStore.
+//
+// The triangle is cut into square tiles and the tiles are enumerated in a
+// fixed order (tile t covers block row t_i, block column t_j <= t_i), so
+// every (i, j) slot belongs to exactly one tile — the fill is race-free by
+// construction. Each cell depends only on the two profiles and the model,
+// never on neighbouring cells or on scheduling, so the parallel result is
+// bit-identical to the serial loop at any thread count.
+
+#ifndef DISTINCT_SIM_PARALLEL_KERNEL_H_
+#define DISTINCT_SIM_PARALLEL_KERNEL_H_
+
+#include <utility>
+
+#include "cluster/pair_matrix.h"
+#include "common/thread_pool.h"
+#include "sim/profile_store.h"
+#include "sim/similarity_model.h"
+
+namespace distinct {
+
+struct PairKernelOptions {
+  /// Side length of the square tiles the lower triangle is cut into. One
+  /// tile is one task: big enough to amortize scheduling, small enough
+  /// that a mega-name yields many more tiles than threads.
+  int tile_size = 64;
+  /// Below this many references the fill runs inline even when a pool is
+  /// supplied.
+  int min_parallel_refs = 32;
+};
+
+/// Computes (resemblance, walk) matrices for the store's references. With a
+/// non-null `pool`, tiles are filled in parallel; safe to call from inside
+/// a pool task (nested parallelism via ParallelForShared).
+std::pair<PairMatrix, PairMatrix> ComputePairMatrices(
+    const ProfileStore& store, const SimilarityModel& model,
+    ThreadPool* pool = nullptr, const PairKernelOptions& options = {});
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SIM_PARALLEL_KERNEL_H_

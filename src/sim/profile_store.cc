@@ -1,0 +1,45 @@
+#include "sim/profile_store.h"
+
+namespace distinct {
+
+ProfileStore ProfileStore::Build(const PropagationEngine& engine,
+                                 const std::vector<JoinPath>& paths,
+                                 const PropagationOptions& options,
+                                 std::vector<int32_t> refs,
+                                 ThreadPool* pool,
+                                 size_t min_parallel_refs) {
+  ProfileStore store;
+  store.refs_ = std::move(refs);
+  store.num_paths_ = paths.size();
+  store.profiles_.resize(store.refs_.size());
+  store.index_.reserve(store.refs_.size());
+  for (size_t i = 0; i < store.refs_.size(); ++i) {
+    store.index_.emplace(store.refs_[i], i);
+  }
+
+  const auto compute_one = [&](int64_t i) {
+    std::vector<NeighborProfile> profiles;
+    profiles.reserve(paths.size());
+    for (const JoinPath& path : paths) {
+      profiles.push_back(engine.Compute(path, store.refs_[i], options));
+    }
+    store.profiles_[static_cast<size_t>(i)] = std::move(profiles);
+  };
+
+  if (pool != nullptr && store.refs_.size() >= min_parallel_refs) {
+    ParallelForShared(*pool, static_cast<int64_t>(store.refs_.size()),
+                      compute_one);
+  } else {
+    for (size_t i = 0; i < store.refs_.size(); ++i) {
+      compute_one(static_cast<int64_t>(i));
+    }
+  }
+  return store;
+}
+
+int64_t ProfileStore::IndexOf(int32_t ref) const {
+  auto it = index_.find(ref);
+  return it == index_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+}  // namespace distinct

@@ -1,0 +1,74 @@
+// Shared read-only store of per-reference neighbor profiles — phase 1 of
+// the parallel intra-name similarity kernel.
+//
+// Each of the n references needs one propagation per join path, and the
+// propagations are mutually independent, so Build() fans them out over a
+// ThreadPool. Once built the store is immutable: any number of threads may
+// read profiles and derive pair features concurrently without
+// synchronization. This replaces the per-worker FeatureExtractor caches the
+// bulk scan used to maintain (whose `thread_local` keying by engine address
+// dangled when an engine was destroyed and a new one reused the address).
+
+#ifndef DISTINCT_SIM_PROFILE_STORE_H_
+#define DISTINCT_SIM_PROFILE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "prop/propagation.h"
+#include "relational/join_path.h"
+#include "sim/feature_vector.h"
+
+namespace distinct {
+
+class ProfileStore {
+ public:
+  /// Below this many references Build() stays serial even when a pool is
+  /// supplied (task overhead would dominate n propagations).
+  static constexpr size_t kMinParallelRefs = 32;
+
+  /// Computes the profiles of every reference in `refs` along every path.
+  /// With a non-null `pool`, references are processed in parallel; safe to
+  /// call from inside a pool task (work is shared via ParallelForShared).
+  /// Each reference's profiles are computed by exactly one thread with the
+  /// same per-path loop as the serial code, so the result is bit-identical
+  /// across thread counts.
+  static ProfileStore Build(const PropagationEngine& engine,
+                            const std::vector<JoinPath>& paths,
+                            const PropagationOptions& options,
+                            std::vector<int32_t> refs,
+                            ThreadPool* pool = nullptr,
+                            size_t min_parallel_refs = kMinParallelRefs);
+
+  size_t num_refs() const { return refs_.size(); }
+  size_t num_paths() const { return num_paths_; }
+  const std::vector<int32_t>& refs() const { return refs_; }
+
+  /// Profiles (one per path) of the reference at position `index` of
+  /// refs().
+  const std::vector<NeighborProfile>& profiles(size_t index) const {
+    return profiles_[index];
+  }
+
+  /// Position of `ref` in refs(), or -1 when absent.
+  int64_t IndexOf(int32_t ref) const;
+
+  /// Pair features of the references at positions i and j.
+  PairFeatures Features(size_t i, size_t j) const {
+    return ComputePairFeatures(profiles_[i], profiles_[j]);
+  }
+
+ private:
+  ProfileStore() = default;
+
+  std::vector<int32_t> refs_;
+  size_t num_paths_ = 0;
+  std::vector<std::vector<NeighborProfile>> profiles_;  // indexed like refs_
+  std::unordered_map<int32_t, size_t> index_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SIM_PROFILE_STORE_H_

@@ -105,12 +105,16 @@ TEST(DistinctTest, ClusterOptionsMirrorConfig) {
   config.min_sim = 0.25;
   config.measure = ClusterMeasure::kWalkOnly;
   config.combine = CombineRule::kArithmeticMean;
+  config.stopping = StoppingRule::kLargestGap;
+  config.incremental = false;
   auto engine = Distinct::Create(db, DblpReferenceSpec(), config);
   ASSERT_TRUE(engine.ok());
   const AgglomerativeOptions options = engine->cluster_options();
   EXPECT_DOUBLE_EQ(options.min_sim, 0.25);
   EXPECT_EQ(options.measure, ClusterMeasure::kWalkOnly);
   EXPECT_EQ(options.combine, CombineRule::kArithmeticMean);
+  EXPECT_EQ(options.stopping, StoppingRule::kLargestGap);
+  EXPECT_FALSE(options.incremental);
 }
 
 TEST(DistinctTest, CreateFailsOnBadSpec) {

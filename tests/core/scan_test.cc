@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "../test_util.h"
+#include "dblp/generator.h"
 
 namespace distinct {
 namespace {
@@ -61,6 +64,27 @@ TEST(ScanTest, BadSpecFails) {
   ReferenceSpec spec = DblpReferenceSpec();
   spec.reference_table = "Ghost";
   EXPECT_FALSE(ScanNameGroups(db, spec).ok());
+}
+
+TEST(ScanTest, EngineScanMatchesDatabaseScan) {
+  Database db = testing_util::MakeMiniDblp();
+  DistinctConfig config;
+  config.supervised = false;
+  auto engine = Distinct::Create(db, DblpReferenceSpec(), config);
+  ASSERT_TRUE(engine.ok());
+  for (const int min_refs : {1, 2, 3}) {
+    ScanOptions options;
+    options.min_refs = min_refs;
+    auto from_db = ScanNameGroups(db, DblpReferenceSpec(), options);
+    auto from_index = ScanNameGroups(*engine, options);
+    ASSERT_TRUE(from_db.ok());
+    ASSERT_TRUE(from_index.ok());
+    ASSERT_EQ(from_index->size(), from_db->size()) << min_refs;
+    for (size_t g = 0; g < from_db->size(); ++g) {
+      EXPECT_EQ((*from_index)[g].name, (*from_db)[g].name);
+      EXPECT_EQ((*from_index)[g].refs, (*from_db)[g].refs);
+    }
+  }
 }
 
 class ResolveAllTest : public ::testing::Test {
@@ -138,6 +162,58 @@ TEST_F(ResolveAllTest, ParallelMatchesSequential) {
       EXPECT_EQ(parallel[g].clustering.assignment,
                 sequential[g].clustering.assignment)
           << parallel[g].name;
+    }
+  }
+}
+
+// One mega-name (n >= 200 refs) among many small groups: the load pattern
+// the nested groups x tiles parallelism exists for. The parallel resolver
+// must match the sequential one exactly at every thread count.
+TEST(ResolveAllMegaGroupTest, ParallelMatchesSequentialWithMegaGroup) {
+  GeneratorConfig generator;
+  generator.seed = 11;
+  generator.num_communities = 10;
+  generator.authors_per_community = 12;
+  generator.ambiguous = {{"Wei Wang", 6, 220}, {"Jing Li", 2, 12},
+                         {"Hao Chen", 2, 10}};
+  auto dataset = GenerateDblpDataset(generator);
+  ASSERT_TRUE(dataset.ok());
+
+  DistinctConfig config;
+  config.supervised = false;
+  config.promotions = DblpDefaultPromotions();
+  auto engine = Distinct::Create(dataset->db, DblpReferenceSpec(), config);
+  ASSERT_TRUE(engine.ok());
+
+  ScanOptions options;
+  options.min_refs = 2;
+  options.max_refs = 100000;
+  auto groups = ScanNameGroups(*engine, options);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_FALSE(groups->empty());
+  // Sorted by descending size: the mega-group leads, small groups follow.
+  EXPECT_EQ((*groups)[0].name, "Wei Wang");
+  EXPECT_GE((*groups)[0].refs.size(), 200u);
+  EXPECT_GT(groups->size(), 4u);
+
+  std::vector<BulkResolution> sequential;
+  auto seq_stats = ResolveAllNames(*engine, *groups, &sequential);
+  ASSERT_TRUE(seq_stats.ok());
+
+  for (const int threads : {2, 4, 8}) {
+    std::vector<BulkResolution> parallel;
+    auto par_stats =
+        ResolveAllNamesParallel(*engine, *groups, threads, &parallel);
+    ASSERT_TRUE(par_stats.ok());
+    EXPECT_EQ(par_stats->names_resolved, seq_stats->names_resolved);
+    EXPECT_EQ(par_stats->total_clusters, seq_stats->total_clusters);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (size_t g = 0; g < parallel.size(); ++g) {
+      EXPECT_EQ(parallel[g].name, sequential[g].name);
+      EXPECT_EQ(parallel[g].num_refs, sequential[g].num_refs);
+      EXPECT_EQ(parallel[g].clustering.assignment,
+                sequential[g].clustering.assignment)
+          << parallel[g].name << " at " << threads << " threads";
     }
   }
 }

@@ -1,0 +1,211 @@
+#include "sim/parallel_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "../test_util.h"
+#include "core/distinct.h"
+#include "dblp/generator.h"
+#include "dblp/schema.h"
+#include "sim/profile_store.h"
+
+namespace distinct {
+namespace {
+
+/// Serial reference implementation: the pre-kernel per-cell loop over a
+/// caching FeatureExtractor. The kernel must reproduce it bit-for-bit.
+std::pair<PairMatrix, PairMatrix> SerialMatrices(
+    FeatureExtractor& extractor, const SimilarityModel& model,
+    const std::vector<int32_t>& refs) {
+  const size_t n = refs.size();
+  PairMatrix resem(n);
+  PairMatrix walk(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const PairFeatures features = extractor.Compute(refs[i], refs[j]);
+      resem.set(i, j, model.Resemblance(features));
+      walk.set(i, j, model.Walk(features));
+    }
+  }
+  return std::make_pair(std::move(resem), std::move(walk));
+}
+
+void ExpectBitIdentical(const PairMatrix& a, const PairMatrix& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the guarantee is bit-for-bit.
+      EXPECT_EQ(a.at(i, j), b.at(i, j)) << "cell (" << i << ", " << j << ")";
+    }
+  }
+}
+
+/// A generated database with one planted mega-name, plus an engine and
+/// everything the kernel consumes.
+class ParallelKernelTest : public ::testing::Test {
+ protected:
+  ParallelKernelTest() {
+    GeneratorConfig generator;
+    generator.seed = 7;
+    generator.num_communities = 12;
+    generator.authors_per_community = 15;
+    generator.ambiguous = {{"Wei Wang", 4, 60}};
+    auto dataset = GenerateDblpDataset(generator);
+    DISTINCT_CHECK(dataset.ok());
+    dataset_ = std::make_unique<DblpDataset>(*std::move(dataset));
+
+    DistinctConfig config;
+    config.supervised = false;
+    config.promotions = DblpDefaultPromotions();
+    auto engine =
+        Distinct::Create(dataset_->db, DblpReferenceSpec(), config);
+    DISTINCT_CHECK(engine.ok());
+    engine_ = std::make_unique<Distinct>(*std::move(engine));
+
+    auto refs = engine_->RefsForName("Wei Wang");
+    DISTINCT_CHECK(refs.ok());
+    refs_ = *std::move(refs);
+    DISTINCT_CHECK(refs_.size() >= 50);
+  }
+
+  std::unique_ptr<DblpDataset> dataset_;
+  std::unique_ptr<Distinct> engine_;
+  std::vector<int32_t> refs_;
+};
+
+TEST_F(ParallelKernelTest, ProfileStoreMatchesExtractor) {
+  FeatureExtractor extractor(engine_->propagation_engine(), engine_->paths(),
+                             engine_->config().propagation);
+  const ProfileStore store = ProfileStore::Build(
+      engine_->propagation_engine(), engine_->paths(),
+      engine_->config().propagation, refs_, /*pool=*/nullptr);
+  ASSERT_EQ(store.num_refs(), refs_.size());
+  ASSERT_EQ(store.num_paths(), engine_->paths().size());
+  for (size_t i = 0; i < refs_.size(); ++i) {
+    EXPECT_EQ(store.IndexOf(refs_[i]), static_cast<int64_t>(i));
+    const std::vector<NeighborProfile>& expected =
+        extractor.ProfilesFor(refs_[i]);
+    const std::vector<NeighborProfile>& actual = store.profiles(i);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t p = 0; p < expected.size(); ++p) {
+      ASSERT_EQ(actual[p].size(), expected[p].size());
+      for (size_t e = 0; e < expected[p].entries().size(); ++e) {
+        EXPECT_EQ(actual[p].entries()[e].tuple,
+                  expected[p].entries()[e].tuple);
+        EXPECT_EQ(actual[p].entries()[e].forward,
+                  expected[p].entries()[e].forward);
+        EXPECT_EQ(actual[p].entries()[e].reverse,
+                  expected[p].entries()[e].reverse);
+      }
+    }
+  }
+  EXPECT_EQ(store.IndexOf(-123), -1);
+}
+
+TEST_F(ParallelKernelTest, KernelIsBitIdenticalAcrossThreadCounts) {
+  FeatureExtractor extractor(engine_->propagation_engine(), engine_->paths(),
+                             engine_->config().propagation);
+  const auto serial = SerialMatrices(extractor, engine_->model(), refs_);
+
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    // Tiny tile size so even ~60 refs produce many tiles.
+    PairKernelOptions options;
+    options.tile_size = 8;
+    options.min_parallel_refs = 2;
+    const ProfileStore store = ProfileStore::Build(
+        engine_->propagation_engine(), engine_->paths(),
+        engine_->config().propagation, refs_, &pool,
+        /*min_parallel_refs=*/2);
+    const auto parallel =
+        ComputePairMatrices(store, engine_->model(), &pool, options);
+    ExpectBitIdentical(parallel.first, serial.first);
+    ExpectBitIdentical(parallel.second, serial.second);
+  }
+}
+
+TEST_F(ParallelKernelTest, TileSizeDoesNotChangeResults) {
+  ThreadPool pool(4);
+  const ProfileStore store = ProfileStore::Build(
+      engine_->propagation_engine(), engine_->paths(),
+      engine_->config().propagation, refs_, &pool, /*min_parallel_refs=*/2);
+  const auto baseline = ComputePairMatrices(store, engine_->model());
+  for (const int tile : {1, 3, 16, 1024}) {
+    PairKernelOptions options;
+    options.tile_size = tile;
+    options.min_parallel_refs = 2;
+    const auto tiled =
+        ComputePairMatrices(store, engine_->model(), &pool, options);
+    ExpectBitIdentical(tiled.first, baseline.first);
+    ExpectBitIdentical(tiled.second, baseline.second);
+  }
+}
+
+TEST_F(ParallelKernelTest, EngineComputeMatricesMatchesAcrossThreadCounts) {
+  DistinctConfig config = engine_->config();
+  auto serial = engine_->ComputeMatrices(refs_);
+  ASSERT_TRUE(serial.ok());
+  for (const int threads : {2, 8}) {
+    config.num_threads = threads;
+    auto parallel_engine =
+        Distinct::Create(dataset_->db, DblpReferenceSpec(), config);
+    ASSERT_TRUE(parallel_engine.ok());
+    auto parallel = parallel_engine->ComputeMatrices(refs_);
+    ASSERT_TRUE(parallel.ok());
+    ExpectBitIdentical(parallel->first, serial->first);
+    ExpectBitIdentical(parallel->second, serial->second);
+  }
+}
+
+TEST(ParallelKernelEdgeTest, EmptyAndSingletonStores) {
+  Database db = testing_util::MakeMiniDblp();
+  DistinctConfig config;
+  config.supervised = false;
+  auto engine = Distinct::Create(db, DblpReferenceSpec(), config);
+  ASSERT_TRUE(engine.ok());
+  ThreadPool pool(2);
+  for (const std::vector<int32_t>& refs :
+       {std::vector<int32_t>{}, std::vector<int32_t>{0}}) {
+    const ProfileStore store = ProfileStore::Build(
+        engine->propagation_engine(), engine->paths(),
+        engine->config().propagation, refs, &pool, /*min_parallel_refs=*/0);
+    const auto matrices = ComputePairMatrices(store, engine->model(), &pool);
+    EXPECT_EQ(matrices.first.size(), refs.size());
+    EXPECT_EQ(matrices.second.size(), refs.size());
+  }
+}
+
+TEST(ParallelForSharedTest, CoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelForShared(pool, 1000,
+                    [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForSharedTest, NestedInsideParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> total{0};
+  // Outer: per-group tasks occupy every worker; inner: each group fans its
+  // items out to the same (fully busy) pool — the caller must make
+  // progress alone.
+  ParallelFor(pool, 8, [&](int64_t) {
+    ParallelForShared(pool, 100, [&](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ParallelForSharedTest, WorksWithZeroAndOneItems) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  ParallelForShared(pool, 0, [&](int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  ParallelForShared(pool, 1, [&](int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+}  // namespace
+}  // namespace distinct
