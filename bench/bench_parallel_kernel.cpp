@@ -105,6 +105,17 @@ int main(int argc, char** argv) {
                 StrFormat("%.3f", serial_matrix),
                 StrFormat("%.3f", serial_total), "1.00", "-"});
 
+  BenchJson json("parallel_kernel");
+  json.Add("seed", flags.GetInt64("seed"));
+  json.Add("refs", static_cast<int64_t>(refs->size()));
+  json.Add("join_paths", static_cast<int64_t>(engine.paths().size()));
+  json.Add("repeat", flags.GetInt64("repeat"));
+  json.Add("hardware_threads",
+           static_cast<int64_t>(std::thread::hardware_concurrency()));
+  json.Add("serial_profiles_s", serial_profiles);
+  json.Add("serial_matrix_s", serial_matrix);
+  json.Add("serial_total_s", serial_total);
+
   for (const int threads : {1, 2, 4, 8}) {
     ThreadPool pool(threads);
     double pool_profiles = 0.0;
@@ -128,6 +139,10 @@ int main(int argc, char** argv) {
                   StrFormat("%.3f", pool_matrix), StrFormat("%.3f", total),
                   StrFormat("%.2f", total > 0 ? serial_total / total : 0.0),
                   exact ? "yes" : "NO"});
+    const std::string prefix = StrFormat("t%d_", threads);
+    json.Add(prefix + "total_s", total);
+    json.Add(prefix + "speedup", total > 0 ? serial_total / total : 0.0);
+    json.Add(prefix + "exact", static_cast<int64_t>(exact ? 1 : 0));
     if (!exact) {
       std::fprintf(stderr,
                    "error: %d-thread kernel diverged from the serial "
@@ -137,6 +152,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s", table.Render().c_str());
+  json.Write();
   std::printf(
       "\nboth phases fan out over one shared pool (per-reference "
       "propagation, then tiled lower-triangle fill); results are "

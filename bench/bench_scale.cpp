@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
     table.SetRightAlign(c);
   }
 
+  BenchJson json("scale");
+  json.Add("seed", flags.GetInt64("seed"));
+
   for (const int communities : {10, 20, 40, 80}) {
     GeneratorConfig generator = StandardGeneratorConfig(
         static_cast<uint64_t>(flags.GetInt64("seed")));
@@ -81,8 +84,19 @@ int main(int argc, char** argv) {
                                ? static_cast<double>(bulk_stats->total_refs) /
                                      seconds_bulk
                                : 0.0)});
+    const std::string prefix = StrFormat("c%d_", communities);
+    json.Add(prefix + "refs", static_cast<int64_t>(stats->num_references));
+    json.Add(prefix + "offline_s", seconds_offline);
+    json.Add(prefix + "names_resolved",
+             static_cast<int64_t>(bulk_stats->names_resolved));
+    json.Add(prefix + "bulk_s", seconds_bulk);
+    json.Add(prefix + "refs_per_s",
+             seconds_bulk > 0
+                 ? static_cast<double>(bulk_stats->total_refs) / seconds_bulk
+                 : 0.0);
   }
   std::printf("%s", table.Render().c_str());
+  json.Write();
   std::printf(
       "\npaper context: 62.1 s offline on ~1.29M references (2005-era "
       "hardware); the offline phase here scales roughly linearly in "

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "dblp/schema.h"
+#include "obs/json_writer.h"
 
 namespace distinct {
 namespace bench {
@@ -43,6 +44,68 @@ Distinct MustCreate(const Database& db, const DistinctConfig& config) {
 }
 
 std::string Fmt3(double value) { return StrFormat("%.3f", value); }
+
+void BenchJson::Add(const std::string& key, int64_t value) {
+  Entry entry;
+  entry.kind = Entry::Kind::kInt;
+  entry.key = key;
+  entry.int_value = value;
+  entries_.push_back(std::move(entry));
+}
+
+void BenchJson::Add(const std::string& key, double value) {
+  Entry entry;
+  entry.kind = Entry::Kind::kDouble;
+  entry.key = key;
+  entry.double_value = value;
+  entries_.push_back(std::move(entry));
+}
+
+void BenchJson::Add(const std::string& key, const std::string& value) {
+  Entry entry;
+  entry.kind = Entry::Kind::kString;
+  entry.key = key;
+  entry.string_value = value;
+  entries_.push_back(std::move(entry));
+}
+
+std::string BenchJson::Write() const {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.Value(name_);
+  for (const Entry& entry : entries_) {
+    json.Key(entry.key);
+    switch (entry.kind) {
+      case Entry::Kind::kInt:
+        json.Value(entry.int_value);
+        break;
+      case Entry::Kind::kDouble:
+        json.Value(entry.double_value);
+        break;
+      case Entry::Kind::kString:
+        json.Value(entry.string_value);
+        break;
+    }
+  }
+  json.EndObject();
+
+  const char* dir = std::getenv("DISTINCT_BENCH_JSON_DIR");
+  std::string path = dir != nullptr && *dir != '\0'
+                         ? std::string(dir) + "/"
+                         : std::string();
+  path += "BENCH_" + name_ + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fputs(json.str().c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+  return path;
+}
 
 void PrintBanner(const char* experiment, const char* paper_artifact) {
   std::printf("==============================================================\n");

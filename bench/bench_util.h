@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "core/distinct.h"
@@ -41,6 +42,34 @@ std::string Fmt3(double value);
 
 /// Prints the standard harness banner.
 void PrintBanner(const char* experiment, const char* paper_artifact);
+
+/// Machine-readable companion to the human tables: collects flat key/value
+/// results and writes them as `BENCH_<name>.json` so CI and tooling can
+/// diff benchmark runs without scraping stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, int64_t value);
+  void Add(const std::string& key, double value);
+  void Add(const std::string& key, const std::string& value);
+
+  /// Writes `BENCH_<name>.json` into $DISTINCT_BENCH_JSON_DIR (when set)
+  /// or the working directory. Returns the path, or "" on I/O failure
+  /// (benchmarks should keep going — the tables already printed).
+  std::string Write() const;
+
+ private:
+  struct Entry {
+    enum class Kind { kInt, kDouble, kString } kind;
+    std::string key;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace bench
 }  // namespace distinct

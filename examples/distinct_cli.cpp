@@ -14,6 +14,7 @@
 #include <string>
 
 #include "common/flags.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/text_table.h"
 #include "core/distinct.h"
@@ -22,6 +23,9 @@
 #include "dblp/dataset_io.h"
 #include "dblp/schema.h"
 #include "dblp/stats.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "sim/similarity_model_io.h"
 
 namespace {
@@ -29,7 +33,7 @@ namespace {
 using namespace distinct;
 
 int Fail(const Status& status) {
-  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  DISTINCT_LOG(ERROR) << status.ToString();
   return 1;
 }
 
@@ -39,7 +43,8 @@ void Usage() {
                "[flags]\n"
                "  common flags: --dir=DATA --model=FILE --min-sim=0.03\n"
                "                --threads=N --stopping=fixed|largest-gap\n"
-               "                --no-incremental\n"
+               "                --no-incremental --verbosity=0|1|2\n"
+               "                --report --metrics-json=FILE\n"
                "  generate: --seed=N\n"
                "  resolve:  --name=\"Wei Wang\"\n"
                "  scan:     --min-refs=N --threads=N\n");
@@ -52,6 +57,7 @@ StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags) {
   config.auto_min_sim = flags.GetBool("auto-min-sim");
   config.num_threads = static_cast<int>(flags.GetInt64("threads"));
   config.incremental = flags.GetBool("incremental");
+  config.observability = obs::Enabled();
   const std::string stopping = flags.GetString("stopping");
   if (stopping == "largest-gap" || stopping == "gap") {
     config.stopping = StoppingRule::kLargestGap;
@@ -64,12 +70,12 @@ StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags) {
   if (!model_path.empty()) {
     auto model = LoadSimilarityModel(model_path);
     if (model.ok()) {
-      std::printf("using model %s\n", model_path.c_str());
+      DISTINCT_LOG(INFO) << "using model " << model_path;
       return Distinct::CreateWithModel(db, DblpReferenceSpec(), config,
                                        *std::move(model));
     }
-    std::fprintf(stderr, "note: %s — training instead\n",
-                 model.status().ToString().c_str());
+    DISTINCT_LOG(WARN) << model.status().ToString()
+                       << " — training instead";
   }
   return Distinct::Create(db, DblpReferenceSpec(), config);
 }
@@ -95,6 +101,7 @@ int RunTrain(const FlagParser& flags) {
   config.promotions = DblpDefaultPromotions();
   config.min_sim = flags.GetDouble("min-sim");
   config.num_threads = static_cast<int>(flags.GetInt64("threads"));
+  config.observability = obs::Enabled();
   auto engine = Distinct::Create(*db, DblpReferenceSpec(), config);
   if (!engine.ok()) return Fail(engine.status());
   const TrainingReport& report = engine->report();
@@ -212,17 +219,55 @@ int main(int argc, char** argv) {
   flags.AddBool("incremental", true,
                 "incremental cluster-sum maintenance (--no-incremental "
                 "recomputes from the base matrices)");
+  flags.AddInt64("verbosity", 1,
+                 "log verbosity: 0 = warnings/errors, 1 = +info, 2 = +debug");
+  flags.AddBool("report", false,
+                "print a per-stage metrics report after the command");
+  flags.AddString("metrics-json", "",
+                  "write the structured run report as JSON to this file");
   if (Status s = flags.Parse(argc - 2, argv + 2); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
                  flags.Help().c_str());
     return 1;
   }
 
-  if (command == "generate") return RunGenerate(flags);
-  if (command == "train") return RunTrain(flags);
-  if (command == "resolve") return RunResolve(flags);
-  if (command == "scan") return RunScan(flags);
-  if (command == "eval") return RunEval(flags);
-  Usage();
-  return 1;
+  SetLogVerbosity(static_cast<int>(flags.GetInt64("verbosity")));
+  const std::string metrics_json = flags.GetString("metrics-json");
+  const bool want_report = flags.GetBool("report") || !metrics_json.empty();
+  if (want_report) {
+    obs::SetEnabled(true);
+    obs::MetricsRegistry::Global().Reset();
+    obs::Tracer::Global().Reset();
+  }
+
+  int exit_code = 1;
+  if (command == "generate") {
+    exit_code = RunGenerate(flags);
+  } else if (command == "train") {
+    exit_code = RunTrain(flags);
+  } else if (command == "resolve") {
+    exit_code = RunResolve(flags);
+  } else if (command == "scan") {
+    exit_code = RunScan(flags);
+  } else if (command == "eval") {
+    exit_code = RunEval(flags);
+  } else {
+    Usage();
+    return 1;
+  }
+
+  if (want_report) {
+    const obs::RunReport run_report = obs::CollectRunReport(command);
+    if (flags.GetBool("report")) {
+      std::printf("%s", obs::RunReportToText(run_report).c_str());
+    }
+    if (!metrics_json.empty()) {
+      if (Status s = obs::WriteRunReportJson(run_report, metrics_json);
+          !s.ok()) {
+        return Fail(s);
+      }
+      DISTINCT_LOG(INFO) << "wrote run report to " << metrics_json;
+    }
+  }
+  return exit_code;
 }

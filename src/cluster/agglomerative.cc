@@ -6,7 +6,9 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace distinct {
 namespace {
@@ -129,6 +131,7 @@ class MergeEngine {
     }
 
     std::vector<MergeStep> merges;
+    int64_t stale_skips = 0;
     while (!heap.empty()) {
       const Candidate top = heap.top();
       heap.pop();
@@ -136,6 +139,7 @@ class MergeEngine {
       const size_t b = top.b;
       if (!active_[a] || !active_[b] || version[a] != top.va ||
           version[b] != top.vb) {
+        ++stale_skips;
         continue;  // stale entry
       }
       merges.push_back(
@@ -159,7 +163,11 @@ class MergeEngine {
     size_t keep = merges.size();
     if (options_.stopping == StoppingRule::kLargestGap) {
       keep = LargestGapCut(merges, /*gap_factor=*/3.0);
+      DISTINCT_COUNTER_ADD("cluster.gap_cut_merges_dropped",
+                           static_cast<int64_t>(merges.size() - keep));
     }
+    DISTINCT_COUNTER_ADD("cluster.merges", static_cast<int64_t>(keep));
+    DISTINCT_COUNTER_ADD("cluster.stale_candidates_skipped", stale_skips);
     return ResultFromMerges(n_, merges, keep);
   }
 
@@ -247,8 +255,14 @@ ClusteringResult ClusterReferences(const PairMatrix& resem,
     result.num_clusters = 1;
     return result;
   }
+  Stopwatch watch;
   MergeEngine engine(resem, walk, options);
-  return engine.Run();
+  ClusteringResult result = engine.Run();
+  DISTINCT_COUNTER_ADD("cluster.runs", 1);
+  DISTINCT_COUNTER_ADD("cluster.refs_clustered",
+                       static_cast<int64_t>(resem.size()));
+  DISTINCT_HISTOGRAM_RECORD("cluster.run_nanos", watch.ElapsedNanos());
+  return result;
 }
 
 }  // namespace distinct

@@ -1,26 +1,143 @@
-// Lightweight assertion and logging macros.
+// Assertions and leveled logging.
 //
-// Library code is exception-free (fallible operations return Status); these
-// macros guard internal invariants that indicate programmer error, aborting
-// with a source location when violated.
+// Library code is exception-free (fallible operations return Status); the
+// CHECK macros guard internal invariants that indicate programmer error,
+// aborting with a source location when violated.
+//
+// DISTINCT_LOG(INFO/WARN/ERROR) emits leveled diagnostics to stderr:
+//
+//   DISTINCT_LOG(INFO) << "trained on " << n << " pairs";
+//
+// ERROR and WARN always print; INFO prints at verbosity >= 1 and DEBUG at
+// verbosity >= 2 (SetLogVerbosity, or the CLI --verbosity flag). The
+// stream is only evaluated when the level is enabled, so suppressed INFO
+// logs cost one relaxed atomic load.
 
 #ifndef DISTINCT_COMMON_LOGGING_H_
 #define DISTINCT_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 namespace distinct {
+
+/// Severity of a DISTINCT_LOG message.
+enum class LogSeverity {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
 namespace internal_logging {
+
+inline std::atomic<int>& VerbosityRef() {
+  static std::atomic<int> verbosity{0};
+  return verbosity;
+}
+
+}  // namespace internal_logging
+
+/// Logging verbosity: 0 (default) shows WARN/ERROR only, 1 adds INFO,
+/// 2 adds DEBUG.
+inline void SetLogVerbosity(int verbosity) {
+  internal_logging::VerbosityRef().store(verbosity,
+                                         std::memory_order_relaxed);
+}
+
+inline int GetLogVerbosity() {
+  return internal_logging::VerbosityRef().load(std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+// Tokens pasted by DISTINCT_LOG(severity).
+inline constexpr LogSeverity kSeverityDEBUG = LogSeverity::kDebug;
+inline constexpr LogSeverity kSeverityINFO = LogSeverity::kInfo;
+inline constexpr LogSeverity kSeverityWARN = LogSeverity::kWarn;
+inline constexpr LogSeverity kSeverityERROR = LogSeverity::kError;
+
+inline bool LogEnabled(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return GetLogVerbosity() >= 2;
+    case LogSeverity::kInfo:
+      return GetLogVerbosity() >= 1;
+    case LogSeverity::kWarn:
+    case LogSeverity::kError:
+      return true;
+  }
+  return true;
+}
+
+inline const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarn:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+/// Accumulates one log line and emits it on destruction (end of the full
+/// statement), so a message built from several << pieces prints atomically
+/// with respect to other lines from this process.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line)
+      : severity_(severity), file_(file), line_(line) {}
+
+  ~LogMessage() {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_), file_,
+                 line_, stream_.str().c_str());
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Makes the ?: arms of DISTINCT_LOG agree on type void.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
 
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
-  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  LogMessage(LogSeverity::kError, file, line).stream()
+      << "CHECK failed: " << expr;
   std::abort();
 }
 
 }  // namespace internal_logging
 }  // namespace distinct
+
+/// Leveled logging: DISTINCT_LOG(INFO) << "message". Severity is one of
+/// DEBUG, INFO, WARN, ERROR. The stream expression is not evaluated when
+/// the severity is suppressed by the current verbosity.
+#define DISTINCT_LOG(severity)                                              \
+  !::distinct::internal_logging::LogEnabled(                                \
+      ::distinct::internal_logging::kSeverity##severity)                    \
+      ? (void)0                                                             \
+      : ::distinct::internal_logging::LogVoidify() &                        \
+            ::distinct::internal_logging::LogMessage(                       \
+                ::distinct::internal_logging::kSeverity##severity,          \
+                __FILE__, __LINE__)                                         \
+                .stream()
 
 /// Aborts the process when `expr` is false. Enabled in all build modes.
 #define DISTINCT_CHECK(expr)                                            \

@@ -1,9 +1,12 @@
-// Wall-clock timing for the benchmark harnesses.
+// Wall-clock timing. Originally written for the benchmark harnesses, now
+// load-bearing in core: pipeline stage reports, bulk-scan statistics, and
+// the observability histogram recorders all time with it.
 
 #ifndef DISTINCT_COMMON_STOPWATCH_H_
 #define DISTINCT_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace distinct {
 
@@ -19,6 +22,15 @@ class Stopwatch {
   }
 
   double Millis() const { return Seconds() * 1e3; }
+
+  /// Elapsed wall time in integer nanoseconds; monotonically non-decreasing
+  /// across successive calls (steady clock). What the observability
+  /// histograms record (obs/metrics.h).
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

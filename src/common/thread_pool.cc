@@ -5,11 +5,14 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace distinct {
 
 ThreadPool::ThreadPool(int num_threads) {
   const int count = std::max(num_threads, 1);
+  DISTINCT_COUNTER_ADD("pool.workers_started", count);
   workers_.reserve(static_cast<size_t>(count));
   for (int t = 0; t < count; ++t) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -29,6 +32,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   DISTINCT_CHECK(task != nullptr);
+  DISTINCT_COUNTER_ADD("pool.tasks_submitted", 1);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     DISTINCT_CHECK(!shutting_down_);
@@ -44,19 +48,35 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  // Per-worker busy/idle accounting, flushed to the sharded pool counters
+  // as it accrues. Checked per task, not per queue operation: tasks here
+  // are chunky (ParallelFor/ParallelForShared submit one drain task per
+  // worker), so the accounting never shows up in profiles.
   while (true) {
     std::function<void()> task;
     {
+      const bool instrumented = obs::Enabled();
+      Stopwatch idle_watch;
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
           lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (instrumented) {
+        DISTINCT_COUNTER_ADD("pool.idle_nanos", idle_watch.ElapsedNanos());
+      }
       if (queue_.empty()) {
         return;  // shutting down and drained
       }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (obs::Enabled()) {
+      Stopwatch busy_watch;
+      task();
+      DISTINCT_COUNTER_ADD("pool.busy_nanos", busy_watch.ElapsedNanos());
+      DISTINCT_COUNTER_ADD("pool.tasks_executed", 1);
+    } else {
+      task();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;

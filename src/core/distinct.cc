@@ -1,8 +1,11 @@
 #include "core/distinct.h"
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/parallel_kernel.h"
 #include "sim/profile_store.h"
 
@@ -43,23 +46,38 @@ StatusOr<Distinct> Distinct::Create(const Database& db,
   Distinct engine;
   engine.db_ = &db;
   engine.config_ = std::move(config);
+  if (engine.config_.observability) {
+    obs::SetEnabled(true);
+  }
+  DISTINCT_TRACE_SPAN("create");
 
   auto resolved = ResolveReferenceSpec(db, spec);
   DISTINCT_RETURN_IF_ERROR(resolved.status());
   engine.resolved_ = *resolved;
 
-  auto schema_graph = BuildPromotedSchemaGraph(db, engine.config_);
+  auto schema_graph = [&] {
+    DISTINCT_TRACE_SPAN("schema_graph");
+    return BuildPromotedSchemaGraph(db, engine.config_);
+  }();
   DISTINCT_RETURN_IF_ERROR(schema_graph.status());
   engine.schema_graph_ = *std::move(schema_graph);
 
-  auto link_graph = LinkGraph::Build(*engine.schema_graph_);
+  auto link_graph = [&] {
+    DISTINCT_TRACE_SPAN("link_graph");
+    return LinkGraph::Build(*engine.schema_graph_);
+  }();
   DISTINCT_RETURN_IF_ERROR(link_graph.status());
   engine.link_graph_ = std::make_unique<LinkGraph>(*std::move(link_graph));
 
   engine.engine_ = std::make_unique<PropagationEngine>(*engine.link_graph_);
 
-  std::vector<JoinPath> paths = EnumerateReferencePaths(
-      *engine.schema_graph_, engine.resolved_, engine.config_);
+  std::vector<JoinPath> paths = [&] {
+    DISTINCT_TRACE_SPAN("enumerate_paths");
+    return EnumerateReferencePaths(*engine.schema_graph_, engine.resolved_,
+                                   engine.config_);
+  }();
+  DISTINCT_COUNTER_ADD("core.join_paths_enumerated",
+                       static_cast<int64_t>(paths.size()));
   if (paths.empty()) {
     return FailedPreconditionError(
         "no join paths found from the reference relation; is the schema "
@@ -82,6 +100,7 @@ StatusOr<Distinct> Distinct::Create(const Database& db,
   // ScanNameGroups(engine, ...) queries reuse it instead of rescanning the
   // name and reference tables.
   {
+    DISTINCT_TRACE_SPAN("name_index");
     const Table& name_table = db.table(engine.resolved_.name_table_id);
     const Table& ref_table = db.table(engine.resolved_.reference_table_id);
     const int pk_col = name_table.primary_key_column();
@@ -163,9 +182,12 @@ StatusOr<std::pair<PairMatrix, PairMatrix>> Distinct::ComputeMatrices(
   // Phase 1: n propagations per path, each independent. Phase 2: tiled
   // lower-triangle fill. Both fan out over the engine pool when configured;
   // with num_threads == 1 this is exactly the old serial loop.
-  const ProfileStore store =
-      ProfileStore::Build(*engine_, extractor_->paths(), config_.propagation,
-                          refs, pool_.get());
+  const ProfileStore store = [&] {
+    DISTINCT_TRACE_SPAN("profile_store");
+    return ProfileStore::Build(*engine_, extractor_->paths(),
+                               config_.propagation, refs, pool_.get());
+  }();
+  DISTINCT_TRACE_SPAN("pair_matrix");
   return ComputePairMatrices(store, model_, pool_.get());
 }
 
@@ -173,6 +195,7 @@ StatusOr<ClusteringResult> Distinct::ResolveRefs(
     const std::vector<int32_t>& refs) {
   auto matrices = ComputeMatrices(refs);
   DISTINCT_RETURN_IF_ERROR(matrices.status());
+  DISTINCT_TRACE_SPAN("cluster");
   return ClusterReferences(matrices->first, matrices->second,
                            cluster_options());
 }

@@ -85,6 +85,12 @@ struct DistinctConfig {
   /// one shared pool. 1 keeps everything on the calling thread. Results
   /// are bit-identical across thread counts.
   int num_threads = 1;
+  /// Enables the process-wide metrics registry and span tracer
+  /// (src/obs/) for this engine. Create() flips the global obs switch;
+  /// when false (the default) every instrumentation site reduces to a
+  /// single relaxed load + branch, so benchmark numbers and the
+  /// bit-identical parallel-kernel guarantee are unaffected.
+  bool observability = false;
 };
 
 /// Timings and diagnostics from Create().

@@ -6,8 +6,11 @@
 #include <string>
 #include <unordered_set>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/profile_store.h"
 #include "svm/scaler.h"
 
@@ -47,13 +50,19 @@ StatusOr<SimilarityModel> TrainSimilarityModel(
     const DistinctConfig& config, FeatureExtractor& extractor,
     TrainingReport* report) {
   Stopwatch total;
+  DISTINCT_TRACE_SPAN("train");
 
   // Oversample negatives so that enough *linked* distinct-author pairs are
   // available for the hard-negative mix.
   TrainingSetOptions sampling = config.training;
   sampling.num_negative *= std::max(config.negative_oversample, 1);
-  auto pairs = BuildTrainingSet(db, spec, sampling);
+  auto pairs = [&] {
+    DISTINCT_TRACE_SPAN("training_set");
+    return BuildTrainingSet(db, spec, sampling);
+  }();
   DISTINCT_RETURN_IF_ERROR(pairs.status());
+  DISTINCT_COUNTER_ADD("train.pairs_sampled",
+                       static_cast<int64_t>(pairs->size()));
 
   Stopwatch features_watch;
   SvmProblem resem_problem;
@@ -75,13 +84,21 @@ StatusOr<SimilarityModel> TrainSimilarityModel(
       }
     }
   }
+  DISTINCT_COUNTER_ADD("train.unique_refs",
+                       static_cast<int64_t>(unique_refs.size()));
+  DISTINCT_LOG(INFO) << "train: " << pairs->size() << " pairs over "
+                     << unique_refs.size() << " unique references, "
+                     << extractor.num_paths() << " join paths";
   std::unique_ptr<ThreadPool> pool;
   if (config.num_threads > 1) {
     pool = std::make_unique<ThreadPool>(config.num_threads);
   }
-  const ProfileStore store = ProfileStore::Build(
-      extractor.engine(), extractor.paths(), extractor.propagation_options(),
-      unique_refs, pool.get());
+  const ProfileStore store = [&] {
+    DISTINCT_TRACE_SPAN("profile_store");
+    return ProfileStore::Build(extractor.engine(), extractor.paths(),
+                               extractor.propagation_options(), unique_refs,
+                               pool.get());
+  }();
   std::vector<PairFeatures> pair_features(pairs->size());
   const auto features_of = [&](int64_t p) {
     const TrainingPair& pair = (*pairs)[static_cast<size_t>(p)];
@@ -89,12 +106,15 @@ StatusOr<SimilarityModel> TrainSimilarityModel(
         store.Features(static_cast<size_t>(store.IndexOf(pair.ref1)),
                        static_cast<size_t>(store.IndexOf(pair.ref2)));
   };
-  if (pool != nullptr) {
-    ParallelForShared(*pool, static_cast<int64_t>(pairs->size()),
-                      features_of);
-  } else {
-    for (size_t p = 0; p < pairs->size(); ++p) {
-      features_of(static_cast<int64_t>(p));
+  {
+    DISTINCT_TRACE_SPAN("pair_features");
+    if (pool != nullptr) {
+      ParallelForShared(*pool, static_cast<int64_t>(pairs->size()),
+                        features_of);
+    } else {
+      for (size_t p = 0; p < pairs->size(); ++p) {
+        features_of(static_cast<int64_t>(p));
+      }
     }
   }
 
@@ -177,14 +197,20 @@ StatusOr<SimilarityModel> TrainSimilarityModel(
   resem_scaler.Fit(resem_problem.x);
   SvmProblem scaled_resem{resem_scaler.TransformAll(resem_problem.x),
                           resem_problem.y};
-  auto resem_model = TrainLinearSvm(scaled_resem, config.svm);
+  auto resem_model = [&] {
+    DISTINCT_TRACE_SPAN("svm_resemblance");
+    return TrainLinearSvm(scaled_resem, config.svm);
+  }();
   DISTINCT_RETURN_IF_ERROR(resem_model.status());
 
   MaxAbsScaler walk_scaler;
   walk_scaler.Fit(walk_problem.x);
   SvmProblem scaled_walk{walk_scaler.TransformAll(walk_problem.x),
                          walk_problem.y};
-  auto walk_model = TrainLinearSvm(scaled_walk, config.svm);
+  auto walk_model = [&] {
+    DISTINCT_TRACE_SPAN("svm_walk");
+    return TrainLinearSvm(scaled_walk, config.svm);
+  }();
   DISTINCT_RETURN_IF_ERROR(walk_model.status());
   const double seconds_svm = svm_watch.Seconds();
 
@@ -207,6 +233,7 @@ StatusOr<SimilarityModel> TrainSimilarityModel(
   // rather than pairwise-F1-optimal.
   double suggested_min_sim = 0.0;
   {
+    DISTINCT_TRACE_SPAN("calibrate_min_sim");
     constexpr double kPrecisionTarget = 0.99;
     std::vector<std::pair<double, int>> scored;  // (similarity, label)
     scored.reserve(resem_problem.x.size());
@@ -248,6 +275,10 @@ StatusOr<SimilarityModel> TrainSimilarityModel(
     report->train_accuracy_resem = resem_model->Accuracy(scaled_resem);
     report->train_accuracy_walk = walk_model->Accuracy(scaled_walk);
   }
+  DISTINCT_LOG(INFO) << "train: done in " << total.Seconds()
+                     << "s (features " << seconds_features << "s, svm "
+                     << seconds_svm << "s), suggested min-sim "
+                     << suggested_min_sim;
   return model;
 }
 

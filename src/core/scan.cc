@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/parallel_kernel.h"
 #include "sim/profile_store.h"
 
@@ -94,10 +97,16 @@ StatusOr<BulkStats> ResolveAllNames(
     std::vector<BulkResolution>* results,
     const std::function<bool(const BulkResolution&)>& on_result) {
   Stopwatch watch;
+  DISTINCT_TRACE_SPAN("bulk_resolve");
+  DISTINCT_LOG(INFO) << "scan: resolving " << groups.size()
+                     << " name groups serially";
   BulkStats stats;
   for (const NameGroup& group : groups) {
+    Stopwatch group_watch;
     auto clustering = engine.ResolveRefs(group.refs);
     DISTINCT_RETURN_IF_ERROR(clustering.status());
+    DISTINCT_HISTOGRAM_RECORD("scan.resolve_nanos",
+                              group_watch.ElapsedNanos());
 
     BulkResolution resolution;
     resolution.name = group.name;
@@ -121,6 +130,12 @@ StatusOr<BulkStats> ResolveAllNames(
     }
   }
   stats.seconds = watch.Seconds();
+  DISTINCT_COUNTER_ADD("scan.names_resolved", stats.names_resolved);
+  DISTINCT_COUNTER_ADD("scan.names_split", stats.names_split);
+  DISTINCT_COUNTER_ADD("scan.refs_resolved", stats.total_refs);
+  DISTINCT_LOG(INFO) << "scan: resolved " << stats.names_resolved
+                     << " names (" << stats.names_split << " split) in "
+                     << stats.seconds << "s";
   return stats;
 }
 
@@ -128,6 +143,12 @@ StatusOr<BulkStats> ResolveAllNamesParallel(
     const Distinct& engine, const std::vector<NameGroup>& groups,
     int num_threads, std::vector<BulkResolution>* results) {
   Stopwatch watch;
+  // One span for the whole fan-out, opened on the calling thread. Worker
+  // lambdas record only commutative counters/histograms (inside the kernels
+  // they call), so the span tree is identical at any thread count.
+  DISTINCT_TRACE_SPAN("bulk_resolve_parallel");
+  DISTINCT_LOG(INFO) << "scan: resolving " << groups.size()
+                     << " name groups on " << num_threads << " threads";
   std::vector<BulkResolution> local(groups.size());
 
   {
@@ -170,6 +191,12 @@ StatusOr<BulkStats> ResolveAllNamesParallel(
     }
   }
   stats.seconds = watch.Seconds();
+  DISTINCT_COUNTER_ADD("scan.names_resolved", stats.names_resolved);
+  DISTINCT_COUNTER_ADD("scan.names_split", stats.names_split);
+  DISTINCT_COUNTER_ADD("scan.refs_resolved", stats.total_refs);
+  DISTINCT_LOG(INFO) << "scan: resolved " << stats.names_resolved
+                     << " names (" << stats.names_split << " split) in "
+                     << stats.seconds << "s";
   return stats;
 }
 

@@ -1,0 +1,149 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace distinct {
+namespace obs {
+
+std::string JsonWriter::Escape(std::string_view text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+void JsonWriter::BeforeValue() {
+  if (scopes_.empty()) {
+    return;  // top-level value
+  }
+  if (scopes_.back() == Scope::kObject) {
+    DISTINCT_CHECK(pending_key_);  // object members need Key() first
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.back()) {
+    out_ += ',';
+  }
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  DISTINCT_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  DISTINCT_CHECK(!pending_key_);
+  if (has_items_.back()) {
+    out_ += ',';
+  }
+  has_items_.back() = true;
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  scopes_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  DISTINCT_CHECK(!scopes_.empty() && scopes_.back() == Scope::kObject);
+  DISTINCT_CHECK(!pending_key_);
+  out_ += '}';
+  scopes_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  scopes_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  DISTINCT_CHECK(!scopes_.empty() && scopes_.back() == Scope::kArray);
+  out_ += ']';
+  scopes_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* value) {
+  return Value(std::string_view(value));
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  DISTINCT_CHECK(scopes_.empty());
+  return out_;
+}
+
+}  // namespace obs
+}  // namespace distinct

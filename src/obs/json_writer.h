@@ -1,0 +1,55 @@
+// Minimal streaming JSON serializer (objects, arrays, scalars, escaping).
+// Used by the run report and the benchmark harnesses; deliberately
+// write-only — the library never needs to parse JSON.
+
+#ifndef DISTINCT_OBS_JSON_WRITER_H_
+#define DISTINCT_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace distinct {
+namespace obs {
+
+/// Emits one JSON document. Containers are opened/closed explicitly;
+/// commas are inserted automatically. Misuse (a bare key at array level,
+/// closing the wrong container) is a programmer error and asserts.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits the key of the next object member.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(double value);  // non-finite serializes as null
+  JsonWriter& Value(bool value);
+
+  /// The finished document. Valid once every container is closed.
+  const std::string& str() const;
+
+  /// Escapes `text` for inclusion in a JSON string literal (no quotes).
+  static std::string Escape(std::string_view text);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> has_items_;  // parallel to scopes_
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace distinct
+
+#endif  // DISTINCT_OBS_JSON_WRITER_H_

@@ -1,0 +1,61 @@
+// Structured run reports: one RunReport per pipeline run, built from the
+// global MetricsRegistry and Tracer, serialized as JSON (--metrics-json)
+// or a human text table (--report).
+
+#ifndef DISTINCT_OBS_REPORT_H_
+#define DISTINCT_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace distinct {
+namespace obs {
+
+/// One aggregated trace stage: every span sharing the same root-to-span
+/// name path ("create/train/svm_resemblance"), in first-appearance order.
+struct StageSummary {
+  std::string path;
+  int depth = 0;
+  int64_t calls = 0;
+  int64_t total_nanos = 0;
+};
+
+/// Everything recorded during one run.
+struct RunReport {
+  /// JSON schema version (the "distinct_run_report" field).
+  static constexpr int kSchemaVersion = 1;
+
+  std::string label;  // e.g. the CLI command
+  MetricsSnapshot metrics;
+  std::vector<SpanRecord> spans;
+  std::vector<StageSummary> stages;  // derived from spans
+  /// Cross-metric ratios (pairs/sec, pool utilization, ...). Ratios whose
+  /// inputs were never recorded are omitted.
+  std::vector<std::pair<std::string, double>> derived;
+};
+
+/// Snapshots the global registry and tracer and computes stage summaries
+/// and derived ratios.
+RunReport CollectRunReport(std::string label);
+
+/// Serializes `report` as a single JSON object.
+std::string RunReportToJson(const RunReport& report);
+
+/// Renders `report` as human-readable text tables (stages indented by
+/// span depth, counters, histograms with bucket-approximated percentiles,
+/// derived ratios).
+std::string RunReportToText(const RunReport& report);
+
+/// Writes RunReportToJson(report) to `path`.
+Status WriteRunReportJson(const RunReport& report, const std::string& path);
+
+}  // namespace obs
+}  // namespace distinct
+
+#endif  // DISTINCT_OBS_REPORT_H_

@@ -1,0 +1,86 @@
+#include "obs/trace.h"
+
+namespace distinct {
+namespace obs {
+
+namespace {
+
+/// Per-thread open-span stack. `generation` ties the stack to one tracer
+/// run; a Reset() invalidates every stack lazily (checked on next open).
+struct ThreadSpanState {
+  uint64_t generation = ~uint64_t{0};
+  int thread_index = -1;
+  std::vector<int> open_spans;
+};
+
+thread_local ThreadSpanState t_span_state;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+  ++generation_;
+  next_thread_index_ = 0;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+int Tracer::OpenSpan(const char* name) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= kMaxSpans) {
+    return -1;
+  }
+  ThreadSpanState& state = t_span_state;
+  if (state.generation != generation_) {
+    state.generation = generation_;
+    state.thread_index = next_thread_index_++;
+    state.open_spans.clear();
+  }
+  SpanRecord record;
+  record.name = name;
+  record.start_nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           now - epoch_)
+                           .count();
+  record.parent = state.open_spans.empty() ? -1 : state.open_spans.back();
+  record.thread = state.thread_index;
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(record));
+  state.open_spans.push_back(index);
+  return index;
+}
+
+void Tracer::CloseSpan(int index) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ThreadSpanState& state = t_span_state;
+  if (state.generation != generation_) {
+    return;  // Reset() ran while this span was open; drop it
+  }
+  // Scoped spans close strictly LIFO per thread.
+  if (!state.open_spans.empty() && state.open_spans.back() == index) {
+    state.open_spans.pop_back();
+  }
+  if (index >= 0 && static_cast<size_t>(index) < spans_.size()) {
+    SpanRecord& record = spans_[static_cast<size_t>(index)];
+    record.duration_nanos =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+            .count() -
+        record.start_nanos;
+  }
+}
+
+}  // namespace obs
+}  // namespace distinct

@@ -1,5 +1,8 @@
 #include "sim/profile_store.h"
 
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
 namespace distinct {
 
 ProfileStore ProfileStore::Build(const PropagationEngine& engine,
@@ -8,6 +11,7 @@ ProfileStore ProfileStore::Build(const PropagationEngine& engine,
                                  std::vector<int32_t> refs,
                                  ThreadPool* pool,
                                  size_t min_parallel_refs) {
+  Stopwatch watch;
   ProfileStore store;
   store.refs_ = std::move(refs);
   store.num_paths_ = paths.size();
@@ -34,6 +38,10 @@ ProfileStore ProfileStore::Build(const PropagationEngine& engine,
       compute_one(static_cast<int64_t>(i));
     }
   }
+  DISTINCT_COUNTER_ADD("sim.profile_store_builds", 1);
+  DISTINCT_COUNTER_ADD("prop.profiles_built",
+                       static_cast<int64_t>(store.refs_.size()));
+  DISTINCT_HISTOGRAM_RECORD("sim.profile_build_nanos", watch.ElapsedNanos());
   return store;
 }
 

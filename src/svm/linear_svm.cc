@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace distinct {
 namespace {
@@ -82,6 +84,7 @@ StatusOr<LinearSvmModel> TrainLinearSvm(const SvmProblem& problem,
     return InvalidArgumentError("SVM: C must be positive");
   }
 
+  Stopwatch watch;
   const size_t n = problem.num_examples();
   const size_t raw_dim = problem.num_features();
   const size_t dim = raw_dim + (params.fit_bias ? 1 : 0);
@@ -115,7 +118,10 @@ StatusOr<LinearSvmModel> TrainLinearSvm(const SvmProblem& problem,
   }
   Rng rng(params.seed);
 
+  int epochs_run = 0;
+  bool converged = false;
   for (int epoch = 0; epoch < params.max_epochs; ++epoch) {
+    ++epochs_run;
     rng.Shuffle(order);
     double max_violation = 0.0;
 
@@ -154,9 +160,14 @@ StatusOr<LinearSvmModel> TrainLinearSvm(const SvmProblem& problem,
     }
 
     if (max_violation < params.epsilon) {
+      converged = true;
       break;
     }
   }
+  DISTINCT_COUNTER_ADD("svm.trainings", 1);
+  DISTINCT_COUNTER_ADD("svm.epochs", epochs_run);
+  DISTINCT_COUNTER_ADD("svm.converged", converged ? 1 : 0);
+  DISTINCT_HISTOGRAM_RECORD("svm.train_nanos", watch.ElapsedNanos());
 
   double bias = 0.0;
   if (params.fit_bias) {

@@ -1,0 +1,75 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace distinct {
+namespace {
+
+/// Restores the process verbosity after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogVerbosity(); }
+  void TearDown() override { SetLogVerbosity(previous_); }
+
+ private:
+  int previous_ = 0;
+};
+
+TEST_F(LoggingTest, VerbosityGatesSeverities) {
+  using internal_logging::LogEnabled;
+
+  SetLogVerbosity(0);
+  EXPECT_FALSE(LogEnabled(LogSeverity::kDebug));
+  EXPECT_FALSE(LogEnabled(LogSeverity::kInfo));
+  EXPECT_TRUE(LogEnabled(LogSeverity::kWarn));
+  EXPECT_TRUE(LogEnabled(LogSeverity::kError));
+
+  SetLogVerbosity(1);
+  EXPECT_FALSE(LogEnabled(LogSeverity::kDebug));
+  EXPECT_TRUE(LogEnabled(LogSeverity::kInfo));
+
+  SetLogVerbosity(2);
+  EXPECT_TRUE(LogEnabled(LogSeverity::kDebug));
+  EXPECT_TRUE(LogEnabled(LogSeverity::kInfo));
+}
+
+TEST_F(LoggingTest, SuppressedStreamIsNotEvaluated) {
+  SetLogVerbosity(0);
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return "side effect";
+  };
+  DISTINCT_LOG(INFO) << touch();
+  EXPECT_EQ(evaluations, 0);
+
+  SetLogVerbosity(1);
+  ::testing::internal::CaptureStderr();
+  DISTINCT_LOG(INFO) << touch();
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(output.find("side effect"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MessagesCarrySeverityTagAndLocation) {
+  SetLogVerbosity(1);
+  ::testing::internal::CaptureStderr();
+  DISTINCT_LOG(INFO) << "info line";
+  DISTINCT_LOG(WARN) << "warn line";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("[I "), std::string::npos);
+  EXPECT_NE(output.find("[W "), std::string::npos);
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(output.find("info line"), std::string::npos);
+  EXPECT_NE(output.find("warn line"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesQuietly) {
+  DISTINCT_CHECK(1 + 1 == 2);  // must not abort or print
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace distinct
