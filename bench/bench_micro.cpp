@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "dblp/schema.h"
 #include "prop/propagation.h"
+#include "prop/workspace.h"
 #include "sim/resemblance.h"
 #include "sim/walk_probability.h"
 #include "svm/linear_svm.h"
@@ -60,14 +61,35 @@ Fixture& GetFixture() {
 void BM_Propagation(benchmark::State& state) {
   Fixture& fixture = GetFixture();
   const JoinPath& path = fixture.paths[static_cast<size_t>(state.range(0))];
+  // Pinned to the depth-first reference engine; the default algorithm is
+  // benchmarked separately below.
+  PropagationOptions options;
+  options.algorithm = PropagationAlgorithm::kDepthFirst;
   size_t i = 0;
   for (auto _ : state) {
     const int32_t ref = fixture.refs[i++ % fixture.refs.size()];
-    benchmark::DoNotOptimize(fixture.engine->Compute(path, ref));
+    benchmark::DoNotOptimize(fixture.engine->Compute(path, ref, options));
   }
   state.SetLabel(path.Describe(*fixture.schema));
 }
 BENCHMARK(BM_Propagation)->Arg(0)->Arg(2)->Arg(6)->Arg(17);
+
+void BM_PropagationWorkspace(benchmark::State& state) {
+  Fixture& fixture = GetFixture();
+  const JoinPath& path = fixture.paths[static_cast<size_t>(state.range(0))];
+  PropagationOptions options;
+  options.algorithm = PropagationAlgorithm::kWorkspace;
+  PropagationWorkspace workspace(fixture.engine->link());
+  SubtreeCache cache(options.cache_bytes);
+  size_t i = 0;
+  for (auto _ : state) {
+    const int32_t ref = fixture.refs[i++ % fixture.refs.size()];
+    benchmark::DoNotOptimize(fixture.engine->Compute(
+        path, ref, options, workspace, &cache, /*cache_path_id=*/0));
+  }
+  state.SetLabel(path.Describe(*fixture.schema));
+}
+BENCHMARK(BM_PropagationWorkspace)->Arg(0)->Arg(2)->Arg(6)->Arg(17);
 
 void BM_PropagationLevelWise(benchmark::State& state) {
   Fixture& fixture = GetFixture();

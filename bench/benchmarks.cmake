@@ -26,6 +26,7 @@ distinct_add_bench(bench_ablation_incremental)
 distinct_add_bench(bench_ablation_stopping)
 distinct_add_bench(bench_minsim_sweep)
 distinct_add_bench(bench_parallel_kernel)
+distinct_add_bench(bench_propagation)
 distinct_add_bench(bench_scale)
 distinct_add_bench(bench_seed_robustness)
 

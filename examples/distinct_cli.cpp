@@ -43,7 +43,8 @@ void Usage() {
                "[flags]\n"
                "  common flags: --dir=DATA --model=FILE --min-sim=0.03\n"
                "                --threads=N --stopping=fixed|largest-gap\n"
-               "                --no-incremental --verbosity=0|1|2\n"
+               "                --no-incremental --prop-cache-mb=N\n"
+               "                --verbosity=0|1|2\n"
                "                --report --metrics-json=FILE\n"
                "  generate: --seed=N\n"
                "  resolve:  --name=\"Wei Wang\"\n"
@@ -56,6 +57,8 @@ StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags) {
   config.min_sim = flags.GetDouble("min-sim");
   config.auto_min_sim = flags.GetBool("auto-min-sim");
   config.num_threads = static_cast<int>(flags.GetInt64("threads"));
+  config.propagation_cache_mb =
+      static_cast<int>(flags.GetInt64("prop-cache-mb"));
   config.incremental = flags.GetBool("incremental");
   config.observability = obs::Enabled();
   const std::string stopping = flags.GetString("stopping");
@@ -101,6 +104,8 @@ int RunTrain(const FlagParser& flags) {
   config.promotions = DblpDefaultPromotions();
   config.min_sim = flags.GetDouble("min-sim");
   config.num_threads = static_cast<int>(flags.GetInt64("threads"));
+  config.propagation_cache_mb =
+      static_cast<int>(flags.GetInt64("prop-cache-mb"));
   config.observability = obs::Enabled();
   auto engine = Distinct::Create(*db, DblpReferenceSpec(), config);
   if (!engine.ok()) return Fail(engine.status());
@@ -211,6 +216,9 @@ int main(int argc, char** argv) {
   flags.AddInt64("max-refs", 500, "scan: maximum references per name");
   flags.AddInt64("threads", 1,
                  "worker threads (similarity kernel; scan: also names)");
+  flags.AddInt64("prop-cache-mb", 64,
+                 "propagation subtree-memo budget in MiB (0 disables "
+                 "storage; results are unchanged either way)");
   flags.AddDouble("min-sim", 3e-2, "clustering merge threshold");
   flags.AddBool("auto-min-sim", false,
                 "derive min-sim from the training pairs (ignores --min-sim)");

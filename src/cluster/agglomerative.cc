@@ -85,16 +85,20 @@ class MergeEngine {
         n_(resem.size()),
         members_(n_),
         active_(n_, true),
-        sum_resem_(n_),
-        sum_walk_(n_) {
+        // The strawman recomputes sums from the base matrices, so only the
+        // incremental engine pays for the O(n²) running-sum matrices.
+        sum_resem_(options.incremental ? n_ : 0),
+        sum_walk_(options.incremental ? n_ : 0) {
     DISTINCT_CHECK(walk.size() == n_);
     for (size_t i = 0; i < n_; ++i) {
       members_[i] = {static_cast<int>(i)};
     }
-    for (size_t i = 0; i < n_; ++i) {
-      for (size_t j = 0; j < i; ++j) {
-        sum_resem_.set(i, j, resem.at(i, j));
-        sum_walk_.set(i, j, walk.at(i, j));
+    if (options_.incremental) {
+      for (size_t i = 0; i < n_; ++i) {
+        for (size_t j = 0; j < i; ++j) {
+          sum_resem_.set(i, j, resem.at(i, j));
+          sum_walk_.set(i, j, walk.at(i, j));
+        }
       }
     }
   }
@@ -162,7 +166,7 @@ class MergeEngine {
 
     size_t keep = merges.size();
     if (options_.stopping == StoppingRule::kLargestGap) {
-      keep = LargestGapCut(merges, /*gap_factor=*/3.0);
+      keep = LargestGapCut(merges, options_.gap_factor);
       DISTINCT_COUNTER_ADD("cluster.gap_cut_merges_dropped",
                            static_cast<int64_t>(merges.size() - keep));
     }
@@ -215,10 +219,12 @@ class MergeEngine {
 
   /// Folds cluster b into cluster a.
   void Merge(size_t a, size_t b) {
-    for (size_t c = 0; c < n_; ++c) {
-      if (!active_[c] || c == a || c == b) continue;
-      sum_resem_.set(a, c, sum_resem_.at(a, c) + sum_resem_.at(b, c));
-      sum_walk_.set(a, c, sum_walk_.at(a, c) + sum_walk_.at(b, c));
+    if (options_.incremental) {
+      for (size_t c = 0; c < n_; ++c) {
+        if (!active_[c] || c == a || c == b) continue;
+        sum_resem_.set(a, c, sum_resem_.at(a, c) + sum_resem_.at(b, c));
+        sum_walk_.set(a, c, sum_walk_.at(a, c) + sum_walk_.at(b, c));
+      }
     }
     members_[a].insert(members_[a].end(), members_[b].begin(),
                        members_[b].end());

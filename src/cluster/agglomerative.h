@@ -54,6 +54,10 @@ struct AgglomerativeOptions {
   ClusterMeasure measure = ClusterMeasure::kComposite;
   CombineRule combine = CombineRule::kGeometricMean;
   StoppingRule stopping = StoppingRule::kFixedThreshold;
+  /// kLargestGap only: the minimum relative drop between consecutive merge
+  /// similarities that counts as "the" gap; no cut is made when every drop
+  /// is below it.
+  double gap_factor = 3.0;
   /// When false, pairwise sums are recomputed from the base matrices at
   /// every step (the paper's strawman; exists for the cost ablation).
   bool incremental = true;

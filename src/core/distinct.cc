@@ -1,5 +1,7 @@
 #include "core/distinct.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -46,6 +48,9 @@ StatusOr<Distinct> Distinct::Create(const Database& db,
   Distinct engine;
   engine.db_ = &db;
   engine.config_ = std::move(config);
+  engine.config_.propagation.cache_bytes =
+      static_cast<size_t>(std::max(0, engine.config_.propagation_cache_mb))
+      << 20;
   if (engine.config_.observability) {
     obs::SetEnabled(true);
   }

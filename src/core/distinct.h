@@ -46,6 +46,11 @@ struct DistinctConfig {
   /// Empty means none (use DblpDefaultPromotions() for the DBLP set).
   std::vector<std::pair<std::string, std::string>> promotions;
   PropagationOptions propagation;
+  /// Byte budget (in MiB) of the shared subtree memo used by the default
+  /// workspace propagation engine; Create() copies it into
+  /// propagation.cache_bytes. 0 disables memo storage — propagation still
+  /// runs on dense scratch and results are unchanged, only slower.
+  int propagation_cache_mb = 64;
 
   // --- Path-weight model ---
   /// false: uniform weights (the unsupervised baselines of Fig. 4).

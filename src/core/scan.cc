@@ -1,6 +1,7 @@
 #include "core/scan.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -151,6 +152,16 @@ StatusOr<BulkStats> ResolveAllNamesParallel(
                      << " name groups on " << num_threads << " threads";
   std::vector<BulkResolution> local(groups.size());
 
+  // The subtree memo is reference-independent, so one cache serves every
+  // name group of the scan: subtrees computed while resolving one name are
+  // hits for all later names that reach the same junction tuples.
+  std::unique_ptr<SubtreeCache> memo;
+  if (engine.config().propagation.algorithm ==
+      PropagationAlgorithm::kWorkspace) {
+    memo = std::make_unique<SubtreeCache>(
+        engine.config().propagation.cache_bytes);
+  }
+
   {
     ThreadPool pool(num_threads);
     // Groups are one task each; a mega-group's profile propagations and
@@ -167,7 +178,8 @@ StatusOr<BulkStats> ResolveAllNamesParallel(
                   const NameGroup& group = groups[static_cast<size_t>(g)];
                   const ProfileStore store = ProfileStore::Build(
                       engine.propagation_engine(), engine.paths(),
-                      engine.config().propagation, group.refs, &pool);
+                      engine.config().propagation, group.refs, &pool,
+                      ProfileStore::kMinParallelRefs, memo.get());
                   auto matrices = ComputePairMatrices(store, model, &pool);
                   BulkResolution& resolution =
                       local[static_cast<size_t>(g)];

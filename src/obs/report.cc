@@ -73,6 +73,13 @@ std::vector<std::pair<std::string, double>> ComputeDerived(
     AddRate(derived, "profiles.refs_per_sec",
             metrics.CounterValue("prop.profiles_built"), build->sum);
   }
+  const int64_t memo_hits = metrics.CounterValue("prop.memo_hits");
+  const int64_t memo_misses = metrics.CounterValue("prop.memo_misses");
+  if (memo_hits + memo_misses > 0) {
+    derived.emplace_back("prop.memo_hit_rate",
+                         static_cast<double>(memo_hits) /
+                             static_cast<double>(memo_hits + memo_misses));
+  }
   const int64_t busy = metrics.CounterValue("pool.busy_nanos");
   const int64_t idle = metrics.CounterValue("pool.idle_nanos");
   if (busy + idle > 0) {

@@ -1,7 +1,11 @@
 #include "prop/propagation.h"
 
+#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "prop/workspace.h"
 
 namespace distinct {
 namespace {
@@ -62,42 +66,59 @@ void Dfs(DfsContext& ctx, size_t depth, int32_t tuple, double forward,
 /// walked backwards} B_i(s) / reverse_fanout_{i+1}(t). The profile pairs
 /// F_k with B_k. Origin exclusion zeroes the origin's mass at every
 /// intermediate level whose node is the start node.
-NeighborProfile ComputeLevelWise(const LinkGraph& link, const JoinPath& path,
-                                 int32_t start_tuple,
-                                 const PropagationOptions& options,
-                                 const std::vector<int>& node_at) {
+///
+/// The sweep itself is budget-free; complete path instances are counted
+/// alongside the mass (doubles are exact below 2^53, far past any real
+/// instance count), and nullopt is returned when the count exceeds
+/// options.max_instances so the caller can rerun depth-first with the DFS
+/// engine's exact truncation semantics.
+std::optional<NeighborProfile> ComputeLevelWise(
+    const LinkGraph& link, const JoinPath& path, int32_t start_tuple,
+    const PropagationOptions& options, const std::vector<int>& node_at) {
   const size_t k = path.steps.size();
-  using Dist = std::unordered_map<int32_t, double>;
+  // Per tuple: (forward mass, number of walks arriving here).
+  using Dist = std::unordered_map<int32_t, std::pair<double, double>>;
 
   // Forward sweep.
   std::vector<Dist> forward(k + 1);
-  forward[0][start_tuple] = 1.0;
+  forward[0][start_tuple] = {1.0, 1.0};
   for (size_t i = 0; i < k; ++i) {
     const JoinStep& step = path.steps[i];
     const bool exclude_target = options.exclude_start_tuple &&
                                 node_at[i + 1] == node_at[0];
-    for (const auto& [tuple, mass] : forward[i]) {
+    for (const auto& [tuple, slot] : forward[i]) {
       const std::span<const int32_t> targets = link.Neighbors(step, tuple);
       if (targets.empty()) {
         continue;
       }
-      const double share = mass / static_cast<double>(targets.size());
+      const double share =
+          slot.first / static_cast<double>(targets.size());
       for (const int32_t target : targets) {
         if (exclude_target && target == start_tuple) {
           continue;
         }
-        forward[i + 1][target] += share;
+        auto& next = forward[i + 1][target];
+        next.first += share;
+        next.second += slot.second;
       }
     }
   }
 
+  double total_instances = 0.0;
+  for (const auto& [tuple, slot] : forward[k]) {
+    total_instances += slot.second;
+  }
+  if (total_instances > static_cast<double>(options.max_instances)) {
+    return std::nullopt;
+  }
+
   // Backward sweep: B_i lives on level i's universe; the recurrence walks
   // step i in reverse, from level i-1 values.
-  Dist backward_prev;
+  std::unordered_map<int32_t, double> backward_prev;
   backward_prev[start_tuple] = 1.0;
   for (size_t i = 0; i < k; ++i) {
     const JoinStep& step = path.steps[i];
-    Dist backward;
+    std::unordered_map<int32_t, double> backward;
     const bool exclude_here = options.exclude_start_tuple && i + 1 < k &&
                               node_at[i + 1] == node_at[0];
     // Only tuples actually reachable forward matter for the profile.
@@ -127,42 +148,25 @@ NeighborProfile ComputeLevelWise(const LinkGraph& link, const JoinPath& path,
 
   std::vector<ProfileEntry> entries;
   entries.reserve(forward[k].size());
-  for (const auto& [tuple, fwd] : forward[k]) {
+  for (const auto& [tuple, slot] : forward[k]) {
     auto it = backward_prev.find(tuple);
     const double rev = it == backward_prev.end() ? 0.0 : it->second;
-    entries.push_back(ProfileEntry{tuple, fwd, rev});
+    entries.push_back(ProfileEntry{tuple, slot.first, rev});
   }
-  return NeighborProfile(std::move(entries));
+  NeighborProfile profile(std::move(entries));
+  profile.set_truncated(false);
+  return profile;
 }
 
-}  // namespace
-
-NeighborProfile PropagationEngine::Compute(
-    const JoinPath& path, int32_t start_tuple,
-    const PropagationOptions& options) const {
-  DISTINCT_CHECK(path.start_node >= 0);
-  DISTINCT_CHECK(!path.steps.empty());
-  DISTINCT_DCHECK(start_tuple >= 0 &&
-                  start_tuple < link_->NumTuples(path.start_node));
-
-  std::vector<int> node_at;
-  node_at.reserve(path.steps.size() + 1);
-  node_at.push_back(path.start_node);
-  {
-    const SchemaGraph& schema = link_->schema();
-    int node = path.start_node;
-    for (const JoinStep& step : path.steps) {
-      node = schema.Traverse(node, IncidentEdge{step.edge_id, step.forward});
-      node_at.push_back(node);
-    }
-  }
-
-  if (options.algorithm == PropagationAlgorithm::kLevelWise) {
-    return ComputeLevelWise(*link_, path, start_tuple, options, node_at);
-  }
-
+/// Depth-first computation with the instance budget (the only engine with
+/// mid-traversal truncation; the sweep engines fall back to it when their
+/// exact instance count exceeds the budget).
+NeighborProfile ComputeDepthFirst(const LinkGraph& link, const JoinPath& path,
+                                  int32_t start_tuple,
+                                  const PropagationOptions& options,
+                                  std::vector<int> node_at) {
   DfsContext ctx;
-  ctx.link = link_;
+  ctx.link = &link;
   ctx.path = &path;
   ctx.remaining_instances = options.max_instances;
   ctx.start_tuple = start_tuple;
@@ -179,6 +183,73 @@ NeighborProfile PropagationEngine::Compute(
   NeighborProfile profile(std::move(entries));
   profile.set_truncated(ctx.truncated);
   return profile;
+}
+
+/// Schema node at every path level (node_at[0] == path.start_node).
+std::vector<int> NodeAtLevels(const LinkGraph& link, const JoinPath& path) {
+  std::vector<int> node_at;
+  node_at.reserve(path.steps.size() + 1);
+  node_at.push_back(path.start_node);
+  const SchemaGraph& schema = link.schema();
+  int node = path.start_node;
+  for (const JoinStep& step : path.steps) {
+    node = schema.Traverse(node, IncidentEdge{step.edge_id, step.forward});
+    node_at.push_back(node);
+  }
+  return node_at;
+}
+
+}  // namespace
+
+NeighborProfile PropagationEngine::Compute(
+    const JoinPath& path, int32_t start_tuple,
+    const PropagationOptions& options) const {
+  if (options.algorithm == PropagationAlgorithm::kWorkspace) {
+    PropagationWorkspace workspace(*link_);
+    return Compute(path, start_tuple, options, workspace);
+  }
+  DISTINCT_CHECK(path.start_node >= 0);
+  DISTINCT_CHECK(!path.steps.empty());
+  DISTINCT_DCHECK(start_tuple >= 0 &&
+                  start_tuple < link_->NumTuples(path.start_node));
+
+  std::vector<int> node_at = NodeAtLevels(*link_, path);
+
+  if (options.algorithm == PropagationAlgorithm::kLevelWise) {
+    std::optional<NeighborProfile> profile =
+        ComputeLevelWise(*link_, path, start_tuple, options, node_at);
+    if (profile.has_value()) {
+      return *std::move(profile);
+    }
+  }
+
+  return ComputeDepthFirst(*link_, path, start_tuple, options,
+                           std::move(node_at));
+}
+
+NeighborProfile PropagationEngine::Compute(const JoinPath& path,
+                                           int32_t start_tuple,
+                                           const PropagationOptions& options,
+                                           PropagationWorkspace& workspace,
+                                           SubtreeCache* cache,
+                                           int cache_path_id) const {
+  if (options.algorithm != PropagationAlgorithm::kWorkspace) {
+    return Compute(path, start_tuple, options);
+  }
+  DISTINCT_CHECK(path.start_node >= 0);
+  DISTINCT_CHECK(!path.steps.empty());
+  DISTINCT_DCHECK(start_tuple >= 0 &&
+                  start_tuple < link_->NumTuples(path.start_node));
+
+  std::vector<int> node_at = NodeAtLevels(*link_, path);
+  std::optional<NeighborProfile> profile =
+      PropagateDense(*link_, path, start_tuple, options, node_at, workspace,
+                     cache, cache_path_id);
+  if (profile.has_value()) {
+    return *std::move(profile);
+  }
+  return ComputeDepthFirst(*link_, path, start_tuple, options,
+                           std::move(node_at));
 }
 
 }  // namespace distinct

@@ -19,8 +19,9 @@
 
 namespace distinct {
 
-/// How profiles are computed. Both produce the same probabilities (up to
-/// floating-point summation order).
+/// How profiles are computed. All three produce the same probabilities (up
+/// to floating-point summation order; kWorkspace and kLevelWise sum in the
+/// same deterministic tuple-id order).
 enum class PropagationAlgorithm {
   /// Depth-first enumeration of path instances (the paper's Fig. 3
   /// procedure). Cost grows with the number of instances.
@@ -31,16 +32,26 @@ enum class PropagationAlgorithm {
   /// fan out and reconverge (e.g. Publish -> Publications -> Publish ->
   /// Authors -> Publish).
   kLevelWise,
+  /// Level-wise sweeps over epoch-stamped dense scratch arrays (no
+  /// per-tuple hashing or allocation) with per-path-suffix memoization
+  /// shared across references — see prop/workspace.h. The default.
+  kWorkspace,
 };
 
 /// Limits for one propagation.
 struct PropagationOptions {
-  PropagationAlgorithm algorithm = PropagationAlgorithm::kDepthFirst;
+  PropagationAlgorithm algorithm = PropagationAlgorithm::kWorkspace;
 
-  /// Cap on visited path instances (kDepthFirst only); propagation
-  /// truncates beyond it and the resulting profile is flagged. Guards
-  /// against pathological fanouts.
+  /// Cap on visited path instances. kDepthFirst truncates the traversal
+  /// beyond it and flags the profile; kLevelWise and kWorkspace are
+  /// budget-free, so they count complete instances and rerun the profile
+  /// depth-first when the count exceeds the cap — truncation semantics are
+  /// identical across algorithms. Guards against pathological fanouts.
   int64_t max_instances = 5'000'000;
+
+  /// Byte budget of the shared subtree memo (kWorkspace only; see
+  /// SubtreeCache). 0 disables memo storage without changing results.
+  size_t cache_bytes = 64ull << 20;
 
   /// Prune walks that revisit the origin tuple. Without this, every path of
   /// the form Publish -> Publications -> Publish(origin) -> Authors reaches
@@ -51,16 +62,33 @@ struct PropagationOptions {
   bool exclude_start_tuple = true;
 };
 
+class PropagationWorkspace;
+class SubtreeCache;
+
 /// Computes neighbor profiles. Borrows the link graph, which must outlive
 /// the engine. Stateless and safe to share across threads.
 class PropagationEngine {
  public:
   explicit PropagationEngine(const LinkGraph& link) : link_(&link) {}
 
+  const LinkGraph& link() const { return *link_; }
+
   /// Profile of `start_tuple` (a row of `path.start_node`'s table) along
-  /// `path`.
+  /// `path`. With kWorkspace this allocates a transient workspace; hot
+  /// callers should use the overload below.
   NeighborProfile Compute(const JoinPath& path, int32_t start_tuple,
                           const PropagationOptions& options = {}) const;
+
+  /// Same, reusing caller-owned dense scratch (kWorkspace only; other
+  /// algorithms ignore it). `workspace` must wrap this engine's link graph
+  /// and be used by one thread at a time. `cache`, when non-null, memoizes
+  /// path suffixes under `cache_path_id` (the caller's stable index of
+  /// `path`) and may be shared across threads and workspaces.
+  NeighborProfile Compute(const JoinPath& path, int32_t start_tuple,
+                          const PropagationOptions& options,
+                          PropagationWorkspace& workspace,
+                          SubtreeCache* cache = nullptr,
+                          int cache_path_id = 0) const;
 
  private:
   const LinkGraph* link_;

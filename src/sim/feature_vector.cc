@@ -18,8 +18,18 @@ const std::vector<NeighborProfile>& FeatureExtractor::ProfilesFor(
   }
   std::vector<NeighborProfile> profiles;
   profiles.reserve(paths_.size());
-  for (const JoinPath& path : paths_) {
-    profiles.push_back(engine_->Compute(path, ref, options_));
+  if (options_.algorithm == PropagationAlgorithm::kWorkspace) {
+    if (workspace_ == nullptr) {
+      workspace_ =
+          std::make_unique<PropagationWorkspace>(engine_->link());
+    }
+    for (const JoinPath& path : paths_) {
+      profiles.push_back(engine_->Compute(path, ref, options_, *workspace_));
+    }
+  } else {
+    for (const JoinPath& path : paths_) {
+      profiles.push_back(engine_->Compute(path, ref, options_));
+    }
   }
   return cache_.emplace(ref, std::move(profiles)).first->second;
 }

@@ -9,10 +9,12 @@
 #define DISTINCT_SIM_FEATURE_VECTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "prop/propagation.h"
+#include "prop/workspace.h"
 #include "relational/join_path.h"
 
 namespace distinct {
@@ -60,6 +62,10 @@ class FeatureExtractor {
   std::vector<JoinPath> paths_;
   PropagationOptions options_;
   std::unordered_map<int32_t, std::vector<NeighborProfile>> cache_;
+  /// Dense scratch for kWorkspace propagation, created on first use. An
+  /// extractor is single-threaded, so the workspace is too; it is recycled
+  /// across references like the profile cache.
+  std::unique_ptr<PropagationWorkspace> workspace_;
 };
 
 }  // namespace distinct

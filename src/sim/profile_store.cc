@@ -1,16 +1,57 @@
 #include "sim/profile_store.h"
 
+#include <memory>
+#include <mutex>
+#include <utility>
+
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 
 namespace distinct {
+
+namespace {
+
+/// Hands each worker a private PropagationWorkspace and takes it back when
+/// the worker's task ends, recycling the dense slabs across tasks. A plain
+/// mutex-protected free-list — deliberately not `thread_local`, which keyed
+/// by engine address dangled here before (see file comment in
+/// profile_store.h).
+class WorkspacePool {
+ public:
+  explicit WorkspacePool(const LinkGraph& link) : link_(&link) {}
+
+  std::unique_ptr<PropagationWorkspace> Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        auto workspace = std::move(free_.back());
+        free_.pop_back();
+        return workspace;
+      }
+    }
+    return std::make_unique<PropagationWorkspace>(*link_);
+  }
+
+  void Release(std::unique_ptr<PropagationWorkspace> workspace) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(workspace));
+  }
+
+ private:
+  const LinkGraph* link_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<PropagationWorkspace>> free_;
+};
+
+}  // namespace
 
 ProfileStore ProfileStore::Build(const PropagationEngine& engine,
                                  const std::vector<JoinPath>& paths,
                                  const PropagationOptions& options,
                                  std::vector<int32_t> refs,
                                  ThreadPool* pool,
-                                 size_t min_parallel_refs) {
+                                 size_t min_parallel_refs,
+                                 SubtreeCache* shared_cache) {
   Stopwatch watch;
   ProfileStore store;
   store.refs_ = std::move(refs);
@@ -21,13 +62,36 @@ ProfileStore ProfileStore::Build(const PropagationEngine& engine,
     store.index_.emplace(store.refs_[i], i);
   }
 
+  const bool dense =
+      options.algorithm == PropagationAlgorithm::kWorkspace;
+  WorkspacePool workspaces(engine.link());
+  std::unique_ptr<SubtreeCache> owned_cache;
+  SubtreeCache* cache = shared_cache;
+  if (dense && cache == nullptr) {
+    owned_cache = std::make_unique<SubtreeCache>(options.cache_bytes);
+    cache = owned_cache.get();
+  }
+
   const auto compute_one = [&](int64_t i) {
+    std::unique_ptr<PropagationWorkspace> workspace;
+    if (dense) {
+      workspace = workspaces.Acquire();
+    }
     std::vector<NeighborProfile> profiles;
     profiles.reserve(paths.size());
-    for (const JoinPath& path : paths) {
-      profiles.push_back(engine.Compute(path, store.refs_[i], options));
+    for (size_t p = 0; p < paths.size(); ++p) {
+      if (dense) {
+        profiles.push_back(engine.Compute(paths[p], store.refs_[i], options,
+                                          *workspace, cache,
+                                          static_cast<int>(p)));
+      } else {
+        profiles.push_back(engine.Compute(paths[p], store.refs_[i], options));
+      }
     }
     store.profiles_[static_cast<size_t>(i)] = std::move(profiles);
+    if (workspace != nullptr) {
+      workspaces.Release(std::move(workspace));
+    }
   };
 
   if (pool != nullptr && store.refs_.size() >= min_parallel_refs) {

@@ -18,6 +18,7 @@
 
 #include "common/thread_pool.h"
 #include "prop/propagation.h"
+#include "prop/workspace.h"
 #include "relational/join_path.h"
 #include "sim/feature_vector.h"
 
@@ -35,12 +36,20 @@ class ProfileStore {
   /// Each reference's profiles are computed by exactly one thread with the
   /// same per-path loop as the serial code, so the result is bit-identical
   /// across thread counts.
+  ///
+  /// With PropagationAlgorithm::kWorkspace, each worker checks a
+  /// PropagationWorkspace out of a free-list (dense scratch is recycled
+  /// across references, never shared between concurrent workers) and all
+  /// workers share one SubtreeCache: `shared_cache` when non-null —
+  /// letting a caller reuse the memo across many Build() calls over the
+  /// same link graph — else a Build-local cache of options.cache_bytes.
   static ProfileStore Build(const PropagationEngine& engine,
                             const std::vector<JoinPath>& paths,
                             const PropagationOptions& options,
                             std::vector<int32_t> refs,
                             ThreadPool* pool = nullptr,
-                            size_t min_parallel_refs = kMinParallelRefs);
+                            size_t min_parallel_refs = kMinParallelRefs,
+                            SubtreeCache* shared_cache = nullptr);
 
   size_t num_refs() const { return refs_.size(); }
   size_t num_paths() const { return num_paths_; }

@@ -125,6 +125,58 @@ TEST(LargestGapTest, MinSimFloorStillApplies) {
   EXPECT_TRUE(result.merges.empty());
 }
 
+TEST(LargestGapTest, GapFactorIsConfigurable) {
+  Rng rng(5);
+  PairMatrix resem(5);
+  PairMatrix walk(5);
+  GappedBlocks(resem, walk, rng);
+
+  AgglomerativeOptions options;
+  options.min_sim = 1e-9;
+  options.stopping = StoppingRule::kLargestGap;
+
+  // A factor above the planted two-decade gap: no drop qualifies, so the
+  // sequence merges straight through to one cluster.
+  options.gap_factor = 1e4;
+  const ClusteringResult lenient = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(lenient.num_clusters, 1);
+
+  // The default factor finds the planted cut.
+  options.gap_factor = AgglomerativeOptions{}.gap_factor;
+  const ClusteringResult standard = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(standard.num_clusters, 2);
+
+  // A tiny factor cuts at the very largest drop as well — same cut here,
+  // since the planted gap dominates every other ratio.
+  options.gap_factor = 1.01;
+  const ClusteringResult strict = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(strict.assignment, standard.assignment);
+}
+
+TEST(MergeLogTest, StrawmanMatchesIncrementalEngine) {
+  // The non-incremental strawman (no running-sum matrices) must produce
+  // exactly the incremental engine's merges.
+  Rng rng(17);
+  const size_t n = 12;
+  PairMatrix resem(n);
+  PairMatrix walk(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      resem.set(i, j, rng.UniformDouble());
+      walk.set(i, j, rng.UniformDouble() * 1e-3);
+    }
+  }
+  AgglomerativeOptions incremental;
+  incremental.min_sim = 5e-3;
+  AgglomerativeOptions strawman = incremental;
+  strawman.incremental = false;
+  const ClusteringResult a = ClusterReferences(resem, walk, incremental);
+  const ClusteringResult b = ClusterReferences(resem, walk, strawman);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+  EXPECT_EQ(a.num_merges, b.num_merges);
+}
+
 TEST(LargestGapTest, SingleMergeSequencesPassThrough) {
   PairMatrix resem(2);
   PairMatrix walk(2);

@@ -100,6 +100,57 @@ TEST_P(LevelWiseTest, AgreesWithDepthFirstOnGeneratedWorld) {
 INSTANTIATE_TEST_SUITE_P(ExcludeOriginOnOff, LevelWiseTest,
                          ::testing::Bool());
 
+TEST(LevelWiseBudgetTest, HonorsMaxInstancesViaDepthFirstFallback) {
+  // The sweep itself is budget-free, so when the instance count exceeds
+  // max_instances the engine must rerun depth-first — producing exactly the
+  // DFS engine's truncated profile, flag included.
+  Database db = testing_util::MakeMiniDblp();
+  auto schema = SchemaGraph::Build(db);
+  ASSERT_TRUE(schema.ok());
+  for (const auto& [table, column] : DblpDefaultPromotions()) {
+    ASSERT_TRUE(schema->PromoteAttribute(table, column).ok());
+  }
+  auto link = LinkGraph::Build(*schema);
+  ASSERT_TRUE(link.ok());
+  PropagationEngine engine(*link);
+
+  PathEnumerationOptions enumeration;
+  enumeration.max_length = 4;
+  const auto paths = EnumerateJoinPaths(
+      *schema, *db.TableId(kPublishTable), enumeration);
+
+  PropagationOptions dfs;
+  dfs.algorithm = PropagationAlgorithm::kDepthFirst;
+  dfs.max_instances = 1;
+  PropagationOptions level = dfs;
+  level.algorithm = PropagationAlgorithm::kLevelWise;
+
+  bool saw_truncation = false;
+  const Table& publish = **db.FindTable(kPublishTable);
+  for (int32_t ref = 0; ref < publish.num_rows(); ++ref) {
+    for (const JoinPath& path : paths) {
+      const NeighborProfile expected = engine.Compute(path, ref, dfs);
+      const NeighborProfile actual = engine.Compute(path, ref, level);
+      const std::string context =
+          path.Describe(*schema) + " ref " + std::to_string(ref);
+      EXPECT_EQ(expected.truncated(), actual.truncated()) << context;
+      ASSERT_EQ(expected.size(), actual.size()) << context;
+      for (size_t e = 0; e < expected.size(); ++e) {
+        EXPECT_EQ(expected.entries()[e].tuple, actual.entries()[e].tuple)
+            << context;
+        EXPECT_EQ(expected.entries()[e].forward,
+                  actual.entries()[e].forward)
+            << context;
+        EXPECT_EQ(expected.entries()[e].reverse,
+                  actual.entries()[e].reverse)
+            << context;
+      }
+      saw_truncation = saw_truncation || expected.truncated();
+    }
+  }
+  EXPECT_TRUE(saw_truncation);
+}
+
 TEST(LevelWiseEndToEndTest, PipelineProducesSameClusters) {
   GeneratorConfig generator;
   generator.seed = 29;
