@@ -29,6 +29,7 @@ distinct_add_bench(bench_parallel_kernel)
 distinct_add_bench(bench_propagation)
 distinct_add_bench(bench_scale)
 distinct_add_bench(bench_seed_robustness)
+distinct_add_bench(bench_sharded_scan)
 
 # google-benchmark microbenchmarks.
 add_executable(bench_micro ${DISTINCT_BENCH_DIR}/bench_micro.cpp

@@ -9,9 +9,12 @@
 // DATA holds the five DBLP CSVs plus cases.csv (see dblp/dataset_io.h);
 // `generate` creates it, or bring your own files in the same format.
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/logging.h"
@@ -20,6 +23,7 @@
 #include "core/distinct.h"
 #include "core/evaluation.h"
 #include "core/scan.h"
+#include "core/scan_shard.h"
 #include "dblp/dataset_io.h"
 #include "dblp/schema.h"
 #include "dblp/stats.h"
@@ -37,6 +41,44 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Range-validated access to a numeric flag. FlagParser::Parse already
+/// rejects malformed values with a clear error; this layer adds the range
+/// checks the call sites used to skip — previously GetInt64 results were
+/// narrowed with unchecked static_cast<int>, so --threads=5000000000
+/// silently wrapped instead of failing.
+StatusOr<int64_t> Int64FlagInRange(const FlagParser& flags, const char* name,
+                                   int64_t min_value, int64_t max_value) {
+  const int64_t value = flags.GetInt64(name);
+  if (value < min_value || value > max_value) {
+    return InvalidArgumentError(StrFormat(
+        "--%s=%lld is out of range [%lld, %lld]", name,
+        static_cast<long long>(value), static_cast<long long>(min_value),
+        static_cast<long long>(max_value)));
+  }
+  return value;
+}
+
+/// Same, for flags consumed as int: bounds are checked before narrowing.
+StatusOr<int> IntFlagInRange(const FlagParser& flags, const char* name,
+                             int min_value, int max_value) {
+  auto value = Int64FlagInRange(flags, name, min_value, max_value);
+  if (!value.ok()) {
+    return value.status();
+  }
+  return static_cast<int>(*value);
+}
+
+StatusOr<double> DoubleFlagInRange(const FlagParser& flags, const char* name,
+                                   double min_value, double max_value) {
+  const double value = flags.GetDouble(name);
+  if (!(value >= min_value && value <= max_value)) {  // rejects NaN too
+    return InvalidArgumentError(StrFormat(
+        "--%s=%g is out of range [%g, %g]", name, value, min_value,
+        max_value));
+  }
+  return value;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage: distinct_cli <generate|train|resolve|scan|eval> "
@@ -48,17 +90,33 @@ void Usage() {
                "                --report --metrics-json=FILE\n"
                "  generate: --seed=N\n"
                "  resolve:  --name=\"Wei Wang\"\n"
-               "  scan:     --min-refs=N --threads=N\n");
+               "  scan:     --min-refs=N --threads=N --shards=N\n"
+               "            --scan-memory-mb=N --checkpoint-dir=DIR "
+               "--resume\n");
 }
+
+/// Tables attached to the run report by subcommands (the scan's shard
+/// table); collected by main() after the command finishes.
+std::vector<obs::ReportTable> g_report_tables;
 
 StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags) {
   DistinctConfig config;
   config.promotions = DblpDefaultPromotions();
-  config.min_sim = flags.GetDouble("min-sim");
+  auto min_sim = DoubleFlagInRange(flags, "min-sim", 0.0, 1e9);
+  if (!min_sim.ok()) return min_sim.status();
+  config.min_sim = *min_sim;
   config.auto_min_sim = flags.GetBool("auto-min-sim");
-  config.num_threads = static_cast<int>(flags.GetInt64("threads"));
-  config.propagation_cache_mb =
-      static_cast<int>(flags.GetInt64("prop-cache-mb"));
+  auto threads = IntFlagInRange(flags, "threads", 1, 4096);
+  if (!threads.ok()) return threads.status();
+  config.num_threads = *threads;
+  auto cache_mb = IntFlagInRange(flags, "prop-cache-mb", 0, 1 << 20);
+  if (!cache_mb.ok()) return cache_mb.status();
+  config.propagation_cache_mb = *cache_mb;
+  // Cap keeps the budget in bytes (mb << 20) inside int64.
+  auto scan_memory_mb = Int64FlagInRange(flags, "scan-memory-mb", 0,
+                                         int64_t{1} << 40);
+  if (!scan_memory_mb.ok()) return scan_memory_mb.status();
+  config.scan_memory_mb = *scan_memory_mb;
   config.incremental = flags.GetBool("incremental");
   config.observability = obs::Enabled();
   const std::string stopping = flags.GetString("stopping");
@@ -85,7 +143,9 @@ StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags) {
 
 int RunGenerate(const FlagParser& flags) {
   GeneratorConfig config;
-  config.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  auto seed = Int64FlagInRange(flags, "seed", 0, INT64_MAX);
+  if (!seed.ok()) return Fail(seed.status());
+  config.seed = static_cast<uint64_t>(*seed);
   auto dataset = GenerateDblpDataset(config);
   if (!dataset.ok()) return Fail(dataset.status());
   const std::string dir = flags.GetString("dir");
@@ -102,10 +162,15 @@ int RunTrain(const FlagParser& flags) {
   if (!db.ok()) return Fail(db.status());
   DistinctConfig config;
   config.promotions = DblpDefaultPromotions();
-  config.min_sim = flags.GetDouble("min-sim");
-  config.num_threads = static_cast<int>(flags.GetInt64("threads"));
-  config.propagation_cache_mb =
-      static_cast<int>(flags.GetInt64("prop-cache-mb"));
+  auto min_sim = DoubleFlagInRange(flags, "min-sim", 0.0, 1e9);
+  if (!min_sim.ok()) return Fail(min_sim.status());
+  config.min_sim = *min_sim;
+  auto threads = IntFlagInRange(flags, "threads", 1, 4096);
+  if (!threads.ok()) return Fail(threads.status());
+  config.num_threads = *threads;
+  auto cache_mb = IntFlagInRange(flags, "prop-cache-mb", 0, 1 << 20);
+  if (!cache_mb.ok()) return Fail(cache_mb.status());
+  config.propagation_cache_mb = *cache_mb;
   config.observability = obs::Enabled();
   auto engine = Distinct::Create(*db, DblpReferenceSpec(), config);
   if (!engine.ok()) return Fail(engine.status());
@@ -142,29 +207,82 @@ int RunResolve(const FlagParser& flags) {
   return 0;
 }
 
+/// One row per planned shard, attached to the run report (--report /
+/// --metrics-json).
+obs::ReportTable ShardTable(const std::vector<ShardOutcome>& shards) {
+  obs::ReportTable table;
+  table.title = "shards";
+  table.header = {"shard",   "state",   "groups", "refs",
+                  "pairs",   "threads", "sec",    "error"};
+  for (const ShardOutcome& shard : shards) {
+    table.rows.push_back(
+        {StrFormat("%d", shard.shard_id), ShardStateName(shard.state),
+         StrFormat("%lld", static_cast<long long>(shard.num_groups)),
+         StrFormat("%lld", static_cast<long long>(shard.num_refs)),
+         StrFormat("%lld", static_cast<long long>(shard.estimated_pairs)),
+         StrFormat("%d", shard.threads_used),
+         StrFormat("%.3f", shard.seconds), shard.error});
+  }
+  return table;
+}
+
 int RunScan(const FlagParser& flags) {
   auto db = LoadDblpDatabaseCsv(flags.GetString("dir"));
   if (!db.ok()) return Fail(db.status());
   auto engine = MakeEngine(*db, flags);
   if (!engine.ok()) return Fail(engine.status());
   ScanOptions scan;
-  scan.min_refs = static_cast<int>(flags.GetInt64("min-refs"));
-  scan.max_refs = static_cast<int>(flags.GetInt64("max-refs"));
+  // int64 end to end: a --min-refs/--max-refs beyond INT_MAX compares
+  // exactly instead of being narrowed.
+  auto min_refs = Int64FlagInRange(flags, "min-refs", 1, INT64_MAX);
+  if (!min_refs.ok()) return Fail(min_refs.status());
+  scan.min_refs = *min_refs;
+  auto max_refs = Int64FlagInRange(flags, "max-refs", 0, INT64_MAX);
+  if (!max_refs.ok()) return Fail(max_refs.status());
+  scan.max_refs = *max_refs;
   // Served from the engine's name index; no second pass over the tables.
   auto groups = ScanNameGroups(*engine, scan);
   if (!groups.ok()) return Fail(groups.status());
 
+  const int threads = engine->config().num_threads;
+  auto shards = IntFlagInRange(flags, "shards", 1, 1 << 20);
+  if (!shards.ok()) return Fail(shards.status());
+  const std::string checkpoint_dir = flags.GetString("checkpoint-dir");
+  const bool resume = flags.GetBool("resume");
+  const bool sharded = *shards > 1 || !checkpoint_dir.empty() || resume ||
+                       engine->config().scan_memory_mb > 0;
+
   std::vector<BulkResolution> results;
-  const int threads = static_cast<int>(flags.GetInt64("threads"));
-  auto stats =
-      threads > 1
-          ? ResolveAllNamesParallel(*engine, *groups, threads, &results)
-          : ResolveAllNames(*engine, *groups, &results);
-  if (!stats.ok()) return Fail(stats.status());
+  BulkStats stats;
+  if (sharded) {
+    ShardedScanOptions options;
+    options.num_shards = *shards;
+    options.num_threads = threads;
+    options.checkpoint_dir = checkpoint_dir;
+    options.resume = resume;
+    auto sharded_result = RunShardedScan(*engine, *groups, options);
+    if (!sharded_result.ok()) return Fail(sharded_result.status());
+    results = std::move(sharded_result->results);
+    stats = sharded_result->stats;
+    g_report_tables.push_back(ShardTable(sharded_result->shards));
+    for (const ShardOutcome& shard : sharded_result->shards) {
+      if (shard.state == ShardState::kFailed) {
+        std::fprintf(stderr, "shard %d failed: %s\n", shard.shard_id,
+                     shard.error.c_str());
+      }
+    }
+  } else {
+    auto bulk =
+        threads > 1
+            ? ResolveAllNamesParallel(*engine, *groups, threads, &results)
+            : ResolveAllNames(*engine, *groups, &results);
+    if (!bulk.ok()) return Fail(bulk.status());
+    stats = *bulk;
+  }
   std::printf("%lld names, %lld refs, %.2fs; %lld split\n",
-              static_cast<long long>(stats->names_resolved),
-              static_cast<long long>(stats->total_refs), stats->seconds,
-              static_cast<long long>(stats->names_split));
+              static_cast<long long>(stats.names_resolved),
+              static_cast<long long>(stats.total_refs), stats.seconds,
+              static_cast<long long>(stats.names_split));
   for (const BulkResolution& r : results) {
     if (r.clustering.num_clusters > 1) {
       std::printf("  %-28s %3zu refs -> %d people\n", r.name.c_str(),
@@ -219,6 +337,18 @@ int main(int argc, char** argv) {
   flags.AddInt64("prop-cache-mb", 64,
                  "propagation subtree-memo budget in MiB (0 disables "
                  "storage; results are unchanged either way)");
+  flags.AddInt64("shards", 1,
+                 "scan: partition the name groups into this many "
+                 "deterministic shards (balanced by estimated pair count)");
+  flags.AddInt64("scan-memory-mb", 0,
+                 "scan: per-shard memory budget in MiB (0 = unbounded); "
+                 "bounds the subtree memo and concurrent workspaces");
+  flags.AddString("checkpoint-dir", "",
+                  "scan: write per-shard checkpoints into this directory "
+                  "(empty disables checkpointing)");
+  flags.AddBool("resume", false,
+                "scan: load complete shard checkpoints from "
+                "--checkpoint-dir instead of re-resolving them");
   flags.AddDouble("min-sim", 3e-2, "clustering merge threshold");
   flags.AddBool("auto-min-sim", false,
                 "derive min-sim from the training pairs (ignores --min-sim)");
@@ -239,7 +369,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  SetLogVerbosity(static_cast<int>(flags.GetInt64("verbosity")));
+  auto verbosity = IntFlagInRange(flags, "verbosity", 0, 2);
+  if (!verbosity.ok()) {
+    std::fprintf(stderr, "%s\n%s", verbosity.status().ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+  SetLogVerbosity(*verbosity);
   const std::string metrics_json = flags.GetString("metrics-json");
   const bool want_report = flags.GetBool("report") || !metrics_json.empty();
   if (want_report) {
@@ -265,7 +401,8 @@ int main(int argc, char** argv) {
   }
 
   if (want_report) {
-    const obs::RunReport run_report = obs::CollectRunReport(command);
+    obs::RunReport run_report = obs::CollectRunReport(command);
+    run_report.tables = std::move(g_report_tables);
     if (flags.GetBool("report")) {
       std::printf("%s", obs::RunReportToText(run_report).c_str());
     }

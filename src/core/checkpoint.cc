@@ -1,0 +1,601 @@
+#include "core/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace distinct {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Durable file I/O. The library's JsonWriter is write-only and the run
+// report never fsyncs; checkpoints must survive a kill -9, so they go
+// through raw descriptors: data fsync'd before rename, directory fsync'd
+// after, marker last.
+// ---------------------------------------------------------------------------
+
+Status WriteFileDurable(const std::string& path, const std::string& data) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return InternalError("checkpoint: cannot open '" + path +
+                         "': " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      return DataLossError("checkpoint: short write to '" + path +
+                           "': " + error);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return DataLossError("checkpoint: fsync of '" + path +
+                         "' failed: " + error);
+  }
+  if (::close(fd) != 0) {
+    return DataLossError("checkpoint: close of '" + path +
+                         "' failed: " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return InternalError("checkpoint: cannot open directory '" + dir +
+                         "': " + std::strerror(errno));
+  }
+  const bool ok = ::fsync(fd) == 0;
+  const std::string error = ok ? "" : std::strerror(errno);
+  ::close(fd);
+  if (!ok) {
+    return DataLossError("checkpoint: fsync of directory '" + dir +
+                         "' failed: " + error);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return NotFoundError("checkpoint: no file '" + path + "'");
+    }
+    return InternalError("checkpoint: cannot open '" + path +
+                         "': " + std::strerror(errno));
+  }
+  std::string data;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      return DataLossError("checkpoint: read of '" + path +
+                           "' failed: " + error);
+    }
+    if (n == 0) {
+      break;
+    }
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough to parse what WriteShardCheckpoint
+// emits (the library is otherwise write-only, see obs/json_writer.h).
+// Objects keep member order; numbers stay int64 when written without a
+// fraction/exponent so ids round-trip exactly, and doubles round-trip via
+// the writer's %.17g.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                               // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;     // kObject
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [name, value] : members) {
+      if (name == key) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+
+  double AsDouble() const {
+    return kind == Kind::kInt ? static_cast<double>(int_value) : double_value;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    auto value = ParseValue(0);
+    DISTINCT_RETURN_IF_ERROR(value.status());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Corrupt("trailing bytes after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Corrupt(const std::string& what) const {
+    return DataLossError(StrFormat("checkpoint JSON: %s at byte %zu",
+                                   what.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      return Corrupt("nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Corrupt("truncated document");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseLiteralBool();
+      case 'n':
+        return ParseLiteralNull();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return value;
+    }
+    for (;;) {
+      SkipWhitespace();
+      auto key = ParseString();
+      DISTINCT_RETURN_IF_ERROR(key.status());
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Corrupt("expected ':' after object key");
+      }
+      auto member = ParseValue(depth + 1);
+      DISTINCT_RETURN_IF_ERROR(member.status());
+      value.members.emplace_back(std::move(key->string_value),
+                                 *std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return value;
+      }
+      return Corrupt("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return value;
+    }
+    for (;;) {
+      auto item = ParseValue(depth + 1);
+      DISTINCT_RETURN_IF_ERROR(item.status());
+      value.items.push_back(*std::move(item));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return value;
+      }
+      return Corrupt("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<JsonValue> ParseString() {
+    if (!Consume('"')) {
+      return Corrupt("expected '\"'");
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    std::string& out = value.string_value;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return value;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Corrupt("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Corrupt("bad \\u escape digit");
+            }
+          }
+          // The writer only \u-escapes control characters (< 0x20); decode
+          // the BMP generally anyway.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Corrupt("unknown escape");
+      }
+    }
+    return Corrupt("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseLiteralBool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      JsonValue value;
+      value.kind = JsonValue::Kind::kBool;
+      value.bool_value = true;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      JsonValue value;
+      value.kind = JsonValue::Kind::kBool;
+      return value;
+    }
+    return Corrupt("bad literal");
+  }
+
+  StatusOr<JsonValue> ParseLiteralNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Corrupt("bad literal");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    bool floating = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        floating = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    JsonValue value;
+    if (floating) {
+      auto parsed = ParseDouble(token);
+      if (!parsed.has_value()) {
+        return Corrupt("bad number");
+      }
+      value.kind = JsonValue::Kind::kDouble;
+      value.double_value = *parsed;
+    } else {
+      auto parsed = ParseInt64(token);
+      if (!parsed.has_value()) {
+        return Corrupt("bad number");
+      }
+      value.kind = JsonValue::Kind::kInt;
+      value.int_value = *parsed;
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Checkpoint (de)serialization.
+// ---------------------------------------------------------------------------
+
+constexpr char kVersionKey[] = "distinct_shard_checkpoint";
+
+std::string CheckpointToJson(const ShardCheckpoint& checkpoint) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key(kVersionKey).Value(ShardCheckpoint::kFormatVersion);
+  json.Key("shard_id").Value(checkpoint.shard_id);
+  json.Key("num_shards").Value(checkpoint.num_shards);
+  json.Key("groups").BeginArray();
+  for (size_t g = 0; g < checkpoint.results.size(); ++g) {
+    const BulkResolution& resolution = checkpoint.results[g];
+    json.BeginObject();
+    json.Key("index").Value(
+        static_cast<int64_t>(checkpoint.group_indices[g]));
+    json.Key("name").Value(resolution.name);
+    json.Key("num_refs").Value(static_cast<int64_t>(resolution.num_refs));
+    json.Key("num_clusters").Value(resolution.clustering.num_clusters);
+    json.Key("assignment").BeginArray();
+    for (const int cluster : resolution.clustering.assignment) {
+      json.Value(cluster);
+    }
+    json.EndArray();
+    // Merges as [into, from, similarity] triples; %.17g round-trips the
+    // similarity bit-exactly, which is what makes resume byte-identical.
+    json.Key("merges").BeginArray();
+    for (const MergeStep& merge : resolution.clustering.merges) {
+      json.BeginArray();
+      json.Value(merge.into);
+      json.Value(merge.from);
+      json.Value(merge.similarity);
+      json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+StatusOr<int64_t> RequireInt(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || value->kind != JsonValue::Kind::kInt) {
+    return DataLossError(StrFormat("checkpoint JSON: missing int '%s'", key));
+  }
+  return value->int_value;
+}
+
+StatusOr<ShardCheckpoint> CheckpointFromJson(const std::string& text,
+                                             int expected_shard_id) {
+  auto root = JsonReader(text).Parse();
+  DISTINCT_RETURN_IF_ERROR(root.status());
+  if (root->kind != JsonValue::Kind::kObject) {
+    return DataLossError("checkpoint JSON: top level is not an object");
+  }
+
+  auto version = RequireInt(*root, kVersionKey);
+  DISTINCT_RETURN_IF_ERROR(version.status());
+  if (*version != ShardCheckpoint::kFormatVersion) {
+    return FailedPreconditionError(StrFormat(
+        "checkpoint format version %lld, this build reads version %d",
+        static_cast<long long>(*version), ShardCheckpoint::kFormatVersion));
+  }
+
+  ShardCheckpoint checkpoint;
+  auto shard_id = RequireInt(*root, "shard_id");
+  DISTINCT_RETURN_IF_ERROR(shard_id.status());
+  auto num_shards = RequireInt(*root, "num_shards");
+  DISTINCT_RETURN_IF_ERROR(num_shards.status());
+  checkpoint.shard_id = static_cast<int>(*shard_id);
+  checkpoint.num_shards = static_cast<int>(*num_shards);
+  if (checkpoint.shard_id != expected_shard_id) {
+    return DataLossError(StrFormat(
+        "checkpoint names shard %d, expected shard %d", checkpoint.shard_id,
+        expected_shard_id));
+  }
+
+  const JsonValue* groups = root->Find("groups");
+  if (groups == nullptr || groups->kind != JsonValue::Kind::kArray) {
+    return DataLossError("checkpoint JSON: missing 'groups' array");
+  }
+  for (const JsonValue& group : groups->items) {
+    if (group.kind != JsonValue::Kind::kObject) {
+      return DataLossError("checkpoint JSON: group is not an object");
+    }
+    auto index = RequireInt(group, "index");
+    DISTINCT_RETURN_IF_ERROR(index.status());
+    auto num_refs = RequireInt(group, "num_refs");
+    DISTINCT_RETURN_IF_ERROR(num_refs.status());
+    auto num_clusters = RequireInt(group, "num_clusters");
+    DISTINCT_RETURN_IF_ERROR(num_clusters.status());
+    const JsonValue* name = group.Find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      return DataLossError("checkpoint JSON: group without a name");
+    }
+    const JsonValue* assignment = group.Find("assignment");
+    const JsonValue* merges = group.Find("merges");
+    if (assignment == nullptr ||
+        assignment->kind != JsonValue::Kind::kArray || merges == nullptr ||
+        merges->kind != JsonValue::Kind::kArray) {
+      return DataLossError(
+          "checkpoint JSON: group without assignment/merges arrays");
+    }
+
+    BulkResolution resolution;
+    resolution.name = name->string_value;
+    resolution.num_refs = static_cast<size_t>(*num_refs);
+    resolution.clustering.num_clusters = static_cast<int>(*num_clusters);
+    resolution.clustering.assignment.reserve(assignment->items.size());
+    for (const JsonValue& cluster : assignment->items) {
+      if (cluster.kind != JsonValue::Kind::kInt) {
+        return DataLossError("checkpoint JSON: non-integer assignment");
+      }
+      resolution.clustering.assignment.push_back(
+          static_cast<int>(cluster.int_value));
+    }
+    if (resolution.clustering.assignment.size() != resolution.num_refs) {
+      return DataLossError(StrFormat(
+          "checkpoint JSON: group '%s' has %zu assignments for %zu refs",
+          resolution.name.c_str(), resolution.clustering.assignment.size(),
+          resolution.num_refs));
+    }
+    resolution.clustering.merges.reserve(merges->items.size());
+    for (const JsonValue& triple : merges->items) {
+      if (triple.kind != JsonValue::Kind::kArray ||
+          triple.items.size() != 3 ||
+          triple.items[0].kind != JsonValue::Kind::kInt ||
+          triple.items[1].kind != JsonValue::Kind::kInt) {
+        return DataLossError("checkpoint JSON: malformed merge triple");
+      }
+      MergeStep merge;
+      merge.into = static_cast<int>(triple.items[0].int_value);
+      merge.from = static_cast<int>(triple.items[1].int_value);
+      merge.similarity = triple.items[2].AsDouble();
+      resolution.clustering.merges.push_back(merge);
+    }
+    resolution.clustering.num_merges =
+        static_cast<int>(resolution.clustering.merges.size());
+
+    checkpoint.group_indices.push_back(static_cast<size_t>(*index));
+    checkpoint.results.push_back(std::move(resolution));
+  }
+  return checkpoint;
+}
+
+}  // namespace
+
+std::string ShardCheckpointPath(const std::string& dir, int shard_id) {
+  return dir + "/shard-" + std::to_string(shard_id) + ".json";
+}
+
+std::string ShardMarkerPath(const std::string& dir, int shard_id) {
+  return dir + "/shard-" + std::to_string(shard_id) + ".done";
+}
+
+Status WriteShardCheckpoint(const std::string& dir,
+                            const ShardCheckpoint& checkpoint) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("checkpoint: cannot create directory '" + dir +
+                         "': " + ec.message());
+  }
+
+  const std::string json = CheckpointToJson(checkpoint);
+  const std::string path = ShardCheckpointPath(dir, checkpoint.shard_id);
+  const std::string tmp = path + ".tmp";
+  DISTINCT_RETURN_IF_ERROR(WriteFileDurable(tmp, json));
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return DataLossError("checkpoint: rename '" + tmp + "' -> '" + path +
+                         "' failed: " + std::strerror(errno));
+  }
+  DISTINCT_RETURN_IF_ERROR(FsyncDir(dir));
+  // The marker is written only after the data file is durably in place, so
+  // its presence certifies a complete, readable checkpoint.
+  DISTINCT_RETURN_IF_ERROR(WriteFileDurable(
+      ShardMarkerPath(dir, checkpoint.shard_id), "done\n"));
+  DISTINCT_RETURN_IF_ERROR(FsyncDir(dir));
+  DISTINCT_COUNTER_ADD("scan.checkpoints_written", 1);
+  DISTINCT_COUNTER_ADD("scan.checkpoint_bytes_written",
+                       static_cast<int64_t>(json.size()));
+  return Status::Ok();
+}
+
+bool ShardCheckpointComplete(const std::string& dir, int shard_id) {
+  std::error_code ec;
+  return std::filesystem::exists(ShardMarkerPath(dir, shard_id), ec);
+}
+
+StatusOr<ShardCheckpoint> ReadShardCheckpoint(const std::string& dir,
+                                              int shard_id) {
+  if (!ShardCheckpointComplete(dir, shard_id)) {
+    return NotFoundError(StrFormat(
+        "checkpoint for shard %d has no completion marker", shard_id));
+  }
+  auto text = ReadFileToString(ShardCheckpointPath(dir, shard_id));
+  DISTINCT_RETURN_IF_ERROR(text.status());
+  auto checkpoint = CheckpointFromJson(*text, shard_id);
+  if (checkpoint.ok()) {
+    DISTINCT_COUNTER_ADD("scan.checkpoints_read", 1);
+  }
+  return checkpoint;
+}
+
+}  // namespace distinct

@@ -1,0 +1,68 @@
+// Per-shard checkpoints for the sharded bulk scan (core/scan_shard.h).
+//
+// Each completed shard persists its resolutions as one versioned JSON file
+// plus a separate completion marker, both fsync'd, so a scan killed mid-run
+// can be resumed: shards whose marker survives are loaded instead of
+// re-resolved, and the interrupted shard (data file present, marker absent
+// or file truncated) is simply re-run. The JSON carries enough of the plan
+// (shard count, group indices, names, sizes) to detect a checkpoint that
+// was written for a different scan.
+//
+// Write protocol (crash-safe on POSIX):
+//   1. write shard-<id>.json.tmp, fsync it
+//   2. rename onto shard-<id>.json, fsync the directory
+//   3. write shard-<id>.done (the marker), fsync it, fsync the directory
+// A crash between any two steps leaves either no marker (shard re-runs) or
+// a complete pair (shard resumes); never a marker over torn data.
+
+#ifndef DISTINCT_CORE_CHECKPOINT_H_
+#define DISTINCT_CORE_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/scan.h"
+
+namespace distinct {
+
+/// Everything one shard persists: which planned groups it covered and the
+/// full resolution of each (assignment, merge sequence, similarities —
+/// enough to reproduce the uninterrupted run byte for byte).
+struct ShardCheckpoint {
+  /// Bumped whenever the JSON layout changes; readers reject other
+  /// versions instead of guessing.
+  static constexpr int kFormatVersion = 1;
+
+  int shard_id = 0;
+  int num_shards = 0;  // of the plan that produced this shard
+  /// Indices into the planned (filtered + sorted) group vector, ascending;
+  /// parallel to `results`.
+  std::vector<size_t> group_indices;
+  std::vector<BulkResolution> results;
+};
+
+/// `<dir>/shard-<id>.json` — the data file.
+std::string ShardCheckpointPath(const std::string& dir, int shard_id);
+/// `<dir>/shard-<id>.done` — the completion marker.
+std::string ShardMarkerPath(const std::string& dir, int shard_id);
+
+/// Persists `checkpoint` under `dir` (created if missing) with the
+/// crash-safe protocol above.
+Status WriteShardCheckpoint(const std::string& dir,
+                            const ShardCheckpoint& checkpoint);
+
+/// True when the shard's completion marker exists (the data file may still
+/// fail validation — callers must handle ReadShardCheckpoint errors).
+bool ShardCheckpointComplete(const std::string& dir, int shard_id);
+
+/// Loads and validates one shard's checkpoint. NotFound when the data file
+/// or marker is missing (incomplete shard — re-run it); DataLoss when the
+/// file is truncated, corrupt, or names a different shard;
+/// FailedPrecondition on a format-version mismatch.
+StatusOr<ShardCheckpoint> ReadShardCheckpoint(const std::string& dir,
+                                              int shard_id);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_CORE_CHECKPOINT_H_

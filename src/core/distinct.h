@@ -90,6 +90,13 @@ struct DistinctConfig {
   /// one shared pool. 1 keeps everything on the calling thread. Results
   /// are bit-identical across thread counts.
   int num_threads = 1;
+  /// Per-shard memory budget (in MiB) of the sharded bulk scan
+  /// (core/scan_shard.h). Sizes the shard's SubtreeCache and bounds how
+  /// many concurrent PropagationWorkspaces (and therefore worker threads)
+  /// a shard may use; a name group whose pair matrices alone would exceed
+  /// the budget fails its shard instead of OOMing the process. 0 = no
+  /// bound. Results are bit-identical at every budget that completes.
+  int64_t scan_memory_mb = 0;
   /// Enables the process-wide metrics registry and span tracer
   /// (src/obs/) for this engine. Create() flips the global obs switch;
   /// when false (the default) every instrumentation site reduces to a

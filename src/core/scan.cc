@@ -22,7 +22,7 @@ std::vector<NameGroup> FilterAndSortGroups(std::vector<NameGroup> groups,
                                            const ScanOptions& options) {
   std::vector<NameGroup> filtered;
   for (NameGroup& group : groups) {
-    const int refs = static_cast<int>(group.refs.size());
+    const int64_t refs = static_cast<int64_t>(group.refs.size());
     if (refs < options.min_refs) {
       continue;
     }
@@ -154,12 +154,17 @@ StatusOr<BulkStats> ResolveAllNamesParallel(
 
   // The subtree memo is reference-independent, so one cache serves every
   // name group of the scan: subtrees computed while resolving one name are
-  // hits for all later names that reach the same junction tuples.
+  // hits for all later names that reach the same junction tuples. The
+  // workspace pool is likewise scan-wide, capping dense-scratch allocation
+  // at one workspace per concurrent worker for the whole run.
   std::unique_ptr<SubtreeCache> memo;
+  std::unique_ptr<WorkspacePool> workspaces;
   if (engine.config().propagation.algorithm ==
       PropagationAlgorithm::kWorkspace) {
     memo = std::make_unique<SubtreeCache>(
         engine.config().propagation.cache_bytes);
+    workspaces =
+        std::make_unique<WorkspacePool>(engine.propagation_engine().link());
   }
 
   {
@@ -179,7 +184,8 @@ StatusOr<BulkStats> ResolveAllNamesParallel(
                   const ProfileStore store = ProfileStore::Build(
                       engine.propagation_engine(), engine.paths(),
                       engine.config().propagation, group.refs, &pool,
-                      ProfileStore::kMinParallelRefs, memo.get());
+                      ProfileStore::kMinParallelRefs, memo.get(),
+                      workspaces.get());
                   auto matrices = ComputePairMatrices(store, model, &pool);
                   BulkResolution& resolution =
                       local[static_cast<size_t>(g)];

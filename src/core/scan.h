@@ -26,11 +26,13 @@ struct NameGroup {
 
 struct ScanOptions {
   /// Only names with at least this many references are candidates (a name
-  /// with one reference cannot be split).
-  int min_refs = 2;
+  /// with one reference cannot be split). int64_t on purpose: group sizes
+  /// are compared without narrowing, so a group larger than INT_MAX cannot
+  /// wrap negative and slip past the filters.
+  int64_t min_refs = 2;
   /// Skip names with more references than this (0 = no cap). Guards bulk
   /// runs against quadratic blowup on a handful of mega-names.
-  int max_refs = 0;
+  int64_t max_refs = 0;
 };
 
 /// Groups every reference in the database by name string (names appearing

@@ -1,0 +1,348 @@
+#include "core/scan_shard.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/parallel_kernel.h"
+#include "sim/profile_store.h"
+
+namespace distinct {
+
+namespace {
+
+/// What the per-shard memory budget affords.
+struct ShardBudget {
+  int threads = 1;
+  size_t cache_bytes = 0;    // SubtreeCache capacity (dense engine only)
+  int64_t budget_bytes = 0;  // 0 = unbounded
+};
+
+/// Pair matrices (resemblance + walk, strict lower triangle of doubles)
+/// plus the assignment vector for a group of n references.
+int64_t EstimatedGroupMatrixBytes(int64_t n) {
+  return n * (n - 1) * static_cast<int64_t>(sizeof(double)) +
+         2 * n * static_cast<int64_t>(sizeof(int));
+}
+
+ShardBudget ComputeShardBudget(const Distinct& engine,
+                               const ShardedScanOptions& options) {
+  const DistinctConfig& config = engine.config();
+  const bool dense =
+      config.propagation.algorithm == PropagationAlgorithm::kWorkspace;
+  ShardBudget budget;
+  budget.threads = std::max(1, options.num_threads);
+  const int64_t mb = options.memory_budget_mb > 0 ? options.memory_budget_mb
+                                                  : config.scan_memory_mb;
+  if (mb <= 0) {
+    budget.cache_bytes = dense ? config.propagation.cache_bytes : 0;
+    return budget;
+  }
+  budget.budget_bytes = mb << 20;
+  if (dense) {
+    // A quarter of the budget for the subtree memo (never more than the
+    // configured cache), the rest for dense scratch: one workspace per
+    // concurrent worker, so the workspace allowance caps the thread count.
+    budget.cache_bytes =
+        std::min(config.propagation.cache_bytes,
+                 static_cast<size_t>(budget.budget_bytes / 4));
+    const size_t workspace_bytes =
+        std::max<size_t>(ApproxWorkspaceBytes(engine.propagation_engine().link()), 1);
+    const int64_t affordable = static_cast<int64_t>(
+        (static_cast<size_t>(budget.budget_bytes) - budget.cache_bytes) /
+        workspace_bytes);
+    budget.threads = static_cast<int>(std::clamp<int64_t>(
+        affordable, 1, static_cast<int64_t>(budget.threads)));
+  }
+  return budget;
+}
+
+/// Resolves the groups at `indices` with the existing parallel kernel —
+/// same per-group body as ResolveAllNamesParallel, so the resolutions are
+/// bit-identical to the unsharded scan's. `out` is parallel to `indices`.
+Status ResolveShardGroups(const Distinct& engine,
+                          const std::vector<NameGroup>& groups,
+                          const std::vector<size_t>& indices,
+                          const ShardBudget& budget,
+                          std::vector<BulkResolution>* out) {
+  const bool dense = engine.config().propagation.algorithm ==
+                     PropagationAlgorithm::kWorkspace;
+
+  // Up-front validation so a bad group fails the shard cleanly instead of
+  // crashing a worker mid-kernel.
+  const std::vector<JoinPath>& paths = engine.paths();
+  const int64_t num_start_tuples =
+      paths.empty() ? 0
+                    : engine.propagation_engine().link().NumTuples(
+                          paths.front().start_node);
+  for (const size_t g : indices) {
+    const NameGroup& group = groups[g];
+    for (const int32_t ref : group.refs) {
+      if (!paths.empty() && (ref < 0 || ref >= num_start_tuples)) {
+        return InvalidArgumentError(StrFormat(
+            "group '%s' has out-of-range reference %d (universe %lld)",
+            group.name.c_str(), ref,
+            static_cast<long long>(num_start_tuples)));
+      }
+    }
+    if (budget.budget_bytes > 0) {
+      const int64_t matrix_bytes =
+          EstimatedGroupMatrixBytes(static_cast<int64_t>(group.refs.size()));
+      if (matrix_bytes > budget.budget_bytes) {
+        return OutOfRangeError(StrFormat(
+            "group '%s' (%zu refs) needs ~%lld bytes of pair matrices, "
+            "over the %lld-byte shard budget",
+            group.name.c_str(), group.refs.size(),
+            static_cast<long long>(matrix_bytes),
+            static_cast<long long>(budget.budget_bytes)));
+      }
+    }
+  }
+
+  // Shard-local memo and workspace pool: the memo is capped by the budget
+  // carve-out, the pool by the (budget-capped) worker count. Hit/miss and
+  // reuse patterns cannot change values — only speed — so per-shard caches
+  // keep the output identical to the scan-wide ones.
+  std::unique_ptr<SubtreeCache> memo;
+  std::unique_ptr<WorkspacePool> workspaces;
+  if (dense) {
+    memo = std::make_unique<SubtreeCache>(budget.cache_bytes);
+    workspaces =
+        std::make_unique<WorkspacePool>(engine.propagation_engine().link());
+  }
+
+  out->assign(indices.size(), BulkResolution{});
+  {
+    ThreadPool pool(budget.threads);
+    const SimilarityModel& model = engine.model();
+    const AgglomerativeOptions cluster_options = engine.cluster_options();
+    ParallelFor(pool, static_cast<int64_t>(indices.size()), [&](int64_t i) {
+      const NameGroup& group = groups[indices[static_cast<size_t>(i)]];
+      const ProfileStore store = ProfileStore::Build(
+          engine.propagation_engine(), paths, engine.config().propagation,
+          group.refs, &pool, ProfileStore::kMinParallelRefs, memo.get(),
+          workspaces.get());
+      auto matrices = ComputePairMatrices(store, model, &pool);
+      BulkResolution& resolution = (*out)[static_cast<size_t>(i)];
+      resolution.name = group.name;
+      resolution.num_refs = group.refs.size();
+      resolution.clustering = ClusterReferences(
+          matrices.first, matrices.second, cluster_options);
+    });
+  }
+  return Status::Ok();
+}
+
+/// Checks a loaded checkpoint against the current plan; resuming against a
+/// different dataset or shard layout must fail loudly, not recompute.
+Status ValidateCheckpointAgainstPlan(const ShardCheckpoint& checkpoint,
+                                     const std::vector<NameGroup>& groups,
+                                     const ShardPlan& plan, int shard_id) {
+  if (checkpoint.num_shards != plan.num_shards() ||
+      checkpoint.group_indices != plan.shards[static_cast<size_t>(shard_id)]) {
+    return FailedPreconditionError(StrFormat(
+        "checkpoint for shard %d was written for a different shard plan "
+        "(checkpoint: %d shards, %zu groups; current: %d shards, %zu "
+        "groups)",
+        shard_id, checkpoint.num_shards, checkpoint.group_indices.size(),
+        plan.num_shards(),
+        plan.shards[static_cast<size_t>(shard_id)].size()));
+  }
+  for (size_t g = 0; g < checkpoint.group_indices.size(); ++g) {
+    const NameGroup& group = groups[checkpoint.group_indices[g]];
+    const BulkResolution& resolution = checkpoint.results[g];
+    if (resolution.name != group.name ||
+        resolution.num_refs != group.refs.size()) {
+      return FailedPreconditionError(StrFormat(
+          "checkpoint for shard %d resolves '%s' (%zu refs) where the "
+          "current scan has '%s' (%zu refs) — wrong dataset?",
+          shard_id, resolution.name.c_str(), resolution.num_refs,
+          group.name.c_str(), group.refs.size()));
+    }
+  }
+  return Status::Ok();
+}
+
+void AccumulateStats(const BulkResolution& resolution, BulkStats* stats) {
+  ++stats->names_resolved;
+  stats->total_refs += static_cast<int64_t>(resolution.num_refs);
+  stats->total_clusters += resolution.clustering.num_clusters;
+  if (resolution.clustering.num_clusters > 1) {
+    ++stats->names_split;
+  }
+}
+
+}  // namespace
+
+int64_t EstimatedPairs(const NameGroup& group) {
+  const int64_t n = static_cast<int64_t>(group.refs.size());
+  return n * (n - 1) / 2;
+}
+
+ShardPlan PlanShards(const std::vector<NameGroup>& groups, int num_shards) {
+  ShardPlan plan;
+  const size_t shards = static_cast<size_t>(std::max(1, num_shards));
+  plan.shards.resize(shards);
+  plan.estimated_pairs.assign(shards, 0);
+  // Longest-processing-time greedy. Scan groups arrive sorted by
+  // descending size, so the heaviest groups are placed first and the
+  // lighter tail evens the loads out. Each group goes to the currently
+  // lightest shard (ties to the lowest id) — deterministic, so resume can
+  // re-derive the identical plan from the same groups.
+  for (size_t g = 0; g < groups.size(); ++g) {
+    size_t lightest = 0;
+    for (size_t s = 1; s < shards; ++s) {
+      if (plan.estimated_pairs[s] < plan.estimated_pairs[lightest]) {
+        lightest = s;
+      }
+    }
+    plan.shards[lightest].push_back(g);
+    // Even a 1-ref group (0 pairs) costs a profile build; weigh it at
+    // least 1 so pairless groups still spread across shards.
+    plan.estimated_pairs[lightest] +=
+        std::max<int64_t>(EstimatedPairs(groups[g]), 1);
+  }
+  return plan;
+}
+
+const char* ShardStateName(ShardState state) {
+  switch (state) {
+    case ShardState::kCompleted:
+      return "completed";
+    case ShardState::kResumed:
+      return "resumed";
+    case ShardState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+StatusOr<ShardedScanResult> RunShardedScan(
+    const Distinct& engine, const std::vector<NameGroup>& groups,
+    const ShardedScanOptions& options) {
+  if (options.num_shards < 1) {
+    return InvalidArgumentError(
+        StrFormat("num_shards must be >= 1, got %d", options.num_shards));
+  }
+  if (options.resume && options.checkpoint_dir.empty()) {
+    return InvalidArgumentError("resume requires a checkpoint directory");
+  }
+
+  Stopwatch watch;
+  DISTINCT_TRACE_SPAN("sharded_scan");
+  const ShardPlan plan = PlanShards(groups, options.num_shards);
+  const ShardBudget budget = ComputeShardBudget(engine, options);
+  DISTINCT_COUNTER_ADD("scan.shards_planned", plan.num_shards());
+  DISTINCT_LOG(INFO) << "scan: " << groups.size() << " groups over "
+                     << plan.num_shards() << " shards, "
+                     << budget.threads << " threads/shard"
+                     << (budget.budget_bytes > 0
+                             ? StrFormat(", %lld MiB budget/shard",
+                                         static_cast<long long>(
+                                             budget.budget_bytes >> 20))
+                             : std::string());
+
+  ShardedScanResult result;
+  result.shards.reserve(static_cast<size_t>(plan.num_shards()));
+  // Resolutions keyed by planned group index; merged in order at the end.
+  std::vector<std::optional<BulkResolution>> by_group(groups.size());
+
+  for (int s = 0; s < plan.num_shards(); ++s) {
+    const std::vector<size_t>& indices =
+        plan.shards[static_cast<size_t>(s)];
+    ShardOutcome outcome;
+    outcome.shard_id = s;
+    outcome.num_groups = static_cast<int64_t>(indices.size());
+    outcome.estimated_pairs =
+        plan.estimated_pairs[static_cast<size_t>(s)];
+    outcome.threads_used = budget.threads;
+    for (const size_t g : indices) {
+      outcome.num_refs += static_cast<int64_t>(groups[g].refs.size());
+    }
+    Stopwatch shard_watch;
+
+    if (options.resume &&
+        ShardCheckpointComplete(options.checkpoint_dir, s)) {
+      auto checkpoint = ReadShardCheckpoint(options.checkpoint_dir, s);
+      DISTINCT_RETURN_IF_ERROR(checkpoint.status());
+      DISTINCT_RETURN_IF_ERROR(
+          ValidateCheckpointAgainstPlan(*checkpoint, groups, plan, s));
+      for (size_t g = 0; g < checkpoint->group_indices.size(); ++g) {
+        by_group[checkpoint->group_indices[g]] =
+            std::move(checkpoint->results[g]);
+      }
+      outcome.state = ShardState::kResumed;
+      outcome.seconds = shard_watch.Seconds();
+      DISTINCT_COUNTER_ADD("scan.shards_resumed", 1);
+      DISTINCT_LOG(INFO) << "scan: shard " << s << " resumed from "
+                         << ShardCheckpointPath(options.checkpoint_dir, s);
+      result.shards.push_back(std::move(outcome));
+      continue;
+    }
+
+    std::vector<BulkResolution> shard_results;
+    Status shard_status = [&] {
+      DISTINCT_TRACE_SPAN("scan_shard");
+      return ResolveShardGroups(engine, groups, indices, budget,
+                                &shard_results);
+    }();
+    if (shard_status.ok() && !options.checkpoint_dir.empty()) {
+      ShardCheckpoint checkpoint;
+      checkpoint.shard_id = s;
+      checkpoint.num_shards = plan.num_shards();
+      checkpoint.group_indices = indices;
+      checkpoint.results = shard_results;
+      shard_status =
+          WriteShardCheckpoint(options.checkpoint_dir, checkpoint);
+    }
+
+    outcome.seconds = shard_watch.Seconds();
+    if (!shard_status.ok()) {
+      // Graceful degradation: record the error, skip the shard's groups,
+      // keep scanning. The shard table and scan.shards_failed make the
+      // gap visible instead of the whole run aborting.
+      outcome.state = ShardState::kFailed;
+      outcome.error = shard_status.ToString();
+      DISTINCT_COUNTER_ADD("scan.shards_failed", 1);
+      DISTINCT_LOG(WARN) << "scan: shard " << s
+                         << " failed and was skipped: " << outcome.error;
+    } else {
+      for (size_t g = 0; g < indices.size(); ++g) {
+        by_group[indices[g]] = std::move(shard_results[g]);
+      }
+      outcome.state = ShardState::kCompleted;
+      DISTINCT_COUNTER_ADD("scan.shards_completed", 1);
+      DISTINCT_HISTOGRAM_RECORD(
+          "scan.shard_nanos",
+          static_cast<int64_t>(outcome.seconds * 1e9));
+    }
+    result.shards.push_back(std::move(outcome));
+  }
+
+  for (std::optional<BulkResolution>& resolution : by_group) {
+    if (!resolution.has_value()) {
+      continue;
+    }
+    AccumulateStats(*resolution, &result.stats);
+    result.results.push_back(*std::move(resolution));
+  }
+  result.stats.seconds = watch.Seconds();
+  DISTINCT_COUNTER_ADD("scan.names_resolved", result.stats.names_resolved);
+  DISTINCT_COUNTER_ADD("scan.names_split", result.stats.names_split);
+  DISTINCT_COUNTER_ADD("scan.refs_resolved", result.stats.total_refs);
+  DISTINCT_LOG(INFO) << "scan: resolved " << result.stats.names_resolved
+                     << " names (" << result.stats.names_split
+                     << " split) across " << plan.num_shards()
+                     << " shards in " << result.stats.seconds << "s";
+  return result;
+}
+
+}  // namespace distinct

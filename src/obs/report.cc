@@ -171,6 +171,28 @@ std::string RunReportToJson(const RunReport& report) {
   }
   json.EndObject();
 
+  json.Key("tables").BeginArray();
+  for (const ReportTable& table : report.tables) {
+    json.BeginObject();
+    json.Key("title").Value(table.title);
+    json.Key("header").BeginArray();
+    for (const std::string& cell : table.header) {
+      json.Value(cell);
+    }
+    json.EndArray();
+    json.Key("rows").BeginArray();
+    for (const std::vector<std::string>& row : table.rows) {
+      json.BeginArray();
+      for (const std::string& cell : row) {
+        json.Value(cell);
+      }
+      json.EndArray();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+
   json.EndObject();
   return json.str();
 }
@@ -240,6 +262,17 @@ std::string RunReportToText(const RunReport& report) {
       derived.AddRow({name, StrFormat("%.3f", value)});
     }
     out += derived.Render();
+  }
+
+  for (const ReportTable& table : report.tables) {
+    out += "\n";
+    out += table.title;
+    out += "\n";
+    TextTable rendered(table.header);
+    for (const std::vector<std::string>& row : table.rows) {
+      rendered.AddRow(row);
+    }
+    out += rendered.Render();
   }
   return out;
 }

@@ -26,6 +26,16 @@ struct StageSummary {
   int64_t total_nanos = 0;
 };
 
+/// A caller-supplied table attached to the report (e.g. the sharded scan's
+/// per-shard outcomes). obs/ stays ignorant of what the rows mean: rows are
+/// pre-rendered strings, serialized under "tables" in the JSON and as one
+/// more text table in the text rendering.
+struct ReportTable {
+  std::string title;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;  // each sized like header
+};
+
 /// Everything recorded during one run.
 struct RunReport {
   /// JSON schema version (the "distinct_run_report" field).
@@ -38,6 +48,8 @@ struct RunReport {
   /// Cross-metric ratios (pairs/sec, pool utilization, ...). Ratios whose
   /// inputs were never recorded are omitted.
   std::vector<std::pair<std::string, double>> derived;
+  /// Caller-attached tables, rendered after the derived ratios.
+  std::vector<ReportTable> tables;
 };
 
 /// Snapshots the global registry and tracer and computes stage summaries

@@ -104,6 +104,19 @@ SubtreeCacheStats SubtreeCache::stats() const {
   return stats;
 }
 
+size_t ApproxWorkspaceBytes(const LinkGraph& link) {
+  // Per tuple: forward/reverse/count doubles, the uint32 epoch stamp, and
+  // one touched-list slot (the touched vector grows to the node universe in
+  // the worst case).
+  constexpr size_t kBytesPerTuple =
+      3 * sizeof(double) + sizeof(uint32_t) + sizeof(int32_t);
+  size_t total = sizeof(PropagationWorkspace);
+  for (int node = 0; node < link.schema().num_nodes(); ++node) {
+    total += static_cast<size_t>(link.NumTuples(node)) * kBytesPerTuple;
+  }
+  return total;
+}
+
 size_t SubtreeJunctionLevel(const JoinPath& path,
                             const std::vector<int>& node_at,
                             bool exclude_start_tuple) {

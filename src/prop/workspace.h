@@ -220,6 +220,14 @@ class SubtreeCache {
   std::array<Shard, kNumShards> shards_;
 };
 
+/// Approximate resident footprint of one fully warmed PropagationWorkspace
+/// over `link`: one dense slab per schema node (forward/reverse/count
+/// doubles, an epoch stamp, and a touched-list slot per tuple). Paths that
+/// revisit a node need an extra slab for it, so treat this as a lower-bound
+/// estimate — the sharded scan uses it to decide how many concurrent
+/// workspaces a memory budget affords.
+size_t ApproxWorkspaceBytes(const LinkGraph& link);
+
 /// Level where `path`'s reference-dependent prefix ends. With origin
 /// exclusion, walks can be pruned at every level whose schema node is the
 /// start node, so the junction is the deepest such level (the suffix below

@@ -9,41 +9,28 @@
 
 namespace distinct {
 
-namespace {
-
-/// Hands each worker a private PropagationWorkspace and takes it back when
-/// the worker's task ends, recycling the dense slabs across tasks. A plain
-/// mutex-protected free-list — deliberately not `thread_local`, which keyed
-/// by engine address dangled here before (see file comment in
-/// profile_store.h).
-class WorkspacePool {
- public:
-  explicit WorkspacePool(const LinkGraph& link) : link_(&link) {}
-
-  std::unique_ptr<PropagationWorkspace> Acquire() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!free_.empty()) {
-        auto workspace = std::move(free_.back());
-        free_.pop_back();
-        return workspace;
-      }
-    }
-    return std::make_unique<PropagationWorkspace>(*link_);
-  }
-
-  void Release(std::unique_ptr<PropagationWorkspace> workspace) {
+std::unique_ptr<PropagationWorkspace> WorkspacePool::Acquire() {
+  {
     std::lock_guard<std::mutex> lock(mutex_);
-    free_.push_back(std::move(workspace));
+    if (!free_.empty()) {
+      auto workspace = std::move(free_.back());
+      free_.pop_back();
+      return workspace;
+    }
+    ++created_;
   }
+  return std::make_unique<PropagationWorkspace>(*link_);
+}
 
- private:
-  const LinkGraph* link_;
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<PropagationWorkspace>> free_;
-};
+void WorkspacePool::Release(std::unique_ptr<PropagationWorkspace> workspace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(workspace));
+}
 
-}  // namespace
+int64_t WorkspacePool::num_created() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return created_;
+}
 
 ProfileStore ProfileStore::Build(const PropagationEngine& engine,
                                  const std::vector<JoinPath>& paths,
@@ -51,7 +38,8 @@ ProfileStore ProfileStore::Build(const PropagationEngine& engine,
                                  std::vector<int32_t> refs,
                                  ThreadPool* pool,
                                  size_t min_parallel_refs,
-                                 SubtreeCache* shared_cache) {
+                                 SubtreeCache* shared_cache,
+                                 WorkspacePool* shared_workspaces) {
   Stopwatch watch;
   ProfileStore store;
   store.refs_ = std::move(refs);
@@ -64,7 +52,9 @@ ProfileStore ProfileStore::Build(const PropagationEngine& engine,
 
   const bool dense =
       options.algorithm == PropagationAlgorithm::kWorkspace;
-  WorkspacePool workspaces(engine.link());
+  WorkspacePool local_workspaces(engine.link());
+  WorkspacePool& workspaces =
+      shared_workspaces != nullptr ? *shared_workspaces : local_workspaces;
   std::unique_ptr<SubtreeCache> owned_cache;
   SubtreeCache* cache = shared_cache;
   if (dense && cache == nullptr) {

@@ -13,6 +13,8 @@
 #define DISTINCT_SIM_PROFILE_STORE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +25,32 @@
 #include "sim/feature_vector.h"
 
 namespace distinct {
+
+/// Hands each worker a private PropagationWorkspace and takes it back when
+/// the worker's task ends, recycling the dense slabs across tasks (and,
+/// when one pool is shared across many Build() calls, across name groups —
+/// a bulk scan then allocates at most one workspace per concurrent worker
+/// for the whole run, which is what makes its memory budgetable). A plain
+/// mutex-protected free-list — deliberately not `thread_local`, which keyed
+/// by engine address dangled here before (see file comment below).
+class WorkspacePool {
+ public:
+  explicit WorkspacePool(const LinkGraph& link) : link_(&link) {}
+
+  std::unique_ptr<PropagationWorkspace> Acquire();
+  void Release(std::unique_ptr<PropagationWorkspace> workspace);
+
+  /// Workspaces ever allocated — the high-water mark of concurrent use.
+  /// Multiplied by ApproxWorkspaceBytes(link) this bounds the pool's
+  /// resident footprint.
+  int64_t num_created() const;
+
+ private:
+  const LinkGraph* link_;
+  mutable std::mutex mutex_;
+  int64_t created_ = 0;
+  std::vector<std::unique_ptr<PropagationWorkspace>> free_;
+};
 
 class ProfileStore {
  public:
@@ -43,13 +71,17 @@ class ProfileStore {
   /// workers share one SubtreeCache: `shared_cache` when non-null —
   /// letting a caller reuse the memo across many Build() calls over the
   /// same link graph — else a Build-local cache of options.cache_bytes.
+  /// `shared_workspaces` (optional, must be over the same link graph)
+  /// likewise recycles dense scratch across Build() calls; workspaces are
+  /// epoch-reset on reuse, so sharing cannot change results.
   static ProfileStore Build(const PropagationEngine& engine,
                             const std::vector<JoinPath>& paths,
                             const PropagationOptions& options,
                             std::vector<int32_t> refs,
                             ThreadPool* pool = nullptr,
                             size_t min_parallel_refs = kMinParallelRefs,
-                            SubtreeCache* shared_cache = nullptr);
+                            SubtreeCache* shared_cache = nullptr,
+                            WorkspacePool* shared_workspaces = nullptr);
 
   size_t num_refs() const { return refs_.size(); }
   size_t num_paths() const { return num_paths_; }

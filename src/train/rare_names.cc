@@ -19,6 +19,11 @@ StatusOr<RareNameIndex> RareNameIndex::Build(const Database& db,
   std::unordered_map<std::string, int> last_counts;
   for (int64_t row = 0; row < name_table.num_rows(); ++row) {
     const std::string& name = name_table.GetString(row, resolved->name_column);
+    if (StripWhitespace(name).empty()) {
+      continue;  // nameless rows are not evidence of part frequency
+    }
+    // A single-token name contributes once to each map (its only token is
+    // both first and last part); it is excluded from selection below.
     ++first_counts[std::string(FirstNameOf(name))];
     ++last_counts[std::string(LastNameOf(name))];
   }

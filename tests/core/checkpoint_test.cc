@@ -1,0 +1,202 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace distinct {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty directory under the test temp root.
+std::string MakeCheckpointDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+}
+
+/// A checkpoint with two groups, non-trivial merge sequences, and
+/// similarities that exercise the %.17g round-trip (no short decimal
+/// representation).
+ShardCheckpoint MakeCheckpoint() {
+  ShardCheckpoint checkpoint;
+  checkpoint.shard_id = 2;
+  checkpoint.num_shards = 3;
+
+  BulkResolution wei;
+  wei.name = "Wei Wang";
+  wei.num_refs = 4;
+  wei.clustering.assignment = {0, 1, 0, 2};
+  wei.clustering.num_clusters = 3;
+  wei.clustering.merges = {{0, 2, 1.0 / 3.0}};
+  wei.clustering.num_merges = 1;
+
+  BulkResolution jing;
+  jing.name = "Jing \"J\" Li\n";  // exercises string escaping
+  jing.num_refs = 2;
+  jing.clustering.assignment = {0, 0};
+  jing.clustering.num_clusters = 1;
+  jing.clustering.merges = {{0, 1, 7.2341985721349e-5}};
+  jing.clustering.num_merges = 1;
+
+  checkpoint.group_indices = {1, 5};
+  checkpoint.results = {wei, jing};
+  return checkpoint;
+}
+
+TEST(CheckpointTest, RoundTripIsExact) {
+  const std::string dir = MakeCheckpointDir("ckpt_roundtrip");
+  const ShardCheckpoint written = MakeCheckpoint();
+  ASSERT_TRUE(WriteShardCheckpoint(dir, written).ok());
+  EXPECT_TRUE(ShardCheckpointComplete(dir, 2));
+
+  auto read = ReadShardCheckpoint(dir, 2);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->shard_id, written.shard_id);
+  EXPECT_EQ(read->num_shards, written.num_shards);
+  EXPECT_EQ(read->group_indices, written.group_indices);
+  ASSERT_EQ(read->results.size(), written.results.size());
+  for (size_t g = 0; g < written.results.size(); ++g) {
+    const BulkResolution& want = written.results[g];
+    const BulkResolution& got = read->results[g];
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.num_refs, want.num_refs);
+    EXPECT_EQ(got.clustering.assignment, want.clustering.assignment);
+    EXPECT_EQ(got.clustering.num_clusters, want.clustering.num_clusters);
+    EXPECT_EQ(got.clustering.num_merges, want.clustering.num_merges);
+    ASSERT_EQ(got.clustering.merges.size(), want.clustering.merges.size());
+    for (size_t m = 0; m < want.clustering.merges.size(); ++m) {
+      EXPECT_EQ(got.clustering.merges[m].into,
+                want.clustering.merges[m].into);
+      EXPECT_EQ(got.clustering.merges[m].from,
+                want.clustering.merges[m].from);
+      // Bit-exact: the %.17g round-trip must not lose a single ulp.
+      EXPECT_EQ(got.clustering.merges[m].similarity,
+                want.clustering.merges[m].similarity);
+    }
+  }
+}
+
+TEST(CheckpointTest, EmptyShardRoundTrips) {
+  const std::string dir = MakeCheckpointDir("ckpt_empty");
+  ShardCheckpoint checkpoint;
+  checkpoint.shard_id = 0;
+  checkpoint.num_shards = 7;
+  ASSERT_TRUE(WriteShardCheckpoint(dir, checkpoint).ok());
+  auto read = ReadShardCheckpoint(dir, 0);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->group_indices.empty());
+  EXPECT_TRUE(read->results.empty());
+}
+
+TEST(CheckpointTest, MissingCheckpointIsNotFound) {
+  const std::string dir = MakeCheckpointDir("ckpt_missing");
+  EXPECT_FALSE(ShardCheckpointComplete(dir, 0));
+  auto read = ReadShardCheckpoint(dir, 0);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+// Kill-mid-shard, variant 1: the process died before the marker was
+// written. The shard must read as incomplete (re-run), regardless of what
+// the data file holds.
+TEST(CheckpointTest, DataWithoutMarkerIsIncomplete) {
+  const std::string dir = MakeCheckpointDir("ckpt_no_marker");
+  ASSERT_TRUE(WriteShardCheckpoint(dir, MakeCheckpoint()).ok());
+  ASSERT_TRUE(fs::remove(ShardMarkerPath(dir, 2)));
+
+  EXPECT_FALSE(ShardCheckpointComplete(dir, 2));
+  auto read = ReadShardCheckpoint(dir, 2);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+// Kill-mid-shard, variant 2: a torn data file next to a surviving marker
+// cannot happen under the write protocol, so when observed it means
+// corruption — reject loudly instead of resuming from garbage.
+TEST(CheckpointTest, TruncatedDataWithMarkerIsDataLoss) {
+  const std::string dir = MakeCheckpointDir("ckpt_truncated");
+  ASSERT_TRUE(WriteShardCheckpoint(dir, MakeCheckpoint()).ok());
+  const std::string path = ShardCheckpointPath(dir, 2);
+  const std::string full = ReadFile(path);
+  ASSERT_GT(full.size(), 10u);
+  WriteFile(path, full.substr(0, full.size() / 2));
+
+  EXPECT_TRUE(ShardCheckpointComplete(dir, 2));
+  auto read = ReadShardCheckpoint(dir, 2);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, CorruptJsonIsDataLoss) {
+  const std::string dir = MakeCheckpointDir("ckpt_corrupt");
+  ASSERT_TRUE(WriteShardCheckpoint(dir, MakeCheckpoint()).ok());
+  WriteFile(ShardCheckpointPath(dir, 2), "{ this is not json");
+
+  auto read = ReadShardCheckpoint(dir, 2);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, VersionMismatchIsFailedPrecondition) {
+  const std::string dir = MakeCheckpointDir("ckpt_version");
+  ASSERT_TRUE(WriteShardCheckpoint(dir, MakeCheckpoint()).ok());
+  const std::string path = ShardCheckpointPath(dir, 2);
+  std::string text = ReadFile(path);
+  const std::string key = "\"distinct_shard_checkpoint\":1";
+  const size_t at = text.find(key);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, key.size(), "\"distinct_shard_checkpoint\":999");
+  WriteFile(path, text);
+
+  auto read = ReadShardCheckpoint(dir, 2);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, WrongShardIdIsDataLoss) {
+  const std::string dir = MakeCheckpointDir("ckpt_wrong_shard");
+  ASSERT_TRUE(WriteShardCheckpoint(dir, MakeCheckpoint()).ok());
+  // Masquerade shard 2's files as shard 0's.
+  fs::rename(ShardCheckpointPath(dir, 2), ShardCheckpointPath(dir, 0));
+  fs::rename(ShardMarkerPath(dir, 2), ShardMarkerPath(dir, 0));
+
+  auto read = ReadShardCheckpoint(dir, 0);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, AssignmentSizeMismatchIsDataLoss) {
+  const std::string dir = MakeCheckpointDir("ckpt_assignment");
+  ASSERT_TRUE(WriteShardCheckpoint(dir, MakeCheckpoint()).ok());
+  const std::string path = ShardCheckpointPath(dir, 2);
+  std::string text = ReadFile(path);
+  const std::string field = "\"num_refs\":4";
+  const size_t at = text.find(field);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, field.size(), "\"num_refs\":9");
+  WriteFile(path, text);
+
+  auto read = ReadShardCheckpoint(dir, 2);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace distinct

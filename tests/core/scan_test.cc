@@ -48,6 +48,24 @@ TEST(ScanTest, MaxRefsCap) {
   }
 }
 
+/// Regression: the filters compare in int64. A min/max-refs beyond INT_MAX
+/// used to be narrowed (a group size cast to int), so a bound like 2^33
+/// could wrap and admit or reject the wrong groups.
+TEST(ScanTest, FiltersCompareBeyondInt32) {
+  Database db = testing_util::MakeMiniDblp();
+  ScanOptions options;
+  options.min_refs = int64_t{1} << 33;  // no group is this large
+  auto groups = ScanNameGroups(db, DblpReferenceSpec(), options);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_TRUE(groups->empty());
+
+  options.min_refs = 1;
+  options.max_refs = int64_t{1} << 33;  // cap far above every group
+  groups = ScanNameGroups(db, DblpReferenceSpec(), options);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->size(), 4u);
+}
+
 TEST(ScanTest, OrderedByDescendingRefCount) {
   Database db = testing_util::MakeMiniDblp();
   ScanOptions options;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "dblp/generator.h"
 #include "dblp/schema.h"
 
@@ -108,6 +111,84 @@ TEST(RareNamesTest, MaxRefsExcludesSuspiciouslyProlific) {
   auto index = RareNameIndex::Build(db, DblpReferenceSpec(), options);
   ASSERT_TRUE(index.ok());
   EXPECT_TRUE(index->unique_authors().empty());
+}
+
+/// Like MakeControlledDb but with caller-chosen names: each author i gets
+/// `refs_per_author[i]` publish rows.
+Database MakeDbWithNames(const std::vector<std::string>& names,
+                         const std::vector<int>& refs_per_author) {
+  auto db = MakeEmptyDblpDatabase();
+  DISTINCT_CHECK(db.ok());
+  Table* authors = *db->FindMutableTable(kAuthorsTable);
+  for (size_t i = 0; i < names.size(); ++i) {
+    DISTINCT_CHECK(authors
+                       ->AppendRow({Value::Int(static_cast<int64_t>(i)),
+                                    Value::Str(names[i])})
+                       .ok());
+  }
+  Table* conferences = *db->FindMutableTable(kConferencesTable);
+  DISTINCT_CHECK(
+      conferences->AppendRow({Value::Int(0), Value::Str("C"), Value::Str("P")})
+          .ok());
+  Table* proceedings = *db->FindMutableTable(kProceedingsTable);
+  DISTINCT_CHECK(proceedings
+                     ->AppendRow({Value::Int(0), Value::Int(0),
+                                  Value::Int(2000), Value::Str("L")})
+                     .ok());
+  Table* publications = *db->FindMutableTable(kPublicationsTable);
+  Table* publish = *db->FindMutableTable(kPublishTable);
+  int64_t next_pub = 0;
+  for (size_t i = 0; i < refs_per_author.size(); ++i) {
+    for (int r = 0; r < refs_per_author[i]; ++r) {
+      DISTINCT_CHECK(publications
+                         ->AppendRow({Value::Int(next_pub), Value::Str("T"),
+                                      Value::Int(0)})
+                         .ok());
+      DISTINCT_CHECK(publish
+                         ->AppendRow({Value::Int(next_pub),
+                                      Value::Int(static_cast<int64_t>(i)),
+                                      Value::Int(next_pub)})
+                         .ok());
+      ++next_pub;
+    }
+  }
+  return *std::move(db);
+}
+
+/// Regression: single-token, empty, and whitespace-only names must neither
+/// crash the scan nor be selected as likely-unique (the first/last rarity
+/// heuristic needs two distinct parts), while normal rare-rare names around
+/// them still qualify.
+TEST(RareNamesTest, SingleTokenAndEmptyNamesAreSkippedSafely) {
+  Database db = MakeDbWithNames({"Madonna", "", "   ", "Zelda Quux"},
+                                {2, 1, 1, 2});
+  RareNameOptions options;
+  options.max_first_name_count = 1;
+  options.max_last_name_count = 1;
+  options.min_refs = 1;
+  auto index = RareNameIndex::Build(db, DblpReferenceSpec(), options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index->unique_authors().size(), 1u);
+  EXPECT_EQ(index->unique_authors()[0].name, "Zelda Quux");
+  EXPECT_EQ(index->names_scanned(), 4);
+}
+
+/// Regression: a single-token name counts toward the part frequencies once
+/// per map, not twice. "Madonna" appears as a first part on two rows (the
+/// bare name and "Madonna Quux"); with max_first_name_count = 2 the
+/// two-token author must still qualify — it would not if the bare name were
+/// double-counted.
+TEST(RareNamesTest, SingleTokenNameCountsOncePerPartMap) {
+  Database db = MakeDbWithNames({"Madonna", "Madonna Quux"}, {0, 1});
+  RareNameOptions options;
+  options.max_first_name_count = 2;
+  options.max_last_name_count = 1;
+  options.min_refs = 1;
+  auto index = RareNameIndex::Build(db, DblpReferenceSpec(), options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_EQ(index->unique_authors().size(), 1u);
+  EXPECT_EQ(index->unique_authors()[0].name, "Madonna Quux");
+  EXPECT_EQ(index->unique_authors()[0].publish_rows.size(), 1u);
 }
 
 TEST(RareNamesTest, GeneratedDatabaseYieldsManyUniqueAuthors) {
