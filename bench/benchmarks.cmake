@@ -25,6 +25,7 @@ distinct_add_bench(bench_ablation_combine)
 distinct_add_bench(bench_ablation_incremental)
 distinct_add_bench(bench_ablation_stopping)
 distinct_add_bench(bench_minsim_sweep)
+distinct_add_bench(bench_pair_kernel)
 distinct_add_bench(bench_parallel_kernel)
 distinct_add_bench(bench_propagation)
 distinct_add_bench(bench_scale)

@@ -86,6 +86,8 @@ void Usage() {
                "  common flags: --dir=DATA --model=FILE --min-sim=0.03\n"
                "                --threads=N --stopping=fixed|largest-gap\n"
                "                --no-incremental --prop-cache-mb=N\n"
+               "                --kernel=fused|reference "
+               "--kernel-pruning\n"
                "                --verbosity=0|1|2\n"
                "                --report --metrics-json=FILE\n"
                "  generate: --seed=N\n"
@@ -98,6 +100,22 @@ void Usage() {
 /// Tables attached to the run report by subcommands (the scan's shard
 /// table); collected by main() after the command finishes.
 std::vector<obs::ReportTable> g_report_tables;
+
+/// Applies --kernel / --kernel-pruning (shared by every engine-building
+/// command).
+Status ApplyKernelFlags(const FlagParser& flags, DistinctConfig* config) {
+  const std::string kernel = flags.GetString("kernel");
+  if (kernel == "fused") {
+    config->kernel = PairKernelType::kFused;
+  } else if (kernel == "reference") {
+    config->kernel = PairKernelType::kReference;
+  } else {
+    return InvalidArgumentError(
+        "--kernel must be 'fused' or 'reference', got '" + kernel + "'");
+  }
+  config->kernel_pruning = flags.GetBool("kernel-pruning");
+  return Status::Ok();
+}
 
 StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags) {
   DistinctConfig config;
@@ -118,6 +136,7 @@ StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags) {
   if (!scan_memory_mb.ok()) return scan_memory_mb.status();
   config.scan_memory_mb = *scan_memory_mb;
   config.incremental = flags.GetBool("incremental");
+  if (Status s = ApplyKernelFlags(flags, &config); !s.ok()) return s;
   config.observability = obs::Enabled();
   const std::string stopping = flags.GetString("stopping");
   if (stopping == "largest-gap" || stopping == "gap") {
@@ -171,6 +190,7 @@ int RunTrain(const FlagParser& flags) {
   auto cache_mb = IntFlagInRange(flags, "prop-cache-mb", 0, 1 << 20);
   if (!cache_mb.ok()) return Fail(cache_mb.status());
   config.propagation_cache_mb = *cache_mb;
+  if (Status s = ApplyKernelFlags(flags, &config); !s.ok()) return Fail(s);
   config.observability = obs::Enabled();
   auto engine = Distinct::Create(*db, DblpReferenceSpec(), config);
   if (!engine.ok()) return Fail(engine.status());
@@ -349,6 +369,16 @@ int main(int argc, char** argv) {
   flags.AddBool("resume", false,
                 "scan: load complete shard checkpoints from "
                 "--checkpoint-dir instead of re-resolving them");
+  flags.AddString("kernel", "fused",
+                  "pair-similarity kernel: fused (flat arena, one "
+                  "merge-join per pair+path, candidate skipping) | "
+                  "reference (three-pass exactness baseline)");
+  flags.AddBool("kernel-pruning", false,
+                "fused kernel, opt-in approximation: skip pairs whose "
+                "mass-bound similarity upper bound is below min-sim when "
+                "clustering; may shift merges whose cluster-average sits "
+                "near the floor (off by default — every candidate is "
+                "computed exactly)");
   flags.AddDouble("min-sim", 3e-2, "clustering merge threshold");
   flags.AddBool("auto-min-sim", false,
                 "derive min-sim from the training pairs (ignores --min-sim)");

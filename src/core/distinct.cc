@@ -182,8 +182,20 @@ StatusOr<std::vector<int32_t>> Distinct::RefsForName(
   return name_groups_[it->second].second;
 }
 
-StatusOr<std::pair<PairMatrix, PairMatrix>> Distinct::ComputeMatrices(
-    const std::vector<int32_t>& refs) {
+PairKernelOptions Distinct::kernel_options(bool for_clustering) const {
+  PairKernelOptions options;
+  options.kernel = config_.kernel;
+  if (for_clustering && config_.kernel_pruning) {
+    options.pruning = true;
+    options.prune_min_sim = config_.min_sim;
+    options.measure = config_.measure;
+    options.combine = config_.combine;
+  }
+  return options;
+}
+
+std::pair<PairMatrix, PairMatrix> Distinct::ComputeMatricesWithOptions(
+    const std::vector<int32_t>& refs, const PairKernelOptions& options) {
   // Phase 1: n propagations per path, each independent. Phase 2: tiled
   // lower-triangle fill. Both fan out over the engine pool when configured;
   // with num_threads == 1 this is exactly the old serial loop.
@@ -193,15 +205,25 @@ StatusOr<std::pair<PairMatrix, PairMatrix>> Distinct::ComputeMatrices(
                                config_.propagation, refs, pool_.get());
   }();
   DISTINCT_TRACE_SPAN("pair_matrix");
-  return ComputePairMatrices(store, model_, pool_.get());
+  return ComputePairMatrices(store, model_, pool_.get(), options);
+}
+
+StatusOr<std::pair<PairMatrix, PairMatrix>> Distinct::ComputeMatrices(
+    const std::vector<int32_t>& refs) {
+  // Exact matrices: callers sweep thresholds over them, so the prune (which
+  // zeroes cells below config.min_sim) must stay off.
+  return ComputeMatricesWithOptions(refs,
+                                    kernel_options(/*for_clustering=*/false));
 }
 
 StatusOr<ClusteringResult> Distinct::ResolveRefs(
     const std::vector<int32_t>& refs) {
-  auto matrices = ComputeMatrices(refs);
-  DISTINCT_RETURN_IF_ERROR(matrices.status());
+  // These matrices are consumed once, by a clusterer whose merge floor is
+  // config.min_sim — exactly the contract the mass-bound prune needs.
+  const auto matrices = ComputeMatricesWithOptions(
+      refs, kernel_options(/*for_clustering=*/true));
   DISTINCT_TRACE_SPAN("cluster");
-  return ClusterReferences(matrices->first, matrices->second,
+  return ClusterReferences(matrices.first, matrices.second,
                            cluster_options());
 }
 

@@ -27,6 +27,7 @@
 #include "relational/join_path.h"
 #include "relational/reference_spec.h"
 #include "sim/feature_vector.h"
+#include "sim/parallel_kernel.h"
 #include "sim/similarity_model.h"
 #include "svm/linear_svm.h"
 #include "train/training_set.h"
@@ -90,6 +91,22 @@ struct DistinctConfig {
   /// one shared pool. 1 keeps everything on the calling thread. Results
   /// are bit-identical across thread counts.
   int num_threads = 1;
+  /// Which pair kernel fills the similarity matrices. kFused (the default)
+  /// streams a flat profile arena and skips provably-zero pairs via an
+  /// inverted-index candidate set; bit-identical to kReference, which runs
+  /// the three-pass merges over the per-profile vectors.
+  PairKernelType kernel = PairKernelType::kFused;
+  /// Fused kernel only, opt-in: additionally skip candidate pairs whose
+  /// mass-bound combined-similarity upper bound is below min_sim when the
+  /// matrices feed clustering (ResolveName/ResolveRefs and the bulk
+  /// scans). A pruned pair can never trigger a singleton merge, but its
+  /// cell reads 0.0 instead of a sub-floor value, and sub-floor cells
+  /// still contribute to Average-Link cluster sums — so pruning is an
+  /// approximation that may shift merges whose cluster-pair average sits
+  /// near the floor (DESIGN.md §11 has the three-reference
+  /// counterexample). Off by default; ComputeMatrices() never prunes
+  /// regardless — its matrices serve threshold sweeps below min_sim.
+  bool kernel_pruning = false;
   /// Per-shard memory budget (in MiB) of the sharded bulk scan
   /// (core/scan_shard.h). Sizes the shard's SubtreeCache and bounds how
   /// many concurrent PropagationWorkspaces (and therefore worker threads)
@@ -158,7 +175,9 @@ class Distinct {
 
   /// Pairwise model-combined similarity matrices for `refs` — (set
   /// resemblance, random walk). Useful for min-sim sweeps: compute once,
-  /// cluster many times with ClusterReferences().
+  /// cluster many times with ClusterReferences(). Always exact: the
+  /// mass-bound prune is never applied here, so every cell carries its
+  /// true value even below config.min_sim.
   StatusOr<std::pair<PairMatrix, PairMatrix>> ComputeMatrices(
       const std::vector<int32_t>& refs);
 
@@ -188,8 +207,19 @@ class Distinct {
   /// Clustering options derived from config (measure/combine/min_sim).
   AgglomerativeOptions cluster_options() const;
 
+  /// Pair-kernel options derived from config. With `for_clustering`, the
+  /// mass-bound prune is armed at the clusterer's merge floor (when
+  /// config.kernel_pruning allows); matrices handed back to callers — who
+  /// may sweep thresholds below min_sim — must pass false.
+  PairKernelOptions kernel_options(bool for_clustering) const;
+
  private:
   Distinct() = default;
+
+  /// Shared body of ComputeMatrices/ResolveRefs: profile build + pair fill
+  /// under explicit kernel options (only the prune arming differs).
+  std::pair<PairMatrix, PairMatrix> ComputeMatricesWithOptions(
+      const std::vector<int32_t>& refs, const PairKernelOptions& options);
 
   const Database* db_ = nullptr;
   ResolvedReferenceSpec resolved_;

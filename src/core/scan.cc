@@ -178,6 +178,8 @@ StatusOr<BulkStats> ResolveAllNamesParallel(
     // dangled when a destroyed engine's address was reused.
     const SimilarityModel& model = engine.model();
     const AgglomerativeOptions options = engine.cluster_options();
+    const PairKernelOptions kernel =
+        engine.kernel_options(/*for_clustering=*/true);
     ParallelFor(pool, static_cast<int64_t>(groups.size()),
                 [&](int64_t g) {
                   const NameGroup& group = groups[static_cast<size_t>(g)];
@@ -186,7 +188,8 @@ StatusOr<BulkStats> ResolveAllNamesParallel(
                       engine.config().propagation, group.refs, &pool,
                       ProfileStore::kMinParallelRefs, memo.get(),
                       workspaces.get());
-                  auto matrices = ComputePairMatrices(store, model, &pool);
+                  auto matrices =
+                      ComputePairMatrices(store, model, &pool, kernel);
                   BulkResolution& resolution =
                       local[static_cast<size_t>(g)];
                   resolution.name = group.name;

@@ -1,0 +1,158 @@
+#include "sim/fused_kernel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <utility>
+
+namespace distinct {
+
+FusedPathFeatures FusedMergeJoin(const ProfileArena::Path& path, size_t i,
+                                 size_t j) {
+  FusedPathFeatures features;
+  size_t x = path.offsets[i];
+  const size_t x_end = path.offsets[i + 1];
+  size_t y = path.offsets[j];
+  const size_t y_end = path.offsets[j + 1];
+  // SetResemblance defines an empty side as 0 before any accumulation; the
+  // walk sums have no matches to visit either way.
+  if (x == x_end || y == y_end) {
+    return features;
+  }
+
+  double numerator = 0.0;
+  double denominator = 0.0;
+  double walk_ij = 0.0;  // Walk_P(i -> j): forward_i · reverse_j
+  double walk_ji = 0.0;  // Walk_P(j -> i): forward_j · reverse_i
+  while (x < x_end && y < y_end) {
+    const int32_t tx = path.tuples[x];
+    const int32_t ty = path.tuples[y];
+    if (tx < ty) {
+      denominator += path.forward[x];
+      ++x;
+    } else if (ty < tx) {
+      denominator += path.forward[y];
+      ++y;
+    } else {
+      numerator += std::min(path.forward[x], path.forward[y]);
+      denominator += std::max(path.forward[x], path.forward[y]);
+      walk_ij += path.forward[x] * path.reverse[y];
+      walk_ji += path.forward[y] * path.reverse[x];
+      ++x;
+      ++y;
+    }
+  }
+  for (; x < x_end; ++x) {
+    denominator += path.forward[x];
+  }
+  for (; y < y_end; ++y) {
+    denominator += path.forward[y];
+  }
+  if (denominator > 0.0) {
+    features.resemblance = numerator / denominator;
+  }
+  // Same addition order as 0.5 * (Walk(i, j) + Walk(j, i)).
+  features.walk = 0.5 * (walk_ij + walk_ji);
+  return features;
+}
+
+PairFeatures FusedFeatures(const ProfileArena& arena, size_t i, size_t j) {
+  PairFeatures features;
+  features.resemblance.resize(arena.num_paths());
+  features.walk.resize(arena.num_paths());
+  for (size_t p = 0; p < arena.num_paths(); ++p) {
+    const FusedPathFeatures fused = FusedMergeJoin(arena.path(p), i, j);
+    features.resemblance[p] = fused.resemblance;
+    features.walk[p] = fused.walk;
+  }
+  return features;
+}
+
+CandidateSet CandidateSet::Build(const ProfileArena& arena) {
+  CandidateSet set;
+  const size_t n = arena.num_refs();
+  set.num_refs_ = n;
+  const size_t cells = n < 2 ? 0 : n * (n - 1) / 2;
+  set.bits_.assign((cells + 63) / 64, 0);
+
+  // Inverted index per path: every arena entry is one (tuple, reference)
+  // posting; sorting groups each tuple's references together, ascending
+  // (profiles are duplicate-free, so a reference appears at most once per
+  // tuple group). All pairs within a group share that tuple.
+  std::vector<std::pair<int32_t, int32_t>> postings;
+  for (size_t p = 0; p < arena.num_paths(); ++p) {
+    const ProfileArena::Path& path = arena.path(p);
+    postings.clear();
+    postings.reserve(path.tuples.size());
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t e = path.offsets[r]; e < path.offsets[r + 1]; ++e) {
+        postings.emplace_back(path.tuples[e], static_cast<int32_t>(r));
+      }
+    }
+    std::sort(postings.begin(), postings.end());
+    for (size_t begin = 0; begin < postings.size();) {
+      size_t end = begin;
+      while (end < postings.size() &&
+             postings[end].first == postings[begin].first) {
+        ++end;
+      }
+      for (size_t a = begin; a < end; ++a) {
+        const size_t i = static_cast<size_t>(postings[a].second);
+        const size_t row = i * (i - 1) / 2;
+        for (size_t b = begin; b < a; ++b) {
+          const size_t bit = row + static_cast<size_t>(postings[b].second);
+          set.bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+        }
+      }
+      begin = end;
+    }
+  }
+
+  for (const uint64_t word : set.bits_) {
+    set.count_ += std::popcount(word);
+  }
+  return set;
+}
+
+double PairSimilarityUpperBound(const ProfileArena& arena,
+                                const SimilarityModel& model,
+                                const PrunePolicy& policy, size_t i,
+                                size_t j) {
+  double resem_bound = 0.0;
+  double walk_bound = 0.0;
+  const std::vector<double>& resem_weights = model.resem_weights();
+  const std::vector<double>& walk_weights = model.walk_weights();
+  for (size_t p = 0; p < arena.num_paths(); ++p) {
+    const ProfileArena::Path& path = arena.path(p);
+    const double mass_i = path.mass[i];
+    const double mass_j = path.mass[j];
+    const double larger = std::max(mass_i, mass_j);
+    if (larger > 0.0) {
+      resem_bound += std::max(resem_weights[p], 0.0) *
+                     (std::min(mass_i, mass_j) / larger);
+    }
+    // Walk_P(a->b) = Σ f_a(t)·r_b(t) over shared tuples; bound each factor
+    // by its profile-wide aggregate, both ways, and keep the tighter.
+    const double walk_ij =
+        std::min(mass_i * path.reverse_max[j],
+                 path.forward_max[i] * path.reverse_sum[j]);
+    const double walk_ji =
+        std::min(mass_j * path.reverse_max[i],
+                 path.forward_max[j] * path.reverse_sum[i]);
+    walk_bound += std::max(walk_weights[p], 0.0) * 0.5 * (walk_ij + walk_ji);
+  }
+  switch (policy.measure) {
+    case ClusterMeasure::kResemblanceOnly:
+      return resem_bound;
+    case ClusterMeasure::kWalkOnly:
+      return walk_bound;
+    case ClusterMeasure::kComposite:
+      break;
+  }
+  if (policy.combine == CombineRule::kArithmeticMean) {
+    return 0.5 * (resem_bound + walk_bound);
+  }
+  return std::sqrt(resem_bound * walk_bound);
+}
+
+}  // namespace distinct

@@ -1,0 +1,108 @@
+// Fused sparse pair kernel: one merge-join per (pair, path) instead of
+// three, plus inverted-index candidate generation and an optional
+// mass-bound prune.
+//
+// The reference pair phase runs three independent sorted merges per
+// (pair, path): SetResemblance (§2.3) and both WalkProbability directions
+// (§2.4). All three walk the same two sorted tuple sequences, so one pass
+// with separate accumulators — advanced in the identical visit order —
+// produces bit-identical values while touching each entry once.
+//
+// Candidate generation exploits the sparsity blocking systems rely on: a
+// pair whose profiles share no neighbor tuple on any path has resemblance
+// numerator 0 and no walk matches, so every feature — and therefore every
+// model-combined similarity — is exactly 0.0, the PairMatrix init value.
+// A per-path inverted index tuple -> references yields exactly the pairs
+// with at least one shared tuple; everything else is skipped, turning the
+// dense quadratic fill into work proportional to actual neighbor overlap.
+//
+// The mass-bound prune (optional, heuristic) upper-bounds a candidate
+// pair's combined similarity from per-profile aggregates alone:
+//   Resem_P <= min(m1, m2) / max(m1, m2)         (m = Σ forward)
+//   Walk_P(a->b) <= min(mass_a · rmax_b, fmax_a · rsum_b)
+// and skips pairs whose combined bound falls below the clusterer's merge
+// floor — such a pair can never trigger a singleton merge (merges require
+// sim >= min_sim). Zeroing it does perturb Average-Link cluster sums by
+// values below the floor, which can shift merges whose cluster-pair
+// average sits near min_sim — so the prune is an opt-in approximation,
+// never armed by default. DESIGN.md §11 derives the bound, the singleton
+// exactness argument, and the counterexample that keeps it opt-in.
+
+#ifndef DISTINCT_SIM_FUSED_KERNEL_H_
+#define DISTINCT_SIM_FUSED_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/agglomerative.h"
+#include "sim/feature_vector.h"
+#include "sim/profile_arena.h"
+#include "sim/similarity_model.h"
+
+namespace distinct {
+
+/// One path's pair features out of a single merge-join.
+struct FusedPathFeatures {
+  double resemblance = 0.0;
+  double walk = 0.0;  // symmetric: mean of both directions
+};
+
+/// Single-pass resemblance + both walk directions for the pair (i, j) of
+/// one path slab. Accumulators advance in the same visit order as the
+/// three-pass reference, so each value is bit-identical to
+/// SetResemblance / SymmetricWalkProbability on the original profiles.
+FusedPathFeatures FusedMergeJoin(const ProfileArena::Path& path, size_t i,
+                                 size_t j);
+
+/// All-path features of pair (i, j) — the fused drop-in for
+/// ProfileStore::Features / ComputePairFeatures (testing seam).
+PairFeatures FusedFeatures(const ProfileArena& arena, size_t i, size_t j);
+
+/// The overlap-sparse candidate pair set: bit b(i, j) is set iff
+/// references i and j share at least one neighbor tuple on at least one
+/// path. Built from per-path inverted indexes (tuple -> references); cost
+/// is proportional to the number of (pair, shared tuple) incidences — the
+/// same matches the fused kernel would visit.
+class CandidateSet {
+ public:
+  static CandidateSet Build(const ProfileArena& arena);
+
+  /// Whether the strict-lower-triangle pair (i, j), i > j, is a candidate.
+  bool contains(size_t i, size_t j) const {
+    const size_t bit = i * (i - 1) / 2 + j;
+    return (bits_[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  size_t num_refs() const { return num_refs_; }
+  /// Candidate pairs out of n(n-1)/2.
+  int64_t count() const { return count_; }
+
+ private:
+  CandidateSet() = default;
+
+  size_t num_refs_ = 0;
+  int64_t count_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+/// What the mass-bound prune needs to shape the combined-similarity upper
+/// bound like the clusterer's singleton similarity.
+struct PrunePolicy {
+  double min_sim = 0.0;  // the clusterer's merge floor
+  ClusterMeasure measure = ClusterMeasure::kComposite;
+  CombineRule combine = CombineRule::kGeometricMean;
+};
+
+/// Upper bound on the clusterer's singleton-pair similarity of (i, j)
+/// under `policy`, computed from per-profile aggregates only (no entry
+/// scan). Negative model weights contribute nothing to the bound (their
+/// terms are <= 0 in the true similarity).
+double PairSimilarityUpperBound(const ProfileArena& arena,
+                                const SimilarityModel& model,
+                                const PrunePolicy& policy, size_t i,
+                                size_t j);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SIM_FUSED_KERNEL_H_

@@ -6,37 +6,32 @@
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "sim/fused_kernel.h"
+#include "sim/profile_arena.h"
 
 namespace distinct {
 
-std::pair<PairMatrix, PairMatrix> ComputePairMatrices(
-    const ProfileStore& store, const SimilarityModel& model,
-    ThreadPool* pool, const PairKernelOptions& options) {
-  // Metrics are aggregated per fill (and per tile below), never per cell,
-  // so the instrumented hot loop is byte-for-byte the uninstrumented one.
-  Stopwatch watch;
-  const size_t n = store.num_refs();
-  PairMatrix resem(n);
-  PairMatrix walk(n);
+namespace {
 
-  const auto fill_cell = [&](size_t i, size_t j) {
-    const PairFeatures features = store.Features(i, j);
-    resem.set(i, j, model.Resemblance(features));
-    walk.set(i, j, model.Walk(features));
-  };
-
+/// Runs `fill_cell(i, j, &tile_stats)` over every strict-lower-triangle
+/// cell — serially, or tiled over the pool — in an order-independent way.
+/// `tile_stats` accumulates per-tile pruned-pair counts so the hot loop
+/// never touches a shared counter.
+template <typename FillCell>
+void ForEachCell(size_t n, ThreadPool* pool, const PairKernelOptions& options,
+                 const FillCell& fill_cell) {
   if (pool == nullptr ||
       n < static_cast<size_t>(std::max(options.min_parallel_refs, 0))) {
+    int64_t pruned = 0;
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = 0; j < i; ++j) {
-        fill_cell(i, j);
+        fill_cell(i, j, &pruned);
       }
     }
-    DISTINCT_COUNTER_ADD("sim.matrix_fills", 1);
-    DISTINCT_COUNTER_ADD("sim.pairs_computed",
-                         static_cast<int64_t>(n * (n - 1) / 2));
-    DISTINCT_HISTOGRAM_RECORD("sim.pair_matrix_nanos", watch.ElapsedNanos());
-    return std::make_pair(std::move(resem), std::move(walk));
+    if (pruned > 0) {
+      DISTINCT_COUNTER_ADD("sim.pairs_pruned", pruned);
+    }
+    return;
   }
 
   const size_t tile = static_cast<size_t>(std::max(options.tile_size, 1));
@@ -54,18 +49,99 @@ std::pair<PairMatrix, PairMatrix> ComputePairMatrices(
                       const auto [bi, bj] = tiles[static_cast<size_t>(t)];
                       const size_t i_end = std::min(n, (bi + 1) * tile);
                       const size_t j_begin = bj * tile;
+                      int64_t pruned = 0;
                       for (size_t i = bi * tile; i < i_end; ++i) {
                         const size_t j_end =
                             std::min<size_t>((bj + 1) * tile, i);
                         for (size_t j = j_begin; j < j_end; ++j) {
-                          fill_cell(i, j);
+                          fill_cell(i, j, &pruned);
                         }
                       }
                       DISTINCT_COUNTER_ADD("sim.tiles_filled", 1);
+                      if (pruned > 0) {
+                        DISTINCT_COUNTER_ADD("sim.pairs_pruned", pruned);
+                      }
                     });
+}
+
+void FillReference(const ProfileStore& store, const SimilarityModel& model,
+                   ThreadPool* pool, const PairKernelOptions& options,
+                   PairMatrix* resem, PairMatrix* walk) {
+  ForEachCell(store.num_refs(), pool, options,
+              [&](size_t i, size_t j, int64_t* /*pruned*/) {
+                const PairFeatures features = store.Features(i, j);
+                resem->set(i, j, model.Resemblance(features));
+                walk->set(i, j, model.Walk(features));
+              });
+}
+
+void FillFused(const ProfileStore& store, const SimilarityModel& model,
+               ThreadPool* pool, const PairKernelOptions& options,
+               PairMatrix* resem, PairMatrix* walk) {
+  Stopwatch kernel_watch;
+  const ProfileArena arena = ProfileArena::FromStore(store);
+  const CandidateSet candidates = CandidateSet::Build(arena);
+  const bool prune = options.pruning && options.prune_min_sim > 0.0;
+  const PrunePolicy policy{options.prune_min_sim, options.measure,
+                           options.combine};
+  // Weighted per-path accumulation in path order — the same floating-point
+  // op sequence as SimilarityModel::Resemblance/Walk over a PairFeatures
+  // vector, without materializing one per pair.
+  const std::vector<double>& resem_weights = model.resem_weights();
+  const std::vector<double>& walk_weights = model.walk_weights();
+  const size_t num_paths = arena.num_paths();
+
+  ForEachCell(
+      store.num_refs(), pool, options,
+      [&](size_t i, size_t j, int64_t* pruned) {
+        // No shared tuple on any path: every feature is exactly 0, so the
+        // model-combined cell is the 0.0 the matrix was initialized with.
+        if (!candidates.contains(i, j)) {
+          return;
+        }
+        if (prune &&
+            PairSimilarityUpperBound(arena, model, policy, i, j) <
+                policy.min_sim) {
+          ++*pruned;
+          return;
+        }
+        double resem_sim = 0.0;
+        double walk_sim = 0.0;
+        for (size_t p = 0; p < num_paths; ++p) {
+          const FusedPathFeatures features =
+              FusedMergeJoin(arena.path(p), i, j);
+          resem_sim += resem_weights[p] * features.resemblance;
+          walk_sim += walk_weights[p] * features.walk;
+        }
+        resem->set(i, j, std::max(resem_sim, 0.0));
+        walk->set(i, j, std::max(walk_sim, 0.0));
+      });
+
+  DISTINCT_COUNTER_ADD("sim.candidate_pairs", candidates.count());
+  DISTINCT_HISTOGRAM_RECORD("sim.kernel_ns", kernel_watch.ElapsedNanos());
+}
+
+}  // namespace
+
+std::pair<PairMatrix, PairMatrix> ComputePairMatrices(
+    const ProfileStore& store, const SimilarityModel& model,
+    ThreadPool* pool, const PairKernelOptions& options) {
+  // Metrics are aggregated per fill (and per tile above), never per cell,
+  // so the instrumented hot loop is byte-for-byte the uninstrumented one.
+  Stopwatch watch;
+  const size_t n = store.num_refs();
+  PairMatrix resem(n);
+  PairMatrix walk(n);
+
+  if (options.kernel == PairKernelType::kFused) {
+    FillFused(store, model, pool, options, &resem, &walk);
+  } else {
+    FillReference(store, model, pool, options, &resem, &walk);
+  }
+
   DISTINCT_COUNTER_ADD("sim.matrix_fills", 1);
   DISTINCT_COUNTER_ADD("sim.pairs_computed",
-                       static_cast<int64_t>(n * (n - 1) / 2));
+                       static_cast<int64_t>(n < 2 ? 0 : n * (n - 1) / 2));
   DISTINCT_HISTOGRAM_RECORD("sim.pair_matrix_nanos", watch.ElapsedNanos());
   return std::make_pair(std::move(resem), std::move(walk));
 }

@@ -8,18 +8,35 @@
 // construction. Each cell depends only on the two profiles and the model,
 // never on neighbouring cells or on scheduling, so the parallel result is
 // bit-identical to the serial loop at any thread count.
+//
+// Two kernels fill the cells (fused_kernel.h documents the fused one):
+//  - kFused (default): flattens the store into a ProfileArena, skips
+//    non-candidate pairs via the inverted-index candidate set (their cells
+//    stay at the 0.0 init, which is exactly their value), and computes each
+//    remaining cell with one merge-join per path. Bit-identical to the
+//    reference kernel; optionally prunes candidates whose mass-bound
+//    similarity upper bound falls below `prune_min_sim`.
+//  - kReference: three sorted merges per (pair, path) over the
+//    array-of-structs profiles — the exactness baseline.
 
 #ifndef DISTINCT_SIM_PARALLEL_KERNEL_H_
 #define DISTINCT_SIM_PARALLEL_KERNEL_H_
 
 #include <utility>
 
+#include "cluster/agglomerative.h"
 #include "cluster/pair_matrix.h"
 #include "common/thread_pool.h"
 #include "sim/profile_store.h"
 #include "sim/similarity_model.h"
 
 namespace distinct {
+
+/// Which pair kernel fills the matrices.
+enum class PairKernelType {
+  kFused,      // arena + single merge-join + candidate skipping
+  kReference,  // three-pass merges over NeighborProfile vectors
+};
 
 struct PairKernelOptions {
   /// Side length of the square tiles the lower triangle is cut into. One
@@ -29,6 +46,17 @@ struct PairKernelOptions {
   /// Below this many references the fill runs inline even when a pool is
   /// supplied.
   int min_parallel_refs = 32;
+  PairKernelType kernel = PairKernelType::kFused;
+  /// Mass-bound candidate pruning (kFused only): skip candidate pairs whose
+  /// combined-similarity upper bound is below `prune_min_sim`, leaving
+  /// their cells 0.0. Heuristic — pruned cells lose their (sub-floor) true
+  /// values — so exactness tests and threshold sweeps must keep it off.
+  bool pruning = false;
+  double prune_min_sim = 0.0;
+  /// Shape of the combined-similarity bound; must mirror the clusterer
+  /// options the matrices will be consumed with.
+  ClusterMeasure measure = ClusterMeasure::kComposite;
+  CombineRule combine = CombineRule::kGeometricMean;
 };
 
 /// Computes (resemblance, walk) matrices for the store's references. With a

@@ -1,0 +1,99 @@
+#include "sim/profile_arena.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace distinct {
+
+namespace {
+
+/// Shared flattening loop; `profiles_of(ref)` returns the per-path profile
+/// vector of one reference.
+template <typename ProfilesOf>
+ProfileArena::Path BuildPath(size_t num_refs, size_t path_index,
+                             const ProfilesOf& profiles_of) {
+  ProfileArena::Path path;
+  path.offsets.resize(num_refs + 1);
+  path.mass.resize(num_refs);
+  path.reverse_sum.resize(num_refs);
+  path.forward_max.resize(num_refs);
+  path.reverse_max.resize(num_refs);
+
+  size_t total = 0;
+  for (size_t r = 0; r < num_refs; ++r) {
+    total += profiles_of(r)[path_index].size();
+  }
+  path.tuples.reserve(total);
+  path.forward.reserve(total);
+  path.reverse.reserve(total);
+
+  for (size_t r = 0; r < num_refs; ++r) {
+    path.offsets[r] = path.tuples.size();
+    double mass = 0.0;
+    double reverse_sum = 0.0;
+    double forward_max = 0.0;
+    double reverse_max = 0.0;
+    for (const ProfileEntry& entry :
+         profiles_of(r)[path_index].entries()) {
+      path.tuples.push_back(entry.tuple);
+      path.forward.push_back(entry.forward);
+      path.reverse.push_back(entry.reverse);
+      mass += entry.forward;
+      reverse_sum += entry.reverse;
+      forward_max = std::max(forward_max, entry.forward);
+      reverse_max = std::max(reverse_max, entry.reverse);
+    }
+    path.mass[r] = mass;
+    path.reverse_sum[r] = reverse_sum;
+    path.forward_max[r] = forward_max;
+    path.reverse_max[r] = reverse_max;
+  }
+  path.offsets[num_refs] = path.tuples.size();
+  return path;
+}
+
+}  // namespace
+
+ProfileArena ProfileArena::FromStore(const ProfileStore& store) {
+  ProfileArena arena;
+  arena.num_refs_ = store.num_refs();
+  arena.paths_.reserve(store.num_paths());
+  for (size_t p = 0; p < store.num_paths(); ++p) {
+    arena.paths_.push_back(BuildPath(
+        store.num_refs(), p,
+        [&store](size_t r) -> const std::vector<NeighborProfile>& {
+          return store.profiles(r);
+        }));
+  }
+  return arena;
+}
+
+ProfileArena ProfileArena::FromProfiles(
+    const std::vector<std::vector<NeighborProfile>>& profiles) {
+  ProfileArena arena;
+  arena.num_refs_ = profiles.size();
+  const size_t num_paths = profiles.empty() ? 0 : profiles.front().size();
+  for (const std::vector<NeighborProfile>& per_ref : profiles) {
+    DISTINCT_CHECK(per_ref.size() == num_paths);
+  }
+  arena.paths_.reserve(num_paths);
+  for (size_t p = 0; p < num_paths; ++p) {
+    arena.paths_.push_back(BuildPath(
+        profiles.size(), p,
+        [&profiles](size_t r) -> const std::vector<NeighborProfile>& {
+          return profiles[r];
+        }));
+  }
+  return arena;
+}
+
+size_t ProfileArena::num_entries() const {
+  size_t total = 0;
+  for (const Path& path : paths_) {
+    total += path.tuples.size();
+  }
+  return total;
+}
+
+}  // namespace distinct

@@ -1,0 +1,74 @@
+// Flat structure-of-arrays profile arena — the similarity inputs of
+// §2.3/§2.4 re-laid-out for the fused sparse pair kernel.
+//
+// ProfileStore keeps each (reference, path) profile as its own
+// NeighborProfile (an array-of-structs vector), so the O(n^2) pair phase
+// chases n·P separate heap blocks and loads a 24-byte ProfileEntry to read
+// one double. The arena flattens every path's profiles into one contiguous
+// CSR block — tuple[], forward[], reverse[] plus per-reference offsets —
+// so merge-joins stream over adjacent same-typed memory, and precomputes
+// the per-profile aggregates (forward mass, reverse sum, per-entry maxima)
+// that the mass-bound prune of fused_kernel.h consumes without touching
+// the entry arrays at all.
+
+#ifndef DISTINCT_SIM_PROFILE_ARENA_H_
+#define DISTINCT_SIM_PROFILE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "prop/profile.h"
+#include "sim/profile_store.h"
+
+namespace distinct {
+
+/// Read-only flattened profiles: one CSR slab per join path.
+class ProfileArena {
+ public:
+  /// One path's profiles, concatenated in reference order. The slice of
+  /// reference i is [offsets[i], offsets[i + 1]); tuples are strictly
+  /// increasing within a slice (NeighborProfile guarantees sorted,
+  /// duplicate-free entries).
+  struct Path {
+    std::vector<size_t> offsets;   // num_refs + 1 entries
+    std::vector<int32_t> tuples;
+    std::vector<double> forward;   // Prob_P(r -> tuple)
+    std::vector<double> reverse;   // Prob_P(tuple -> r)
+    // Per-reference aggregates for the mass-bound prune.
+    std::vector<double> mass;         // Σ forward over the slice
+    std::vector<double> reverse_sum;  // Σ reverse
+    std::vector<double> forward_max;  // max forward (0 when empty)
+    std::vector<double> reverse_max;  // max reverse (0 when empty)
+
+    size_t size(size_t ref) const {
+      return offsets[ref + 1] - offsets[ref];
+    }
+  };
+
+  /// Flattens a built store. O(total entries); no profile values change.
+  static ProfileArena FromStore(const ProfileStore& store);
+
+  /// Flattens raw per-reference profile vectors (profiles[ref][path]) —
+  /// the test seam: differential suites build arenas without an engine.
+  /// Every inner vector must have the same number of paths.
+  static ProfileArena FromProfiles(
+      const std::vector<std::vector<NeighborProfile>>& profiles);
+
+  size_t num_refs() const { return num_refs_; }
+  size_t num_paths() const { return paths_.size(); }
+  const Path& path(size_t p) const { return paths_[p]; }
+
+  /// Total flattened entries across all paths (diagnostics).
+  size_t num_entries() const;
+
+ private:
+  ProfileArena() = default;
+
+  size_t num_refs_ = 0;
+  std::vector<Path> paths_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SIM_PROFILE_ARENA_H_

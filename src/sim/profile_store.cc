@@ -1,5 +1,6 @@
 #include "sim/profile_store.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -47,8 +48,15 @@ ProfileStore ProfileStore::Build(const PropagationEngine& engine,
   store.profiles_.resize(store.refs_.size());
   store.index_.reserve(store.refs_.size());
   for (size_t i = 0; i < store.refs_.size(); ++i) {
-    store.index_.emplace(store.refs_[i], i);
+    store.index_.emplace_back(store.refs_[i], i);
   }
+  // Stable sort by ref only: duplicates keep their first position, like
+  // the hash map this replaces.
+  std::stable_sort(store.index_.begin(), store.index_.end(),
+                   [](const std::pair<int32_t, size_t>& a,
+                      const std::pair<int32_t, size_t>& b) {
+                     return a.first < b.first;
+                   });
 
   const bool dense =
       options.algorithm == PropagationAlgorithm::kWorkspace;
@@ -100,8 +108,15 @@ ProfileStore ProfileStore::Build(const PropagationEngine& engine,
 }
 
 int64_t ProfileStore::IndexOf(int32_t ref) const {
-  auto it = index_.find(ref);
-  return it == index_.end() ? -1 : static_cast<int64_t>(it->second);
+  auto it = std::lower_bound(index_.begin(), index_.end(), ref,
+                             [](const std::pair<int32_t, size_t>& entry,
+                                int32_t value) {
+                               return entry.first < value;
+                             });
+  if (it == index_.end() || it->first != ref) {
+    return -1;
+  }
+  return static_cast<int64_t>(it->second);
 }
 
 }  // namespace distinct

@@ -15,7 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -107,7 +107,11 @@ class ProfileStore {
   std::vector<int32_t> refs_;
   size_t num_paths_ = 0;
   std::vector<std::vector<NeighborProfile>> profiles_;  // indexed like refs_
-  std::unordered_map<int32_t, size_t> index_;
+  /// (ref, position) sorted by ref — IndexOf binary-searches it instead of
+  /// hashing on the scan hot path. Built once in Build(); for duplicate
+  /// refs the first position wins (stable sort), matching the old
+  /// hash-map emplace semantics.
+  std::vector<std::pair<int32_t, size_t>> index_;
 };
 
 }  // namespace distinct

@@ -24,7 +24,30 @@ double WalkProbability(const NeighborProfile& a, const NeighborProfile& b) {
 
 double SymmetricWalkProbability(const NeighborProfile& a,
                                 const NeighborProfile& b) {
-  return 0.5 * (WalkProbability(a, b) + WalkProbability(b, a));
+  // Both directions share the same matched tuples, so one merge with two
+  // accumulators replaces two full merge-joins. Each accumulator sums its
+  // products in the order the directed loop would, and the final mean adds
+  // them a->b first, so the result is bit-identical to
+  // 0.5 * (WalkProbability(a, b) + WalkProbability(b, a)).
+  double total_ab = 0.0;
+  double total_ba = 0.0;
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].tuple < eb[j].tuple) {
+      ++i;
+    } else if (eb[j].tuple < ea[i].tuple) {
+      ++j;
+    } else {
+      total_ab += ea[i].forward * eb[j].reverse;
+      total_ba += eb[j].forward * ea[i].reverse;
+      ++i;
+      ++j;
+    }
+  }
+  return 0.5 * (total_ab + total_ba);
 }
 
 }  // namespace distinct

@@ -17,8 +17,10 @@ namespace distinct {
 /// Directed walk probability r_a -> ... -> r_b via the shared neighbors.
 double WalkProbability(const NeighborProfile& a, const NeighborProfile& b);
 
-/// Symmetrized walk probability: mean of both directions. This is the
-/// linkage-strength measure DISTINCT pairs with set resemblance.
+/// Symmetrized walk probability: mean of both directions, computed in one
+/// merge-join with a per-direction accumulator (bit-identical to averaging
+/// two WalkProbability calls). This is the linkage-strength measure
+/// DISTINCT pairs with set resemblance.
 double SymmetricWalkProbability(const NeighborProfile& a,
                                 const NeighborProfile& b);
 

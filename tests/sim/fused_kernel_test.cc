@@ -1,0 +1,497 @@
+#include "sim/fused_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "../test_util.h"
+#include "cluster/agglomerative.h"
+#include "common/rng.h"
+#include "core/distinct.h"
+#include "dblp/generator.h"
+#include "dblp/schema.h"
+#include "sim/parallel_kernel.h"
+#include "sim/profile_arena.h"
+#include "sim/profile_store.h"
+
+namespace distinct {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Naive hash-map reference implementations. Deliberately share no code (and
+// no iteration order) with the merge-join kernels: resemblance walks the key
+// union of two hash maps, the walks probe one map per direction. Agreement
+// is up to floating-point reassociation, hence EXPECT_NEAR.
+// ---------------------------------------------------------------------------
+
+double NaiveResemblance(const NeighborProfile& a, const NeighborProfile& b) {
+  if (a.empty() || b.empty()) {
+    return 0.0;
+  }
+  std::unordered_map<int32_t, double> fa;
+  std::unordered_map<int32_t, double> fb;
+  std::set<int32_t> keys;
+  for (const ProfileEntry& e : a.entries()) {
+    fa[e.tuple] = e.forward;
+    keys.insert(e.tuple);
+  }
+  for (const ProfileEntry& e : b.entries()) {
+    fb[e.tuple] = e.forward;
+    keys.insert(e.tuple);
+  }
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (const int32_t t : keys) {
+    const auto ia = fa.find(t);
+    const auto ib = fb.find(t);
+    const double pa = ia == fa.end() ? 0.0 : ia->second;
+    const double pb = ib == fb.end() ? 0.0 : ib->second;
+    numerator += std::min(pa, pb);
+    denominator += std::max(pa, pb);
+  }
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+double NaiveSymmetricWalk(const NeighborProfile& a, const NeighborProfile& b) {
+  std::unordered_map<int32_t, const ProfileEntry*> index;
+  for (const ProfileEntry& e : b.entries()) {
+    index[e.tuple] = &e;
+  }
+  double ab = 0.0;
+  double ba = 0.0;
+  for (const ProfileEntry& e : a.entries()) {
+    const auto it = index.find(e.tuple);
+    if (it != index.end()) {
+      ab += e.forward * it->second->reverse;
+      ba += it->second->forward * e.reverse;
+    }
+  }
+  return 0.5 * (ab + ba);
+}
+
+/// The clusterer's singleton-pair similarity for a (resem, walk) cell pair
+/// — what the mass-bound prune upper-bounds.
+double CombinedSimilarity(double resem, double walk, ClusterMeasure measure,
+                          CombineRule combine) {
+  switch (measure) {
+    case ClusterMeasure::kResemblanceOnly:
+      return resem;
+    case ClusterMeasure::kWalkOnly:
+      return walk;
+    case ClusterMeasure::kComposite:
+      break;
+  }
+  if (combine == CombineRule::kArithmeticMean) {
+    return 0.5 * (resem + walk);
+  }
+  return std::sqrt(resem * walk);
+}
+
+/// Random per-reference profiles over a small shared tuple universe so
+/// overlap, disjointness, and empties all occur. profiles[ref][path].
+std::vector<std::vector<NeighborProfile>> RandomProfiles(Rng& rng,
+                                                         size_t num_refs,
+                                                         size_t num_paths) {
+  std::vector<std::vector<NeighborProfile>> profiles(num_refs);
+  for (size_t r = 0; r < num_refs; ++r) {
+    for (size_t p = 0; p < num_paths; ++p) {
+      std::vector<ProfileEntry> entries;
+      if (!rng.Bernoulli(0.15)) {  // 15%: empty profile
+        for (int t = 0; t < 24; ++t) {
+          if (!rng.Bernoulli(0.3)) {
+            continue;
+          }
+          // 10%: zero forward (exercises zero-denominator handling).
+          const double fwd = rng.Bernoulli(0.1) ? 0.0 : rng.UniformDouble();
+          entries.push_back(ProfileEntry{t, fwd, rng.UniformDouble()});
+        }
+      }
+      profiles[r].emplace_back(std::move(entries));
+    }
+  }
+  return profiles;
+}
+
+bool ShareAnyTuple(const std::vector<NeighborProfile>& a,
+                   const std::vector<NeighborProfile>& b) {
+  for (size_t p = 0; p < a.size(); ++p) {
+    for (const ProfileEntry& ea : a[p].entries()) {
+      for (const ProfileEntry& eb : b[p].entries()) {
+        if (ea.tuple == eb.tuple) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+class FusedDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FusedDifferentialTest, MatchesNaiveHashMapReference) {
+  Rng rng(GetParam());
+  const size_t kRefs = 12;
+  const size_t kPaths = 3;
+  const auto profiles = RandomProfiles(rng, kRefs, kPaths);
+  const ProfileArena arena = ProfileArena::FromProfiles(profiles);
+  ASSERT_EQ(arena.num_refs(), kRefs);
+  ASSERT_EQ(arena.num_paths(), kPaths);
+
+  for (size_t i = 1; i < kRefs; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const PairFeatures fused = FusedFeatures(arena, i, j);
+      ASSERT_EQ(fused.resemblance.size(), kPaths);
+      for (size_t p = 0; p < kPaths; ++p) {
+        EXPECT_NEAR(fused.resemblance[p],
+                    NaiveResemblance(profiles[i][p], profiles[j][p]), 1e-12)
+            << "pair (" << i << ", " << j << ") path " << p;
+        EXPECT_NEAR(fused.walk[p],
+                    NaiveSymmetricWalk(profiles[i][p], profiles[j][p]), 1e-12)
+            << "pair (" << i << ", " << j << ") path " << p;
+      }
+    }
+  }
+}
+
+TEST_P(FusedDifferentialTest, BitIdenticalToThreePassReference) {
+  Rng rng(GetParam() + 1000);
+  const size_t kRefs = 10;
+  const auto profiles = RandomProfiles(rng, kRefs, /*num_paths=*/3);
+  const ProfileArena arena = ProfileArena::FromProfiles(profiles);
+
+  for (size_t i = 1; i < kRefs; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const PairFeatures fused = FusedFeatures(arena, i, j);
+      // The production reference path: SetResemblance + both
+      // WalkProbability directions per path.
+      const PairFeatures reference =
+          ComputePairFeatures(profiles[i], profiles[j]);
+      ASSERT_EQ(fused.resemblance.size(), reference.resemblance.size());
+      for (size_t p = 0; p < fused.resemblance.size(); ++p) {
+        // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the guarantee is bit-for-bit.
+        EXPECT_EQ(fused.resemblance[p], reference.resemblance[p]);
+        EXPECT_EQ(fused.walk[p], reference.walk[p]);
+      }
+    }
+  }
+}
+
+TEST_P(FusedDifferentialTest, CandidateSetMatchesBruteForceOverlap) {
+  Rng rng(GetParam() + 2000);
+  const size_t kRefs = 14;
+  const auto profiles = RandomProfiles(rng, kRefs, /*num_paths=*/2);
+  const ProfileArena arena = ProfileArena::FromProfiles(profiles);
+  const CandidateSet candidates = CandidateSet::Build(arena);
+  ASSERT_EQ(candidates.num_refs(), kRefs);
+
+  int64_t expected_count = 0;
+  for (size_t i = 1; i < kRefs; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      const bool overlap = ShareAnyTuple(profiles[i], profiles[j]);
+      EXPECT_EQ(candidates.contains(i, j), overlap)
+          << "pair (" << i << ", " << j << ")";
+      expected_count += overlap ? 1 : 0;
+      if (!overlap) {
+        // Skipping a non-candidate is exact: every feature is zero.
+        const PairFeatures features = FusedFeatures(arena, i, j);
+        for (size_t p = 0; p < features.resemblance.size(); ++p) {
+          EXPECT_EQ(features.resemblance[p], 0.0);
+          EXPECT_EQ(features.walk[p], 0.0);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(candidates.count(), expected_count);
+}
+
+TEST_P(FusedDifferentialTest, UpperBoundDominatesTrueSimilarity) {
+  Rng rng(GetParam() + 3000);
+  const size_t kRefs = 10;
+  const size_t kPaths = 3;
+  const auto profiles = RandomProfiles(rng, kRefs, kPaths);
+  const ProfileArena arena = ProfileArena::FromProfiles(profiles);
+  // Mixed-sign weights: negative ones must not weaken the bound below the
+  // (clamped) true similarity.
+  std::vector<double> resem_weights = {0.6, -0.2, 0.4};
+  std::vector<double> walk_weights = {0.3, 0.7, -0.1};
+  const SimilarityModel model(resem_weights, walk_weights);
+
+  for (const ClusterMeasure measure :
+       {ClusterMeasure::kComposite, ClusterMeasure::kResemblanceOnly,
+        ClusterMeasure::kWalkOnly}) {
+    for (const CombineRule combine :
+         {CombineRule::kGeometricMean, CombineRule::kArithmeticMean}) {
+      PrunePolicy policy;
+      policy.measure = measure;
+      policy.combine = combine;
+      for (size_t i = 1; i < kRefs; ++i) {
+        for (size_t j = 0; j < i; ++j) {
+          const PairFeatures features = FusedFeatures(arena, i, j);
+          const double actual =
+              CombinedSimilarity(model.Resemblance(features),
+                                 model.Walk(features), measure, combine);
+          const double bound =
+              PairSimilarityUpperBound(arena, model, policy, i, j);
+          EXPECT_GE(bound, actual - 1e-12)
+              << "pair (" << i << ", " << j << ") measure "
+              << static_cast<int>(measure) << " combine "
+              << static_cast<int>(combine);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedDifferentialTest,
+                         ::testing::Values(11, 42, 777, 123456));
+
+// ---------------------------------------------------------------------------
+// Hand-built edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(FusedKernelEdgeTest, EmptyProfilesYieldZeroFeatures) {
+  std::vector<std::vector<NeighborProfile>> profiles(2);
+  profiles[0].emplace_back(
+      std::vector<ProfileEntry>{{1, 0.5, 0.5}, {2, 0.5, 0.5}});
+  profiles[1].emplace_back();  // empty profile on the only path
+  const ProfileArena arena = ProfileArena::FromProfiles(profiles);
+  EXPECT_EQ(arena.path(0).size(0), 2u);
+  EXPECT_EQ(arena.path(0).size(1), 0u);
+
+  const FusedPathFeatures features = FusedMergeJoin(arena.path(0), 1, 0);
+  EXPECT_EQ(features.resemblance, 0.0);
+  EXPECT_EQ(features.walk, 0.0);
+  EXPECT_FALSE(CandidateSet::Build(arena).contains(1, 0));
+}
+
+TEST(FusedKernelEdgeTest, ZeroForwardMassGivesZeroDenominator) {
+  // Entries exist and tuples overlap, but every forward probability is 0:
+  // the resemblance denominator is 0, so resemblance must be 0 (not NaN).
+  std::vector<std::vector<NeighborProfile>> profiles(2);
+  profiles[0].emplace_back(std::vector<ProfileEntry>{{1, 0.0, 0.4}});
+  profiles[1].emplace_back(std::vector<ProfileEntry>{{1, 0.0, 0.7}});
+  const ProfileArena arena = ProfileArena::FromProfiles(profiles);
+  const FusedPathFeatures features = FusedMergeJoin(arena.path(0), 1, 0);
+  EXPECT_EQ(features.resemblance, 0.0);
+  EXPECT_EQ(features.walk, 0.0);  // forward factors are 0 in both directions
+  // Tuples overlap, so the pair is still a candidate.
+  EXPECT_TRUE(CandidateSet::Build(arena).contains(1, 0));
+}
+
+TEST(FusedKernelEdgeTest, DisjointTuplesAreNotCandidates) {
+  std::vector<std::vector<NeighborProfile>> profiles(3);
+  profiles[0].emplace_back(std::vector<ProfileEntry>{{1, 1.0, 1.0}});
+  profiles[1].emplace_back(std::vector<ProfileEntry>{{2, 1.0, 1.0}});
+  profiles[2].emplace_back(std::vector<ProfileEntry>{{1, 0.5, 0.5}});
+  const ProfileArena arena = ProfileArena::FromProfiles(profiles);
+  const CandidateSet candidates = CandidateSet::Build(arena);
+  EXPECT_FALSE(candidates.contains(1, 0));
+  EXPECT_FALSE(candidates.contains(2, 1));
+  EXPECT_TRUE(candidates.contains(2, 0));
+  EXPECT_EQ(candidates.count(), 1);
+}
+
+TEST(FusedKernelEdgeTest, ArenaSlicesAreSortedAndDuplicateFree) {
+  // NeighborProfile sorts its entries; the arena must preserve that order
+  // (strictly increasing tuples per slice) — the merge-join relies on it.
+  std::vector<std::vector<NeighborProfile>> profiles(2);
+  profiles[0].emplace_back(std::vector<ProfileEntry>{
+      {7, 0.1, 0.1}, {2, 0.2, 0.2}, {5, 0.3, 0.3}});
+  profiles[1].emplace_back(std::vector<ProfileEntry>{{9, 0.4, 0.4}, {1, 0.6, 0.6}});
+  const ProfileArena arena = ProfileArena::FromProfiles(profiles);
+  const ProfileArena::Path& path = arena.path(0);
+  for (size_t r = 0; r < arena.num_refs(); ++r) {
+    for (size_t e = path.offsets[r] + 1; e < path.offsets[r + 1]; ++e) {
+      EXPECT_LT(path.tuples[e - 1], path.tuples[e]);
+    }
+  }
+  EXPECT_EQ(arena.num_entries(), 5u);
+  EXPECT_DOUBLE_EQ(path.mass[0], 0.6);
+  EXPECT_DOUBLE_EQ(path.forward_max[1], 0.6);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: fused vs reference kernel on a generated mega-name, and the
+// prune's contract against exact matrices.
+// ---------------------------------------------------------------------------
+
+void ExpectBitIdentical(const PairMatrix& a, const PairMatrix& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      EXPECT_EQ(a.at(i, j), b.at(i, j)) << "cell (" << i << ", " << j << ")";
+    }
+  }
+}
+
+class FusedKernelEngineTest : public ::testing::Test {
+ protected:
+  FusedKernelEngineTest() {
+    GeneratorConfig generator;
+    generator.seed = 7;
+    generator.num_communities = 12;
+    generator.authors_per_community = 15;
+    generator.ambiguous = {{"Wei Wang", 4, 60}};
+    auto dataset = GenerateDblpDataset(generator);
+    DISTINCT_CHECK(dataset.ok());
+    dataset_ = std::make_unique<DblpDataset>(*std::move(dataset));
+
+    DistinctConfig config;
+    config.supervised = false;
+    config.promotions = DblpDefaultPromotions();
+    auto engine = Distinct::Create(dataset_->db, DblpReferenceSpec(), config);
+    DISTINCT_CHECK(engine.ok());
+    engine_ = std::make_unique<Distinct>(*std::move(engine));
+
+    auto refs = engine_->RefsForName("Wei Wang");
+    DISTINCT_CHECK(refs.ok());
+    refs_ = *std::move(refs);
+    DISTINCT_CHECK(refs_.size() >= 50);
+  }
+
+  ProfileStore BuildStore(ThreadPool* pool) const {
+    return ProfileStore::Build(engine_->propagation_engine(),
+                               engine_->paths(),
+                               engine_->config().propagation, refs_, pool,
+                               /*min_parallel_refs=*/2);
+  }
+
+  std::unique_ptr<DblpDataset> dataset_;
+  std::unique_ptr<Distinct> engine_;
+  std::vector<int32_t> refs_;
+};
+
+TEST_F(FusedKernelEngineTest, FusedMatchesReferenceAcrossThreadCounts) {
+  const ProfileStore serial_store = BuildStore(nullptr);
+  PairKernelOptions reference;
+  reference.kernel = PairKernelType::kReference;
+  const auto expected =
+      ComputePairMatrices(serial_store, engine_->model(), nullptr, reference);
+
+  for (const int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    const ProfileStore store = BuildStore(&pool);
+    PairKernelOptions fused;
+    fused.kernel = PairKernelType::kFused;
+    fused.tile_size = 8;
+    fused.min_parallel_refs = 2;
+    const auto actual =
+        ComputePairMatrices(store, engine_->model(), &pool, fused);
+    ExpectBitIdentical(actual.first, expected.first);
+    ExpectBitIdentical(actual.second, expected.second);
+  }
+}
+
+TEST_F(FusedKernelEngineTest, NonCandidatePairsAreExactlyZeroInReference) {
+  const ProfileStore store = BuildStore(nullptr);
+  const ProfileArena arena = ProfileArena::FromStore(store);
+  const CandidateSet candidates = CandidateSet::Build(arena);
+  PairKernelOptions reference;
+  reference.kernel = PairKernelType::kReference;
+  const auto matrices =
+      ComputePairMatrices(store, engine_->model(), nullptr, reference);
+  for (size_t i = 1; i < refs_.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (!candidates.contains(i, j)) {
+        EXPECT_EQ(matrices.first.at(i, j), 0.0);
+        EXPECT_EQ(matrices.second.at(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST_F(FusedKernelEngineTest, PruningDropsOnlySubThresholdCells) {
+  const ProfileStore store = BuildStore(nullptr);
+  const auto exact = ComputePairMatrices(store, engine_->model());
+
+  // Two merge floors: the paper's default (where the uniform-weight bound
+  // is loose and may prune nothing) and a floor inside the bound's range
+  // on this dataset, where the prune deterministically fires.
+  int64_t total_dropped = 0;
+  for (const double min_sim : {engine_->config().min_sim, 0.25}) {
+    PairKernelOptions pruned_options;
+    pruned_options.pruning = true;
+    pruned_options.prune_min_sim = min_sim;
+    const auto pruned =
+        ComputePairMatrices(store, engine_->model(), nullptr, pruned_options);
+
+    for (size_t i = 1; i < refs_.size(); ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        if (pruned.first.at(i, j) == exact.first.at(i, j) &&
+            pruned.second.at(i, j) == exact.second.at(i, j)) {
+          continue;
+        }
+        ++total_dropped;
+        // A pruned cell reads 0.0, and its true combined similarity is
+        // below the merge floor — the clusterer could never have merged
+        // on it.
+        EXPECT_EQ(pruned.first.at(i, j), 0.0);
+        EXPECT_EQ(pruned.second.at(i, j), 0.0);
+        const double actual = CombinedSimilarity(
+            exact.first.at(i, j), exact.second.at(i, j),
+            ClusterMeasure::kComposite, CombineRule::kGeometricMean);
+        EXPECT_LT(actual, min_sim) << "cell (" << i << ", " << j << ")";
+      }
+    }
+
+    // Final clusterings agree: every merge decision happens at or above
+    // min_sim, where the matrices are identical.
+    AgglomerativeOptions cluster = engine_->cluster_options();
+    cluster.min_sim = min_sim;
+    const ClusteringResult a =
+        ClusterReferences(exact.first, exact.second, cluster);
+    const ClusteringResult b =
+        ClusterReferences(pruned.first, pruned.second, cluster);
+    EXPECT_EQ(a.num_clusters, b.num_clusters);
+    EXPECT_EQ(a.assignment, b.assignment);
+  }
+  // The prune must actually fire somewhere (deterministic dataset, seed 7).
+  EXPECT_GT(total_dropped, 0);
+}
+
+TEST_F(FusedKernelEngineTest, EngineResolveAgreesAcrossKernelsAndPruning) {
+  auto baseline = engine_->ResolveRefs(refs_);
+  ASSERT_TRUE(baseline.ok());
+
+  DistinctConfig config = engine_->config();
+  config.kernel = PairKernelType::kReference;
+  config.kernel_pruning = false;
+  auto reference_engine =
+      Distinct::Create(dataset_->db, DblpReferenceSpec(), config);
+  ASSERT_TRUE(reference_engine.ok());
+  auto reference = reference_engine->ResolveRefs(refs_);
+  ASSERT_TRUE(reference.ok());
+
+  EXPECT_EQ(baseline->num_clusters, reference->num_clusters);
+  EXPECT_EQ(baseline->assignment, reference->assignment);
+}
+
+TEST(FusedKernelMiniTest, EmptyAndSingletonStores) {
+  Database db = testing_util::MakeMiniDblp();
+  DistinctConfig config;
+  config.supervised = false;
+  auto engine = Distinct::Create(db, DblpReferenceSpec(), config);
+  ASSERT_TRUE(engine.ok());
+  for (const std::vector<int32_t>& refs :
+       {std::vector<int32_t>{}, std::vector<int32_t>{0}}) {
+    const ProfileStore store = ProfileStore::Build(
+        engine->propagation_engine(), engine->paths(),
+        engine->config().propagation, refs, /*pool=*/nullptr);
+    const ProfileArena arena = ProfileArena::FromStore(store);
+    EXPECT_EQ(arena.num_refs(), refs.size());
+    const CandidateSet candidates = CandidateSet::Build(arena);
+    EXPECT_EQ(candidates.count(), 0);
+    PairKernelOptions fused;
+    fused.kernel = PairKernelType::kFused;
+    const auto matrices =
+        ComputePairMatrices(store, engine->model(), nullptr, fused);
+    EXPECT_EQ(matrices.first.size(), refs.size());
+  }
+}
+
+}  // namespace
+}  // namespace distinct

@@ -81,5 +81,37 @@ TEST_P(WalkPropertyTest, SymmetricNonNegativeBounded) {
 INSTANTIATE_TEST_SUITE_P(Seeds, WalkPropertyTest,
                          ::testing::Values(3, 17, 256, 9001));
 
+/// Regression: SymmetricWalkProbability is now a single merge with two
+/// accumulators; it must stay bit-identical to the original two-pass
+/// formula 0.5 * (Walk(a, b) + Walk(b, a)).
+class WalkOnePassTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WalkOnePassTest, OnePassEqualsTwoPassBitForBit) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<ProfileEntry> ea;
+    std::vector<ProfileEntry> eb;
+    for (int t = 0; t < 30; ++t) {
+      if (rng.Bernoulli(0.4)) {
+        ea.push_back(
+            ProfileEntry{t, rng.UniformDouble(), rng.UniformDouble()});
+      }
+      if (rng.Bernoulli(0.4)) {
+        eb.push_back(
+            ProfileEntry{t, rng.UniformDouble(), rng.UniformDouble()});
+      }
+    }
+    const NeighborProfile a(std::move(ea));
+    const NeighborProfile b(std::move(eb));
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the accumulators visit matches in
+    // the same order as each directed pass, so equality is exact.
+    EXPECT_EQ(SymmetricWalkProbability(a, b),
+              0.5 * (WalkProbability(a, b) + WalkProbability(b, a)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalkOnePassTest,
+                         ::testing::Values(5, 21, 4242));
+
 }  // namespace
 }  // namespace distinct
