@@ -23,6 +23,7 @@ distinct_add_bench(bench_training_micro)
 # Ablations and sensitivity.
 distinct_add_bench(bench_ablation_combine)
 distinct_add_bench(bench_ablation_incremental)
+distinct_add_bench(bench_incremental)
 distinct_add_bench(bench_ablation_stopping)
 distinct_add_bench(bench_minsim_sweep)
 distinct_add_bench(bench_pair_kernel)

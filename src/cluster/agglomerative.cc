@@ -58,20 +58,28 @@ ClusteringResult ResultFromMerges(size_t n,
 size_t LargestGapCut(const std::vector<MergeStep>& merges,
                      double gap_factor) {
   if (merges.size() < 2) {
+    // Zero or one executed merge: the delta list is empty, so there is no
+    // gap to inspect — keep every merge (the min-sim floor already vetted
+    // each one).
     return merges.size();
   }
   size_t cut = merges.size();
-  double best_ratio = gap_factor;
+  double best_ratio = 0.0;
+  bool found = false;
   for (size_t m = 1; m < merges.size(); ++m) {
     const double previous = merges[m - 1].similarity;
     const double current = std::max(merges[m].similarity, 1e-300);
     const double ratio = previous / current;
-    if (ratio > best_ratio) {
+    // A drop qualifies at gap_factor exactly (the documented "minimum
+    // relative drop ... that counts"); among qualifying drops the largest
+    // wins, earliest on ties.
+    if (ratio >= gap_factor && ratio > best_ratio) {
       best_ratio = ratio;
       cut = m;
+      found = true;
     }
   }
-  return cut;
+  return found ? cut : merges.size();
 }
 
 /// Incremental clustering state: active clusters with pairwise sums.

@@ -402,6 +402,8 @@ std::string CheckpointToJson(const ShardCheckpoint& checkpoint) {
   json.Key(kVersionKey).Value(ShardCheckpoint::kFormatVersion);
   json.Key("shard_id").Value(checkpoint.shard_id);
   json.Key("num_shards").Value(checkpoint.num_shards);
+  json.Key("catalog_version").Value(checkpoint.catalog_version);
+  json.Key("tuple_watermark").Value(checkpoint.tuple_watermark);
   json.Key("groups").BeginArray();
   for (size_t g = 0; g < checkpoint.results.size(); ++g) {
     const BulkResolution& resolution = checkpoint.results[g];
@@ -465,6 +467,12 @@ StatusOr<ShardCheckpoint> CheckpointFromJson(const std::string& text,
   DISTINCT_RETURN_IF_ERROR(num_shards.status());
   checkpoint.shard_id = static_cast<int>(*shard_id);
   checkpoint.num_shards = static_cast<int>(*num_shards);
+  auto catalog_version = RequireInt(*root, "catalog_version");
+  DISTINCT_RETURN_IF_ERROR(catalog_version.status());
+  auto tuple_watermark = RequireInt(*root, "tuple_watermark");
+  DISTINCT_RETURN_IF_ERROR(tuple_watermark.status());
+  checkpoint.catalog_version = *catalog_version;
+  checkpoint.tuple_watermark = *tuple_watermark;
   if (checkpoint.shard_id != expected_shard_id) {
     return DataLossError(StrFormat(
         "checkpoint names shard %d, expected shard %d", checkpoint.shard_id,
@@ -561,10 +569,18 @@ Status WriteShardCheckpoint(const std::string& dir,
   const std::string json = CheckpointToJson(checkpoint);
   const std::string path = ShardCheckpointPath(dir, checkpoint.shard_id);
   const std::string tmp = path + ".tmp";
-  DISTINCT_RETURN_IF_ERROR(WriteFileDurable(tmp, json));
+  // A failed write or rename must not leak the tmp file: the retry path
+  // recreates it from scratch, and CleanupCheckpointTmpFiles() only covers
+  // crashes, not surviving processes that keep checkpointing.
+  if (Status written = WriteFileDurable(tmp, json); !written.ok()) {
+    ::unlink(tmp.c_str());
+    return written;
+  }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string error = std::strerror(errno);
+    ::unlink(tmp.c_str());
     return DataLossError("checkpoint: rename '" + tmp + "' -> '" + path +
-                         "' failed: " + std::strerror(errno));
+                         "' failed: " + error);
   }
   DISTINCT_RETURN_IF_ERROR(FsyncDir(dir));
   // The marker is written only after the data file is durably in place, so
@@ -596,6 +612,31 @@ StatusOr<ShardCheckpoint> ReadShardCheckpoint(const std::string& dir,
     DISTINCT_COUNTER_ADD("scan.checkpoints_read", 1);
   }
   return checkpoint;
+}
+
+int64_t CleanupCheckpointTmpFiles(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return 0;  // missing or unreadable directory: nothing to clean
+  }
+  int64_t removed = 0;
+  for (const std::filesystem::directory_entry& entry : it) {
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view kPrefix = "shard-";
+    constexpr std::string_view kSuffix = ".json.tmp";
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path(), remove_ec) && !remove_ec) {
+      ++removed;
+    }
+  }
+  return removed;
 }
 
 }  // namespace distinct

@@ -31,11 +31,18 @@ namespace distinct {
 /// enough to reproduce the uninterrupted run byte for byte).
 struct ShardCheckpoint {
   /// Bumped whenever the JSON layout changes; readers reject other
-  /// versions instead of guessing.
-  static constexpr int kFormatVersion = 1;
+  /// versions instead of guessing. v2 added catalog_version and
+  /// tuple_watermark (delta-ingest support).
+  static constexpr int kFormatVersion = 2;
 
   int shard_id = 0;
   int num_shards = 0;  // of the plan that produced this shard
+  /// Engine catalog state the shard was resolved against (see
+  /// Distinct::catalog_version/tuple_watermark). A resumed scan rejects a
+  /// checkpoint whose values predate the engine's — the plan it belongs to
+  /// was computed before rows were appended.
+  int64_t catalog_version = 0;
+  int64_t tuple_watermark = 0;
   /// Indices into the planned (filtered + sorted) group vector, ascending;
   /// parallel to `results`.
   std::vector<size_t> group_indices;
@@ -62,6 +69,14 @@ bool ShardCheckpointComplete(const std::string& dir, int shard_id);
 /// FailedPrecondition on a format-version mismatch.
 StatusOr<ShardCheckpoint> ReadShardCheckpoint(const std::string& dir,
                                               int shard_id);
+
+/// Removes orphaned `shard-*.json.tmp` files from `dir` — leftovers of a
+/// write that died between creating the tmp file and renaming it into
+/// place (the rename makes the tmp disappear on success). Safe to call
+/// while no writer is active; the sharded scan runs it on startup.
+/// Returns the number of files removed; a missing directory counts as
+/// zero.
+int64_t CleanupCheckpointTmpFiles(const std::string& dir);
 
 }  // namespace distinct
 

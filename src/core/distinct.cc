@@ -109,8 +109,8 @@ StatusOr<Distinct> Distinct::Create(const Database& db,
     const Table& name_table = db.table(engine.resolved_.name_table_id);
     const Table& ref_table = db.table(engine.resolved_.reference_table_id);
     const int pk_col = name_table.primary_key_column();
-    std::unordered_map<int64_t, size_t> group_of_pk;
-    group_of_pk.reserve(static_cast<size_t>(name_table.num_rows()));
+    engine.name_group_of_pk_.reserve(
+        static_cast<size_t>(name_table.num_rows()));
     for (int64_t row = 0; row < name_table.num_rows(); ++row) {
       const std::string& name =
           name_table.GetString(row, engine.resolved_.name_column);
@@ -119,20 +119,21 @@ StatusOr<Distinct> Distinct::Create(const Database& db,
       if (inserted) {
         engine.name_groups_.emplace_back(name, std::vector<int32_t>{});
       }
-      group_of_pk[name_table.GetInt(row, pk_col)] = it->second;
+      engine.name_group_of_pk_[name_table.GetInt(row, pk_col)] = it->second;
     }
     for (int64_t row = 0; row < ref_table.num_rows(); ++row) {
       if (ref_table.IsNull(row, engine.resolved_.identity_column)) {
         continue;
       }
-      auto it = group_of_pk.find(
+      auto it = engine.name_group_of_pk_.find(
           ref_table.GetInt(row, engine.resolved_.identity_column));
-      if (it != group_of_pk.end()) {
+      if (it != engine.name_group_of_pk_.end()) {
         engine.name_groups_[it->second].second.push_back(
             static_cast<int32_t>(row));
       }
     }
   }
+  engine.tuple_watermark_ = db.TotalRows();
 
   if (engine.config_.supervised) {
     Stopwatch watch;
@@ -194,16 +195,30 @@ PairKernelOptions Distinct::kernel_options(bool for_clustering) const {
   return options;
 }
 
+ProfileStore Distinct::BuildProfileStore(const std::vector<int32_t>& refs) {
+  // Under the kWorkspace engine the subtree memo and the dense scratch
+  // pool live for the engine's lifetime: suffix distributions stay warm
+  // across queries and across ApplyDelta (which erases only the entries
+  // its delta dirtied). Sharing cannot change results — a memo hit
+  // returns exactly what a miss would recompute.
+  if (config_.propagation.algorithm == PropagationAlgorithm::kWorkspace &&
+      memo_ == nullptr) {
+    memo_ = std::make_unique<SubtreeCache>(config_.propagation.cache_bytes);
+    workspaces_ = std::make_unique<WorkspacePool>(*link_graph_);
+  }
+  DISTINCT_TRACE_SPAN("profile_store");
+  return ProfileStore::Build(*engine_, extractor_->paths(),
+                             config_.propagation, refs, pool_.get(),
+                             ProfileStore::kMinParallelRefs, memo_.get(),
+                             workspaces_.get());
+}
+
 std::pair<PairMatrix, PairMatrix> Distinct::ComputeMatricesWithOptions(
     const std::vector<int32_t>& refs, const PairKernelOptions& options) {
   // Phase 1: n propagations per path, each independent. Phase 2: tiled
   // lower-triangle fill. Both fan out over the engine pool when configured;
   // with num_threads == 1 this is exactly the old serial loop.
-  const ProfileStore store = [&] {
-    DISTINCT_TRACE_SPAN("profile_store");
-    return ProfileStore::Build(*engine_, extractor_->paths(),
-                               config_.propagation, refs, pool_.get());
-  }();
+  const ProfileStore store = BuildProfileStore(refs);
   DISTINCT_TRACE_SPAN("pair_matrix");
   return ComputePairMatrices(store, model_, pool_.get(), options);
 }
@@ -225,6 +240,26 @@ StatusOr<ClusteringResult> Distinct::ResolveRefs(
   DISTINCT_TRACE_SPAN("cluster");
   return ClusterReferences(matrices.first, matrices.second,
                            cluster_options());
+}
+
+StatusOr<Distinct::ResolveArtifacts> Distinct::ResolveRefsArtifacts(
+    const std::vector<int32_t>& refs) {
+  ProfileStore store = BuildProfileStore(refs);
+  // The arena is built once here and patched in place by later
+  // PatchResolveArtifacts calls — the fused kernel never re-flattens the
+  // whole group across deltas.
+  ProfileArena arena = ProfileArena::FromStore(store);
+  auto matrices = [&] {
+    DISTINCT_TRACE_SPAN("pair_matrix");
+    return ComputePairMatrices(store, arena, model_, pool_.get(),
+                               kernel_options(/*for_clustering=*/true));
+  }();
+  DISTINCT_TRACE_SPAN("cluster");
+  ClusteringResult clustering =
+      ClusterReferences(matrices.first, matrices.second, cluster_options());
+  return ResolveArtifacts{std::move(store), std::move(arena),
+                          std::move(matrices.first),
+                          std::move(matrices.second), std::move(clustering)};
 }
 
 StatusOr<Distinct::ResolveResult> Distinct::ResolveName(

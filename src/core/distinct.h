@@ -26,13 +26,19 @@
 #include "prop/propagation.h"
 #include "relational/join_path.h"
 #include "relational/reference_spec.h"
+#include "prop/workspace.h"
 #include "sim/feature_vector.h"
 #include "sim/parallel_kernel.h"
+#include "sim/profile_arena.h"
+#include "sim/profile_store.h"
 #include "sim/similarity_model.h"
 #include "svm/linear_svm.h"
 #include "train/training_set.h"
 
 namespace distinct {
+
+struct DatabaseDelta;  // core/delta.h
+struct DeltaReport;    // core/delta.h
 
 /// Everything configurable about the pipeline. The defaults mirror the
 /// paper's setup on DBLP.
@@ -173,6 +179,62 @@ class Distinct {
   /// Groups an explicit set of (resembling) references.
   StatusOr<ClusteringResult> ResolveRefs(const std::vector<int32_t>& refs);
 
+  /// Everything ResolveRefs computes on the way to a clustering, kept so a
+  /// later delta can be spliced in instead of recomputed from scratch: the
+  /// profile store, its flattened arena (patched in place across deltas so
+  /// the fused kernel never re-flattens the whole group), both pair
+  /// matrices, and the clustering itself. The store + arena are the
+  /// resident cost (~2x 24 bytes per profile entry); the matrices are
+  /// O(refs²) doubles.
+  struct ResolveArtifacts {
+    ProfileStore store;
+    ProfileArena arena;
+    PairMatrix resem;
+    PairMatrix walk;
+    ClusteringResult clustering;
+  };
+
+  /// ResolveRefs, returning the intermediate artifacts for caching (the
+  /// clustering inside is exactly what ResolveRefs(refs) returns).
+  StatusOr<ResolveArtifacts> ResolveRefsArtifacts(
+      const std::vector<int32_t>& refs);
+
+  /// Splice-updates `cached` (artifacts over a prefix of `refs`) after an
+  /// ApplyDelta: recomputes only the profiles of references listed in
+  /// `dirty_refs` (sorted row ids — DeltaReport::dirty_refs) plus the
+  /// appended suffix, patches the pair-matrix cells with a dirty endpoint,
+  /// and re-clusters. `dirty_ref_path_masks` (optional, aligned with
+  /// `dirty_refs` — DeltaReport::dirty_ref_path_masks) further restricts
+  /// each dirty reference's profile recompute to the flagged paths; empty
+  /// means all paths. Bit-identical to ResolveRefsArtifacts(refs), at cost
+  /// proportional to the dirty rows rather than the whole group.
+  /// InvalidArgument when cached.store.refs() is not a prefix of `refs`
+  /// (append-only deltas keep existing references in place).
+  StatusOr<ResolveArtifacts> PatchResolveArtifacts(
+      ResolveArtifacts cached, const std::vector<int32_t>& refs,
+      const std::vector<int32_t>& dirty_refs,
+      const std::vector<uint64_t>& dirty_ref_path_masks = {});
+
+  /// Ingests appended rows without rebuilding the engine. `db` must be the
+  /// database this engine was created over; `delta` holds rows to append
+  /// per table. The delta is validated (arity, types, primary-key
+  /// uniqueness, foreign-key resolvability — against existing and pending
+  /// rows alike) before anything mutates, so a bad delta leaves database
+  /// and engine untouched. On success the link graph is extended in place,
+  /// the name index absorbs the new name/reference rows, stale subtree
+  /// memo entries are dropped, and the report lists every name whose
+  /// evidence changed (and therefore must be re-resolved — see
+  /// core/delta.h's IncrementalCatalog for the cached-resolution layer).
+  /// Resolutions computed after ApplyDelta are bit-identical to a fresh
+  /// Create() over the appended database with the same model.
+  StatusOr<DeltaReport> ApplyDelta(Database& db, const DatabaseDelta& delta);
+
+  /// Bumped once per successful ApplyDelta (0 at Create).
+  int64_t catalog_version() const { return catalog_version_; }
+  /// Total database rows covered by the current catalog state; checkpoints
+  /// record it so --resume can reject plans that predate appended data.
+  int64_t tuple_watermark() const { return tuple_watermark_; }
+
   /// Pairwise model-combined similarity matrices for `refs` — (set
   /// resemblance, random walk). Useful for min-sim sweeps: compute once,
   /// cluster many times with ClusterReferences(). Always exact: the
@@ -221,6 +283,10 @@ class Distinct {
   std::pair<PairMatrix, PairMatrix> ComputeMatricesWithOptions(
       const std::vector<int32_t>& refs, const PairKernelOptions& options);
 
+  /// Lazily creates the engine-lifetime subtree memo + workspace pool
+  /// (kWorkspace only), then builds the profiles of `refs`.
+  ProfileStore BuildProfileStore(const std::vector<int32_t>& refs);
+
   const Database* db_ = nullptr;
   ResolvedReferenceSpec resolved_;
   DistinctConfig config_;
@@ -238,6 +304,18 @@ class Distinct {
   /// name -> position in name_groups_ (groups in name-table row order).
   std::vector<std::pair<std::string, std::vector<int32_t>>> name_groups_;
   std::unordered_map<std::string, size_t> name_index_;
+  /// name-table primary key -> position in name_groups_; lets ApplyDelta
+  /// route appended reference rows to their group without a rescan.
+  std::unordered_map<int64_t, size_t> name_group_of_pk_;
+  /// Engine-lifetime subtree memo + workspace pool, created lazily by the
+  /// first ComputeMatricesWithOptions under the kWorkspace engine so warm
+  /// suffix distributions survive across queries; ApplyDelta erases only
+  /// the entries its delta dirtied and recreates the workspaces (their
+  /// dense slabs are sized at first acquire and never grow).
+  std::unique_ptr<SubtreeCache> memo_;
+  std::unique_ptr<WorkspacePool> workspaces_;
+  int64_t catalog_version_ = 0;
+  int64_t tuple_watermark_ = 0;
 };
 
 }  // namespace distinct

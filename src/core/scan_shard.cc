@@ -145,9 +145,22 @@ Status ResolveShardGroups(const Distinct& engine,
 
 /// Checks a loaded checkpoint against the current plan; resuming against a
 /// different dataset or shard layout must fail loudly, not recompute.
-Status ValidateCheckpointAgainstPlan(const ShardCheckpoint& checkpoint,
+Status ValidateCheckpointAgainstPlan(const Distinct& engine,
+                                     const ShardCheckpoint& checkpoint,
                                      const std::vector<NameGroup>& groups,
                                      const ShardPlan& plan, int shard_id) {
+  if (checkpoint.catalog_version != engine.catalog_version() ||
+      checkpoint.tuple_watermark != engine.tuple_watermark()) {
+    return FailedPreconditionError(StrFormat(
+        "checkpoint for shard %d is stale: it was written at catalog "
+        "version %lld / %lld tuples, the engine is at version %lld / %lld "
+        "tuples — rows were appended (ApplyDelta) since the checkpoint; "
+        "re-run the scan without --resume",
+        shard_id, static_cast<long long>(checkpoint.catalog_version),
+        static_cast<long long>(checkpoint.tuple_watermark),
+        static_cast<long long>(engine.catalog_version()),
+        static_cast<long long>(engine.tuple_watermark())));
+  }
   if (checkpoint.num_shards != plan.num_shards() ||
       checkpoint.group_indices != plan.shards[static_cast<size_t>(shard_id)]) {
     return FailedPreconditionError(StrFormat(
@@ -240,6 +253,16 @@ StatusOr<ShardedScanResult> RunShardedScan(
 
   Stopwatch watch;
   DISTINCT_TRACE_SPAN("sharded_scan");
+  if (!options.checkpoint_dir.empty()) {
+    // Drop tmp files a killed writer left behind before any reads/writes.
+    const int64_t removed =
+        CleanupCheckpointTmpFiles(options.checkpoint_dir);
+    if (removed > 0) {
+      DISTINCT_LOG(INFO) << "scan: removed " << removed
+                         << " orphaned checkpoint tmp file(s) from "
+                         << options.checkpoint_dir;
+    }
+  }
   const ShardPlan plan = PlanShards(groups, options.num_shards);
   const ShardBudget budget = ComputeShardBudget(engine, options);
   DISTINCT_COUNTER_ADD("scan.shards_planned", plan.num_shards());
@@ -276,7 +299,7 @@ StatusOr<ShardedScanResult> RunShardedScan(
       auto checkpoint = ReadShardCheckpoint(options.checkpoint_dir, s);
       DISTINCT_RETURN_IF_ERROR(checkpoint.status());
       DISTINCT_RETURN_IF_ERROR(
-          ValidateCheckpointAgainstPlan(*checkpoint, groups, plan, s));
+          ValidateCheckpointAgainstPlan(engine, *checkpoint, groups, plan, s));
       for (size_t g = 0; g < checkpoint->group_indices.size(); ++g) {
         by_group[checkpoint->group_indices[g]] =
             std::move(checkpoint->results[g]);
@@ -300,6 +323,8 @@ StatusOr<ShardedScanResult> RunShardedScan(
       ShardCheckpoint checkpoint;
       checkpoint.shard_id = s;
       checkpoint.num_shards = plan.num_shards();
+      checkpoint.catalog_version = engine.catalog_version();
+      checkpoint.tuple_watermark = engine.tuple_watermark();
       checkpoint.group_indices = indices;
       checkpoint.results = shard_results;
       shard_status =

@@ -22,13 +22,27 @@
 
 namespace distinct {
 
-/// Immutable tuple-level adjacency. Borrows the SchemaGraph (and through it
-/// the Database); both must outlive the LinkGraph.
+/// Tuple-level adjacency, immutable between builds. Borrows the SchemaGraph
+/// (and through it the Database); both must outlive the LinkGraph. The only
+/// mutation is ApplyAppend(), which extends the adjacency in place after
+/// rows were appended to the database.
 class LinkGraph {
  public:
   /// Materializes adjacency for every edge of `graph`. Fails on dangling
   /// foreign keys.
   static StatusOr<LinkGraph> Build(const SchemaGraph& graph);
+
+  /// Extends the adjacency in place to cover rows appended to the database
+  /// since Build()/the last ApplyAppend(). Existing tuple ids are stable:
+  /// table tuples are row indices (append-only), and attribute value ids
+  /// are assigned in first-seen row order, so replaying the assignment
+  /// over the grown columns reproduces every old id and appends new values
+  /// after them. The rebuilt reverse CSRs use the same ascending-row
+  /// counting sort as Build(), so the result is bit-identical to a fresh
+  /// Build() over the appended database. Returns FailedPrecondition on a
+  /// dangling FK among the new rows — validate appended rows first; after
+  /// an error the graph must be rebuilt.
+  Status ApplyAppend();
 
   const SchemaGraph& schema() const { return *schema_; }
 

@@ -91,6 +91,27 @@ std::shared_ptr<const SubtreeDistribution> SubtreeCache::Insert(
   return resident;
 }
 
+int64_t SubtreeCache::Erase(int path_id,
+                            const std::vector<int32_t>& tuples) {
+  if (capacity_bytes_ == 0) {
+    return 0;
+  }
+  int64_t erased = 0;
+  for (const int32_t tuple : tuples) {
+    const uint64_t key = Key(path_id, tuple);
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      continue;  // never cached, already evicted, or a stale FIFO-only key
+    }
+    shard.bytes -= it->second->ByteSize();
+    shard.map.erase(it);
+    ++erased;
+  }
+  return erased;
+}
+
 SubtreeCacheStats SubtreeCache::stats() const {
   SubtreeCacheStats stats;
   for (const Shard& shard : shards_) {

@@ -189,6 +189,12 @@ class SubtreeCache {
                                                     int32_t tuple,
                                                     SubtreeDistribution dist);
 
+  /// Drops the entries of `path_id` keyed by `tuples` (the delta path's
+  /// targeted invalidation: only suffixes touching changed tuples go).
+  /// Returns how many entries were resident and removed. Stale FIFO keys
+  /// are left behind; Insert's eviction loop tolerates missing victims.
+  int64_t Erase(int path_id, const std::vector<int32_t>& tuples);
+
   SubtreeCacheStats stats() const;
 
  private:

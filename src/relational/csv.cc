@@ -56,6 +56,14 @@ StatusOr<std::vector<std::vector<CsvField>>> ParseCsv(
     record.clear();
   };
 
+  // '\r' terminates a record only as part of CRLF or at end of input;
+  // anywhere else it is field data (RFC 4180 keeps it literal). The old
+  // swallow-every-CR rule silently dropped lone CRs from unquoted fields,
+  // which broke round-trips of values containing them.
+  auto crlf_at = [&](size_t i) {
+    return i + 1 == text.size() || text[i + 1] == '\n';
+  };
+
   for (size_t i = 0; i < text.size(); ++i) {
     const char c = text[i];
     switch (state) {
@@ -67,8 +75,9 @@ StatusOr<std::vector<std::vector<CsvField>>> ParseCsv(
           end_field();
         } else if (c == '\n') {
           end_record();
-        } else if (c == '\r') {
-          // swallow; the following \n (if any) ends the record
+        } else if (c == '\r' && crlf_at(i)) {
+          end_record();
+          ++i;  // consume the '\n' of the CRLF pair
         } else {
           field.value += c;
           state = State::kUnquoted;
@@ -79,8 +88,9 @@ StatusOr<std::vector<std::vector<CsvField>>> ParseCsv(
           end_field();
         } else if (c == '\n') {
           end_record();
-        } else if (c == '\r') {
-          // swallow
+        } else if (c == '\r' && crlf_at(i)) {
+          end_record();
+          ++i;
         } else if (c == '"') {
           return DataLossError(StrFormat(
               "CSV parse error at byte %zu: quote inside unquoted field",
@@ -93,7 +103,7 @@ StatusOr<std::vector<std::vector<CsvField>>> ParseCsv(
         if (c == '"') {
           state = State::kAfterQuote;
         } else {
-          field.value += c;
+          field.value += c;  // embedded separators, \n, \r all literal
         }
         break;
       case State::kAfterQuote:
@@ -104,8 +114,9 @@ StatusOr<std::vector<std::vector<CsvField>>> ParseCsv(
           end_field();
         } else if (c == '\n') {
           end_record();
-        } else if (c == '\r') {
-          // swallow
+        } else if (c == '\r' && crlf_at(i)) {
+          end_record();
+          ++i;
         } else {
           return DataLossError(StrFormat(
               "CSV parse error at byte %zu: content after closing quote",

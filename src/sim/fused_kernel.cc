@@ -114,6 +114,96 @@ CandidateSet CandidateSet::Build(const ProfileArena& arena) {
   return set;
 }
 
+CandidateSet CandidateSet::BuildPartial(const ProfileArena& arena,
+                                        const std::vector<char>& dirty) {
+  CandidateSet set;
+  const size_t n = arena.num_refs();
+  set.num_refs_ = n;
+  const size_t cells = n < 2 ? 0 : n * (n - 1) / 2;
+  set.bits_.assign((cells + 63) / 64, 0);
+
+  // Build()'s tuple groups, restricted to the dirty rows' neighborhoods,
+  // without the sort: pass 1 numbers each tuple a dirty reference holds
+  // (a direct-indexed tuple -> bucket map, reset via the touched list
+  // between paths), pass 2 scatters every reference holding a numbered
+  // tuple into its bucket, and only pairs touching a dirty reference are
+  // marked per bucket — clean-clean cells are never consulted by the
+  // partial refill, and marking a both-dirty pair from either end twice
+  // is idempotent. Per path the cost is one O(entries) scan plus
+  // O(dirty_members x members) marking per bucket, instead of Build()'s
+  // sort and O(members^2) groups.
+  // Scratch persists across calls (bucket_of alone spans the tuple id
+  // space, ~100KB) — one IncrementalCatalog apply runs this for hundreds
+  // of names, and re-zeroing per name would dwarf the real work. Each path
+  // iteration restores bucket_of to all -1 via `touched` and leaves the
+  // bucket vectors cleared, so a new call always sees clean scratch.
+  static thread_local std::vector<int32_t> bucket_of;  // tuple -> bucket id
+  static thread_local std::vector<int32_t> touched;    // numbered this path
+  static thread_local std::vector<std::vector<int32_t>> buckets;
+  for (size_t p = 0; p < arena.num_paths(); ++p) {
+    const ProfileArena::Path& path = arena.path(p);
+    touched.clear();
+    for (size_t r = 0; r < n; ++r) {
+      if (!dirty[r]) {
+        continue;
+      }
+      for (size_t e = path.offsets[r]; e < path.offsets[r + 1]; ++e) {
+        const auto t = static_cast<size_t>(path.tuples[e]);
+        if (t >= bucket_of.size()) {
+          bucket_of.resize(t + 1, -1);
+        }
+        if (bucket_of[t] < 0) {
+          bucket_of[t] = static_cast<int32_t>(touched.size());
+          touched.push_back(static_cast<int32_t>(t));
+        }
+      }
+    }
+    if (touched.empty()) {
+      continue;  // no dirty reference has entries on this path
+    }
+    if (buckets.size() < touched.size()) {
+      buckets.resize(touched.size());
+    }
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t e = path.offsets[r]; e < path.offsets[r + 1]; ++e) {
+        const auto t = static_cast<size_t>(path.tuples[e]);
+        if (t < bucket_of.size() && bucket_of[t] >= 0) {
+          buckets[static_cast<size_t>(bucket_of[t])].push_back(
+              static_cast<int32_t>(r));
+        }
+      }
+    }
+    for (size_t b = 0; b < touched.size(); ++b) {
+      std::vector<int32_t>& members = buckets[b];
+      for (const int32_t ai : members) {
+        const auto i = static_cast<size_t>(ai);
+        if (!dirty[i]) {
+          continue;
+        }
+        for (const int32_t bj : members) {
+          const auto j = static_cast<size_t>(bj);
+          if (j == i) {
+            continue;
+          }
+          const size_t hi = i > j ? i : j;
+          const size_t lo = i > j ? j : i;
+          const size_t bit = hi * (hi - 1) / 2 + lo;
+          set.bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+        }
+      }
+      members.clear();
+    }
+    for (const int32_t t : touched) {
+      bucket_of[static_cast<size_t>(t)] = -1;
+    }
+  }
+
+  for (const uint64_t word : set.bits_) {
+    set.count_ += std::popcount(word);
+  }
+  return set;
+}
+
 double PairSimilarityUpperBound(const ProfileArena& arena,
                                 const SimilarityModel& model,
                                 const PrunePolicy& policy, size_t i,

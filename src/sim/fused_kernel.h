@@ -68,6 +68,16 @@ class CandidateSet {
  public:
   static CandidateSet Build(const ProfileArena& arena);
 
+  /// Candidate pairs restricted to cells with at least one endpoint marked
+  /// in `dirty` (size num_refs). Exactly Build()'s bits on those cells;
+  /// clean-clean pairs are never marked. Per tuple group the marking costs
+  /// O(dirty_members x members) instead of O(members^2), which is what
+  /// makes candidate skipping affordable for the partial refill after a
+  /// delta (UpdatePairMatrices) — a full Build over a mega-name costs more
+  /// than the joins it saves when only a few rows changed.
+  static CandidateSet BuildPartial(const ProfileArena& arena,
+                                   const std::vector<char>& dirty);
+
   /// Whether the strict-lower-triangle pair (i, j), i > j, is a candidate.
   bool contains(size_t i, size_t j) const {
     const size_t bit = i * (i - 1) / 2 + j;

@@ -64,23 +64,46 @@ void ForEachCell(size_t n, ThreadPool* pool, const PairKernelOptions& options,
                     });
 }
 
+/// When `recompute` is non-null, only cells with at least one endpoint
+/// marked in it are (re)filled; the caller has copied every clean-pair
+/// cell verbatim (UpdatePairMatrices). Each cell depends only on its two
+/// profiles and the model, so the partial fill is bit-identical to a full
+/// one on the marked cells.
 void FillReference(const ProfileStore& store, const SimilarityModel& model,
                    ThreadPool* pool, const PairKernelOptions& options,
-                   PairMatrix* resem, PairMatrix* walk) {
+                   PairMatrix* resem, PairMatrix* walk,
+                   const std::vector<char>* recompute = nullptr) {
   ForEachCell(store.num_refs(), pool, options,
               [&](size_t i, size_t j, int64_t* /*pruned*/) {
+                if (recompute != nullptr &&
+                    !((*recompute)[i] | (*recompute)[j])) {
+                  return;
+                }
                 const PairFeatures features = store.Features(i, j);
                 resem->set(i, j, model.Resemblance(features));
                 walk->set(i, j, model.Walk(features));
               });
 }
 
-void FillFused(const ProfileStore& store, const SimilarityModel& model,
-               ThreadPool* pool, const PairKernelOptions& options,
-               PairMatrix* resem, PairMatrix* walk) {
+void FillFused(const ProfileStore& store, const ProfileArena& arena,
+               const SimilarityModel& model, ThreadPool* pool,
+               const PairKernelOptions& options, PairMatrix* resem,
+               PairMatrix* walk,
+               const std::vector<char>* recompute = nullptr) {
   Stopwatch kernel_watch;
-  const ProfileArena arena = ProfileArena::FromStore(store);
-  const CandidateSet candidates = CandidateSet::Build(arena);
+  // A full fill builds the complete candidate set; the partial fill builds
+  // the dirty-restricted one — full Build costs O(members^2) per tuple
+  // group, which on a mega-name outweighs the joins a few dirty rows save.
+  // Either way a pair outside the set shares no neighbor tuple, its
+  // merge-joins are all-zero, and max(0, 0) writes back exactly the 0.0
+  // the skip leaves, so the cells are bit-identical with or without it.
+  // No trace span here: FillFused runs inside parallel-scan worker
+  // lambdas, which must record only commutative counters (scan.cc pins
+  // "one span per bulk run" at any thread count).
+  const bool full_fill = recompute == nullptr;
+  const CandidateSet candidates =
+      full_fill ? CandidateSet::Build(arena)
+                : CandidateSet::BuildPartial(arena, *recompute);
   const bool prune = options.pruning && options.prune_min_sim > 0.0;
   const PrunePolicy policy{options.prune_min_sim, options.measure,
                            options.combine};
@@ -94,6 +117,9 @@ void FillFused(const ProfileStore& store, const SimilarityModel& model,
   ForEachCell(
       store.num_refs(), pool, options,
       [&](size_t i, size_t j, int64_t* pruned) {
+        if (recompute != nullptr && !((*recompute)[i] | (*recompute)[j])) {
+          return;
+        }
         // No shared tuple on any path: every feature is exactly 0, so the
         // model-combined cell is the 0.0 the matrix was initialized with.
         if (!candidates.contains(i, j)) {
@@ -117,7 +143,9 @@ void FillFused(const ProfileStore& store, const SimilarityModel& model,
         walk->set(i, j, std::max(walk_sim, 0.0));
       });
 
-  DISTINCT_COUNTER_ADD("sim.candidate_pairs", candidates.count());
+  if (full_fill) {
+    DISTINCT_COUNTER_ADD("sim.candidate_pairs", candidates.count());
+  }
   DISTINCT_HISTOGRAM_RECORD("sim.kernel_ns", kernel_watch.ElapsedNanos());
 }
 
@@ -126,22 +154,83 @@ void FillFused(const ProfileStore& store, const SimilarityModel& model,
 std::pair<PairMatrix, PairMatrix> ComputePairMatrices(
     const ProfileStore& store, const SimilarityModel& model,
     ThreadPool* pool, const PairKernelOptions& options) {
+  if (options.kernel == PairKernelType::kFused) {
+    return ComputePairMatrices(store, ProfileArena::FromStore(store), model,
+                               pool, options);
+  }
   // Metrics are aggregated per fill (and per tile above), never per cell,
   // so the instrumented hot loop is byte-for-byte the uninstrumented one.
   Stopwatch watch;
   const size_t n = store.num_refs();
   PairMatrix resem(n);
   PairMatrix walk(n);
-
-  if (options.kernel == PairKernelType::kFused) {
-    FillFused(store, model, pool, options, &resem, &walk);
-  } else {
-    FillReference(store, model, pool, options, &resem, &walk);
-  }
-
+  FillReference(store, model, pool, options, &resem, &walk);
   DISTINCT_COUNTER_ADD("sim.matrix_fills", 1);
   DISTINCT_COUNTER_ADD("sim.pairs_computed",
                        static_cast<int64_t>(n < 2 ? 0 : n * (n - 1) / 2));
+  DISTINCT_HISTOGRAM_RECORD("sim.pair_matrix_nanos", watch.ElapsedNanos());
+  return std::make_pair(std::move(resem), std::move(walk));
+}
+
+std::pair<PairMatrix, PairMatrix> ComputePairMatrices(
+    const ProfileStore& store, const ProfileArena& arena,
+    const SimilarityModel& model, ThreadPool* pool,
+    const PairKernelOptions& options) {
+  Stopwatch watch;
+  const size_t n = store.num_refs();
+  PairMatrix resem(n);
+  PairMatrix walk(n);
+  if (options.kernel == PairKernelType::kFused) {
+    FillFused(store, arena, model, pool, options, &resem, &walk);
+  } else {
+    FillReference(store, model, pool, options, &resem, &walk);
+  }
+  DISTINCT_COUNTER_ADD("sim.matrix_fills", 1);
+  DISTINCT_COUNTER_ADD("sim.pairs_computed",
+                       static_cast<int64_t>(n < 2 ? 0 : n * (n - 1) / 2));
+  DISTINCT_HISTOGRAM_RECORD("sim.pair_matrix_nanos", watch.ElapsedNanos());
+  return std::make_pair(std::move(resem), std::move(walk));
+}
+
+std::pair<PairMatrix, PairMatrix> UpdatePairMatrices(
+    const ProfileStore& store, const ProfileArena& arena,
+    const SimilarityModel& model, const std::vector<char>& dirty,
+    const PairMatrix& old_resem, const PairMatrix& old_walk,
+    ThreadPool* pool, const PairKernelOptions& options) {
+  Stopwatch watch;
+  const size_t n = store.num_refs();
+  const size_t old_n = old_resem.size();
+  PairMatrix resem(n);
+  PairMatrix walk(n);
+
+  // Clean-pair cells are carried over verbatim: neither profile changed,
+  // and a cell is a pure function of its two profiles and the model.
+  // Every other cell starts at the 0.0 init and is recomputed below —
+  // copying dirty cells too would leave stale values wherever the fill
+  // legitimately skips (a dirty pair whose tuple overlap vanished).
+  int64_t copied = 0;
+  for (size_t i = 1; i < old_n; ++i) {
+    if (dirty[i]) {
+      continue;
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (dirty[j]) {
+        continue;
+      }
+      resem.set(i, j, old_resem.at(i, j));
+      walk.set(i, j, old_walk.at(i, j));
+      ++copied;
+    }
+  }
+
+  if (options.kernel == PairKernelType::kFused) {
+    FillFused(store, arena, model, pool, options, &resem, &walk, &dirty);
+  } else {
+    FillReference(store, model, pool, options, &resem, &walk, &dirty);
+  }
+
+  DISTINCT_COUNTER_ADD("sim.matrix_updates", 1);
+  DISTINCT_COUNTER_ADD("sim.pairs_carried_over", copied);
   DISTINCT_HISTOGRAM_RECORD("sim.pair_matrix_nanos", watch.ElapsedNanos());
   return std::make_pair(std::move(resem), std::move(walk));
 }

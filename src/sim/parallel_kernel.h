@@ -66,6 +66,34 @@ std::pair<PairMatrix, PairMatrix> ComputePairMatrices(
     const ProfileStore& store, const SimilarityModel& model,
     ThreadPool* pool = nullptr, const PairKernelOptions& options = {});
 
+class ProfileArena;
+
+/// As above, with a caller-supplied arena over the same store (the fused
+/// kernel skips its internal flatten). Callers that keep artifacts
+/// resident build the arena once and patch it across deltas.
+std::pair<PairMatrix, PairMatrix> ComputePairMatrices(
+    const ProfileStore& store, const ProfileArena& arena,
+    const SimilarityModel& model, ThreadPool* pool = nullptr,
+    const PairKernelOptions& options = {});
+
+/// Patches cached matrices after a database delta instead of refilling
+/// the whole triangle. `store` is the spliced-updated store (see
+/// ProfileStore::Update) and `arena` its flattened counterpart (FromStore
+/// or PatchFromStore — callers that cache artifacts patch instead of
+/// re-flattening); `dirty[i]` marks the positions whose profiles were
+/// recomputed — appended references (positions >= old_resem.size()) must
+/// all be marked. Cells whose endpoints are both clean are copied from
+/// the old matrices (their profiles are unchanged and a cell depends only
+/// on its two profiles and the model); cells with a dirty endpoint are
+/// recomputed by the same per-cell kernel as ComputePairMatrices. The
+/// result is bit-identical to a full ComputePairMatrices over `store`,
+/// for both kernels, with or without the mass-bound prune.
+std::pair<PairMatrix, PairMatrix> UpdatePairMatrices(
+    const ProfileStore& store, const ProfileArena& arena,
+    const SimilarityModel& model, const std::vector<char>& dirty,
+    const PairMatrix& old_resem, const PairMatrix& old_walk,
+    ThreadPool* pool = nullptr, const PairKernelOptions& options = {});
+
 }  // namespace distinct
 
 #endif  // DISTINCT_SIM_PARALLEL_KERNEL_H_

@@ -69,6 +69,83 @@ ProfileArena ProfileArena::FromStore(const ProfileStore& store) {
   return arena;
 }
 
+void ProfileArena::PatchFromStore(
+    const ProfileStore& store, const std::vector<size_t>& changed_positions) {
+  DISTINCT_CHECK(paths_.size() == store.num_paths());
+  DISTINCT_CHECK(num_refs_ <= store.num_refs());
+  const size_t new_num_refs = store.num_refs();
+  std::vector<char> is_changed(new_num_refs, 0);
+  for (const size_t position : changed_positions) {
+    DISTINCT_CHECK(position < new_num_refs);
+    is_changed[position] = 1;
+  }
+  for (size_t r = num_refs_; r < new_num_refs; ++r) {
+    is_changed[r] = 1;  // appended references always need flattening
+  }
+
+  for (size_t p = 0; p < paths_.size(); ++p) {
+    const Path& old_path = paths_[p];
+    Path next;
+    next.offsets.resize(new_num_refs + 1);
+    next.mass.resize(new_num_refs);
+    next.reverse_sum.resize(new_num_refs);
+    next.forward_max.resize(new_num_refs);
+    next.reverse_max.resize(new_num_refs);
+
+    size_t total = 0;
+    for (size_t r = 0; r < new_num_refs; ++r) {
+      total += is_changed[r] ? store.profiles(r)[p].size() : old_path.size(r);
+    }
+    next.tuples.reserve(total);
+    next.forward.reserve(total);
+    next.reverse.reserve(total);
+
+    for (size_t r = 0; r < new_num_refs; ++r) {
+      next.offsets[r] = next.tuples.size();
+      if (!is_changed[r]) {
+        // Unchanged profile: slice and aggregates copied verbatim — they
+        // were produced by the same loop over the identical entries.
+        const size_t begin = old_path.offsets[r];
+        const size_t end = old_path.offsets[r + 1];
+        next.tuples.insert(next.tuples.end(), old_path.tuples.begin() + begin,
+                           old_path.tuples.begin() + end);
+        next.forward.insert(next.forward.end(),
+                            old_path.forward.begin() + begin,
+                            old_path.forward.begin() + end);
+        next.reverse.insert(next.reverse.end(),
+                            old_path.reverse.begin() + begin,
+                            old_path.reverse.begin() + end);
+        next.mass[r] = old_path.mass[r];
+        next.reverse_sum[r] = old_path.reverse_sum[r];
+        next.forward_max[r] = old_path.forward_max[r];
+        next.reverse_max[r] = old_path.reverse_max[r];
+        continue;
+      }
+      // BuildPath's per-entry loop, applied to the recomputed profile.
+      double mass = 0.0;
+      double reverse_sum = 0.0;
+      double forward_max = 0.0;
+      double reverse_max = 0.0;
+      for (const ProfileEntry& entry : store.profiles(r)[p].entries()) {
+        next.tuples.push_back(entry.tuple);
+        next.forward.push_back(entry.forward);
+        next.reverse.push_back(entry.reverse);
+        mass += entry.forward;
+        reverse_sum += entry.reverse;
+        forward_max = std::max(forward_max, entry.forward);
+        reverse_max = std::max(reverse_max, entry.reverse);
+      }
+      next.mass[r] = mass;
+      next.reverse_sum[r] = reverse_sum;
+      next.forward_max[r] = forward_max;
+      next.reverse_max[r] = reverse_max;
+    }
+    next.offsets[new_num_refs] = next.tuples.size();
+    paths_[p] = std::move(next);
+  }
+  num_refs_ = new_num_refs;
+}
+
 ProfileArena ProfileArena::FromProfiles(
     const std::vector<std::vector<NeighborProfile>>& profiles) {
   ProfileArena arena;

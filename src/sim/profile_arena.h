@@ -49,6 +49,15 @@ class ProfileArena {
   /// Flattens a built store. O(total entries); no profile values change.
   static ProfileArena FromStore(const ProfileStore& store);
 
+  /// Splice-update counterpart of ProfileStore::Update: re-flattens only
+  /// the slices of `changed_positions` (and of references the store
+  /// appended past this arena's num_refs()) from `store`, copying every
+  /// other slice and its aggregates verbatim. The arena must have been
+  /// built from the same store lineage (same path count, no reordering of
+  /// the common prefix). Result is bit-identical to FromStore(store).
+  void PatchFromStore(const ProfileStore& store,
+                      const std::vector<size_t>& changed_positions);
+
   /// Flattens raw per-reference profile vectors (profiles[ref][path]) —
   /// the test seam: differential suites build arenas without an engine.
   /// Every inner vector must have the same number of paths.

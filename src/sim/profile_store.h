@@ -83,6 +83,31 @@ class ProfileStore {
                             SubtreeCache* shared_cache = nullptr,
                             WorkspacePool* shared_workspaces = nullptr);
 
+  /// Splice-update after a database delta (the serving-path seam of the
+  /// incremental catalog): recomputes in place the profiles of the
+  /// references at `positions` of refs() — those whose evidence the delta
+  /// changed — and appends `new_refs` with freshly computed profiles.
+  /// Untouched profiles are kept verbatim, so the store afterwards is
+  /// bit-identical to a full Build() over the combined reference list
+  /// (clean profiles are unchanged by construction; dirty and new ones go
+  /// through the exact Build() per-path loop). Parallelized like Build().
+  ///
+  /// `position_path_masks` (optional, aligned with `positions`) restricts
+  /// each position's recompute to the paths whose bit is set — propagation
+  /// is independent per (reference, path), so keeping a clean path's
+  /// profile is exact. Bits past path 63 are treated as set. Appended
+  /// `new_refs` always compute every path.
+  void Update(const PropagationEngine& engine,
+              const std::vector<JoinPath>& paths,
+              const PropagationOptions& options,
+              const std::vector<size_t>& positions,
+              std::vector<int32_t> new_refs,
+              ThreadPool* pool = nullptr,
+              size_t min_parallel_refs = kMinParallelRefs,
+              SubtreeCache* shared_cache = nullptr,
+              WorkspacePool* shared_workspaces = nullptr,
+              const std::vector<uint64_t>* position_path_masks = nullptr);
+
   size_t num_refs() const { return refs_.size(); }
   size_t num_paths() const { return num_paths_; }
   const std::vector<int32_t>& refs() const { return refs_; }

@@ -189,6 +189,67 @@ TEST(LargestGapTest, SingleMergeSequencesPassThrough) {
   EXPECT_EQ(result.num_clusters, 1);
 }
 
+TEST(LargestGapTest, TwoRefsZeroMergesUnderFloor) {
+  // 2 references whose only pair sits below the floor: zero executed
+  // merges reach the gap rule, which must keep the (empty) sequence
+  // instead of inspecting a gap that does not exist.
+  PairMatrix resem(2);
+  PairMatrix walk(2);
+  resem.set(0, 1, 1e-6);
+  walk.set(0, 1, 1e-9);
+  AgglomerativeOptions options;
+  options.min_sim = 1e-2;
+  options.stopping = StoppingRule::kLargestGap;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_TRUE(result.merges.empty());
+  EXPECT_EQ(result.num_merges, 0);
+}
+
+TEST(LargestGapTest, ThreeRefsSingleMergePassesThrough) {
+  // 3 references where only one pair clears the floor: exactly one merge
+  // executes, so the delta list is empty — the gap rule must keep that
+  // merge rather than cut it (or read past the singleton sequence).
+  PairMatrix resem(3);
+  PairMatrix walk(3);
+  resem.set(0, 1, 0.5);   // clears the floor
+  resem.set(0, 2, 1e-6);  // under it
+  resem.set(1, 2, 1e-6);
+  walk.set(0, 1, 1e-3);
+  walk.set(0, 2, 1e-9);
+  walk.set(1, 2, 1e-9);
+  AgglomerativeOptions options;
+  options.min_sim = 1e-2;
+  options.stopping = StoppingRule::kLargestGap;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  EXPECT_EQ(result.num_clusters, 2);
+  ASSERT_EQ(result.merges.size(), 1u);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_NE(result.assignment[0], result.assignment[2]);
+}
+
+TEST(LargestGapTest, GapAtExactlyTheFactorQualifies) {
+  // The documented contract: a drop counts when it reaches gap_factor —
+  // a boundary ratio must cut, not pass. Similarities 0.4 / 0.1 give an
+  // exact 4.0 ratio between consecutive merges.
+  PairMatrix resem(4);
+  PairMatrix walk(4);
+  resem.set(0, 1, 0.4);
+  resem.set(2, 3, 0.1);
+  AgglomerativeOptions options;
+  options.min_sim = 1e-9;
+  options.stopping = StoppingRule::kLargestGap;
+  options.measure = ClusterMeasure::kResemblanceOnly;
+  options.gap_factor = 4.0;
+  const ClusteringResult result = ClusterReferences(resem, walk, options);
+  // {0,1} merge at 0.4, {2,3} at 0.1; the 4.0 drop qualifies, cutting the
+  // second merge away.
+  EXPECT_EQ(result.num_clusters, 3);
+  ASSERT_EQ(result.merges.size(), 1u);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_NE(result.assignment[2], result.assignment[3]);
+}
+
 TEST(MergeLogTest, AssignmentConsistentWithMerges) {
   Rng rng(31);
   const size_t n = 20;

@@ -38,6 +38,8 @@ ShardCheckpoint MakeCheckpoint() {
   ShardCheckpoint checkpoint;
   checkpoint.shard_id = 2;
   checkpoint.num_shards = 3;
+  checkpoint.catalog_version = 4;
+  checkpoint.tuple_watermark = 123456789012345;
 
   BulkResolution wei;
   wei.name = "Wei Wang";
@@ -70,6 +72,8 @@ TEST(CheckpointTest, RoundTripIsExact) {
   ASSERT_TRUE(read.ok()) << read.status().ToString();
   EXPECT_EQ(read->shard_id, written.shard_id);
   EXPECT_EQ(read->num_shards, written.num_shards);
+  EXPECT_EQ(read->catalog_version, written.catalog_version);
+  EXPECT_EQ(read->tuple_watermark, written.tuple_watermark);
   EXPECT_EQ(read->group_indices, written.group_indices);
   ASSERT_EQ(read->results.size(), written.results.size());
   for (size_t g = 0; g < written.results.size(); ++g) {
@@ -159,7 +163,8 @@ TEST(CheckpointTest, VersionMismatchIsFailedPrecondition) {
   ASSERT_TRUE(WriteShardCheckpoint(dir, MakeCheckpoint()).ok());
   const std::string path = ShardCheckpointPath(dir, 2);
   std::string text = ReadFile(path);
-  const std::string key = "\"distinct_shard_checkpoint\":1";
+  const std::string key = "\"distinct_shard_checkpoint\":" +
+                          std::to_string(ShardCheckpoint::kFormatVersion);
   const size_t at = text.find(key);
   ASSERT_NE(at, std::string::npos);
   text.replace(at, key.size(), "\"distinct_shard_checkpoint\":999");
@@ -180,6 +185,35 @@ TEST(CheckpointTest, WrongShardIdIsDataLoss) {
   auto read = ReadShardCheckpoint(dir, 0);
   ASSERT_FALSE(read.ok());
   EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
+// A write that dies between creating shard-N.json.tmp and renaming it into
+// place leaves the tmp file behind; startup cleanup must remove exactly
+// those, leaving data files, markers, and unrelated names alone.
+TEST(CheckpointTest, CleanupRemovesOnlyOrphanedTmpFiles) {
+  const std::string dir = MakeCheckpointDir("ckpt_tmp_cleanup");
+  ASSERT_TRUE(WriteShardCheckpoint(dir, MakeCheckpoint()).ok());
+  WriteFile(dir + "/shard-0.json.tmp", "{ torn");
+  WriteFile(dir + "/shard-17.json.tmp", "");
+  WriteFile(dir + "/notes.txt", "keep me");
+  WriteFile(dir + "/shard-.json.tmp", "keep me too");  // no shard id
+
+  EXPECT_EQ(CleanupCheckpointTmpFiles(dir), 2);
+  EXPECT_FALSE(fs::exists(dir + "/shard-0.json.tmp"));
+  EXPECT_FALSE(fs::exists(dir + "/shard-17.json.tmp"));
+  EXPECT_TRUE(fs::exists(dir + "/notes.txt"));
+  EXPECT_TRUE(fs::exists(dir + "/shard-.json.tmp"));
+  // The completed checkpoint survives and still reads back.
+  EXPECT_TRUE(ShardCheckpointComplete(dir, 2));
+  EXPECT_TRUE(ReadShardCheckpoint(dir, 2).ok());
+  // Second pass finds nothing.
+  EXPECT_EQ(CleanupCheckpointTmpFiles(dir), 0);
+}
+
+TEST(CheckpointTest, CleanupOfMissingDirectoryIsZero) {
+  const fs::path gone = fs::path(::testing::TempDir()) / "ckpt_never_made";
+  fs::remove_all(gone);
+  EXPECT_EQ(CleanupCheckpointTmpFiles(gone.string()), 0);
 }
 
 TEST(CheckpointTest, AssignmentSizeMismatchIsDataLoss) {

@@ -51,6 +51,53 @@ TEST(ParseCsvTest, CrLfLineEndings) {
   EXPECT_EQ((*records)[1][0].value, "1");
 }
 
+TEST(ParseCsvTest, CrLfKeepsTrailingField) {
+  // The field before the CRLF terminator must survive intact — including
+  // when it is the record's last, empty (NULL), or quoted-empty field.
+  auto records = ParseCsv("a,b,c\r\nx,,\"\"\r\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  ASSERT_EQ((*records)[1].size(), 3u);
+  EXPECT_EQ((*records)[1][0].value, "x");
+  EXPECT_EQ((*records)[1][1].value, "");
+  EXPECT_FALSE((*records)[1][1].quoted);  // NULL
+  EXPECT_TRUE((*records)[1][2].quoted);   // empty string
+}
+
+TEST(ParseCsvTest, LoneCarriageReturnIsData) {
+  // A '\r' not followed by '\n' (and not at end of input) is field data,
+  // not a record terminator; the old parser silently dropped it.
+  auto records = ParseCsv("a\rb,c\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0][0].value, "a\rb");
+  EXPECT_EQ((*records)[0][1].value, "c");
+}
+
+TEST(ParseCsvTest, CarriageReturnAtEndOfInputEndsTheRecord) {
+  auto records = ParseCsv("a,b\r");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  ASSERT_EQ((*records)[0].size(), 2u);
+  EXPECT_EQ((*records)[0][1].value, "b");
+}
+
+TEST(ParseCsvTest, QuotedFieldBeforeCrLf) {
+  auto records = ParseCsv("\"x,y\"\r\n\"z\"\r\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0][0].value, "x,y");
+  EXPECT_EQ((*records)[1][0].value, "z");
+}
+
+TEST(ParseCsvTest, QuotedFieldKeepsEmbeddedCrLf) {
+  auto records = ParseCsv("\"line1\r\nline2\",\"tail\rcr\"\r\n");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0][0].value, "line1\r\nline2");
+  EXPECT_EQ((*records)[0][1].value, "tail\rcr");
+}
+
 TEST(ParseCsvTest, MissingTrailingNewline) {
   auto records = ParseCsv("a,b\n1,2");
   ASSERT_TRUE(records.ok());
@@ -102,6 +149,49 @@ TEST(CsvRoundTripTest, TableSurvives) {
   EXPECT_EQ(copy.GetString(2, 1), "");
   EXPECT_FALSE(copy.IsNull(2, 1));
   EXPECT_EQ(copy.GetInt(2, 2), 0);
+}
+
+TEST(CsvRoundTripTest, CrlfFixtureSurvives) {
+  // A table written with Unix newlines must import identically after the
+  // file was rewritten with CRLF line endings (values containing CR/LF
+  // are quoted by TableToCsv, so only record terminators are rewritten).
+  Table table = MakeTable();
+  ASSERT_TRUE(table
+                  .AppendRow({Value::Int(1), Value::Str("line1\nline2"),
+                              Value::Int(30)})
+                  .ok());
+  ASSERT_TRUE(table
+                  .AppendRow({Value::Int(2), Value::Str("cr\rinside"),
+                              Value::Null()})
+                  .ok());
+  ASSERT_TRUE(
+      table.AppendRow({Value::Int(3), Value::Str("plain"), Value::Int(7)})
+          .ok());
+
+  std::string csv = TableToCsv(table);
+  // Rewrite bare record terminators as CRLF (quoted newlines untouched:
+  // walk the quoting state like a CRLF-producing writer would).
+  std::string crlf;
+  bool in_quotes = false;
+  for (const char c : csv) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+    }
+    if (c == '\n' && !in_quotes) {
+      crlf += '\r';
+    }
+    crlf += c;
+  }
+
+  Table copy = MakeTable();
+  auto appended = AppendCsvToTable(crlf, copy);
+  ASSERT_TRUE(appended.ok());
+  ASSERT_EQ(*appended, 3);
+  EXPECT_EQ(copy.GetString(0, 1), "line1\nline2");
+  EXPECT_EQ(copy.GetString(1, 1), "cr\rinside");
+  EXPECT_TRUE(copy.IsNull(1, 2));
+  EXPECT_EQ(copy.GetString(2, 1), "plain");
+  EXPECT_EQ(copy.GetInt(2, 2), 7);
 }
 
 TEST(CsvImportTest, HeaderValidation) {
