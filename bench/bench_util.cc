@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
+
+#include <unistd.h>
 
 #include "common/string_util.h"
 #include "dblp/schema.h"
@@ -69,11 +72,44 @@ void BenchJson::Add(const std::string& key, const std::string& value) {
   entries_.push_back(std::move(entry));
 }
 
+namespace {
+
+/// Run provenance stamped into every BENCH_*.json so the regression gate
+/// (tools/bench_gate) can annotate which machine/build/commit produced each
+/// side of a comparison.
+void WriteProvenance(obs::JsonWriter& json) {
+  char host[256] = {};
+  if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    json.Key("run_host");
+    json.Value(std::string(host));
+  }
+  json.Key("run_threads");
+  json.Value(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  json.Key("run_build");
+#ifdef NDEBUG
+  json.Value("release");
+#else
+  json.Value("debug");
+#endif
+  // CI exports GITHUB_SHA; local builds can set DISTINCT_GIT_SHA.
+  const char* sha = std::getenv("DISTINCT_GIT_SHA");
+  if (sha == nullptr || *sha == '\0') {
+    sha = std::getenv("GITHUB_SHA");
+  }
+  if (sha != nullptr && *sha != '\0') {
+    json.Key("run_git_sha");
+    json.Value(std::string(sha));
+  }
+}
+
+}  // namespace
+
 std::string BenchJson::Write() const {
   obs::JsonWriter json;
   json.BeginObject();
   json.Key("bench");
   json.Value(name_);
+  WriteProvenance(json);
   for (const Entry& entry : entries_) {
     json.Key(entry.key);
     switch (entry.kind) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,9 +33,12 @@
 #include "dblp/dataset_io.h"
 #include "dblp/schema.h"
 #include "dblp/stats.h"
+#include "obs/heartbeat.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "sim/similarity_model_io.h"
 
 namespace {
@@ -94,18 +98,80 @@ void Usage() {
                "                --kernel=fused|reference "
                "--kernel-pruning\n"
                "                --verbosity=0|1|2\n"
-               "                --report --metrics-json=FILE\n"
+               "                --report --metrics-json=FILE "
+               "--trace-json=FILE\n"
                "  generate: --seed=N\n"
                "  resolve:  --name=\"Wei Wang\"\n"
                "  scan:     --min-refs=N --threads=N --shards=N\n"
                "            --scan-memory-mb=N --checkpoint-dir=DIR "
                "--resume\n"
+               "            --heartbeat=FILE --progress-interval=SECONDS\n"
                "  append:   --delta=DIR [--verify] [--min-refs=N]\n");
 }
 
 /// Tables attached to the run report by subcommands (the scan's shard
 /// table); collected by main() after the command finishes.
 std::vector<obs::ReportTable> g_report_tables;
+
+/// --trace-json was requested; subcommands that shard turn on per-shard
+/// trace fragments when this is set.
+bool g_want_trace = false;
+
+/// Where the sharded scan wrote trace fragments (and for how many shards);
+/// set by RunScan so main() can merge them into the exported trace.
+std::string g_trace_fragment_dir;
+int g_trace_fragment_shards = 0;
+
+/// Progress counters the scan publishes for the heartbeat reporter.
+obs::ProgressState g_progress;
+
+/// The driver timeline for a fragment-merged trace: every recorded span
+/// except strict descendants of "scan_shard" spans — those live in their
+/// shard's fragment (pid shard+1). The scan_shard marker itself stays in
+/// the driver row as the shard boundary.
+std::vector<obs::SpanRecord> DriverSpans(
+    const std::vector<obs::SpanRecord>& spans) {
+  std::vector<int> remap(spans.size(), -1);
+  std::vector<char> dropped(spans.size(), 0);
+  std::vector<obs::SpanRecord> out;
+  out.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const obs::SpanRecord& span = spans[i];
+    if (span.parent >= 0) {
+      const auto p = static_cast<size_t>(span.parent);
+      if (dropped[p] != 0 || spans[p].name == "scan_shard") {
+        dropped[i] = 1;
+        continue;
+      }
+    }
+    remap[i] = static_cast<int>(out.size());
+    obs::SpanRecord copy = span;
+    copy.parent = span.parent >= 0 ? remap[static_cast<size_t>(span.parent)]
+                                   : -1;
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+/// Exports the span tree as Chrome-trace JSON, merging per-shard fragments
+/// when the scan wrote them.
+Status ExportTrace(const std::string& path) {
+  const std::vector<obs::SpanRecord> spans = obs::Tracer::Global().Snapshot();
+  std::vector<obs::TraceProcess> processes;
+  if (!g_trace_fragment_dir.empty()) {
+    auto merged = obs::CollectShardedTrace(
+        DriverSpans(spans), g_trace_fragment_dir, g_trace_fragment_shards);
+    DISTINCT_RETURN_IF_ERROR(merged.status());
+    processes = *std::move(merged);
+  } else {
+    obs::TraceProcess driver;
+    driver.pid = 0;
+    driver.name = "driver";
+    driver.spans = spans;
+    processes.push_back(std::move(driver));
+  }
+  return obs::WriteChromeTrace(path, processes);
+}
 
 /// Applies --kernel / --kernel-pruning (shared by every engine-building
 /// command).
@@ -286,6 +352,12 @@ int RunScan(const FlagParser& flags) {
     options.num_threads = threads;
     options.checkpoint_dir = checkpoint_dir;
     options.resume = resume;
+    options.write_trace_fragments = g_want_trace;
+    options.progress = &g_progress;
+    if (g_want_trace && !checkpoint_dir.empty()) {
+      g_trace_fragment_dir = checkpoint_dir;
+      g_trace_fragment_shards = *shards;
+    }
     auto sharded_result = RunShardedScan(*engine, *groups, options);
     if (!sharded_result.ok()) return Fail(sharded_result.status());
     results = std::move(sharded_result->results);
@@ -494,6 +566,16 @@ int main(int argc, char** argv) {
                 "print a per-stage metrics report after the command");
   flags.AddString("metrics-json", "",
                   "write the structured run report as JSON to this file");
+  flags.AddString("trace-json", "",
+                  "write the span tree as Chrome-trace/Perfetto JSON to "
+                  "this file (sharded scans with --checkpoint-dir merge "
+                  "per-shard fragments, including resumed shards)");
+  flags.AddString("heartbeat", "",
+                  "scan: atomically rewrite this JSON heartbeat file every "
+                  "--progress-interval seconds (progress, refs/s, ETA, RSS) "
+                  "and print a progress line at verbosity >= 1");
+  flags.AddDouble("progress-interval", 10.0,
+                  "seconds between heartbeat samples");
   if (Status s = flags.Parse(argc - 2, argv + 2); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
                  flags.Help().c_str());
@@ -508,11 +590,32 @@ int main(int argc, char** argv) {
   }
   SetLogVerbosity(*verbosity);
   const std::string metrics_json = flags.GetString("metrics-json");
+  const std::string trace_json = flags.GetString("trace-json");
+  g_want_trace = !trace_json.empty();
   const bool want_report = flags.GetBool("report") || !metrics_json.empty();
-  if (want_report) {
+  if (want_report || g_want_trace) {
     obs::SetEnabled(true);
     obs::MetricsRegistry::Global().Reset();
     obs::Tracer::Global().Reset();
+    obs::MemoryTracker::Global().Reset();
+  }
+
+  std::unique_ptr<obs::HeartbeatReporter> heartbeat;
+  const std::string heartbeat_path = flags.GetString("heartbeat");
+  if (!heartbeat_path.empty()) {
+    auto interval =
+        DoubleFlagInRange(flags, "progress-interval", 0.01, 86400.0);
+    if (!interval.ok()) {
+      std::fprintf(stderr, "%s\n%s", interval.status().ToString().c_str(),
+                   flags.Help().c_str());
+      return 1;
+    }
+    obs::HeartbeatReporter::Options beat;
+    beat.file_path = heartbeat_path;
+    beat.interval_seconds = *interval;
+    beat.print_progress = *verbosity >= 1;
+    beat.label = command;
+    heartbeat = std::make_unique<obs::HeartbeatReporter>(beat, &g_progress);
   }
 
   int exit_code = 1;
@@ -533,6 +636,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (heartbeat != nullptr) {
+    heartbeat->Stop();  // terminal beat: the file ends at the final state
+  }
+  if (g_want_trace) {
+    if (Status s = ExportTrace(trace_json); !s.ok()) {
+      return Fail(s);
+    }
+    DISTINCT_LOG(INFO) << "wrote trace to " << trace_json;
+  }
   if (want_report) {
     obs::RunReport run_report = obs::CollectRunReport(command);
     run_report.tables = std::move(g_report_tables);

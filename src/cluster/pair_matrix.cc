@@ -7,7 +7,11 @@
 namespace distinct {
 
 PairMatrix::PairMatrix(size_t n, double init)
-    : n_(n), cells_(n < 2 ? 0 : n * (n - 1) / 2, init) {}
+    : n_(n),
+      cells_(n < 2 ? 0 : n * (n - 1) / 2, init),
+      tracked_(obs::MemoryTracker::kPairMatrix) {
+  tracked_.Set(static_cast<int64_t>(cells_.capacity() * sizeof(double)));
+}
 
 size_t PairMatrix::Index(size_t i, size_t j) const {
   DISTINCT_DCHECK(i < n_ && j < n_ && i != j);

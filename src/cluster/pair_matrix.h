@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/memory.h"
+
 namespace distinct {
 
 /// Dense symmetric matrix with O(n^2/2) storage.
@@ -33,6 +35,7 @@ class PairMatrix {
 
   size_t n_;
   std::vector<double> cells_;
+  obs::TrackedBytes tracked_;  // kPairMatrix gauge (obs/memory.h)
 };
 
 }  // namespace distinct

@@ -10,7 +10,9 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/json_reader.h"
 #include "obs/json_writer.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 
 namespace distinct {
@@ -107,288 +109,18 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
-// Minimal JSON reader — just enough to parse what WriteShardCheckpoint
-// emits (the library is otherwise write-only, see obs/json_writer.h).
-// Objects keep member order; numbers stay int64 when written without a
-// fraction/exponent so ids round-trip exactly, and doubles round-trip via
-// the writer's %.17g.
+// JSON parsing is the shared obs::JsonReader (obs/json_reader.h), which
+// keeps the int64-exact / %.17g round-trip guarantees checkpoints rely on.
 // ---------------------------------------------------------------------------
 
-struct JsonValue {
-  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+using obs::JsonReader;
+using obs::JsonValue;
 
-  Kind kind = Kind::kNull;
-  bool bool_value = false;
-  int64_t int_value = 0;
-  double double_value = 0.0;
-  std::string string_value;
-  std::vector<JsonValue> items;                               // kArray
-  std::vector<std::pair<std::string, JsonValue>> members;     // kObject
+constexpr char kJsonContext[] = "checkpoint JSON";
 
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [name, value] : members) {
-      if (name == key) {
-        return &value;
-      }
-    }
-    return nullptr;
-  }
-
-  double AsDouble() const {
-    return kind == Kind::kInt ? static_cast<double>(int_value) : double_value;
-  }
-};
-
-class JsonReader {
- public:
-  explicit JsonReader(std::string_view text) : text_(text) {}
-
-  StatusOr<JsonValue> Parse() {
-    auto value = ParseValue(0);
-    DISTINCT_RETURN_IF_ERROR(value.status());
-    SkipWhitespace();
-    if (pos_ != text_.size()) {
-      return Corrupt("trailing bytes after the JSON document");
-    }
-    return value;
-  }
-
- private:
-  static constexpr int kMaxDepth = 64;
-
-  Status Corrupt(const std::string& what) const {
-    return DataLossError(StrFormat("checkpoint JSON: %s at byte %zu",
-                                   what.c_str(), pos_));
-  }
-
-  void SkipWhitespace() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
-        break;
-      }
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  StatusOr<JsonValue> ParseValue(int depth) {
-    if (depth > kMaxDepth) {
-      return Corrupt("nesting too deep");
-    }
-    SkipWhitespace();
-    if (pos_ >= text_.size()) {
-      return Corrupt("truncated document");
-    }
-    const char c = text_[pos_];
-    switch (c) {
-      case '{':
-        return ParseObject(depth);
-      case '[':
-        return ParseArray(depth);
-      case '"':
-        return ParseString();
-      case 't':
-      case 'f':
-        return ParseLiteralBool();
-      case 'n':
-        return ParseLiteralNull();
-      default:
-        return ParseNumber();
-    }
-  }
-
-  StatusOr<JsonValue> ParseObject(int depth) {
-    ++pos_;  // '{'
-    JsonValue value;
-    value.kind = JsonValue::Kind::kObject;
-    SkipWhitespace();
-    if (Consume('}')) {
-      return value;
-    }
-    for (;;) {
-      SkipWhitespace();
-      auto key = ParseString();
-      DISTINCT_RETURN_IF_ERROR(key.status());
-      SkipWhitespace();
-      if (!Consume(':')) {
-        return Corrupt("expected ':' after object key");
-      }
-      auto member = ParseValue(depth + 1);
-      DISTINCT_RETURN_IF_ERROR(member.status());
-      value.members.emplace_back(std::move(key->string_value),
-                                 *std::move(member));
-      SkipWhitespace();
-      if (Consume(',')) {
-        continue;
-      }
-      if (Consume('}')) {
-        return value;
-      }
-      return Corrupt("expected ',' or '}' in object");
-    }
-  }
-
-  StatusOr<JsonValue> ParseArray(int depth) {
-    ++pos_;  // '['
-    JsonValue value;
-    value.kind = JsonValue::Kind::kArray;
-    SkipWhitespace();
-    if (Consume(']')) {
-      return value;
-    }
-    for (;;) {
-      auto item = ParseValue(depth + 1);
-      DISTINCT_RETURN_IF_ERROR(item.status());
-      value.items.push_back(*std::move(item));
-      SkipWhitespace();
-      if (Consume(',')) {
-        continue;
-      }
-      if (Consume(']')) {
-        return value;
-      }
-      return Corrupt("expected ',' or ']' in array");
-    }
-  }
-
-  StatusOr<JsonValue> ParseString() {
-    if (!Consume('"')) {
-      return Corrupt("expected '\"'");
-    }
-    JsonValue value;
-    value.kind = JsonValue::Kind::kString;
-    std::string& out = value.string_value;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') {
-        return value;
-      }
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        break;
-      }
-      const char escape = text_[pos_++];
-      switch (escape) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            return Corrupt("truncated \\u escape");
-          }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return Corrupt("bad \\u escape digit");
-            }
-          }
-          // The writer only \u-escapes control characters (< 0x20); decode
-          // the BMP generally anyway.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else if (code < 0x800) {
-            out += static_cast<char>(0xC0 | (code >> 6));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
-            out += static_cast<char>(0xE0 | (code >> 12));
-            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-            out += static_cast<char>(0x80 | (code & 0x3F));
-          }
-          break;
-        }
-        default:
-          return Corrupt("unknown escape");
-      }
-    }
-    return Corrupt("unterminated string");
-  }
-
-  StatusOr<JsonValue> ParseLiteralBool() {
-    if (text_.compare(pos_, 4, "true") == 0) {
-      pos_ += 4;
-      JsonValue value;
-      value.kind = JsonValue::Kind::kBool;
-      value.bool_value = true;
-      return value;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      pos_ += 5;
-      JsonValue value;
-      value.kind = JsonValue::Kind::kBool;
-      return value;
-    }
-    return Corrupt("bad literal");
-  }
-
-  StatusOr<JsonValue> ParseLiteralNull() {
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return JsonValue{};
-    }
-    return Corrupt("bad literal");
-  }
-
-  StatusOr<JsonValue> ParseNumber() {
-    const size_t start = pos_;
-    bool floating = false;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if ((c >= '0' && c <= '9') || c == '-' || c == '+') {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E') {
-        floating = true;
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    const std::string_view token = text_.substr(start, pos_ - start);
-    JsonValue value;
-    if (floating) {
-      auto parsed = ParseDouble(token);
-      if (!parsed.has_value()) {
-        return Corrupt("bad number");
-      }
-      value.kind = JsonValue::Kind::kDouble;
-      value.double_value = *parsed;
-    } else {
-      auto parsed = ParseInt64(token);
-      if (!parsed.has_value()) {
-        return Corrupt("bad number");
-      }
-      value.kind = JsonValue::Kind::kInt;
-      value.int_value = *parsed;
-    }
-    return value;
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
+StatusOr<int64_t> RequireInt(const JsonValue& object, const char* key) {
+  return obs::RequireInt(object, key, kJsonContext);
+}
 
 // ---------------------------------------------------------------------------
 // Checkpoint (de)serialization.
@@ -436,17 +168,9 @@ std::string CheckpointToJson(const ShardCheckpoint& checkpoint) {
   return json.str();
 }
 
-StatusOr<int64_t> RequireInt(const JsonValue& object, const char* key) {
-  const JsonValue* value = object.Find(key);
-  if (value == nullptr || value->kind != JsonValue::Kind::kInt) {
-    return DataLossError(StrFormat("checkpoint JSON: missing int '%s'", key));
-  }
-  return value->int_value;
-}
-
 StatusOr<ShardCheckpoint> CheckpointFromJson(const std::string& text,
                                              int expected_shard_id) {
-  auto root = JsonReader(text).Parse();
+  auto root = JsonReader(text, kJsonContext).Parse();
   DISTINCT_RETURN_IF_ERROR(root.status());
   if (root->kind != JsonValue::Kind::kObject) {
     return DataLossError("checkpoint JSON: top level is not an object");
@@ -567,6 +291,10 @@ Status WriteShardCheckpoint(const std::string& dir,
   }
 
   const std::string json = CheckpointToJson(checkpoint);
+  // The serialized buffer lives until this function returns; hold it
+  // against the kCheckpoint gauge so its peak shows up in the report.
+  obs::TrackedBytes buffer_bytes(obs::MemoryTracker::kCheckpoint);
+  buffer_bytes.Set(static_cast<int64_t>(json.capacity()));
   const std::string path = ShardCheckpointPath(dir, checkpoint.shard_id);
   const std::string tmp = path + ".tmp";
   // A failed write or rename must not leak the tmp file: the retry path
@@ -607,6 +335,8 @@ StatusOr<ShardCheckpoint> ReadShardCheckpoint(const std::string& dir,
   }
   auto text = ReadFileToString(ShardCheckpointPath(dir, shard_id));
   DISTINCT_RETURN_IF_ERROR(text.status());
+  obs::TrackedBytes buffer_bytes(obs::MemoryTracker::kCheckpoint);
+  buffer_bytes.Set(static_cast<int64_t>(text->capacity()));
   auto checkpoint = CheckpointFromJson(*text, shard_id);
   if (checkpoint.ok()) {
     DISTINCT_COUNTER_ADD("scan.checkpoints_read", 1);

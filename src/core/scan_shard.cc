@@ -10,8 +10,10 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/checkpoint.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "sim/parallel_kernel.h"
 #include "sim/profile_store.h"
 
@@ -72,6 +74,7 @@ Status ResolveShardGroups(const Distinct& engine,
                           const std::vector<NameGroup>& groups,
                           const std::vector<size_t>& indices,
                           const ShardBudget& budget,
+                          obs::ProgressState* progress,
                           std::vector<BulkResolution>* out) {
   const bool dense = engine.config().propagation.algorithm ==
                      PropagationAlgorithm::kWorkspace;
@@ -83,6 +86,11 @@ Status ResolveShardGroups(const Distinct& engine,
       paths.empty() ? 0
                     : engine.propagation_engine().link().NumTuples(
                           paths.front().start_node);
+  // Admission is measured, not just estimated: bytes the tracked
+  // subsystems already hold (engine-level memo entries, arenas from prior
+  // work) count against the budget alongside the group's matrix estimate.
+  const int64_t standing_bytes =
+      obs::MemoryTracker::Global().TrackedTotalBytes();
   for (const size_t g : indices) {
     const NameGroup& group = groups[g];
     for (const int32_t ref : group.refs) {
@@ -96,12 +104,14 @@ Status ResolveShardGroups(const Distinct& engine,
     if (budget.budget_bytes > 0) {
       const int64_t matrix_bytes =
           EstimatedGroupMatrixBytes(static_cast<int64_t>(group.refs.size()));
-      if (matrix_bytes > budget.budget_bytes) {
+      if (standing_bytes + matrix_bytes > budget.budget_bytes) {
         return OutOfRangeError(StrFormat(
-            "group '%s' (%zu refs) needs ~%lld bytes of pair matrices, "
-            "over the %lld-byte shard budget",
+            "group '%s' (%zu refs) needs ~%lld bytes of pair matrices on "
+            "top of %lld measured resident bytes, over the %lld-byte shard "
+            "budget",
             group.name.c_str(), group.refs.size(),
             static_cast<long long>(matrix_bytes),
+            static_cast<long long>(standing_bytes),
             static_cast<long long>(budget.budget_bytes)));
       }
     }
@@ -138,6 +148,12 @@ Status ResolveShardGroups(const Distinct& engine,
       resolution.num_refs = group.refs.size();
       resolution.clustering = ClusterReferences(
           matrices.first, matrices.second, cluster_options);
+      if (progress != nullptr) {
+        progress->groups_done.fetch_add(1, std::memory_order_relaxed);
+        progress->refs_done.fetch_add(
+            static_cast<int64_t>(group.refs.size()),
+            std::memory_order_relaxed);
+      }
     });
   }
   return Status::Ok();
@@ -275,6 +291,22 @@ StatusOr<ShardedScanResult> RunShardedScan(
                                              budget.budget_bytes >> 20))
                              : std::string());
 
+  if (options.progress != nullptr) {
+    int64_t total_refs = 0;
+    for (const NameGroup& group : groups) {
+      total_refs += static_cast<int64_t>(group.refs.size());
+    }
+    options.progress->shards_total.store(plan.num_shards(),
+                                         std::memory_order_relaxed);
+    options.progress->groups_total.store(
+        static_cast<int64_t>(groups.size()), std::memory_order_relaxed);
+    options.progress->refs_total.store(total_refs,
+                                       std::memory_order_relaxed);
+  }
+  const bool write_fragments = options.write_trace_fragments &&
+                               !options.checkpoint_dir.empty() &&
+                               obs::Enabled();
+
   ShardedScanResult result;
   result.shards.reserve(static_cast<size_t>(plan.num_shards()));
   // Resolutions keyed by planned group index; merged in order at the end.
@@ -309,15 +341,28 @@ StatusOr<ShardedScanResult> RunShardedScan(
       DISTINCT_COUNTER_ADD("scan.shards_resumed", 1);
       DISTINCT_LOG(INFO) << "scan: shard " << s << " resumed from "
                          << ShardCheckpointPath(options.checkpoint_dir, s);
+      if (options.progress != nullptr) {
+        // A resumed shard's groups were produced by the previous process;
+        // count them done wholesale (its fragment, if any, is kept as-is).
+        options.progress->shards_done.fetch_add(1,
+                                                std::memory_order_relaxed);
+        options.progress->groups_done.fetch_add(outcome.num_groups,
+                                                std::memory_order_relaxed);
+        options.progress->refs_done.fetch_add(outcome.num_refs,
+                                              std::memory_order_relaxed);
+      }
       result.shards.push_back(std::move(outcome));
       continue;
     }
 
+    // Spans recorded from here on belong to this shard's trace fragment.
+    const size_t span_base =
+        write_fragments ? obs::Tracer::Global().Snapshot().size() : 0;
     std::vector<BulkResolution> shard_results;
     Status shard_status = [&] {
       DISTINCT_TRACE_SPAN("scan_shard");
       return ResolveShardGroups(engine, groups, indices, budget,
-                                &shard_results);
+                                options.progress, &shard_results);
     }();
     if (shard_status.ok() && !options.checkpoint_dir.empty()) {
       ShardCheckpoint checkpoint;
@@ -350,6 +395,34 @@ StatusOr<ShardedScanResult> RunShardedScan(
       DISTINCT_HISTOGRAM_RECORD(
           "scan.shard_nanos",
           static_cast<int64_t>(outcome.seconds * 1e9));
+    }
+    if (write_fragments) {
+      // Re-root this shard's spans so the fragment stands alone: parents
+      // outside the shard's slice (the open sharded_scan span) become
+      // roots. Fragments are advisory — a write failure is logged, never
+      // fails the shard.
+      std::vector<obs::SpanRecord> spans = obs::Tracer::Global().Snapshot();
+      std::vector<obs::SpanRecord> shard_spans(
+          spans.begin() + static_cast<ptrdiff_t>(
+                              std::min(span_base, spans.size())),
+          spans.end());
+      for (obs::SpanRecord& span : shard_spans) {
+        span.parent = span.parent >= static_cast<int>(span_base)
+                          ? span.parent - static_cast<int>(span_base)
+                          : -1;
+      }
+      const Status written = obs::WriteTraceFragment(
+          obs::TraceFragmentPath(options.checkpoint_dir, s), shard_spans);
+      if (!written.ok()) {
+        DISTINCT_LOG(WARN) << "scan: shard " << s
+                           << " trace fragment not written: "
+                           << written.ToString();
+      }
+    }
+    if (options.progress != nullptr) {
+      // Failed shards count as done shards (they will not run again) but
+      // their groups stay pending-forever — the gap is the signal.
+      options.progress->shards_done.fetch_add(1, std::memory_order_relaxed);
     }
     result.shards.push_back(std::move(outcome));
   }

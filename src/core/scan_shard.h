@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/scan.h"
+#include "obs/heartbeat.h"
 
 namespace distinct {
 
@@ -71,6 +72,17 @@ struct ShardedScanOptions {
   /// one that is complete but corrupt or from a different plan fails the
   /// scan with a clean error rather than silently recomputing.
   bool resume = false;
+  /// Persist each shard's spans as trace-shard-<id>.json next to its
+  /// checkpoint (requires checkpoint_dir and an enabled tracer). The
+  /// fragments survive the process, so a resumed scan's merged trace
+  /// (obs::CollectShardedTrace) still covers shards the previous run
+  /// finished.
+  bool write_trace_fragments = false;
+  /// When non-null, the scan publishes totals up front and bumps the done
+  /// counters as groups resolve — the feed for obs::HeartbeatReporter.
+  /// Must outlive the scan. Groups of failed shards stay un-done: the
+  /// terminal heartbeat shows exactly what was processed.
+  obs::ProgressState* progress = nullptr;
 };
 
 enum class ShardState {

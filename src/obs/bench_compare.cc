@@ -1,0 +1,278 @@
+#include "obs/bench_compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "obs/json_reader.h"
+
+namespace distinct {
+namespace obs {
+
+namespace {
+
+constexpr char kBenchContext[] = "bench artifact";
+
+// Below this magnitude a relative comparison degenerates; fall back to an
+// absolute |current - baseline| <= threshold check.
+constexpr double kRelativeFloor = 1e-12;
+
+}  // namespace
+
+StatusOr<BenchArtifact> ParseBenchArtifact(const std::string& json_text) {
+  auto root = JsonReader(json_text, kBenchContext).Parse();
+  DISTINCT_RETURN_IF_ERROR(root.status());
+  if (root->kind != JsonValue::Kind::kObject) {
+    return DataLossError("bench artifact: top level is not an object");
+  }
+  BenchArtifact artifact;
+  for (const auto& member : root->members) {
+    const std::string& key = member.first;
+    const JsonValue& value = member.second;
+    switch (value.kind) {
+      case JsonValue::Kind::kInt:
+      case JsonValue::Kind::kDouble:
+        artifact.metrics[key] = value.AsDouble();
+        break;
+      case JsonValue::Kind::kString:
+        if (key == "bench") {
+          artifact.name = value.string_value;
+        } else {
+          artifact.info[key] = value.string_value;
+        }
+        break;
+      case JsonValue::Kind::kBool:
+        artifact.metrics[key] = value.bool_value ? 1.0 : 0.0;
+        break;
+      default:
+        // Nested values have no gating semantics; ignore rather than fail
+        // so future schema growth does not break old gates.
+        break;
+    }
+  }
+  if (artifact.name.empty()) {
+    return DataLossError("bench artifact: missing 'bench' name field");
+  }
+  return artifact;
+}
+
+StatusOr<BenchArtifact> LoadBenchArtifact(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return NotFoundError("bench artifact: no file '" + path + "'");
+  }
+  std::string text;
+  char buffer[1 << 14];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  auto artifact = ParseBenchArtifact(text);
+  if (!artifact.ok()) {
+    return Status(artifact.status().code(),
+                  path + ": " + artifact.status().message());
+  }
+  return artifact;
+}
+
+const char* GateDirectionName(GateRule::Direction direction) {
+  switch (direction) {
+    case GateRule::Direction::kHigherIsBetter:
+      return "higher";
+    case GateRule::Direction::kLowerIsBetter:
+      return "lower";
+    case GateRule::Direction::kEqual:
+      return "equal";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<GateRule>> ParseGateRules(const std::string& text) {
+  std::vector<GateRule> rules;
+  std::istringstream lines(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    GateRule rule;
+    std::string direction;
+    std::string threshold;
+    if (!(fields >> rule.bench)) {
+      continue;  // blank or comment-only line
+    }
+    if (!(fields >> rule.metric >> direction >> threshold)) {
+      return InvalidArgumentError(StrFormat(
+          "gate rules line %d: want 'bench metric direction threshold'",
+          line_number));
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return InvalidArgumentError(StrFormat(
+          "gate rules line %d: trailing field '%s'", line_number,
+          extra.c_str()));
+    }
+    if (direction == "higher") {
+      rule.direction = GateRule::Direction::kHigherIsBetter;
+    } else if (direction == "lower") {
+      rule.direction = GateRule::Direction::kLowerIsBetter;
+    } else if (direction == "equal") {
+      rule.direction = GateRule::Direction::kEqual;
+    } else {
+      return InvalidArgumentError(StrFormat(
+          "gate rules line %d: direction '%s' is not higher|lower|equal",
+          line_number, direction.c_str()));
+    }
+    const auto parsed = ParseDouble(threshold);
+    if (!parsed.has_value() || *parsed < 0.0 || !std::isfinite(*parsed)) {
+      return InvalidArgumentError(StrFormat(
+          "gate rules line %d: threshold '%s' is not a finite number >= 0",
+          line_number, threshold.c_str()));
+    }
+    rule.threshold = *parsed;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+GateReport EvaluateGate(
+    const std::vector<GateRule>& rules,
+    const std::map<std::string, BenchArtifact>& baselines,
+    const std::map<std::string, BenchArtifact>& currents) {
+  GateReport report;
+  report.checks.reserve(rules.size());
+  for (const GateRule& rule : rules) {
+    GateCheck check;
+    check.rule = rule;
+    const auto baseline_it = baselines.find(rule.bench);
+    const auto current_it = currents.find(rule.bench);
+    if (baseline_it == baselines.end()) {
+      check.detail = "missing baseline artifact";
+    } else if (current_it == currents.end()) {
+      check.detail = "missing current artifact";
+    } else {
+      const auto base_metric = baseline_it->second.metrics.find(rule.metric);
+      const auto cur_metric = current_it->second.metrics.find(rule.metric);
+      if (base_metric == baseline_it->second.metrics.end()) {
+        check.detail = "metric absent from baseline";
+      } else if (cur_metric == current_it->second.metrics.end()) {
+        check.detail = "metric absent from current run";
+      } else {
+        check.baseline = base_metric->second;
+        check.current = cur_metric->second;
+        const double magnitude = std::fabs(check.baseline);
+        const double delta = check.current - check.baseline;
+        if (magnitude < kRelativeFloor) {
+          // Relative change is undefined against a ~zero baseline; gate
+          // the absolute deviation instead.
+          check.relative_change = 0.0;
+          check.ok = std::fabs(delta) <= rule.threshold;
+          if (!check.ok) {
+            check.detail = "absolute deviation from ~zero baseline";
+          }
+        } else {
+          check.relative_change = delta / magnitude;
+          switch (rule.direction) {
+            case GateRule::Direction::kHigherIsBetter:
+              check.ok = check.relative_change >= -rule.threshold;
+              break;
+            case GateRule::Direction::kLowerIsBetter:
+              check.ok = check.relative_change <= rule.threshold;
+              break;
+            case GateRule::Direction::kEqual:
+              check.ok = std::fabs(check.relative_change) <= rule.threshold;
+              break;
+          }
+          if (!check.ok) {
+            check.detail = "regression beyond threshold";
+          }
+        }
+      }
+    }
+    if (!check.ok) {
+      ++report.failures;
+    }
+    report.checks.push_back(std::move(check));
+  }
+  return report;
+}
+
+namespace {
+
+std::string ProvenanceLine(const BenchArtifact& artifact) {
+  // Stable, compact: the keys bench_util stamps, in a fixed order.
+  static constexpr const char* kKeys[] = {"run_host", "run_build",
+                                          "run_git_sha", "run_threads"};
+  std::string out;
+  for (const char* key : kKeys) {
+    const auto info = artifact.info.find(key);
+    const auto metric = artifact.metrics.find(key);
+    std::string value;
+    if (info != artifact.info.end()) {
+      value = info->second;
+    } else if (metric != artifact.metrics.end()) {
+      value = StrFormat("%g", metric->second);
+    } else {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += std::string(key) + "=" + value;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string GateReportToText(
+    const GateReport& report,
+    const std::map<std::string, BenchArtifact>& baselines,
+    const std::map<std::string, BenchArtifact>& currents) {
+  std::string out;
+  out += StrFormat("%-14s %-28s %-9s %12s %12s %9s %9s  %s\n", "bench",
+                   "metric", "direction", "baseline", "current", "change",
+                   "limit", "status");
+  for (const GateCheck& check : report.checks) {
+    const GateRule& rule = check.rule;
+    out += StrFormat(
+        "%-14s %-28s %-9s %12.6g %12.6g %8.1f%% %8.1f%%  %s%s%s\n",
+        rule.bench.c_str(), rule.metric.c_str(),
+        GateDirectionName(rule.direction), check.baseline, check.current,
+        check.relative_change * 100.0, rule.threshold * 100.0,
+        check.ok ? "OK" : "FAIL", check.detail.empty() ? "" : ": ",
+        check.detail.c_str());
+  }
+  // Provenance annotations: which machine/build produced each side.
+  std::map<std::string, bool> mentioned;
+  for (const GateCheck& check : report.checks) {
+    mentioned[check.rule.bench] = true;
+  }
+  for (const auto& entry : mentioned) {
+    const auto base = baselines.find(entry.first);
+    const auto cur = currents.find(entry.first);
+    const std::string base_line =
+        base != baselines.end() ? ProvenanceLine(base->second) : "";
+    const std::string cur_line =
+        cur != currents.end() ? ProvenanceLine(cur->second) : "";
+    if (base_line.empty() && cur_line.empty()) {
+      continue;
+    }
+    out += StrFormat("# %s: baseline[%s] current[%s]\n", entry.first.c_str(),
+                     base_line.c_str(), cur_line.c_str());
+  }
+  out += StrFormat("%lld/%lld checks passed\n",
+                   static_cast<long long>(report.checks.size()) -
+                       static_cast<long long>(report.failures),
+                   static_cast<long long>(report.checks.size()));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace distinct

@@ -1,0 +1,147 @@
+#include "obs/heartbeat.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "obs/json_writer.h"
+#include "obs/memory.h"
+
+namespace distinct {
+namespace obs {
+
+std::string HeartbeatJson(const std::string& label,
+                          const HeartbeatSample& sample) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("distinct_heartbeat").Value(kHeartbeatSchemaVersion);
+  json.Key("label").Value(label);
+  json.Key("sequence").Value(sample.sequence);
+  json.Key("elapsed_s").Value(sample.elapsed_seconds);
+  json.Key("shards_done").Value(sample.shards_done);
+  json.Key("shards_total").Value(sample.shards_total);
+  json.Key("groups_done").Value(sample.groups_done);
+  json.Key("groups_total").Value(sample.groups_total);
+  json.Key("refs_done").Value(sample.refs_done);
+  json.Key("refs_total").Value(sample.refs_total);
+  json.Key("refs_per_sec").Value(sample.refs_per_sec);
+  json.Key("eta_s").Value(sample.eta_seconds);
+  json.Key("rss_bytes").Value(sample.rss_bytes);
+  json.EndObject();
+  std::string out = json.str();
+  out += '\n';
+  return out;
+}
+
+HeartbeatReporter::HeartbeatReporter(Options options,
+                                     const ProgressState* progress)
+    : options_(std::move(options)),
+      progress_(progress),
+      start_(std::chrono::steady_clock::now()) {
+  options_.interval_seconds = std::max(options_.interval_seconds, 0.01);
+  thread_ = std::thread([this] { Run(); });
+}
+
+HeartbeatReporter::~HeartbeatReporter() { Stop(); }
+
+void HeartbeatReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  Emit();  // terminal beat: the file always ends at the final state
+}
+
+HeartbeatSample HeartbeatReporter::Sample() {
+  HeartbeatSample sample;
+  sample.sequence = beats_.load(std::memory_order_relaxed) + 1;
+  sample.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_)
+          .count();
+  if (progress_ != nullptr) {
+    sample.shards_total =
+        progress_->shards_total.load(std::memory_order_relaxed);
+    sample.shards_done =
+        progress_->shards_done.load(std::memory_order_relaxed);
+    sample.groups_total =
+        progress_->groups_total.load(std::memory_order_relaxed);
+    sample.groups_done =
+        progress_->groups_done.load(std::memory_order_relaxed);
+    sample.refs_total = progress_->refs_total.load(std::memory_order_relaxed);
+    sample.refs_done = progress_->refs_done.load(std::memory_order_relaxed);
+  }
+  if (sample.elapsed_seconds > 0 && sample.refs_done > 0) {
+    sample.refs_per_sec =
+        static_cast<double>(sample.refs_done) / sample.elapsed_seconds;
+    const int64_t remaining =
+        std::max<int64_t>(sample.refs_total - sample.refs_done, 0);
+    sample.eta_seconds =
+        static_cast<double>(remaining) / sample.refs_per_sec;
+  }
+  sample.rss_bytes = MemoryTracker::Global().SampleRss();
+  return sample;
+}
+
+void HeartbeatReporter::Emit() {
+  const HeartbeatSample sample = Sample();
+  beats_.store(sample.sequence, std::memory_order_relaxed);
+  if (!options_.file_path.empty()) {
+    // tmp + rename so a poller never reads a torn beat; no fsync — a lost
+    // beat is harmless, the next one overwrites it.
+    const std::string tmp = options_.file_path + ".tmp";
+    std::FILE* file = std::fopen(tmp.c_str(), "w");
+    if (file != nullptr) {
+      const std::string json = HeartbeatJson(options_.label, sample);
+      std::fwrite(json.data(), 1, json.size(), file);
+      if (std::fclose(file) == 0) {
+        if (std::rename(tmp.c_str(), options_.file_path.c_str()) != 0) {
+          std::remove(tmp.c_str());
+        }
+      } else {
+        std::remove(tmp.c_str());
+      }
+    }
+  }
+  if (options_.print_progress) {
+    std::fprintf(
+        stderr,
+        "[%s] %.1fs: shard %lld/%lld, %lld/%lld groups, %lld/%lld refs "
+        "(%.0f refs/s, eta %.0fs, rss %.1f MiB)\n",
+        options_.label.c_str(), sample.elapsed_seconds,
+        static_cast<long long>(sample.shards_done),
+        static_cast<long long>(sample.shards_total),
+        static_cast<long long>(sample.groups_done),
+        static_cast<long long>(sample.groups_total),
+        static_cast<long long>(sample.refs_done),
+        static_cast<long long>(sample.refs_total), sample.refs_per_sec,
+        sample.eta_seconds,
+        sample.rss_bytes < 0
+            ? 0.0
+            : static_cast<double>(sample.rss_bytes) / (1024.0 * 1024.0));
+  }
+}
+
+void HeartbeatReporter::Run() {
+  const auto interval = std::chrono::duration<double>(
+      options_.interval_seconds);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+      break;  // Stop() emits the terminal beat after the join
+    }
+    lock.unlock();
+    Emit();
+    lock.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace distinct

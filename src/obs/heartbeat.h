@@ -1,0 +1,118 @@
+// Opt-in progress/heartbeat reporting for long scans.
+//
+// A sharded scan over millions of references runs for hours; operators
+// need liveness signals without attaching a debugger. The scan publishes
+// its progress into a ProgressState (plain atomics, negligible cost), and
+// a HeartbeatReporter samples it from a background thread every
+// `interval_seconds`: it refreshes the RSS gauge of the MemoryTracker,
+// optionally prints a one-line progress summary to stderr, and atomically
+// (tmp + rename) rewrites a small JSON heartbeat file
+// ({"distinct_heartbeat":1, shards/groups/refs done+total, refs_per_sec,
+// eta_s, rss_bytes, ...}) that dashboards and watchdog scripts can poll.
+// A final beat is always emitted on Stop() so the file ends at the true
+// terminal state.
+//
+// Default-off like the rest of obs/: nothing starts unless the CLI's
+// --heartbeat / --progress-interval flags (or a direct construction) ask
+// for it.
+
+#ifndef DISTINCT_OBS_HEARTBEAT_H_
+#define DISTINCT_OBS_HEARTBEAT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace distinct {
+namespace obs {
+
+/// Monotonic progress counters a long-running producer (the sharded scan)
+/// bumps as it goes. Totals are set once up front; *_done only grow.
+struct ProgressState {
+  std::atomic<int64_t> shards_total{0};
+  std::atomic<int64_t> shards_done{0};
+  std::atomic<int64_t> groups_total{0};
+  std::atomic<int64_t> groups_done{0};
+  std::atomic<int64_t> refs_total{0};
+  std::atomic<int64_t> refs_done{0};
+};
+
+/// Plain-value snapshot of a ProgressState plus derived rates.
+struct HeartbeatSample {
+  int64_t sequence = 0;  // 1-based beat number
+  double elapsed_seconds = 0.0;
+  int64_t shards_total = 0;
+  int64_t shards_done = 0;
+  int64_t groups_total = 0;
+  int64_t groups_done = 0;
+  int64_t refs_total = 0;
+  int64_t refs_done = 0;
+  double refs_per_sec = 0.0;
+  /// Remaining refs over the observed rate; -1 while the rate is 0.
+  double eta_seconds = -1.0;
+  int64_t rss_bytes = -1;  // -1 when the OS probe is unavailable
+};
+
+/// Heartbeat JSON schema version (the "distinct_heartbeat" field).
+inline constexpr int kHeartbeatSchemaVersion = 1;
+
+/// Serializes one sample as the heartbeat JSON document (one object,
+/// trailing newline). Pure — the schema test drives it directly.
+std::string HeartbeatJson(const std::string& label,
+                          const HeartbeatSample& sample);
+
+/// Background sampler thread. Construction starts it; Stop() (or the
+/// destructor) joins it after a final beat.
+class HeartbeatReporter {
+ public:
+  struct Options {
+    /// Heartbeat file path; empty writes no file (progress line only).
+    std::string file_path;
+    /// Seconds between beats (clamped to >= 0.01).
+    double interval_seconds = 10.0;
+    /// Also print a one-line progress summary to stderr on every beat.
+    bool print_progress = false;
+    /// Free-form run label embedded in the JSON ("scan", ...).
+    std::string label;
+  };
+
+  /// `progress` must outlive the reporter; a null pointer reports zeros
+  /// (still useful as a liveness file).
+  HeartbeatReporter(Options options, const ProgressState* progress);
+  ~HeartbeatReporter();
+
+  HeartbeatReporter(const HeartbeatReporter&) = delete;
+  HeartbeatReporter& operator=(const HeartbeatReporter&) = delete;
+
+  /// Emits a final beat, stops the thread, and joins it. Idempotent.
+  void Stop();
+
+  /// Beats emitted so far (tests poll this instead of sleeping blind).
+  int64_t beats() const { return beats_.load(std::memory_order_relaxed); }
+
+ private:
+  HeartbeatSample Sample();
+  void Emit();
+  void Run();
+
+  Options options_;
+  const ProgressState* progress_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<int64_t> beats_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;  // guarded by mutex_
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace distinct
+
+#endif  // DISTINCT_OBS_HEARTBEAT_H_

@@ -1,0 +1,259 @@
+#include "obs/json_reader.h"
+
+#include "common/string_util.h"
+
+namespace distinct {
+namespace obs {
+
+Status JsonReader::Corrupt(const std::string& what) const {
+  return DataLossError(StrFormat("%s: %s at byte %zu", context_.c_str(),
+                                 what.c_str(), pos_));
+}
+
+StatusOr<JsonValue> JsonReader::Parse() {
+  auto value = ParseValue(0);
+  DISTINCT_RETURN_IF_ERROR(value.status());
+  SkipWhitespace();
+  if (pos_ != text_.size()) {
+    return Corrupt("trailing bytes after the JSON document");
+  }
+  return value;
+}
+
+void JsonReader::SkipWhitespace() {
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+      break;
+    }
+    ++pos_;
+  }
+}
+
+bool JsonReader::Consume(char c) {
+  if (pos_ < text_.size() && text_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+StatusOr<JsonValue> JsonReader::ParseValue(int depth) {
+  if (depth > kMaxDepth) {
+    return Corrupt("nesting too deep");
+  }
+  SkipWhitespace();
+  if (pos_ >= text_.size()) {
+    return Corrupt("truncated document");
+  }
+  const char c = text_[pos_];
+  switch (c) {
+    case '{':
+      return ParseObject(depth);
+    case '[':
+      return ParseArray(depth);
+    case '"':
+      return ParseString();
+    case 't':
+    case 'f':
+      return ParseLiteralBool();
+    case 'n':
+      return ParseLiteralNull();
+    default:
+      return ParseNumber();
+  }
+}
+
+StatusOr<JsonValue> JsonReader::ParseObject(int depth) {
+  ++pos_;  // '{'
+  JsonValue value;
+  value.kind = JsonValue::Kind::kObject;
+  SkipWhitespace();
+  if (Consume('}')) {
+    return value;
+  }
+  for (;;) {
+    SkipWhitespace();
+    auto key = ParseString();
+    DISTINCT_RETURN_IF_ERROR(key.status());
+    SkipWhitespace();
+    if (!Consume(':')) {
+      return Corrupt("expected ':' after object key");
+    }
+    auto member = ParseValue(depth + 1);
+    DISTINCT_RETURN_IF_ERROR(member.status());
+    value.members.emplace_back(std::move(key->string_value),
+                               *std::move(member));
+    SkipWhitespace();
+    if (Consume(',')) {
+      continue;
+    }
+    if (Consume('}')) {
+      return value;
+    }
+    return Corrupt("expected ',' or '}' in object");
+  }
+}
+
+StatusOr<JsonValue> JsonReader::ParseArray(int depth) {
+  ++pos_;  // '['
+  JsonValue value;
+  value.kind = JsonValue::Kind::kArray;
+  SkipWhitespace();
+  if (Consume(']')) {
+    return value;
+  }
+  for (;;) {
+    auto item = ParseValue(depth + 1);
+    DISTINCT_RETURN_IF_ERROR(item.status());
+    value.items.push_back(*std::move(item));
+    SkipWhitespace();
+    if (Consume(',')) {
+      continue;
+    }
+    if (Consume(']')) {
+      return value;
+    }
+    return Corrupt("expected ',' or ']' in array");
+  }
+}
+
+StatusOr<JsonValue> JsonReader::ParseString() {
+  if (!Consume('"')) {
+    return Corrupt("expected '\"'");
+  }
+  JsonValue value;
+  value.kind = JsonValue::Kind::kString;
+  std::string& out = value.string_value;
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_++];
+    if (c == '"') {
+      return value;
+    }
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (pos_ >= text_.size()) {
+      break;
+    }
+    const char escape = text_[pos_++];
+    switch (escape) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (pos_ + 4 > text_.size()) {
+          return Corrupt("truncated \\u escape");
+        }
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = text_[pos_++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return Corrupt("bad \\u escape digit");
+          }
+        }
+        // The writer only \u-escapes control characters (< 0x20); decode
+        // the BMP generally anyway.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return Corrupt("unknown escape");
+    }
+  }
+  return Corrupt("unterminated string");
+}
+
+StatusOr<JsonValue> JsonReader::ParseLiteralBool() {
+  if (text_.compare(pos_, 4, "true") == 0) {
+    pos_ += 4;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    value.bool_value = true;
+    return value;
+  }
+  if (text_.compare(pos_, 5, "false") == 0) {
+    pos_ += 5;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    return value;
+  }
+  return Corrupt("bad literal");
+}
+
+StatusOr<JsonValue> JsonReader::ParseLiteralNull() {
+  if (text_.compare(pos_, 4, "null") == 0) {
+    pos_ += 4;
+    return JsonValue{};
+  }
+  return Corrupt("bad literal");
+}
+
+StatusOr<JsonValue> JsonReader::ParseNumber() {
+  const size_t start = pos_;
+  bool floating = false;
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if ((c >= '0' && c <= '9') || c == '-' || c == '+') {
+      ++pos_;
+    } else if (c == '.' || c == 'e' || c == 'E') {
+      floating = true;
+      ++pos_;
+    } else {
+      break;
+    }
+  }
+  const std::string_view token = text_.substr(start, pos_ - start);
+  JsonValue value;
+  if (floating) {
+    auto parsed = ParseDouble(token);
+    if (!parsed.has_value()) {
+      return Corrupt("bad number");
+    }
+    value.kind = JsonValue::Kind::kDouble;
+    value.double_value = *parsed;
+  } else {
+    auto parsed = ParseInt64(token);
+    if (!parsed.has_value()) {
+      return Corrupt("bad number");
+    }
+    value.kind = JsonValue::Kind::kInt;
+    value.int_value = *parsed;
+  }
+  return value;
+}
+
+StatusOr<int64_t> RequireInt(const JsonValue& object, const char* key,
+                             const std::string& context) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || value->kind != JsonValue::Kind::kInt) {
+    return DataLossError(
+        StrFormat("%s: missing int '%s'", context.c_str(), key));
+  }
+  return value->int_value;
+}
+
+}  // namespace obs
+}  // namespace distinct

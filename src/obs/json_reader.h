@@ -1,0 +1,96 @@
+// Minimal recursive-descent JSON reader — the parsing counterpart of
+// obs/json_writer.h, shared by checkpoint loading (core/checkpoint.cc),
+// the sharded-scan trace merger (obs/trace_export.h), and the benchmark
+// regression gate (obs/bench_compare.h).
+//
+// Objects keep member order; numbers stay int64 when written without a
+// fraction/exponent so ids round-trip exactly, and doubles round-trip via
+// JsonWriter's %.17g. Parse errors are DataLoss with a byte offset and the
+// caller-supplied context ("checkpoint JSON", "trace fragment", ...).
+
+#ifndef DISTINCT_OBS_JSON_READER_H_
+#define DISTINCT_OBS_JSON_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace distinct {
+namespace obs {
+
+/// One parsed JSON value. Containers own their children by value.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                               // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;     // kObject
+
+  /// First member named `key`, nullptr when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [name, value] : members) {
+      if (name == key) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Numeric value of a kInt or kDouble node.
+  double AsDouble() const {
+    return kind == Kind::kInt ? static_cast<double>(int_value) : double_value;
+  }
+
+  bool IsNumber() const {
+    return kind == Kind::kInt || kind == Kind::kDouble;
+  }
+};
+
+/// Parses one document. `context` prefixes every error message.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text,
+                      std::string context = "JSON")
+      : text_(text), context_(std::move(context)) {}
+
+  /// The parsed root, or DataLoss on malformed/trailing input.
+  StatusOr<JsonValue> Parse();
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Corrupt(const std::string& what) const;
+
+  void SkipWhitespace();
+  bool Consume(char c);
+
+  StatusOr<JsonValue> ParseValue(int depth);
+  StatusOr<JsonValue> ParseObject(int depth);
+  StatusOr<JsonValue> ParseArray(int depth);
+  StatusOr<JsonValue> ParseString();
+  StatusOr<JsonValue> ParseLiteralBool();
+  StatusOr<JsonValue> ParseLiteralNull();
+  StatusOr<JsonValue> ParseNumber();
+
+  std::string_view text_;
+  std::string context_;
+  size_t pos_ = 0;
+};
+
+/// Member `key` of `object` as an int64; DataLoss (with `context`) when the
+/// member is missing or not an integer.
+StatusOr<int64_t> RequireInt(const JsonValue& object, const char* key,
+                             const std::string& context);
+
+}  // namespace obs
+}  // namespace distinct
+
+#endif  // DISTINCT_OBS_JSON_READER_H_

@@ -97,6 +97,9 @@ RunReport CollectRunReport(std::string label) {
   report.label = std::move(label);
   report.metrics = MetricsRegistry::Global().Snapshot();
   report.spans = Tracer::Global().Snapshot();
+  report.spans_dropped = Tracer::Global().DroppedSpans();
+  MemoryTracker::Global().SampleRss();  // refresh the RSS gauge
+  report.memory = MemoryTracker::Global().Snapshot();
   report.stages = SummarizeStages(report.spans);
   report.derived = ComputeDerived(report.metrics);
   return report;
@@ -107,6 +110,7 @@ std::string RunReportToJson(const RunReport& report) {
   json.BeginObject();
   json.Key("distinct_run_report").Value(RunReport::kSchemaVersion);
   json.Key("label").Value(report.label);
+  json.Key("spans_dropped").Value(report.spans_dropped);
 
   json.Key("stages").BeginArray();
   for (const StageSummary& stage : report.stages) {
@@ -150,6 +154,7 @@ std::string RunReportToJson(const RunReport& report) {
     json.Key("sum_ns").Value(histogram.sum);
     json.Key("mean_ns").Value(histogram.MeanNanos());
     json.Key("p50_ns").Value(histogram.PercentileUpperBoundNanos(0.50));
+    json.Key("p95_ns").Value(histogram.PercentileUpperBoundNanos(0.95));
     json.Key("p99_ns").Value(histogram.PercentileUpperBoundNanos(0.99));
     json.Key("buckets").BeginArray();
     // Trailing all-zero buckets are elided; parsers treat missing as 0.
@@ -161,6 +166,16 @@ std::string RunReportToJson(const RunReport& report) {
       json.Value(histogram.buckets[static_cast<size_t>(b)]);
     }
     json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("memory").BeginArray();
+  for (const MemoryTracker::ComponentSnapshot& component : report.memory) {
+    json.BeginObject();
+    json.Key("component").Value(component.name);
+    json.Key("current_bytes").Value(component.current_bytes);
+    json.Key("peak_bytes").Value(component.peak_bytes);
     json.EndObject();
   }
   json.EndArray();
@@ -229,14 +244,19 @@ std::string RunReportToText(const RunReport& report) {
       counters.AddRow({name + " (gauge)",
                        StrFormat("%lld", static_cast<long long>(value))});
     }
+    if (report.spans_dropped > 0) {
+      counters.AddRow(
+          {"obs.spans_dropped (trace truncated)",
+           StrFormat("%lld", static_cast<long long>(report.spans_dropped))});
+    }
     out += counters.Render();
     out += "\n";
   }
 
   if (!report.metrics.histograms.empty()) {
-    TextTable histograms(
-        {"histogram", "count", "mean (ms)", "p50 <= (ms)", "p99 <= (ms)"});
-    for (size_t c = 1; c <= 4; ++c) {
+    TextTable histograms({"histogram", "count", "mean (ms)", "p50 <= (ms)",
+                          "p95 <= (ms)", "p99 <= (ms)"});
+    for (size_t c = 1; c <= 5; ++c) {
       histograms.SetRightAlign(c);
     }
     for (const HistogramSnapshot& histogram : report.metrics.histograms) {
@@ -248,11 +268,39 @@ std::string RunReportToText(const RunReport& report) {
                                  histogram.PercentileUpperBoundNanos(0.50)) /
                                  1e6),
            StrFormat("%.3f", static_cast<double>(
+                                 histogram.PercentileUpperBoundNanos(0.95)) /
+                                 1e6),
+           StrFormat("%.3f", static_cast<double>(
                                  histogram.PercentileUpperBoundNanos(0.99)) /
                                  1e6)});
     }
     out += histograms.Render();
     out += "\n";
+  }
+
+  {
+    bool any_memory = false;
+    for (const MemoryTracker::ComponentSnapshot& component : report.memory) {
+      any_memory = any_memory || component.peak_bytes != 0;
+    }
+    if (any_memory) {
+      TextTable memory({"memory", "current (MiB)", "peak (MiB)"});
+      memory.SetRightAlign(1);
+      memory.SetRightAlign(2);
+      for (const MemoryTracker::ComponentSnapshot& component : report.memory) {
+        if (component.peak_bytes == 0) {
+          continue;  // subsystem never ran
+        }
+        memory.AddRow(
+            {component.name,
+             StrFormat("%.1f", static_cast<double>(component.current_bytes) /
+                                   (1024.0 * 1024.0)),
+             StrFormat("%.1f", static_cast<double>(component.peak_bytes) /
+                                   (1024.0 * 1024.0))});
+      }
+      out += memory.Render();
+      out += "\n";
+    }
   }
 
   if (!report.derived.empty()) {

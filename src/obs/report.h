@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -44,6 +45,10 @@ struct RunReport {
   std::string label;  // e.g. the CLI command
   MetricsSnapshot metrics;
   std::vector<SpanRecord> spans;
+  /// Spans the tracer refused at capacity; non-zero = truncated trace.
+  int64_t spans_dropped = 0;
+  /// Per-subsystem byte gauges with peak watermarks (obs/memory.h).
+  std::vector<MemoryTracker::ComponentSnapshot> memory;
   std::vector<StageSummary> stages;  // derived from spans
   /// Cross-metric ratios (pairs/sec, pool utilization, ...). Ratios whose
   /// inputs were never recorded are omitted.

@@ -27,6 +27,7 @@ Tracer& Tracer::Global() {
 void Tracer::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   spans_.clear();
+  spans_dropped_ = 0;
   epoch_ = std::chrono::steady_clock::now();
   ++generation_;
   next_thread_index_ = 0;
@@ -37,10 +38,16 @@ std::vector<SpanRecord> Tracer::Snapshot() const {
   return spans_;
 }
 
+int64_t Tracer::DroppedSpans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_dropped_;
+}
+
 int Tracer::OpenSpan(const char* name) {
   const auto now = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mutex_);
   if (spans_.size() >= kMaxSpans) {
+    ++spans_dropped_;  // surfaced as obs.spans_dropped in the RunReport
     return -1;
   }
   ThreadSpanState& state = t_span_state;

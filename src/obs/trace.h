@@ -49,6 +49,10 @@ class Tracer {
   /// Copies the recorded spans in creation order.
   std::vector<SpanRecord> Snapshot() const;
 
+  /// Spans refused by OpenSpan since the last Reset() because the tracer
+  /// was at capacity. Non-zero means the exported trace is truncated.
+  int64_t DroppedSpans() const;
+
   // Internal API used by ScopedSpan. Returns the span index, or -1 when
   // the tracer is at capacity.
   int OpenSpan(const char* name);
@@ -62,6 +66,7 @@ class Tracer {
 
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
+  int64_t spans_dropped_ = 0;  // guarded by mutex_
   std::chrono::steady_clock::time_point epoch_;
   uint64_t generation_ = 0;  // bumped by Reset; invalidates stale stacks
   int next_thread_index_ = 0;

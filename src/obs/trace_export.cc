@@ -1,0 +1,202 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "obs/json_reader.h"
+#include "obs/json_writer.h"
+
+namespace distinct {
+namespace obs {
+
+namespace {
+
+constexpr char kFragmentVersionKey[] = "distinct_trace_fragment";
+constexpr int kFragmentVersion = 1;
+constexpr char kFragmentContext[] = "trace fragment";
+
+Status WriteStringToFile(const std::string& path, const std::string& data) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return InternalError("trace: cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(data.data(), 1, data.size(), file);
+  const bool flushed = std::fclose(file) == 0;
+  if (written != data.size() || !flushed) {
+    return DataLossError("trace: short write to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceProcess>& processes) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("displayTimeUnit").Value("ms");
+  json.Key("traceEvents").BeginArray();
+  // Process-name metadata first, in process order, so the viewer labels
+  // rows before any event references them.
+  for (const TraceProcess& process : processes) {
+    json.BeginObject();
+    json.Key("name").Value("process_name");
+    json.Key("ph").Value("M");
+    json.Key("pid").Value(process.pid);
+    json.Key("tid").Value(0);
+    json.Key("args").BeginObject();
+    json.Key("name").Value(process.name);
+    json.EndObject();
+    json.EndObject();
+    json.BeginObject();
+    json.Key("name").Value("process_sort_index");
+    json.Key("ph").Value("M");
+    json.Key("pid").Value(process.pid);
+    json.Key("tid").Value(0);
+    json.Key("args").BeginObject();
+    json.Key("sort_index").Value(process.pid);
+    json.EndObject();
+    json.EndObject();
+  }
+  for (const TraceProcess& process : processes) {
+    for (const SpanRecord& span : process.spans) {
+      const bool incomplete = span.duration_nanos < 0;
+      json.BeginObject();
+      json.Key("name").Value(span.name);
+      json.Key("cat").Value("distinct");
+      json.Key("ph").Value("X");
+      // Microseconds with nanosecond precision (the format takes doubles).
+      json.Key("ts").Value(static_cast<double>(span.start_nanos) / 1e3);
+      json.Key("dur").Value(
+          incomplete ? 0.0 : static_cast<double>(span.duration_nanos) / 1e3);
+      json.Key("pid").Value(process.pid);
+      json.Key("tid").Value(span.thread);
+      if (incomplete) {
+        json.Key("args").BeginObject();
+        json.Key("incomplete").Value(true);
+        json.EndObject();
+      }
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceProcess>& processes) {
+  return WriteStringToFile(path, ChromeTraceJson(processes));
+}
+
+std::string TraceFragmentPath(const std::string& dir, int shard_id) {
+  return dir + "/trace-shard-" + std::to_string(shard_id) + ".json";
+}
+
+Status WriteTraceFragment(const std::string& path,
+                          const std::vector<SpanRecord>& spans) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(kFragmentVersionKey).Value(kFragmentVersion);
+  json.Key("spans").BeginArray();
+  for (const SpanRecord& span : spans) {
+    json.BeginObject();
+    json.Key("name").Value(span.name);
+    json.Key("start_ns").Value(span.start_nanos);
+    json.Key("duration_ns").Value(span.duration_nanos);
+    json.Key("parent").Value(span.parent);
+    json.Key("thread").Value(span.thread);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return WriteStringToFile(path, json.str());
+}
+
+StatusOr<std::vector<SpanRecord>> ReadTraceFragment(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return NotFoundError("trace: no fragment '" + path + "'");
+  }
+  std::string text;
+  char buffer[1 << 14];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+
+  auto root = JsonReader(text, kFragmentContext).Parse();
+  DISTINCT_RETURN_IF_ERROR(root.status());
+  auto version = RequireInt(*root, kFragmentVersionKey, kFragmentContext);
+  DISTINCT_RETURN_IF_ERROR(version.status());
+  if (*version != kFragmentVersion) {
+    return FailedPreconditionError(StrFormat(
+        "trace fragment version %lld, this build reads version %d",
+        static_cast<long long>(*version), kFragmentVersion));
+  }
+  const JsonValue* spans = root->Find("spans");
+  if (spans == nullptr || spans->kind != JsonValue::Kind::kArray) {
+    return DataLossError("trace fragment: missing 'spans' array");
+  }
+  std::vector<SpanRecord> records;
+  records.reserve(spans->items.size());
+  for (const JsonValue& item : spans->items) {
+    if (item.kind != JsonValue::Kind::kObject) {
+      return DataLossError("trace fragment: span is not an object");
+    }
+    const JsonValue* name = item.Find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      return DataLossError("trace fragment: span without a name");
+    }
+    auto start = RequireInt(item, "start_ns", kFragmentContext);
+    DISTINCT_RETURN_IF_ERROR(start.status());
+    auto duration = RequireInt(item, "duration_ns", kFragmentContext);
+    DISTINCT_RETURN_IF_ERROR(duration.status());
+    auto parent = RequireInt(item, "parent", kFragmentContext);
+    DISTINCT_RETURN_IF_ERROR(parent.status());
+    auto thread = RequireInt(item, "thread", kFragmentContext);
+    DISTINCT_RETURN_IF_ERROR(thread.status());
+    SpanRecord record;
+    record.name = name->string_value;
+    record.start_nanos = *start;
+    record.duration_nanos = *duration;
+    const auto span_count = static_cast<int64_t>(records.size());
+    if (*parent < -1 || *parent >= span_count) {
+      return DataLossError(StrFormat(
+          "trace fragment: span %lld has out-of-range parent %lld",
+          static_cast<long long>(span_count),
+          static_cast<long long>(*parent)));
+    }
+    record.parent = static_cast<int>(*parent);
+    record.thread = static_cast<int>(*thread);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+StatusOr<std::vector<TraceProcess>> CollectShardedTrace(
+    const std::vector<SpanRecord>& driver_spans,
+    const std::string& fragment_dir, int num_shards) {
+  std::vector<TraceProcess> processes;
+  TraceProcess driver;
+  driver.pid = 0;
+  driver.name = "driver";
+  driver.spans = driver_spans;
+  processes.push_back(std::move(driver));
+  for (int s = 0; s < num_shards; ++s) {
+    auto spans = ReadTraceFragment(TraceFragmentPath(fragment_dir, s));
+    if (spans.status().code() == StatusCode::kNotFound) {
+      continue;  // shard failed, or ran before tracing was enabled
+    }
+    DISTINCT_RETURN_IF_ERROR(spans.status());
+    TraceProcess shard;
+    shard.pid = s + 1;
+    shard.name = "shard " + std::to_string(s);
+    shard.spans = *std::move(spans);
+    processes.push_back(std::move(shard));
+  }
+  return processes;
+}
+
+}  // namespace obs
+}  // namespace distinct

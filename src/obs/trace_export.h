@@ -1,0 +1,78 @@
+// Chrome-trace / Perfetto export of the span tree, plus per-shard trace
+// fragments for the sharded scan.
+//
+// `distinct_cli --trace-json=FILE` turns the Tracer's span list into the
+// Chrome Trace Event JSON object format ({"traceEvents":[...]}) that
+// chrome://tracing and https://ui.perfetto.dev open directly: one complete
+// ("ph":"X") event per closed span, timestamps in microseconds from the
+// tracer epoch, one trace process per TraceProcess, one trace thread per
+// tracer thread index.
+//
+// Sharded scans additionally persist one *fragment* per shard next to the
+// shard's checkpoint (trace-shard-<id>.json): the spans recorded while
+// that shard ran, re-rooted so the fragment stands alone. After the scan,
+// CollectShardedTrace stitches the driver timeline (pid 0) and every
+// fragment (pid shard+1, labeled "shard <id>") into one trace. Because
+// fragments survive the process, a resumed scan still renders the spans of
+// shards completed by the *previous* run — the merged trace covers the
+// whole logical scan, not just the last process.
+//
+// Determinism: the exported JSON is a pure function of the span lists and
+// their order — for a fixed shard plan the merged trace has the same
+// events, names, pids/tids, and ordering every run (wall-clock ts/dur
+// values are the only fields that vary).
+
+#ifndef DISTINCT_OBS_TRACE_EXPORT_H_
+#define DISTINCT_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace distinct {
+namespace obs {
+
+/// One trace process in the exported file. `spans` is self-contained:
+/// parent indices point into this vector (-1 = root).
+struct TraceProcess {
+  int pid = 0;
+  std::string name;  // "driver", "shard 0", ...
+  std::vector<SpanRecord> spans;
+};
+
+/// The Chrome Trace Event JSON for `processes` (metadata events naming
+/// each process, then one complete event per span, in input order; spans
+/// still open at snapshot time export with their elapsed-so-far marked
+/// incomplete).
+std::string ChromeTraceJson(const std::vector<TraceProcess>& processes);
+
+/// Writes ChromeTraceJson(processes) to `path`.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceProcess>& processes);
+
+/// `<dir>/trace-shard-<id>.json` — one shard's fragment.
+std::string TraceFragmentPath(const std::string& dir, int shard_id);
+
+/// Persists one shard's spans as a standalone fragment (plain write, no
+/// fsync — fragments are advisory, unlike checkpoints).
+Status WriteTraceFragment(const std::string& path,
+                          const std::vector<SpanRecord>& spans);
+
+/// Loads a fragment written by WriteTraceFragment. NotFound when the file
+/// does not exist; DataLoss when it is corrupt.
+StatusOr<std::vector<SpanRecord>> ReadTraceFragment(const std::string& path);
+
+/// Builds the merged sharded-scan trace: `driver_spans` as pid 0 plus one
+/// process per fragment found under `fragment_dir` for shards
+/// [0, num_shards). Missing fragments are skipped (that shard failed or
+/// predates tracing); corrupt fragments fail the merge.
+StatusOr<std::vector<TraceProcess>> CollectShardedTrace(
+    const std::vector<SpanRecord>& driver_spans,
+    const std::string& fragment_dir, int num_shards);
+
+}  // namespace obs
+}  // namespace distinct
+
+#endif  // DISTINCT_OBS_TRACE_EXPORT_H_

@@ -1,8 +1,19 @@
 #include "prop/workspace.h"
 
 #include "common/logging.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "prop/propagation.h"
+
+namespace {
+
+/// Resident-payload delta of the memo, into the kSubtreeCache gauge.
+void TrackCacheBytes(int64_t delta) {
+  distinct::obs::MemoryTracker::Global().Add(
+      distinct::obs::MemoryTracker::kSubtreeCache, delta);
+}
+
+}  // namespace
 
 namespace distinct {
 
@@ -34,6 +45,12 @@ PropagationWorkspace::Slab& PropagationWorkspace::Acquire(int node_id) {
 SubtreeCache::SubtreeCache(size_t capacity_bytes)
     : capacity_bytes_(capacity_bytes),
       shard_capacity_(capacity_bytes / kNumShards) {}
+
+SubtreeCache::~SubtreeCache() {
+  for (const Shard& shard : shards_) {
+    TrackCacheBytes(-static_cast<int64_t>(shard.bytes));
+  }
+}
 
 std::shared_ptr<const SubtreeDistribution> SubtreeCache::Find(
     int path_id, int32_t tuple) {
@@ -80,6 +97,7 @@ std::shared_ptr<const SubtreeDistribution> SubtreeCache::Insert(
     auto victim_it = shard.map.find(victim);
     if (victim_it != shard.map.end()) {
       shard.bytes -= victim_it->second->ByteSize();
+      TrackCacheBytes(-static_cast<int64_t>(victim_it->second->ByteSize()));
       shard.map.erase(victim_it);
       ++shard.evictions;
       DISTINCT_COUNTER_ADD("prop.memo_evictions", 1);
@@ -88,6 +106,7 @@ std::shared_ptr<const SubtreeDistribution> SubtreeCache::Insert(
   shard.map.emplace(key, resident);
   shard.fifo.push_back(key);
   shard.bytes += size;
+  TrackCacheBytes(static_cast<int64_t>(size));
   return resident;
 }
 
@@ -106,6 +125,7 @@ int64_t SubtreeCache::Erase(int path_id,
       continue;  // never cached, already evicted, or a stale FIFO-only key
     }
     shard.bytes -= it->second->ByteSize();
+    TrackCacheBytes(-static_cast<int64_t>(it->second->ByteSize()));
     shard.map.erase(it);
     ++erased;
   }

@@ -177,6 +177,9 @@ class SubtreeCache {
   /// results bit-identical.
   explicit SubtreeCache(size_t capacity_bytes);
 
+  /// Releases the resident payload from the kSubtreeCache byte gauge.
+  ~SubtreeCache();
+
   size_t capacity_bytes() const { return capacity_bytes_; }
 
   /// The memoized distribution, or nullptr on miss.

@@ -55,6 +55,19 @@ ProfileArena::Path BuildPath(size_t num_refs, size_t path_index,
 
 }  // namespace
 
+int64_t ProfileArena::FlattenedBytes() const {
+  size_t bytes = paths_.capacity() * sizeof(Path);
+  for (const Path& path : paths_) {
+    bytes += path.offsets.capacity() * sizeof(size_t);
+    bytes += path.tuples.capacity() * sizeof(int32_t);
+    bytes += (path.forward.capacity() + path.reverse.capacity() +
+              path.mass.capacity() + path.reverse_sum.capacity() +
+              path.forward_max.capacity() + path.reverse_max.capacity()) *
+             sizeof(double);
+  }
+  return static_cast<int64_t>(bytes);
+}
+
 ProfileArena ProfileArena::FromStore(const ProfileStore& store) {
   ProfileArena arena;
   arena.num_refs_ = store.num_refs();
@@ -66,6 +79,7 @@ ProfileArena ProfileArena::FromStore(const ProfileStore& store) {
           return store.profiles(r);
         }));
   }
+  arena.tracked_.Set(arena.FlattenedBytes());
   return arena;
 }
 
@@ -144,6 +158,7 @@ void ProfileArena::PatchFromStore(
     paths_[p] = std::move(next);
   }
   num_refs_ = new_num_refs;
+  tracked_.Set(FlattenedBytes());
 }
 
 ProfileArena ProfileArena::FromProfiles(
@@ -162,6 +177,7 @@ ProfileArena ProfileArena::FromProfiles(
           return profiles[r];
         }));
   }
+  arena.tracked_.Set(arena.FlattenedBytes());
   return arena;
 }
 

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/memory.h"
 #include "prop/profile.h"
 #include "sim/profile_store.h"
 
@@ -72,10 +73,14 @@ class ProfileArena {
   size_t num_entries() const;
 
  private:
-  ProfileArena() = default;
+  ProfileArena() : tracked_(obs::MemoryTracker::kProfileArena) {}
+
+  /// Capacity bytes of every slab vector, for the kProfileArena gauge.
+  int64_t FlattenedBytes() const;
 
   size_t num_refs_ = 0;
   std::vector<Path> paths_;
+  obs::TrackedBytes tracked_;  // kProfileArena gauge (obs/memory.h)
 };
 
 }  // namespace distinct

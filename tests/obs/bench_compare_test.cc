@@ -1,0 +1,201 @@
+#include "obs/bench_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace distinct {
+namespace obs {
+namespace {
+
+BenchArtifact MakeArtifact(const std::string& name,
+                           std::map<std::string, double> metrics) {
+  BenchArtifact artifact;
+  artifact.name = name;
+  artifact.metrics = std::move(metrics);
+  return artifact;
+}
+
+GateRule MakeRule(const std::string& bench, const std::string& metric,
+                  GateRule::Direction direction, double threshold) {
+  GateRule rule;
+  rule.bench = bench;
+  rule.metric = metric;
+  rule.direction = direction;
+  rule.threshold = threshold;
+  return rule;
+}
+
+TEST(BenchArtifactTest, ParsesMetricsInfoAndBools) {
+  auto artifact = ParseBenchArtifact(
+      "{\"bench\":\"pair_kernel\",\"run_host\":\"ci-box\","
+      "\"fused_speedup\":2.5,\"pairs\":1000,\"fused_exact\":true,"
+      "\"nested\":{\"ignored\":1}}");
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_EQ(artifact->name, "pair_kernel");
+  EXPECT_DOUBLE_EQ(artifact->metrics.at("fused_speedup"), 2.5);
+  EXPECT_DOUBLE_EQ(artifact->metrics.at("pairs"), 1000.0);
+  EXPECT_DOUBLE_EQ(artifact->metrics.at("fused_exact"), 1.0);  // bool -> 0/1
+  EXPECT_EQ(artifact->info.at("run_host"), "ci-box");
+  EXPECT_EQ(artifact->metrics.count("nested"), 0u);
+  EXPECT_EQ(artifact->info.count("bench"), 0u);  // name, not an info key
+}
+
+TEST(BenchArtifactTest, RejectsMissingNameAndBadJson) {
+  EXPECT_EQ(ParseBenchArtifact("{\"fused_speedup\":2.5}").status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(ParseBenchArtifact("[1,2]").status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(ParseBenchArtifact("{nope").status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(BenchArtifactTest, LoadFromMissingFileIsNotFound) {
+  EXPECT_EQ(LoadBenchArtifact("/nonexistent/BENCH_x.json").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(GateRulesTest, ParsesRulesCommentsAndBlanks) {
+  auto rules = ParseGateRules(
+      "# comment line\n"
+      "\n"
+      "pair_kernel fused_speedup higher 0.5\n"
+      "pair_kernel fused_exact equal 0   # inline comment\n"
+      "scan wall_seconds lower 0.25\n");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  ASSERT_EQ(rules->size(), 3u);
+  EXPECT_EQ((*rules)[0].bench, "pair_kernel");
+  EXPECT_EQ((*rules)[0].metric, "fused_speedup");
+  EXPECT_EQ((*rules)[0].direction, GateRule::Direction::kHigherIsBetter);
+  EXPECT_DOUBLE_EQ((*rules)[0].threshold, 0.5);
+  EXPECT_EQ((*rules)[1].direction, GateRule::Direction::kEqual);
+  EXPECT_DOUBLE_EQ((*rules)[1].threshold, 0.0);
+  EXPECT_EQ((*rules)[2].direction, GateRule::Direction::kLowerIsBetter);
+}
+
+TEST(GateRulesTest, MalformedLinesNameTheLineNumber) {
+  auto missing = ParseGateRules("pair_kernel fused_speedup higher\n");
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(missing.status().message().find("line 1"), std::string::npos);
+
+  auto direction = ParseGateRules("\nscan wall sideways 0.5\n");
+  EXPECT_EQ(direction.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(direction.status().message().find("line 2"), std::string::npos);
+
+  EXPECT_EQ(ParseGateRules("scan wall lower -0.5\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseGateRules("scan wall lower 0.5 extra\n").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GateTest, HigherIsBetterToleratesThresholdAndFailsBeyond) {
+  const std::map<std::string, BenchArtifact> baselines = {
+      {"pair_kernel", MakeArtifact("pair_kernel", {{"speedup", 4.0}})}};
+  const std::vector<GateRule> rules = {MakeRule(
+      "pair_kernel", "speedup", GateRule::Direction::kHigherIsBetter, 0.5)};
+
+  // 2.0 is exactly 50% below baseline: at the limit, still passing.
+  std::map<std::string, BenchArtifact> currents = {
+      {"pair_kernel", MakeArtifact("pair_kernel", {{"speedup", 2.0}})}};
+  GateReport at_limit = EvaluateGate(rules, baselines, currents);
+  EXPECT_TRUE(at_limit.ok());
+  EXPECT_DOUBLE_EQ(at_limit.checks[0].relative_change, -0.5);
+
+  // Improvement is never a violation, however large.
+  currents["pair_kernel"].metrics["speedup"] = 40.0;
+  EXPECT_TRUE(EvaluateGate(rules, baselines, currents).ok());
+
+  currents["pair_kernel"].metrics["speedup"] = 1.9;
+  GateReport beyond = EvaluateGate(rules, baselines, currents);
+  EXPECT_FALSE(beyond.ok());
+  EXPECT_EQ(beyond.failures, 1);
+  EXPECT_EQ(beyond.checks[0].detail, "regression beyond threshold");
+}
+
+TEST(GateTest, LowerIsBetterFailsWhenCurrentGrows) {
+  const std::map<std::string, BenchArtifact> baselines = {
+      {"scan", MakeArtifact("scan", {{"wall_seconds", 10.0}})}};
+  const std::vector<GateRule> rules = {MakeRule(
+      "scan", "wall_seconds", GateRule::Direction::kLowerIsBetter, 0.2)};
+
+  std::map<std::string, BenchArtifact> currents = {
+      {"scan", MakeArtifact("scan", {{"wall_seconds", 12.0}})}};
+  EXPECT_TRUE(EvaluateGate(rules, baselines, currents).ok());  // +20% = limit
+
+  currents["scan"].metrics["wall_seconds"] = 12.5;
+  EXPECT_FALSE(EvaluateGate(rules, baselines, currents).ok());
+
+  currents["scan"].metrics["wall_seconds"] = 5.0;  // faster is fine
+  EXPECT_TRUE(EvaluateGate(rules, baselines, currents).ok());
+}
+
+TEST(GateTest, EqualWithZeroThresholdDemandsExactness) {
+  const std::map<std::string, BenchArtifact> baselines = {
+      {"pair_kernel", MakeArtifact("pair_kernel", {{"fused_exact", 1.0}})}};
+  const std::vector<GateRule> rules = {MakeRule(
+      "pair_kernel", "fused_exact", GateRule::Direction::kEqual, 0.0)};
+
+  std::map<std::string, BenchArtifact> currents = {
+      {"pair_kernel", MakeArtifact("pair_kernel", {{"fused_exact", 1.0}})}};
+  EXPECT_TRUE(EvaluateGate(rules, baselines, currents).ok());
+
+  currents["pair_kernel"].metrics["fused_exact"] = 0.0;
+  EXPECT_FALSE(EvaluateGate(rules, baselines, currents).ok());
+}
+
+TEST(GateTest, NearZeroBaselineGatesAbsoluteDeviation) {
+  const std::map<std::string, BenchArtifact> baselines = {
+      {"scan", MakeArtifact("scan", {{"max_error", 0.0}})}};
+  const std::vector<GateRule> rules = {
+      MakeRule("scan", "max_error", GateRule::Direction::kEqual, 1e-9)};
+
+  std::map<std::string, BenchArtifact> currents = {
+      {"scan", MakeArtifact("scan", {{"max_error", 5e-10}})}};
+  EXPECT_TRUE(EvaluateGate(rules, baselines, currents).ok());
+
+  currents["scan"].metrics["max_error"] = 1e-6;
+  GateReport report = EvaluateGate(rules, baselines, currents);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.checks[0].detail, "absolute deviation from ~zero baseline");
+}
+
+TEST(GateTest, MissingArtifactOrMetricFailsTheRule) {
+  const std::map<std::string, BenchArtifact> baselines = {
+      {"scan", MakeArtifact("scan", {{"wall_seconds", 1.0}})}};
+  const std::map<std::string, BenchArtifact> currents = {
+      {"scan", MakeArtifact("scan", {{"other_metric", 1.0}})}};
+  const std::vector<GateRule> rules = {
+      MakeRule("ghost", "x", GateRule::Direction::kHigherIsBetter, 0.0),
+      MakeRule("scan", "wall_seconds", GateRule::Direction::kLowerIsBetter,
+               0.5),
+  };
+  GateReport report = EvaluateGate(rules, baselines, currents);
+  EXPECT_EQ(report.failures, 2);
+  EXPECT_EQ(report.checks[0].detail, "missing baseline artifact");
+  EXPECT_EQ(report.checks[1].detail, "metric absent from current run");
+}
+
+TEST(GateTest, ReportTextListsEveryCheckAndProvenance) {
+  std::map<std::string, BenchArtifact> baselines = {
+      {"scan", MakeArtifact("scan", {{"wall_seconds", 10.0}})}};
+  baselines["scan"].info["run_host"] = "baseline-box";
+  std::map<std::string, BenchArtifact> currents = {
+      {"scan", MakeArtifact("scan", {{"wall_seconds", 20.0}})}};
+  currents["scan"].info["run_host"] = "pr-box";
+  const std::vector<GateRule> rules = {MakeRule(
+      "scan", "wall_seconds", GateRule::Direction::kLowerIsBetter, 0.2)};
+
+  const GateReport report = EvaluateGate(rules, baselines, currents);
+  const std::string text = GateReportToText(report, baselines, currents);
+  EXPECT_NE(text.find("wall_seconds"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("baseline[run_host=baseline-box]"), std::string::npos);
+  EXPECT_NE(text.find("current[run_host=pr-box]"), std::string::npos);
+  EXPECT_NE(text.find("0/1 checks passed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace distinct

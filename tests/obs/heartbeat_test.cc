@@ -1,0 +1,163 @@
+#include "obs/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "obs/json_reader.h"
+
+namespace distinct {
+namespace obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string HeartbeatPath(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  return path.string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+int64_t IntField(const JsonValue& root, const char* key) {
+  auto value = RequireInt(root, key, "heartbeat");
+  EXPECT_TRUE(value.ok()) << key << ": " << value.status().ToString();
+  return value.ok() ? *value : -999;
+}
+
+/// Schema test against the pure serializer: every documented key present,
+/// with the sample's values.
+TEST(HeartbeatJsonTest, EmitsDocumentedSchema) {
+  HeartbeatSample sample;
+  sample.sequence = 7;
+  sample.elapsed_seconds = 12.5;
+  sample.shards_total = 4;
+  sample.shards_done = 2;
+  sample.groups_total = 100;
+  sample.groups_done = 40;
+  sample.refs_total = 5000;
+  sample.refs_done = 2000;
+  sample.refs_per_sec = 160.0;
+  sample.eta_seconds = 18.75;
+  sample.rss_bytes = 123456789;
+
+  const std::string json = HeartbeatJson("scan", sample);
+  EXPECT_EQ(json.back(), '\n');
+  auto root = JsonReader(json, "heartbeat").Parse();
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+
+  EXPECT_EQ(IntField(*root, "distinct_heartbeat"), kHeartbeatSchemaVersion);
+  const JsonValue* label = root->Find("label");
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->string_value, "scan");
+  EXPECT_EQ(IntField(*root, "sequence"), 7);
+  EXPECT_EQ(IntField(*root, "shards_done"), 2);
+  EXPECT_EQ(IntField(*root, "shards_total"), 4);
+  EXPECT_EQ(IntField(*root, "groups_done"), 40);
+  EXPECT_EQ(IntField(*root, "groups_total"), 100);
+  EXPECT_EQ(IntField(*root, "refs_done"), 2000);
+  EXPECT_EQ(IntField(*root, "refs_total"), 5000);
+  EXPECT_EQ(IntField(*root, "rss_bytes"), 123456789);
+  const JsonValue* elapsed = root->Find("elapsed_s");
+  ASSERT_NE(elapsed, nullptr);
+  EXPECT_DOUBLE_EQ(elapsed->AsDouble(), 12.5);
+  const JsonValue* rate = root->Find("refs_per_sec");
+  ASSERT_NE(rate, nullptr);
+  EXPECT_DOUBLE_EQ(rate->AsDouble(), 160.0);
+  const JsonValue* eta = root->Find("eta_s");
+  ASSERT_NE(eta, nullptr);
+  EXPECT_DOUBLE_EQ(eta->AsDouble(), 18.75);
+}
+
+/// End-to-end: the background thread beats, the file appears, and the
+/// terminal beat on Stop() reflects the final counters.
+TEST(HeartbeatReporterTest, WritesFileAndTerminalBeat) {
+  const std::string path = HeartbeatPath("heartbeat.json");
+  ProgressState progress;
+  progress.shards_total.store(2);
+  progress.groups_total.store(10);
+  progress.refs_total.store(100);
+
+  HeartbeatReporter::Options options;
+  options.file_path = path;
+  options.interval_seconds = 0.01;
+  options.label = "scan";
+  {
+    HeartbeatReporter reporter(options, &progress);
+    // Poll instead of sleeping blind: wait for at least two periodic beats.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (reporter.beats() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(reporter.beats(), 2);
+
+    // Advance progress, then stop: the terminal beat must see these.
+    progress.shards_done.store(2);
+    progress.groups_done.store(10);
+    progress.refs_done.store(100);
+    reporter.Stop();
+    const int64_t beats_after_stop = reporter.beats();
+    reporter.Stop();  // idempotent
+    EXPECT_EQ(reporter.beats(), beats_after_stop);
+  }
+
+  auto root = JsonReader(ReadFile(path), "heartbeat").Parse();
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ(IntField(*root, "distinct_heartbeat"), kHeartbeatSchemaVersion);
+  EXPECT_EQ(IntField(*root, "shards_done"), 2);
+  EXPECT_EQ(IntField(*root, "shards_total"), 2);
+  EXPECT_EQ(IntField(*root, "groups_done"), 10);
+  EXPECT_EQ(IntField(*root, "refs_done"), 100);
+  EXPECT_GE(IntField(*root, "sequence"), 3);  // >= 2 periodic + terminal
+  // No torn-write leftovers.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(HeartbeatReporterTest, NullProgressReportsZerosButStaysAlive) {
+  const std::string path = HeartbeatPath("heartbeat_null.json");
+  HeartbeatReporter::Options options;
+  options.file_path = path;
+  options.interval_seconds = 0.01;
+  options.label = "idle";
+  {
+    HeartbeatReporter reporter(options, nullptr);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (reporter.beats() < 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(reporter.beats(), 1);
+  }
+  auto root = JsonReader(ReadFile(path), "heartbeat").Parse();
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ(IntField(*root, "shards_total"), 0);
+  EXPECT_EQ(IntField(*root, "refs_done"), 0);
+}
+
+TEST(HeartbeatReporterTest, StopWithoutFileEmitsNoFile) {
+  const std::string path = HeartbeatPath("heartbeat_none.json");
+  HeartbeatReporter::Options options;  // file_path empty
+  options.interval_seconds = 0.01;
+  options.label = "scan";
+  ProgressState progress;
+  HeartbeatReporter reporter(options, &progress);
+  reporter.Stop();
+  EXPECT_GE(reporter.beats(), 1);  // the terminal beat still counts
+  EXPECT_FALSE(fs::exists(path));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace distinct

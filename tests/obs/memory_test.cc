@@ -1,0 +1,137 @@
+#include "obs/memory.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+namespace distinct {
+namespace obs {
+namespace {
+
+/// The tracker is process-global; every test starts from zeroed gauges.
+class MemoryTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MemoryTracker::Global().Reset(); }
+  void TearDown() override { MemoryTracker::Global().Reset(); }
+};
+
+TEST_F(MemoryTrackerTest, AddAccumulatesAndPeakIsWatermark) {
+  auto& tracker = MemoryTracker::Global();
+  tracker.Add(MemoryTracker::kPairMatrix, 1000);
+  tracker.Add(MemoryTracker::kPairMatrix, 500);
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kPairMatrix), 1500);
+  EXPECT_EQ(tracker.PeakBytes(MemoryTracker::kPairMatrix), 1500);
+
+  // Release: current drops, the watermark stays at the high point.
+  tracker.Add(MemoryTracker::kPairMatrix, -1200);
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kPairMatrix), 300);
+  EXPECT_EQ(tracker.PeakBytes(MemoryTracker::kPairMatrix), 1500);
+
+  // A later, lower hill must not move the watermark.
+  tracker.Add(MemoryTracker::kPairMatrix, 600);
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kPairMatrix), 900);
+  EXPECT_EQ(tracker.PeakBytes(MemoryTracker::kPairMatrix), 1500);
+}
+
+TEST_F(MemoryTrackerTest, ComponentsAreIndependent) {
+  auto& tracker = MemoryTracker::Global();
+  tracker.Add(MemoryTracker::kProfileArena, 10);
+  tracker.Add(MemoryTracker::kSubtreeCache, 20);
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kProfileArena), 10);
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kSubtreeCache), 20);
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kPairMatrix), 0);
+}
+
+TEST_F(MemoryTrackerTest, TrackedTotalExcludesRss) {
+  auto& tracker = MemoryTracker::Global();
+  tracker.Add(MemoryTracker::kProfileArena, 100);
+  tracker.Add(MemoryTracker::kCheckpoint, 50);
+  tracker.Set(MemoryTracker::kRss, 1 << 30);  // would swamp the sum
+  EXPECT_EQ(tracker.TrackedTotalBytes(), 150);
+}
+
+TEST_F(MemoryTrackerTest, SampleRssReadsProcSelf) {
+  auto& tracker = MemoryTracker::Global();
+  const int64_t rss = tracker.SampleRss();
+  // Linux CI: the probe must work and a live process is at least a MiB.
+  ASSERT_GT(rss, 0);
+  EXPECT_GT(rss, 1 << 20);
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kRss), rss);
+  EXPECT_GT(ReadRssBytes(), 0);
+}
+
+TEST_F(MemoryTrackerTest, SnapshotCoversEveryComponentInOrder) {
+  auto& tracker = MemoryTracker::Global();
+  tracker.Add(MemoryTracker::kSubtreeCache, 77);
+  const std::vector<MemoryTracker::ComponentSnapshot> snapshot =
+      tracker.Snapshot();
+  ASSERT_EQ(snapshot.size(),
+            static_cast<size_t>(MemoryTracker::kNumComponents));
+  EXPECT_EQ(snapshot[MemoryTracker::kProfileArena].name, "profile_arena");
+  EXPECT_EQ(snapshot[MemoryTracker::kSubtreeCache].name, "subtree_cache");
+  EXPECT_EQ(snapshot[MemoryTracker::kSubtreeCache].current_bytes, 77);
+  EXPECT_EQ(snapshot[MemoryTracker::kSubtreeCache].peak_bytes, 77);
+  EXPECT_EQ(snapshot[MemoryTracker::kPairMatrix].current_bytes, 0);
+}
+
+TEST_F(MemoryTrackerTest, ResetZeroesCurrentAndPeak) {
+  auto& tracker = MemoryTracker::Global();
+  tracker.Add(MemoryTracker::kPairMatrix, 42);
+  tracker.Reset();
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kPairMatrix), 0);
+  EXPECT_EQ(tracker.PeakBytes(MemoryTracker::kPairMatrix), 0);
+}
+
+TEST_F(MemoryTrackerTest, TrackedBytesRegistersForItsLifetime) {
+  auto& tracker = MemoryTracker::Global();
+  {
+    TrackedBytes held(MemoryTracker::kCheckpoint);
+    held.Set(4096);
+    EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kCheckpoint), 4096);
+    held.Set(1024);  // shrink applies the delta, not another full add
+    EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kCheckpoint), 1024);
+  }
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kCheckpoint), 0);
+  EXPECT_EQ(tracker.PeakBytes(MemoryTracker::kCheckpoint), 4096);
+}
+
+TEST_F(MemoryTrackerTest, TrackedBytesCopyRegistersItsOwnBytes) {
+  auto& tracker = MemoryTracker::Global();
+  TrackedBytes original(MemoryTracker::kProfileArena);
+  original.Set(100);
+  {
+    TrackedBytes copy(original);  // a copied container duplicates payload
+    EXPECT_EQ(copy.bytes(), 100);
+    EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kProfileArena), 200);
+  }
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kProfileArena), 100);
+}
+
+TEST_F(MemoryTrackerTest, TrackedBytesMoveTransfersRegistration) {
+  auto& tracker = MemoryTracker::Global();
+  TrackedBytes original(MemoryTracker::kProfileArena);
+  original.Set(100);
+  TrackedBytes moved(std::move(original));
+  EXPECT_EQ(moved.bytes(), 100);
+  EXPECT_EQ(original.bytes(), 0);  // NOLINT(bugprone-use-after-move)
+  // A move hands over the registration — the total never doubles.
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kProfileArena), 100);
+  moved.Set(0);
+  EXPECT_EQ(tracker.CurrentBytes(MemoryTracker::kProfileArena), 0);
+}
+
+TEST_F(MemoryTrackerTest, DefaultConstructedTrackedBytesIsInert) {
+  auto& tracker = MemoryTracker::Global();
+  TrackedBytes untracked;
+  untracked.Set(1 << 20);
+  for (int c = 0; c < MemoryTracker::kNumComponents; ++c) {
+    EXPECT_EQ(
+        tracker.CurrentBytes(static_cast<MemoryTracker::Component>(c)), 0)
+        << c;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace distinct

@@ -1,0 +1,225 @@
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_reader.h"
+#include "obs/trace.h"
+
+namespace distinct {
+namespace obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty directory under the test temp root.
+std::string MakeFragmentDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << data;
+}
+
+SpanRecord MakeSpan(const std::string& name, int64_t start_ns,
+                    int64_t duration_ns, int parent, int thread = 0) {
+  SpanRecord span;
+  span.name = name;
+  span.start_nanos = start_ns;
+  span.duration_nanos = duration_ns;
+  span.parent = parent;
+  span.thread = thread;
+  return span;
+}
+
+/// Golden test: the exact Chrome Trace Event JSON for a fixed span list.
+/// Pinning the bytes guards the contract with chrome://tracing / Perfetto
+/// (metadata-first ordering, "ph":"X" events, microsecond doubles,
+/// incomplete-span convention). Timestamps here are fixed inputs, so the
+/// output is fully deterministic.
+TEST(TraceExportTest, GoldenChromeTraceJson) {
+  TraceProcess driver;
+  driver.pid = 0;
+  driver.name = "driver";
+  driver.spans = {
+      MakeSpan("scan", 1000, 500000, -1),
+      MakeSpan("plan", 2000, 3000, 0),
+      MakeSpan("open", 250500, -1, 0),  // still open at snapshot time
+  };
+  TraceProcess shard;
+  shard.pid = 1;
+  shard.name = "shard 0";
+  shard.spans = {MakeSpan("scan_shard", 0, 400000, -1, 1)};
+
+  const std::string json = ChromeTraceJson({driver, shard});
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"driver\"}},"
+      "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"sort_index\":0}},"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"shard 0\"}},"
+      "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"sort_index\":1}},"
+      "{\"name\":\"scan\",\"cat\":\"distinct\",\"ph\":\"X\",\"ts\":1,"
+      "\"dur\":500,\"pid\":0,\"tid\":0},"
+      "{\"name\":\"plan\",\"cat\":\"distinct\",\"ph\":\"X\",\"ts\":2,"
+      "\"dur\":3,\"pid\":0,\"tid\":0},"
+      "{\"name\":\"open\",\"cat\":\"distinct\",\"ph\":\"X\",\"ts\":250.5,"
+      "\"dur\":0,\"pid\":0,\"tid\":0,\"args\":{\"incomplete\":true}},"
+      "{\"name\":\"scan_shard\",\"cat\":\"distinct\",\"ph\":\"X\",\"ts\":0,"
+      "\"dur\":400,\"pid\":1,\"tid\":1}"
+      "]}";
+  EXPECT_EQ(json, expected);
+}
+
+/// The export must stay parseable JSON whatever the span names contain.
+TEST(TraceExportTest, ExportedJsonParsesAndEscapes) {
+  TraceProcess process;
+  process.pid = 0;
+  process.name = "driver";
+  process.spans = {MakeSpan("evil \"name\"\n", 10, 20, -1)};
+  auto root = JsonReader(ChromeTraceJson({process})).Parse();
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  const JsonValue* events = root->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items.size(), 3u);  // 2 metadata + 1 span
+  const JsonValue* name = events->items[2].Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string_value, "evil \"name\"\n");
+}
+
+TEST(TraceExportTest, FragmentRoundTrips) {
+  const std::string dir = MakeFragmentDir("trace_roundtrip");
+  const std::vector<SpanRecord> spans = {
+      MakeSpan("scan_shard", 0, 900, -1),
+      MakeSpan("resolve \"x\"", 100, 200, 0, 1),
+      MakeSpan("open", 400, -1, 0),
+  };
+  const std::string path = TraceFragmentPath(dir, 3);
+  EXPECT_EQ(path, dir + "/trace-shard-3.json");
+  ASSERT_TRUE(WriteTraceFragment(path, spans).ok());
+
+  auto loaded = ReadTraceFragment(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].name, spans[i].name) << i;
+    EXPECT_EQ((*loaded)[i].start_nanos, spans[i].start_nanos) << i;
+    EXPECT_EQ((*loaded)[i].duration_nanos, spans[i].duration_nanos) << i;
+    EXPECT_EQ((*loaded)[i].parent, spans[i].parent) << i;
+    EXPECT_EQ((*loaded)[i].thread, spans[i].thread) << i;
+  }
+}
+
+TEST(TraceExportTest, MissingFragmentIsNotFound) {
+  const std::string dir = MakeFragmentDir("trace_missing");
+  auto loaded = ReadTraceFragment(TraceFragmentPath(dir, 0));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TraceExportTest, CorruptFragmentIsRejected) {
+  const std::string dir = MakeFragmentDir("trace_corrupt");
+  // Not JSON at all.
+  WriteFile(TraceFragmentPath(dir, 0), "not json");
+  EXPECT_EQ(ReadTraceFragment(TraceFragmentPath(dir, 0)).status().code(),
+            StatusCode::kDataLoss);
+  // Valid JSON, wrong schema version.
+  WriteFile(TraceFragmentPath(dir, 1),
+            "{\"distinct_trace_fragment\":99,\"spans\":[]}");
+  EXPECT_EQ(ReadTraceFragment(TraceFragmentPath(dir, 1)).status().code(),
+            StatusCode::kFailedPrecondition);
+  // A span whose parent points forward (not yet defined) is corrupt: the
+  // tracer only ever records parents earlier in the list.
+  WriteFile(TraceFragmentPath(dir, 2),
+            "{\"distinct_trace_fragment\":1,\"spans\":["
+            "{\"name\":\"a\",\"start_ns\":0,\"duration_ns\":1,"
+            "\"parent\":5,\"thread\":0}]}");
+  EXPECT_EQ(ReadTraceFragment(TraceFragmentPath(dir, 2)).status().code(),
+            StatusCode::kDataLoss);
+}
+
+/// Merge semantics: driver is pid 0; present fragments become "shard <id>"
+/// processes at pid id+1; missing fragments are skipped (a failed shard
+/// must not fail the merge); corrupt fragments do fail it.
+TEST(TraceExportTest, CollectShardedTraceSkipsMissingShards) {
+  const std::string dir = MakeFragmentDir("trace_merge");
+  ASSERT_TRUE(WriteTraceFragment(TraceFragmentPath(dir, 0),
+                                 {MakeSpan("scan_shard", 0, 10, -1)})
+                  .ok());
+  // Shard 1 has no fragment (failed / pre-tracing).
+  ASSERT_TRUE(WriteTraceFragment(TraceFragmentPath(dir, 2),
+                                 {MakeSpan("scan_shard", 0, 30, -1)})
+                  .ok());
+
+  const std::vector<SpanRecord> driver = {MakeSpan("scan", 0, 100, -1)};
+  auto merged = CollectShardedTrace(driver, dir, 3);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged->size(), 3u);
+  EXPECT_EQ((*merged)[0].pid, 0);
+  EXPECT_EQ((*merged)[0].name, "driver");
+  ASSERT_EQ((*merged)[0].spans.size(), 1u);
+  EXPECT_EQ((*merged)[0].spans[0].name, "scan");
+  EXPECT_EQ((*merged)[1].pid, 1);
+  EXPECT_EQ((*merged)[1].name, "shard 0");
+  EXPECT_EQ((*merged)[2].pid, 3);
+  EXPECT_EQ((*merged)[2].name, "shard 2");
+}
+
+TEST(TraceExportTest, CollectShardedTraceFailsOnCorruptFragment) {
+  const std::string dir = MakeFragmentDir("trace_merge_corrupt");
+  WriteFile(TraceFragmentPath(dir, 0), "{broken");
+  auto merged = CollectShardedTrace({}, dir, 1);
+  EXPECT_EQ(merged.status().code(), StatusCode::kDataLoss);
+}
+
+/// Structural determinism of the merged export: same fragments and driver
+/// spans in, byte-identical JSON out (timestamps are part of the inputs
+/// here, so even ts/dur repeat).
+TEST(TraceExportTest, MergedExportDeterministicForFixedInputs) {
+  const std::string dir = MakeFragmentDir("trace_deterministic");
+  ASSERT_TRUE(WriteTraceFragment(TraceFragmentPath(dir, 0),
+                                 {MakeSpan("scan_shard", 5, 10, -1),
+                                  MakeSpan("group", 6, 2, 0)})
+                  .ok());
+  const std::vector<SpanRecord> driver = {MakeSpan("scan", 0, 100, -1)};
+
+  auto first = CollectShardedTrace(driver, dir, 1);
+  auto second = CollectShardedTrace(driver, dir, 1);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(ChromeTraceJson(*first), ChromeTraceJson(*second));
+}
+
+TEST(TraceExportTest, WriteChromeTraceCreatesLoadableFile) {
+  const std::string dir = MakeFragmentDir("trace_write");
+  TraceProcess process;
+  process.pid = 0;
+  process.name = "driver";
+  process.spans = {MakeSpan("scan", 0, 42, -1)};
+  const std::string path = dir + "/trace.json";
+  ASSERT_TRUE(WriteChromeTrace(path, {process}).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  auto root = JsonReader(text).Parse();
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  const JsonValue* unit = root->Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string_value, "ms");
+  ASSERT_NE(root->Find("traceEvents"), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace distinct

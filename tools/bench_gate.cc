@@ -1,0 +1,141 @@
+// bench_gate: fail CI when a benchmark metric regresses past its threshold.
+//
+//   bench_gate --baselines=bench/baselines --current=build/bench-json
+//              [--rules=bench/baselines/gate_rules.txt]
+//
+// Loads every BENCH_<name>.json named by the rules file from the baseline
+// and current directories, evaluates the rules (obs/bench_compare.h), and
+// prints one row per check. Exit code 0 when every check passes, 1 on any
+// regression or missing metric, 2 on usage/setup errors.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/bench_compare.h"
+
+namespace {
+
+using distinct::StatusCode;
+using distinct::obs::BenchArtifact;
+using distinct::obs::EvaluateGate;
+using distinct::obs::GateReport;
+using distinct::obs::GateReportToText;
+using distinct::obs::GateRule;
+using distinct::obs::LoadBenchArtifact;
+using distinct::obs::ParseGateRules;
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baselines=DIR [--current=DIR] [--rules=FILE]\n"
+               "  --baselines=DIR  committed BENCH_*.json baselines\n"
+               "  --current=DIR    freshly produced BENCH_*.json (default .)\n"
+               "  --rules=FILE     gate rules (default DIR/gate_rules.txt)\n",
+               argv0);
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return false;
+  }
+  char buffer[1 << 14];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->append(buffer, n);
+  }
+  std::fclose(file);
+  return true;
+}
+
+// Loads the artifact for each bench a rule names. Missing files are left
+// out of the map — EvaluateGate reports them as failing checks, which keeps
+// "bench binary crashed before writing JSON" a visible failure.
+std::map<std::string, BenchArtifact> LoadArtifacts(
+    const std::vector<GateRule>& rules, const std::string& dir,
+    const char* side, bool* corrupt) {
+  std::set<std::string> names;
+  for (const GateRule& rule : rules) {
+    names.insert(rule.bench);
+  }
+  std::map<std::string, BenchArtifact> artifacts;
+  for (const std::string& name : names) {
+    const std::string path = dir + "/BENCH_" + name + ".json";
+    auto artifact = LoadBenchArtifact(path);
+    if (artifact.ok()) {
+      artifacts[name] = *std::move(artifact);
+    } else if (artifact.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr, "bench_gate: %s: %s\n", side,
+                   artifact.status().ToString().c_str());
+      *corrupt = true;
+    }
+  }
+  return artifacts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baselines_dir;
+  std::string current_dir = ".";
+  std::string rules_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--baselines=", 12) == 0) {
+      baselines_dir = arg + 12;
+    } else if (std::strncmp(arg, "--current=", 10) == 0) {
+      current_dir = arg + 10;
+    } else if (std::strncmp(arg, "--rules=", 8) == 0) {
+      rules_path = arg + 8;
+    } else {
+      std::fprintf(stderr, "bench_gate: unknown argument '%s'\n", arg);
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (baselines_dir.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (rules_path.empty()) {
+    rules_path = baselines_dir + "/gate_rules.txt";
+  }
+
+  std::string rules_text;
+  if (!ReadFile(rules_path, &rules_text)) {
+    std::fprintf(stderr, "bench_gate: cannot read rules '%s'\n",
+                 rules_path.c_str());
+    return 2;
+  }
+  auto rules = ParseGateRules(rules_text);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "bench_gate: %s\n",
+                 rules.status().ToString().c_str());
+    return 2;
+  }
+  if (rules->empty()) {
+    std::fprintf(stderr, "bench_gate: '%s' defines no rules\n",
+                 rules_path.c_str());
+    return 2;
+  }
+
+  bool corrupt = false;
+  const auto baselines =
+      LoadArtifacts(*rules, baselines_dir, "baseline", &corrupt);
+  const auto currents = LoadArtifacts(*rules, current_dir, "current", &corrupt);
+  if (corrupt) {
+    return 2;
+  }
+
+  const GateReport report = EvaluateGate(*rules, baselines, currents);
+  std::fputs(GateReportToText(report, baselines, currents).c_str(), stdout);
+  if (!report.ok()) {
+    std::fprintf(stderr, "bench_gate: %lld check(s) FAILED\n",
+                 static_cast<long long>(report.failures));
+    return 1;
+  }
+  return 0;
+}
