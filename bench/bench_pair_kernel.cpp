@@ -1,9 +1,11 @@
 // Pair-kernel comparison on a sparse-overlap workload: one synthetic
 // mega-name whose references spread over many distinct entities (and
 // therefore many communities), so most reference pairs share no neighbor
-// tuples. Rows: the three-pass reference kernel, the fused arena kernel
-// (candidate skipping, no pruning — must reproduce the reference matrices
-// bit-for-bit, hard failure otherwise), and the fused kernel with the
+// tuples. Rows: the three-pass reference kernel; the fused arena kernel
+// once per merge-join ISA (scalar, gallop, avx2 — every row must
+// reproduce the reference matrices bit-for-bit, hard failure otherwise);
+// the fused kernel with bitset candidate generation forced on; the fused
+// kernel at its defaults (auto ISA); and the fused kernel with the
 // mass-bound prune (must leave the clustering at the prune floor
 // unchanged). The serial fill is measured so the row ratio is the kernel
 // speedup itself, not a parallelization artifact.
@@ -124,6 +126,37 @@ int main(int argc, char** argv) {
   std::pair<PairMatrix, PairMatrix> reference(PairMatrix(0), PairMatrix(0));
   const double reference_s = time_fill(reference_options, &reference);
 
+  // One row per merge-join ISA, candidate generation pinned to the sparse
+  // grouped path so the rows differ only in the join itself.
+  struct VariantRow {
+    const char* name;
+    KernelIsa isa;
+    double seconds = 0.0;
+    bool exact = false;
+  };
+  VariantRow variants[] = {{"fused[scalar]", KernelIsa::kScalar},
+                           {"fused[gallop]", KernelIsa::kGallop},
+                           {"fused[avx2]", KernelIsa::kAvx2}};
+  for (VariantRow& row : variants) {
+    PairKernelOptions options;
+    options.kernel = PairKernelType::kFused;
+    options.isa = row.isa;
+    options.candidates.bitset_min_refs = 1 << 30;  // force the sparse path
+    std::pair<PairMatrix, PairMatrix> out(PairMatrix(0), PairMatrix(0));
+    row.seconds = time_fill(options, &out);
+    row.exact = MatricesEqual(out, reference);
+  }
+
+  // Bitset candidate generation forced on (auto ISA): same bits, built
+  // word-parallel.
+  PairKernelOptions bitset_options;
+  bitset_options.kernel = PairKernelType::kFused;
+  bitset_options.candidates.bitset_min_refs = 0;
+  bitset_options.candidates.bitset_cost_factor = 0.0;
+  std::pair<PairMatrix, PairMatrix> bitset(PairMatrix(0), PairMatrix(0));
+  const double bitset_s = time_fill(bitset_options, &bitset);
+  const bool bitset_exact = MatricesEqual(bitset, reference);
+
   PairKernelOptions fused_options;
   fused_options.kernel = PairKernelType::kFused;
   std::pair<PairMatrix, PairMatrix> fused(PairMatrix(0), PairMatrix(0));
@@ -163,7 +196,20 @@ int main(int argc, char** argv) {
   TextTable table({"kernel", "matrix (s)", "speedup", "exact", "pruned"});
   for (size_t c = 1; c <= 4; ++c) table.SetRightAlign(c);
   table.AddRow({"reference", Fmt3(reference_s), "1.00", "-", "-"});
-  table.AddRow({"fused", Fmt3(fused_s),
+  for (const VariantRow& row : variants) {
+    table.AddRow(
+        {row.name, Fmt3(row.seconds),
+         StrFormat("%.2f",
+                   row.seconds > 0 ? reference_s / row.seconds : 0.0),
+         row.exact ? "yes" : "NO", "0"});
+  }
+  table.AddRow(
+      {"fused[bitset-cand]", Fmt3(bitset_s),
+       StrFormat("%.2f", bitset_s > 0 ? reference_s / bitset_s : 0.0),
+       bitset_exact ? "yes" : "NO", "0"});
+  table.AddRow({StrFormat("fused[auto=%s]",
+                          KernelIsaName(ResolveKernelIsa(KernelIsa::kAuto))),
+                Fmt3(fused_s),
                 StrFormat("%.2f", fused_s > 0 ? reference_s / fused_s : 0.0),
                 fused_exact ? "yes" : "NO", "0"});
   table.AddRow({StrFormat("fused+prune@%.2f", prune_min_sim), Fmt3(prune_s),
@@ -181,9 +227,23 @@ int main(int argc, char** argv) {
   json.Add("total_pairs", total_pairs);
   json.Add("candidate_pairs", candidates.count());
   json.Add("reference_matrix_s", reference_s);
+  // fused_* is the defaults row (auto ISA); the per-variant keys pin one
+  // merge-join ISA (sparse candidates) or force bitset candidates.
   json.Add("fused_matrix_s", fused_s);
   json.Add("fused_speedup", fused_s > 0 ? reference_s / fused_s : 0.0);
   json.Add("fused_exact", static_cast<int64_t>(fused_exact ? 1 : 0));
+  const char* variant_keys[] = {"scalar", "gallop", "simd"};
+  for (size_t v = 0; v < 3; ++v) {
+    const VariantRow& row = variants[v];
+    json.Add(std::string(variant_keys[v]) + "_matrix_s", row.seconds);
+    json.Add(std::string(variant_keys[v]) + "_speedup",
+             row.seconds > 0 ? reference_s / row.seconds : 0.0);
+    json.Add(std::string(variant_keys[v]) + "_exact",
+             static_cast<int64_t>(row.exact ? 1 : 0));
+  }
+  json.Add("bitset_matrix_s", bitset_s);
+  json.Add("bitset_speedup", bitset_s > 0 ? reference_s / bitset_s : 0.0);
+  json.Add("bitset_exact", static_cast<int64_t>(bitset_exact ? 1 : 0));
   json.Add("prune_min_sim", prune_min_sim);
   json.Add("prune_matrix_s", prune_s);
   json.Add("prune_speedup", prune_s > 0 ? reference_s / prune_s : 0.0);
@@ -193,8 +253,22 @@ int main(int argc, char** argv) {
   json.Write();
 
   std::printf(
-      "\nthe fused row must reproduce the reference matrices bit-for-bit; "
+      "\nevery fused row must reproduce the reference matrices bit-for-bit; "
       "the prune row must leave the clustering at its floor unchanged.\n");
+  for (const VariantRow& row : variants) {
+    if (!row.exact) {
+      std::fprintf(stderr,
+                   "error: %s diverged from the reference matrices\n",
+                   row.name);
+      return 1;
+    }
+  }
+  if (!bitset_exact) {
+    std::fprintf(stderr,
+                 "error: bitset candidate generation diverged from the "
+                 "reference matrices\n");
+    return 1;
+  }
   if (!fused_exact) {
     std::fprintf(stderr,
                  "error: fused kernel (pruning off) diverged from the "

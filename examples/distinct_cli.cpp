@@ -97,6 +97,7 @@ void Usage() {
                "                --no-incremental --prop-cache-mb=N\n"
                "                --kernel=fused|reference "
                "--kernel-pruning\n"
+               "                --kernel-isa=auto|scalar|gallop|avx2\n"
                "                --verbosity=0|1|2\n"
                "                --report --metrics-json=FILE "
                "--trace-json=FILE\n"
@@ -186,6 +187,12 @@ Status ApplyKernelFlags(const FlagParser& flags, DistinctConfig* config) {
         "--kernel must be 'fused' or 'reference', got '" + kernel + "'");
   }
   config->kernel_pruning = flags.GetBool("kernel-pruning");
+  const std::string isa = flags.GetString("kernel-isa");
+  if (!ParseKernelIsa(isa, &config->kernel_isa)) {
+    return InvalidArgumentError(
+        "--kernel-isa must be 'auto', 'scalar', 'gallop' or 'avx2', got '" +
+        isa + "'");
+  }
   return Status::Ok();
 }
 
@@ -552,6 +559,10 @@ int main(int argc, char** argv) {
                 "clustering; may shift merges whose cluster-average sits "
                 "near the floor (off by default — every candidate is "
                 "computed exactly)");
+  flags.AddString("kernel-isa", "auto",
+                  "fused-kernel merge-join variant: auto (fastest this "
+                  "host supports) | scalar | gallop | avx2 (falls back to "
+                  "scalar when unsupported); all bit-identical");
   flags.AddDouble("min-sim", 3e-2, "clustering merge threshold");
   flags.AddBool("auto-min-sim", false,
                 "derive min-sim from the training pairs (ignores --min-sim)");

@@ -113,6 +113,12 @@ struct DistinctConfig {
   /// counterexample). Off by default; ComputeMatrices() never prunes
   /// regardless — its matrices serve threshold sweeps below min_sim.
   bool kernel_pruning = false;
+  /// Merge-join ISA of the fused kernel (sim/intersect.h). kAuto resolves
+  /// once to the fastest variant this host supports (AVX2 where present,
+  /// galloping otherwise); explicit values pin one variant, with an avx2
+  /// request on a host or build without it degrading to scalar. Every
+  /// variant returns bit-identical matrices — this is purely a speed knob.
+  KernelIsa kernel_isa = KernelIsa::kAuto;
   /// Per-shard memory budget (in MiB) of the sharded bulk scan
   /// (core/scan_shard.h). Sizes the shard's SubtreeCache and bounds how
   /// many concurrent PropagationWorkspaces (and therefore worker threads)

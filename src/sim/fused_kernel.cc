@@ -7,104 +7,182 @@
 
 namespace distinct {
 
-FusedPathFeatures FusedMergeJoin(const ProfileArena::Path& path, size_t i,
-                                 size_t j) {
-  FusedPathFeatures features;
-  size_t x = path.offsets[i];
-  const size_t x_end = path.offsets[i + 1];
-  size_t y = path.offsets[j];
-  const size_t y_end = path.offsets[j + 1];
-  // SetResemblance defines an empty side as 0 before any accumulation; the
-  // walk sums have no matches to visit either way.
-  if (x == x_end || y == y_end) {
-    return features;
-  }
-
-  double numerator = 0.0;
-  double denominator = 0.0;
-  double walk_ij = 0.0;  // Walk_P(i -> j): forward_i · reverse_j
-  double walk_ji = 0.0;  // Walk_P(j -> i): forward_j · reverse_i
-  while (x < x_end && y < y_end) {
-    const int32_t tx = path.tuples[x];
-    const int32_t ty = path.tuples[y];
-    if (tx < ty) {
-      denominator += path.forward[x];
-      ++x;
-    } else if (ty < tx) {
-      denominator += path.forward[y];
-      ++y;
-    } else {
-      numerator += std::min(path.forward[x], path.forward[y]);
-      denominator += std::max(path.forward[x], path.forward[y]);
-      walk_ij += path.forward[x] * path.reverse[y];
-      walk_ji += path.forward[y] * path.reverse[x];
-      ++x;
-      ++y;
-    }
-  }
-  for (; x < x_end; ++x) {
-    denominator += path.forward[x];
-  }
-  for (; y < y_end; ++y) {
-    denominator += path.forward[y];
-  }
-  if (denominator > 0.0) {
-    features.resemblance = numerator / denominator;
-  }
-  // Same addition order as 0.5 * (Walk(i, j) + Walk(j, i)).
-  features.walk = 0.5 * (walk_ij + walk_ji);
-  return features;
-}
-
-PairFeatures FusedFeatures(const ProfileArena& arena, size_t i, size_t j) {
+PairFeatures FusedFeatures(const ProfileArena& arena, size_t i, size_t j,
+                           KernelIsa isa) {
+  const MergeJoinFn join = MergeJoinForIsa(ResolveKernelIsa(isa));
   PairFeatures features;
   features.resemblance.resize(arena.num_paths());
   features.walk.resize(arena.num_paths());
   for (size_t p = 0; p < arena.num_paths(); ++p) {
-    const FusedPathFeatures fused = FusedMergeJoin(arena.path(p), i, j);
+    const FusedPathFeatures fused = join(arena.path(p), i, j);
     features.resemblance[p] = fused.resemblance;
     features.walk[p] = fused.walk;
   }
   return features;
 }
 
-CandidateSet CandidateSet::Build(const ProfileArena& arena) {
+namespace {
+
+/// ORs `word` into the triangle bitmap at bit position `bit_pos` (the low
+/// bit of `word` lands on `bit_pos`). Callers guarantee every set bit of
+/// `word` stays inside the bitmap.
+inline void OrWordAt(std::vector<uint64_t>& bits, size_t bit_pos,
+                     uint64_t word) {
+  if (word == 0) {
+    return;
+  }
+  const size_t q = bit_pos >> 6;
+  const size_t s = bit_pos & 63;
+  if (s == 0) {
+    bits[q] |= word;
+    return;
+  }
+  bits[q] |= word << s;
+  const uint64_t spill = word >> (64 - s);
+  if (spill != 0) {
+    bits[q + 1] |= spill;
+  }
+}
+
+}  // namespace
+
+CandidateSet CandidateSet::Build(const ProfileArena& arena,
+                                 const CandidateBuildOptions& options) {
   CandidateSet set;
   const size_t n = arena.num_refs();
   set.num_refs_ = n;
   const size_t cells = n < 2 ? 0 : n * (n - 1) / 2;
   set.bits_.assign((cells + 63) / 64, 0);
 
-  // Inverted index per path: every arena entry is one (tuple, reference)
-  // posting; sorting groups each tuple's references together, ascending
-  // (profiles are duplicate-free, so a reference appears at most once per
-  // tuple group). All pairs within a group share that tuple.
-  std::vector<std::pair<int32_t, int32_t>> postings;
+  // Scratch shared across paths (and, via thread_local, across the many
+  // names one scan worker builds — same idiom and lifetime contract as
+  // BuildPartial below): dense_of spans the tuple id space and is restored
+  // to all -1 through `touched` after every path.
+  static thread_local std::vector<int32_t> dense_of;  // tuple -> dense id
+  static thread_local std::vector<int32_t> touched;   // numbered this path
+  std::vector<uint32_t> counts;       // dense id -> occurrences
+  std::vector<uint32_t> group_begin;  // dense id -> start in grouped
+  std::vector<int32_t> grouped;       // refs grouped by dense tuple id
+  std::vector<uint64_t> tuple_bits;   // dense id -> reference bitmap
+  std::vector<uint64_t> row;          // one reference's candidate row
+
+  const size_t words = (n + 63) / 64;
   for (size_t p = 0; p < arena.num_paths(); ++p) {
     const ProfileArena::Path& path = arena.path(p);
-    postings.clear();
-    postings.reserve(path.tuples.size());
-    for (size_t r = 0; r < n; ++r) {
-      for (size_t e = path.offsets[r]; e < path.offsets[r + 1]; ++e) {
-        postings.emplace_back(path.tuples[e], static_cast<int32_t>(r));
-      }
+    const size_t entries = path.tuples.size();
+    if (entries == 0) {
+      continue;
     }
-    std::sort(postings.begin(), postings.end());
-    for (size_t begin = 0; begin < postings.size();) {
-      size_t end = begin;
-      while (end < postings.size() &&
-             postings[end].first == postings[begin].first) {
-        ++end;
+    // Pass 1: dense-number every distinct tuple on this path and count its
+    // postings — a counting sort's histogram, replacing the comparison
+    // sort the old Build ran per path.
+    touched.clear();
+    counts.clear();
+    for (size_t e = 0; e < entries; ++e) {
+      const auto t = static_cast<size_t>(path.tuples[e]);
+      if (t >= dense_of.size()) {
+        dense_of.resize(t + 1, -1);
       }
-      for (size_t a = begin; a < end; ++a) {
-        const size_t i = static_cast<size_t>(postings[a].second);
-        const size_t row = i * (i - 1) / 2;
-        for (size_t b = begin; b < a; ++b) {
-          const size_t bit = row + static_cast<size_t>(postings[b].second);
-          set.bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+      if (dense_of[t] < 0) {
+        dense_of[t] = static_cast<int32_t>(touched.size());
+        touched.push_back(static_cast<int32_t>(t));
+        counts.push_back(0);
+      }
+      ++counts[static_cast<size_t>(dense_of[t])];
+    }
+    const size_t distinct = touched.size();
+
+    // The counting pass's histogram prices both machines before either
+    // runs: grouped marking visits every within-group pair (Σ count²),
+    // the bitset path ORs ~(entries + n) · words/2 words. Hub tuples send
+    // Σ count² quadratic, which is exactly when the word ops win.
+    double grouped_cost = 0.0;
+    for (size_t d = 0; d < distinct; ++d) {
+      grouped_cost += static_cast<double>(counts[d]) *
+                      static_cast<double>(counts[d]);
+    }
+    const double bitset_cost =
+        static_cast<double>(entries + n) * static_cast<double>(words) * 0.5;
+    const bool use_bitset =
+        n >= static_cast<size_t>(std::max(options.bitset_min_refs, 0)) &&
+        distinct * words <= options.bitset_max_scratch_words &&
+        (options.bitset_cost_factor <= 0.0 ||
+         grouped_cost > options.bitset_cost_factor * bitset_cost);
+
+    if (use_bitset) {
+      // Dense path: tuple -> reference bitmaps, then one word-parallel OR
+      // per (reference, tuple) posting and a shifted OR into the
+      // contiguous triangle row of each reference. Hub tuples cost words,
+      // not pairs².
+      tuple_bits.assign(distinct * words, 0);
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t e = path.offsets[r]; e < path.offsets[r + 1]; ++e) {
+          const auto d = static_cast<size_t>(
+              dense_of[static_cast<size_t>(path.tuples[e])]);
+          tuple_bits[d * words + (r >> 6)] |= uint64_t{1} << (r & 63);
         }
       }
-      begin = end;
+      row.assign(words, 0);
+      for (size_t r = 1; r < n; ++r) {
+        if (path.size(r) == 0) {
+          continue;
+        }
+        // Only bits below r survive the splice, so only the words that can
+        // hold them are ORed (and re-zeroed).
+        const size_t row_words = (r + 63) / 64;
+        for (size_t e = path.offsets[r]; e < path.offsets[r + 1]; ++e) {
+          const auto d = static_cast<size_t>(
+              dense_of[static_cast<size_t>(path.tuples[e])]);
+          const uint64_t* src = tuple_bits.data() + d * words;
+          for (size_t w = 0; w < row_words; ++w) {
+            row[w] |= src[w];
+          }
+        }
+        const size_t base = r * (r - 1) / 2;
+        const size_t full = r / 64;
+        const size_t rem = r % 64;
+        for (size_t w = 0; w < full; ++w) {
+          OrWordAt(set.bits_, base + 64 * w, row[w]);
+        }
+        if (rem != 0) {
+          OrWordAt(set.bits_, base + 64 * full,
+                   row[full] & ((uint64_t{1} << rem) - 1));
+        }
+        std::fill(row.begin(), row.begin() + static_cast<int64_t>(row_words),
+                  0);
+      }
+    } else {
+      // Sparse path: scatter references into per-tuple groups (counting
+      // sort, ref order preserved ascending) and mark every pair inside a
+      // group — exactly the incidences the fused kernel would visit.
+      group_begin.assign(distinct + 1, 0);
+      for (size_t d = 0; d < distinct; ++d) {
+        group_begin[d + 1] = group_begin[d] + counts[d];
+      }
+      grouped.resize(entries);
+      counts.assign(distinct, 0);  // reused as per-group cursors
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t e = path.offsets[r]; e < path.offsets[r + 1]; ++e) {
+          const auto d = static_cast<size_t>(
+              dense_of[static_cast<size_t>(path.tuples[e])]);
+          grouped[group_begin[d] + counts[d]++] = static_cast<int32_t>(r);
+        }
+      }
+      for (size_t d = 0; d < distinct; ++d) {
+        const size_t begin = group_begin[d];
+        const size_t end = group_begin[d + 1];
+        for (size_t a = begin; a < end; ++a) {
+          const auto i = static_cast<size_t>(grouped[a]);
+          const size_t row_base = i * (i - 1) / 2;
+          for (size_t b = begin; b < a; ++b) {
+            const size_t bit = row_base + static_cast<size_t>(grouped[b]);
+            set.bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+          }
+        }
+      }
+    }
+    for (const int32_t t : touched) {
+      dense_of[static_cast<size_t>(t)] = -1;
     }
   }
 
@@ -216,19 +294,34 @@ double PairSimilarityUpperBound(const ProfileArena& arena,
     const ProfileArena::Path& path = arena.path(p);
     const double mass_i = path.mass[i];
     const double mass_j = path.mass[j];
-    const double larger = std::max(mass_i, mass_j);
-    if (larger > 0.0) {
-      resem_bound += std::max(resem_weights[p], 0.0) *
-                     (std::min(mass_i, mass_j) / larger);
+    const auto matches =
+        static_cast<double>(std::min(path.size(i), path.size(j)));
+    // Resem_P = ν/δ with δ = mass_i + mass_j − ν exactly (Σmax + Σmin over
+    // the union is the total mass), and ν/(M−ν) increases in ν — so any
+    // upper bound ν* on the numerator gives the bound ν*/(M−ν*). The
+    // numerator is capped by the smaller mass and by the match count times
+    // the smaller per-entry maximum; the latter tightens hub-vs-small
+    // pairs whose masses alone look similar.
+    double nu = std::min(mass_i, mass_j);
+    nu = std::min(nu, matches * std::min(path.forward_max[i],
+                                         path.forward_max[j]));
+    if (nu > 0.0) {
+      const double delta = mass_i + mass_j - nu;
+      const double resem =
+          delta > 0.0 ? std::min(nu / delta, 1.0) : 1.0;
+      resem_bound += std::max(resem_weights[p], 0.0) * resem;
     }
     // Walk_P(a->b) = Σ f_a(t)·r_b(t) over shared tuples; bound each factor
-    // by its profile-wide aggregate, both ways, and keep the tighter.
+    // by its profile-wide aggregate (both ways), or the whole sum by the
+    // match count times the largest single product, and keep the tightest.
     const double walk_ij =
-        std::min(mass_i * path.reverse_max[j],
-                 path.forward_max[i] * path.reverse_sum[j]);
+        std::min({mass_i * path.reverse_max[j],
+                  path.forward_max[i] * path.reverse_sum[j],
+                  matches * path.forward_max[i] * path.reverse_max[j]});
     const double walk_ji =
-        std::min(mass_j * path.reverse_max[i],
-                 path.forward_max[j] * path.reverse_sum[i]);
+        std::min({mass_j * path.reverse_max[i],
+                  path.forward_max[j] * path.reverse_sum[i],
+                  matches * path.forward_max[j] * path.reverse_max[i]});
     walk_bound += std::max(walk_weights[p], 0.0) * 0.5 * (walk_ij + walk_ji);
   }
   switch (policy.measure) {

@@ -37,36 +37,56 @@
 
 #include "cluster/agglomerative.h"
 #include "sim/feature_vector.h"
+#include "sim/intersect.h"
 #include "sim/profile_arena.h"
 #include "sim/similarity_model.h"
 
 namespace distinct {
 
-/// One path's pair features out of a single merge-join.
-struct FusedPathFeatures {
-  double resemblance = 0.0;
-  double walk = 0.0;  // symmetric: mean of both directions
-};
-
-/// Single-pass resemblance + both walk directions for the pair (i, j) of
-/// one path slab. Accumulators advance in the same visit order as the
-/// three-pass reference, so each value is bit-identical to
-/// SetResemblance / SymmetricWalkProbability on the original profiles.
-FusedPathFeatures FusedMergeJoin(const ProfileArena::Path& path, size_t i,
-                                 size_t j);
+// The merge-join itself (FusedPathFeatures, FusedMergeJoin and its
+// gallop/AVX2 siblings, KernelIsa dispatch) lives in sim/intersect.h;
+// this header keeps the candidate set and the mass-bound prune.
 
 /// All-path features of pair (i, j) — the fused drop-in for
-/// ProfileStore::Features / ComputePairFeatures (testing seam).
-PairFeatures FusedFeatures(const ProfileArena& arena, size_t i, size_t j);
+/// ProfileStore::Features / ComputePairFeatures (testing seam). `isa`
+/// picks the merge-join variant; every ISA returns bit-identical values.
+PairFeatures FusedFeatures(const ProfileArena& arena, size_t i, size_t j,
+                           KernelIsa isa = KernelIsa::kScalar);
+
+/// How CandidateSet::Build marks the pairs of one path: pairwise within
+/// tuple groups (cost ~ shared-tuple incidences — right for sparse
+/// overlap), or bitset rows with word-parallel OR (cost ~ entries·n/64 +
+/// n²/64 — right for dense names, where hub tuples make the per-group
+/// pairwise marking quadratic). Both produce the identical bit set; the
+/// thresholds only pick which machine fills it.
+struct CandidateBuildOptions {
+  /// Bitset rows need at least this many references before the word ops
+  /// amortize (below it the triangle fits in a handful of words anyway).
+  int bitset_min_refs = 64;
+  /// Cost-model bias: the grouped marking costs ~ the sum of squared
+  /// per-tuple posting counts (pairs within each group), the bitset path
+  /// ~ (entries + n) · n/128 word operations — both computable from the
+  /// counting pass's histogram before committing to either. The bitset
+  /// path is taken when grouped-cost > bitset_cost_factor · bitset-cost;
+  /// values above 1.0 bias toward the grouped marking, <= 0 forces the
+  /// bitset path wherever bitset_min_refs and the scratch cap allow
+  /// (differential tests and the bench pin both machines this way).
+  double bitset_cost_factor = 1.0;
+  /// Hard cap on the tuple->references bitmap scratch (words); a path
+  /// whose distinct-tuple count would blow past it falls back to the
+  /// grouped marking regardless of the cost model.
+  size_t bitset_max_scratch_words = size_t{1} << 23;  // 64 MiB
+};
 
 /// The overlap-sparse candidate pair set: bit b(i, j) is set iff
 /// references i and j share at least one neighbor tuple on at least one
 /// path. Built from per-path inverted indexes (tuple -> references); cost
-/// is proportional to the number of (pair, shared tuple) incidences — the
-/// same matches the fused kernel would visit.
+/// is proportional to the number of (pair, shared tuple) incidences for
+/// sparse paths, or word-parallel for dense ones (CandidateBuildOptions).
 class CandidateSet {
  public:
-  static CandidateSet Build(const ProfileArena& arena);
+  static CandidateSet Build(const ProfileArena& arena,
+                            const CandidateBuildOptions& options = {});
 
   /// Candidate pairs restricted to cells with at least one endpoint marked
   /// in `dirty` (size num_refs). Exactly Build()'s bits on those cells;

@@ -1,0 +1,151 @@
+// Runtime-dispatched sorted-set intersection family for the fused pair
+// kernel: scalar merge, galloping binary-probe for skewed list-length
+// ratios, and an AVX2 run-skipping merge behind a CPU-feature dispatch
+// shim.
+//
+// Every variant computes FusedMergeJoin's four accumulators (resemblance
+// numerator/denominator and both directed walk sums) with the *identical*
+// floating-point operation sequence: one denominator add per union element
+// in increasing tuple order, numerator/walk contributions per match in
+// match order. The variants differ only in how they *find* run boundaries
+// and matches — galloping replaces per-element comparisons with an
+// exponential probe when one list dwarfs the other, AVX2 compares eight
+// tuples per instruction to locate the end of a same-side run — never in
+// how they accumulate. Bit-identity with the three-pass reference
+// (SetResemblance / SymmetricWalkProbability) therefore holds for every
+// ISA by construction, and the differential suite pins it.
+//
+// The ISA is resolved once per engine (DistinctConfig::kernel_isa /
+// --kernel-isa, default auto): auto picks AVX2 when the CPU and build
+// support it and galloping otherwise; requesting AVX2 on an unsupported
+// host falls back to scalar. -DDISTINCT_DISABLE_SIMD=ON compiles the
+// vector path out entirely (the portable-path CI job builds this way);
+// non-x86 targets get the same scalar fallback (a NEON twin of the AVX2
+// run detector would slot into the same dispatch table).
+
+#ifndef DISTINCT_SIM_INTERSECT_H_
+#define DISTINCT_SIM_INTERSECT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/profile_arena.h"
+
+namespace distinct {
+
+/// One path's pair features out of a single merge-join.
+struct FusedPathFeatures {
+  double resemblance = 0.0;
+  double walk = 0.0;  // symmetric: mean of both directions
+};
+
+/// Which sorted-set intersection implementation the fused kernel joins
+/// with. kAuto resolves once per engine via ResolveKernelIsa.
+enum class KernelIsa {
+  kAuto = 0,  // best supported: avx2 when available, else gallop
+  kScalar,    // two-pointer merge — the canonical accumulation order
+  kGallop,    // exponential binary probe on the longer list when skewed
+  kAvx2,      // 8-wide run detection (x86 AVX2; scalar fallback elsewhere)
+};
+
+/// Lower-case name for logs, reports, and BENCH provenance ("auto" never
+/// escapes: callers name the *resolved* ISA).
+const char* KernelIsaName(KernelIsa isa);
+
+/// Parses "auto" / "scalar" / "gallop" / "avx2". Returns false (and leaves
+/// `out` untouched) on anything else.
+bool ParseKernelIsa(const std::string& text, KernelIsa* out);
+
+/// Resolves a requested ISA to one this binary and CPU can execute:
+/// kAuto -> kAvx2 when compiled in and supported by the CPU, else kGallop;
+/// kAvx2 on an unsupported host -> kScalar (the documented portable
+/// fallback); concrete supported requests pass through. Never returns
+/// kAuto. The CPU probe runs once per process.
+KernelIsa ResolveKernelIsa(KernelIsa requested);
+
+/// True when ResolveKernelIsa(kAvx2) == kAvx2 (build + CPU support).
+bool KernelIsaAvx2Available();
+
+/// Single-pass resemblance + both walk directions for the pair (i, j) of
+/// one path slab — the scalar variant, whose accumulation order is the
+/// bit-identity contract every other variant reproduces. Defined inline:
+/// it is the fused fill's innermost call, and keeping the body visible
+/// lets the per-cell loop inline it instead of paying a cross-TU call per
+/// (pair, path).
+inline FusedPathFeatures FusedMergeJoin(const ProfileArena::Path& path,
+                                        size_t i, size_t j) {
+  FusedPathFeatures features;
+  size_t x = path.offsets[i];
+  const size_t x_end = path.offsets[i + 1];
+  size_t y = path.offsets[j];
+  const size_t y_end = path.offsets[j + 1];
+  // SetResemblance defines an empty side as 0 before any accumulation; the
+  // walk sums have no matches to visit either way.
+  if (x == x_end || y == y_end) {
+    return features;
+  }
+
+  double numerator = 0.0;
+  double denominator = 0.0;
+  double walk_ij = 0.0;  // Walk_P(i -> j): forward_i · reverse_j
+  double walk_ji = 0.0;  // Walk_P(j -> i): forward_j · reverse_i
+  while (x < x_end && y < y_end) {
+    const int32_t tx = path.tuples[x];
+    const int32_t ty = path.tuples[y];
+    if (tx < ty) {
+      denominator += path.forward[x];
+      ++x;
+    } else if (ty < tx) {
+      denominator += path.forward[y];
+      ++y;
+    } else {
+      numerator += std::min(path.forward[x], path.forward[y]);
+      denominator += std::max(path.forward[x], path.forward[y]);
+      walk_ij += path.forward[x] * path.reverse[y];
+      walk_ji += path.forward[y] * path.reverse[x];
+      ++x;
+      ++y;
+    }
+  }
+  for (; x < x_end; ++x) {
+    denominator += path.forward[x];
+  }
+  for (; y < y_end; ++y) {
+    denominator += path.forward[y];
+  }
+  if (denominator > 0.0) {
+    features.resemblance = numerator / denominator;
+  }
+  // Same addition order as 0.5 * (Walk(i, j) + Walk(j, i)).
+  features.walk = 0.5 * (walk_ij + walk_ji);
+  return features;
+}
+
+/// Galloping variant: when one slice is >= 8x the other, runs of the long
+/// slice are located with an exponential + binary probe and their forward
+/// probabilities accumulated in a tight dependence-only loop; balanced
+/// slices fall through to the scalar merge.
+FusedPathFeatures FusedMergeJoinGallop(const ProfileArena::Path& path,
+                                       size_t i, size_t j);
+
+/// AVX2 variant: on skewed pairs (same >= 8x ratio as the gallop trigger)
+/// same-side runs are detected eight tuples per compare — sorted slices
+/// make the comparison mask a prefix, so the run length is a trailing-ones
+/// count — with accumulation staying scalar and in order. Balanced pairs,
+/// unsupported hosts, and -DDISTINCT_DISABLE_SIMD builds take the scalar
+/// merge (short interleaved runs lose money on vector loads).
+FusedPathFeatures FusedMergeJoinAvx2(const ProfileArena::Path& path,
+                                     size_t i, size_t j);
+
+/// The merge-join a resolved ISA dispatches to. `isa` must not be kAuto
+/// (resolve first); the returned pointer is valid for the process
+/// lifetime, so the fused fill hoists one load out of its hot loop.
+using MergeJoinFn = FusedPathFeatures (*)(const ProfileArena::Path&, size_t,
+                                          size_t);
+MergeJoinFn MergeJoinForIsa(KernelIsa isa);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_SIM_INTERSECT_H_

@@ -1,6 +1,7 @@
 #include "sim/parallel_kernel.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <vector>
 
@@ -102,46 +103,113 @@ void FillFused(const ProfileStore& store, const ProfileArena& arena,
   // "one span per bulk run" at any thread count).
   const bool full_fill = recompute == nullptr;
   const CandidateSet candidates =
-      full_fill ? CandidateSet::Build(arena)
+      full_fill ? CandidateSet::Build(arena, options.candidates)
                 : CandidateSet::BuildPartial(arena, *recompute);
   const bool prune = options.pruning && options.prune_min_sim > 0.0;
   const PrunePolicy policy{options.prune_min_sim, options.measure,
                            options.combine};
   // Weighted per-path accumulation in path order — the same floating-point
   // op sequence as SimilarityModel::Resemblance/Walk over a PairFeatures
-  // vector, without materializing one per pair.
+  // vector, without materializing one per pair. The merge-join variant is
+  // resolved once per fill, never per cell.
+  const KernelIsa isa = ResolveKernelIsa(options.isa);
   const std::vector<double>& resem_weights = model.resem_weights();
   const std::vector<double>& walk_weights = model.walk_weights();
   const size_t num_paths = arena.num_paths();
+  const size_t n = store.num_refs();
 
-  ForEachCell(
-      store.num_refs(), pool, options,
-      [&](size_t i, size_t j, int64_t* pruned) {
-        if (recompute != nullptr && !((*recompute)[i] | (*recompute)[j])) {
-          return;
+  // Per-reference nonempty-path bitmasks: a path where either slice is
+  // empty contributes exactly-zero features, and weight · 0.0 only ever
+  // adds a signed zero to the running sums — so iterating just the set
+  // bits of mask_i & mask_j (ascending, preserving path order) leaves
+  // every cell value unchanged. Join paths are few (the schema walk is
+  // depth-bounded), so one word almost always covers them; a >64-path
+  // arena falls back to visiting every path.
+  std::vector<uint64_t> path_mask;
+  const bool use_masks = num_paths > 0 && num_paths <= 64;
+  if (use_masks) {
+    path_mask.assign(n, 0);
+    for (size_t p = 0; p < num_paths; ++p) {
+      const ProfileArena::Path& path = arena.path(p);
+      const uint64_t bit = uint64_t{1} << p;
+      for (size_t r = 0; r < n; ++r) {
+        if (path.offsets[r + 1] != path.offsets[r]) {
+          path_mask[r] |= bit;
         }
-        // No shared tuple on any path: every feature is exactly 0, so the
-        // model-combined cell is the 0.0 the matrix was initialized with.
-        if (!candidates.contains(i, j)) {
-          return;
-        }
-        if (prune &&
-            PairSimilarityUpperBound(arena, model, policy, i, j) <
-                policy.min_sim) {
-          ++*pruned;
-          return;
-        }
-        double resem_sim = 0.0;
-        double walk_sim = 0.0;
-        for (size_t p = 0; p < num_paths; ++p) {
-          const FusedPathFeatures features =
-              FusedMergeJoin(arena.path(p), i, j);
-          resem_sim += resem_weights[p] * features.resemblance;
-          walk_sim += walk_weights[p] * features.walk;
-        }
-        resem->set(i, j, std::max(resem_sim, 0.0));
-        walk->set(i, j, std::max(walk_sim, 0.0));
+      }
+    }
+  }
+
+  // Generic over the join callable so the scalar instantiation inlines
+  // FusedMergeJoin (header-inline) straight into the cell loop — the
+  // innermost call of the whole fill — while gallop/AVX2 instantiations
+  // pay one direct call per (pair, path).
+  const auto run_cells = [&](auto join) {
+    ForEachCell(
+        n, pool, options,
+        [&, join](size_t i, size_t j, int64_t* pruned) {
+          if (recompute != nullptr && !((*recompute)[i] | (*recompute)[j])) {
+            return;
+          }
+          // No shared tuple on any path: every feature is exactly 0, so
+          // the model-combined cell is the 0.0 the matrix was initialized
+          // with.
+          if (!candidates.contains(i, j)) {
+            return;
+          }
+          if (prune &&
+              PairSimilarityUpperBound(arena, model, policy, i, j) <
+                  policy.min_sim) {
+            ++*pruned;
+            return;
+          }
+          double resem_sim = 0.0;
+          double walk_sim = 0.0;
+          if (use_masks) {
+            for (uint64_t m = path_mask[i] & path_mask[j]; m != 0;
+                 m &= m - 1) {
+              const auto p = static_cast<size_t>(std::countr_zero(m));
+              const uint64_t rest = m & (m - 1);
+              if (rest != 0) {
+                // Overlap the next path's slice loads with this join.
+                const auto np = static_cast<size_t>(std::countr_zero(rest));
+                const ProfileArena::Path& next = arena.path(np);
+                __builtin_prefetch(next.tuples.data() + next.offsets[i]);
+                __builtin_prefetch(next.tuples.data() + next.offsets[j]);
+              }
+              const FusedPathFeatures features = join(arena.path(p), i, j);
+              resem_sim += resem_weights[p] * features.resemblance;
+              walk_sim += walk_weights[p] * features.walk;
+            }
+          } else {
+            for (size_t p = 0; p < num_paths; ++p) {
+              const FusedPathFeatures features = join(arena.path(p), i, j);
+              resem_sim += resem_weights[p] * features.resemblance;
+              walk_sim += walk_weights[p] * features.walk;
+            }
+          }
+          resem->set(i, j, std::max(resem_sim, 0.0));
+          walk->set(i, j, std::max(walk_sim, 0.0));
+        });
+  };
+  switch (isa) {
+    case KernelIsa::kGallop:
+      run_cells([](const ProfileArena::Path& path, size_t i, size_t j) {
+        return FusedMergeJoinGallop(path, i, j);
       });
+      break;
+    case KernelIsa::kAvx2:
+      run_cells([](const ProfileArena::Path& path, size_t i, size_t j) {
+        return FusedMergeJoinAvx2(path, i, j);
+      });
+      break;
+    case KernelIsa::kAuto:  // ResolveKernelIsa never returns kAuto
+    case KernelIsa::kScalar:
+      run_cells([](const ProfileArena::Path& path, size_t i, size_t j) {
+        return FusedMergeJoin(path, i, j);
+      });
+      break;
+  }
 
   if (full_fill) {
     DISTINCT_COUNTER_ADD("sim.candidate_pairs", candidates.count());

@@ -27,6 +27,8 @@
 #include "cluster/agglomerative.h"
 #include "cluster/pair_matrix.h"
 #include "common/thread_pool.h"
+#include "sim/fused_kernel.h"
+#include "sim/intersect.h"
 #include "sim/profile_store.h"
 #include "sim/similarity_model.h"
 
@@ -47,6 +49,12 @@ struct PairKernelOptions {
   /// supplied.
   int min_parallel_refs = 32;
   PairKernelType kernel = PairKernelType::kFused;
+  /// Merge-join variant for the fused kernel (sim/intersect.h). Resolved
+  /// once per fill — kAuto picks the best the host supports. Every ISA is
+  /// bit-identical, so this is purely a speed knob.
+  KernelIsa isa = KernelIsa::kAuto;
+  /// Sparse-vs-bitset thresholds for CandidateSet::Build (kFused only).
+  CandidateBuildOptions candidates;
   /// Mass-bound candidate pruning (kFused only): skip candidate pairs whose
   /// combined-similarity upper bound is below `prune_min_sim`, leaving
   /// their cells 0.0. Heuristic — pruned cells lose their (sub-floor) true

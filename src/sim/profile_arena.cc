@@ -1,12 +1,18 @@
 #include "sim/profile_arena.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace distinct {
 
 namespace {
+
+/// The u32 offset packing caps a path slab at 2^32-1 entries.
+constexpr size_t kMaxPathEntries =
+    std::numeric_limits<uint32_t>::max();
 
 /// Shared flattening loop; `profiles_of(ref)` returns the per-path profile
 /// vector of one reference.
@@ -24,12 +30,13 @@ ProfileArena::Path BuildPath(size_t num_refs, size_t path_index,
   for (size_t r = 0; r < num_refs; ++r) {
     total += profiles_of(r)[path_index].size();
   }
+  DISTINCT_CHECK(total <= kMaxPathEntries);
   path.tuples.reserve(total);
   path.forward.reserve(total);
   path.reverse.reserve(total);
 
   for (size_t r = 0; r < num_refs; ++r) {
-    path.offsets[r] = path.tuples.size();
+    path.offsets[r] = static_cast<uint32_t>(path.tuples.size());
     double mass = 0.0;
     double reverse_sum = 0.0;
     double forward_max = 0.0;
@@ -49,8 +56,18 @@ ProfileArena::Path BuildPath(size_t num_refs, size_t path_index,
     path.forward_max[r] = forward_max;
     path.reverse_max[r] = reverse_max;
   }
-  path.offsets[num_refs] = path.tuples.size();
+  path.offsets[num_refs] = static_cast<uint32_t>(path.tuples.size());
   return path;
+}
+
+/// Bytes the u32 offset packing saves over the size_t layout it replaced,
+/// recorded so run reports can attribute the smaller arena footprint.
+int64_t PackedOffsetSavings(const std::vector<ProfileArena::Path>& paths) {
+  size_t saved = 0;
+  for (const ProfileArena::Path& path : paths) {
+    saved += path.offsets.capacity() * (sizeof(size_t) - sizeof(uint32_t));
+  }
+  return static_cast<int64_t>(saved);
 }
 
 }  // namespace
@@ -58,7 +75,7 @@ ProfileArena::Path BuildPath(size_t num_refs, size_t path_index,
 int64_t ProfileArena::FlattenedBytes() const {
   size_t bytes = paths_.capacity() * sizeof(Path);
   for (const Path& path : paths_) {
-    bytes += path.offsets.capacity() * sizeof(size_t);
+    bytes += path.offsets.capacity() * sizeof(uint32_t);
     bytes += path.tuples.capacity() * sizeof(int32_t);
     bytes += (path.forward.capacity() + path.reverse.capacity() +
               path.mass.capacity() + path.reverse_sum.capacity() +
@@ -80,6 +97,8 @@ ProfileArena ProfileArena::FromStore(const ProfileStore& store) {
         }));
   }
   arena.tracked_.Set(arena.FlattenedBytes());
+  DISTINCT_COUNTER_ADD("sim.arena_packed_bytes_saved",
+                       PackedOffsetSavings(arena.paths_));
   return arena;
 }
 
@@ -110,12 +129,13 @@ void ProfileArena::PatchFromStore(
     for (size_t r = 0; r < new_num_refs; ++r) {
       total += is_changed[r] ? store.profiles(r)[p].size() : old_path.size(r);
     }
+    DISTINCT_CHECK(total <= kMaxPathEntries);
     next.tuples.reserve(total);
     next.forward.reserve(total);
     next.reverse.reserve(total);
 
     for (size_t r = 0; r < new_num_refs; ++r) {
-      next.offsets[r] = next.tuples.size();
+      next.offsets[r] = static_cast<uint32_t>(next.tuples.size());
       if (!is_changed[r]) {
         // Unchanged profile: slice and aggregates copied verbatim — they
         // were produced by the same loop over the identical entries.
@@ -154,7 +174,7 @@ void ProfileArena::PatchFromStore(
       next.forward_max[r] = forward_max;
       next.reverse_max[r] = reverse_max;
     }
-    next.offsets[new_num_refs] = next.tuples.size();
+    next.offsets[new_num_refs] = static_cast<uint32_t>(next.tuples.size());
     paths_[p] = std::move(next);
   }
   num_refs_ = new_num_refs;
@@ -178,6 +198,8 @@ ProfileArena ProfileArena::FromProfiles(
         }));
   }
   arena.tracked_.Set(arena.FlattenedBytes());
+  DISTINCT_COUNTER_ADD("sim.arena_packed_bytes_saved",
+                       PackedOffsetSavings(arena.paths_));
   return arena;
 }
 

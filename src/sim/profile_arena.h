@@ -31,8 +31,14 @@ class ProfileArena {
   /// reference i is [offsets[i], offsets[i + 1]); tuples are strictly
   /// increasing within a slice (NeighborProfile guarantees sorted,
   /// duplicate-free entries).
+  ///
+  /// Offsets are packed to uint32_t — half the index bytes of the size_t
+  /// they replaced, so the offset table of a mega-name stays in cache
+  /// while the merge-joins stream the entry arrays. A path is capped at
+  /// 2^32-1 entries (checked at build time); at 20 bytes per entry that
+  /// is an ~80 GiB slab, far past the per-shard memory budget.
   struct Path {
-    std::vector<size_t> offsets;   // num_refs + 1 entries
+    std::vector<uint32_t> offsets;  // num_refs + 1 entries
     std::vector<int32_t> tuples;
     std::vector<double> forward;   // Prob_P(r -> tuple)
     std::vector<double> reverse;   // Prob_P(tuple -> r)

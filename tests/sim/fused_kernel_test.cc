@@ -386,6 +386,38 @@ TEST_F(FusedKernelEngineTest, FusedMatchesReferenceAcrossThreadCounts) {
   }
 }
 
+TEST_F(FusedKernelEngineTest, EveryKernelIsaMatchesReferenceBitIdentically) {
+  // The full engine-scale differential: each ISA (and auto, whatever it
+  // resolves to on this host) must reproduce the reference matrices bit for
+  // bit, serial and under a pool — the merge-join variants change only how
+  // matches are found, never what is accumulated.
+  const ProfileStore serial_store = BuildStore(nullptr);
+  PairKernelOptions reference;
+  reference.kernel = PairKernelType::kReference;
+  const auto expected =
+      ComputePairMatrices(serial_store, engine_->model(), nullptr, reference);
+
+  ThreadPool pool(4);
+  const ProfileStore parallel_store = BuildStore(&pool);
+  for (const KernelIsa isa : {KernelIsa::kAuto, KernelIsa::kScalar,
+                              KernelIsa::kGallop, KernelIsa::kAvx2}) {
+    for (ThreadPool* workers : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      const ProfileStore& store = workers ? parallel_store : serial_store;
+      PairKernelOptions fused;
+      fused.kernel = PairKernelType::kFused;
+      fused.tile_size = 8;
+      fused.min_parallel_refs = 2;
+      fused.isa = isa;
+      const auto actual =
+          ComputePairMatrices(store, engine_->model(), workers, fused);
+      SCOPED_TRACE(std::string("isa=") + KernelIsaName(ResolveKernelIsa(isa)) +
+                   (workers ? " pooled" : " serial"));
+      ExpectBitIdentical(actual.first, expected.first);
+      ExpectBitIdentical(actual.second, expected.second);
+    }
+  }
+}
+
 TEST_F(FusedKernelEngineTest, NonCandidatePairsAreExactlyZeroInReference) {
   const ProfileStore store = BuildStore(nullptr);
   const ProfileArena arena = ProfileArena::FromStore(store);
