@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   DistinctConfig config;
   config.supervised = false;
   config.promotions = DblpDefaultPromotions();
-  config.num_threads = static_cast<int>(flags.GetInt64("threads"));
+  config.num_threads = MustIntInRange(flags, "threads", 1, 4096);
 
   ScanOptions scan;
   scan.min_refs = flags.GetInt64("min-refs");

@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
   GeneratorConfig generator = StandardGeneratorConfig(
       static_cast<uint64_t>(flags.GetInt64("seed")));
   generator.ambiguous = {{"Wei Wang",
-                          static_cast<int>(flags.GetInt64("entities")),
-                          static_cast<int>(flags.GetInt64("refs"))}};
+                          MustIntInRange(flags, "entities", 1, 1 << 16),
+                          MustIntInRange(flags, "refs", 1, 1 << 20)}};
   DblpDataset dataset = MustGenerate(generator);
 
   // Unsupervised: path-weight training is not what is being measured.
@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
                         static_cast<double>(total_pairs)
                   : 0.0);
 
-  const int repeat = static_cast<int>(flags.GetInt64("repeat"));
+  const int repeat = MustIntInRange(flags, "repeat", 1, 1 << 20);
   const double prune_min_sim = flags.GetDouble("prune-min-sim");
 
   auto time_fill = [&](const PairKernelOptions& options,

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   PrintBanner("bench_parallel_kernel",
               "kernel parallelization (implementation, not a paper figure)");
 
-  const int refs_target = static_cast<int>(flags.GetInt64("refs"));
+  const int refs_target = MustIntInRange(flags, "refs", 1, 1 << 20);
   GeneratorConfig generator = StandardGeneratorConfig(
       static_cast<uint64_t>(flags.GetInt64("seed")));
   generator.ambiguous = {{"Wei Wang", 8, refs_target}};
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
               refs->size(), engine.paths().size(),
               std::thread::hardware_concurrency());
 
-  const int repeat = static_cast<int>(flags.GetInt64("repeat"));
+  const int repeat = MustIntInRange(flags, "repeat", 1, 1 << 20);
   const auto& prop_engine = engine.propagation_engine();
   const auto& paths = engine.paths();
   const auto& options = engine.config().propagation;

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
               "dense scratch + subtree memo (implementation, not a paper "
               "figure)");
 
-  const int refs_target = static_cast<int>(flags.GetInt64("refs"));
+  const int refs_target = MustIntInRange(flags, "refs", 1, 1 << 20);
   GeneratorConfig generator = StandardGeneratorConfig(
       static_cast<uint64_t>(flags.GetInt64("seed")));
   generator.ambiguous = {{"Wei Wang", 8, refs_target}};
@@ -82,10 +82,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const int repeat = static_cast<int>(flags.GetInt64("repeat"));
-  const int threads = static_cast<int>(flags.GetInt64("threads"));
-  const size_t cache_bytes =
-      static_cast<size_t>(flags.GetInt64("cache-mb")) << 20;
+  const int repeat = MustIntInRange(flags, "repeat", 1, 1 << 20);
+  const int threads = MustIntInRange(flags, "threads", 1, 4096);
+  const size_t cache_bytes = static_cast<size_t>(
+      MustInt64InRange(flags, "cache-mb", 0, int64_t{1} << 30) << 20);
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) {
     pool = std::make_unique<ThreadPool>(threads);

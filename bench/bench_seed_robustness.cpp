@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   std::vector<double> f1s;
   std::vector<double> recalls;
   std::vector<double> precisions;
-  const int num_seeds = static_cast<int>(flags.GetInt64("seeds"));
+  const int num_seeds = MustIntInRange(flags, "seeds", 1, 1 << 16);
   for (int s = 0; s < num_seeds; ++s) {
     const uint64_t seed = kDefaultSeed + static_cast<uint64_t>(s);
     DblpDataset dataset = MustGenerate(StandardGeneratorConfig(seed));

@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", groups.status().ToString().c_str());
     return 1;
   }
-  const int threads = static_cast<int>(flags.GetInt64("threads"));
+  const int threads = MustIntInRange(flags, "threads", 1, 4096);
   std::printf("%zu name groups, %d threads/shard, %u hardware threads\n\n",
               groups->size(), threads,
               std::thread::hardware_concurrency());

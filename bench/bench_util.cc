@@ -47,6 +47,25 @@ Distinct MustCreate(const Database& db, const DistinctConfig& config) {
   return *std::move(engine);
 }
 
+int64_t MustInt64InRange(const FlagParser& flags, const char* name,
+                         int64_t min_value, int64_t max_value) {
+  const int64_t value = flags.GetInt64(name);
+  if (value < min_value || value > max_value) {
+    std::fprintf(stderr, "--%s=%lld is out of range [%lld, %lld]\n", name,
+                 static_cast<long long>(value),
+                 static_cast<long long>(min_value),
+                 static_cast<long long>(max_value));
+    std::exit(1);
+  }
+  return value;
+}
+
+int MustIntInRange(const FlagParser& flags, const char* name, int min_value,
+                   int max_value) {
+  return static_cast<int>(MustInt64InRange(flags, name, min_value,
+                                           max_value));
+}
+
 std::string Fmt3(double value) { return StrFormat("%.3f", value); }
 
 void BenchJson::Add(const std::string& key, int64_t value) {

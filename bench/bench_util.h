@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/string_util.h"
 #include "core/distinct.h"
 #include "core/evaluation.h"
@@ -36,6 +37,18 @@ DblpDataset MustGenerate(const GeneratorConfig& config);
 
 /// Creates a trained engine or aborts with a message.
 Distinct MustCreate(const Database& db, const DistinctConfig& config);
+
+/// Range-validated flag access for harnesses: aborts with a clear message
+/// when the value is outside [min, max]. FlagParser::Parse already rejects
+/// malformed numbers and trailing junk; this closes the remaining hole —
+/// call sites used to narrow GetInt64 with an unchecked static_cast<int>,
+/// so --threads=5000000000 silently wrapped instead of failing.
+int64_t MustInt64InRange(const FlagParser& flags, const char* name,
+                         int64_t min_value, int64_t max_value);
+
+/// Same, returning int: bounds are checked before the narrowing cast.
+int MustIntInRange(const FlagParser& flags, const char* name, int min_value,
+                   int max_value);
 
 /// Formats a double with 3 decimals ("0.927").
 std::string Fmt3(double value);

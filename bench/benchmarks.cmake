@@ -31,6 +31,9 @@ distinct_add_bench(bench_parallel_kernel)
 distinct_add_bench(bench_propagation)
 distinct_add_bench(bench_scale)
 distinct_add_bench(bench_seed_robustness)
+distinct_add_bench(bench_serve)
+# The serving stress driver talks to the socket/service layer directly.
+target_link_libraries(bench_serve PRIVATE distinct_serve)
 distinct_add_bench(bench_sharded_scan)
 
 # google-benchmark microbenchmarks.

@@ -6,6 +6,7 @@
 //   distinct_cli scan     --dir=DATA [--min-refs=6] [--threads=2]
 //   distinct_cli append   --dir=DATA --delta=DIR [--verify]
 //   distinct_cli eval     --dir=DATA [--model=FILE]     score vs cases.csv
+//   distinct_cli serve    --dir=DATA [--port=0] [--deadline-ms=N]
 //
 // DATA holds the five DBLP CSVs plus cases.csv (see dblp/dataset_io.h);
 // `generate` creates it, or bring your own files in the same format.
@@ -13,6 +14,7 @@
 // without rebuilding: the catalog re-resolves only the names the delta
 // dirtied and reuses every other cached resolution.
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -39,6 +41,8 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "sim/similarity_model_io.h"
 
 namespace {
@@ -91,7 +95,7 @@ StatusOr<double> DoubleFlagInRange(const FlagParser& flags, const char* name,
 void Usage() {
   std::fprintf(stderr,
                "usage: distinct_cli "
-               "<generate|train|resolve|scan|append|eval> [flags]\n"
+               "<generate|train|resolve|scan|append|eval|serve> [flags]\n"
                "  common flags: --dir=DATA --model=FILE --min-sim=0.03\n"
                "                --threads=N --stopping=fixed|largest-gap\n"
                "                --no-incremental --prop-cache-mb=N\n"
@@ -107,7 +111,10 @@ void Usage() {
                "            --scan-memory-mb=N --checkpoint-dir=DIR "
                "--resume\n"
                "            --heartbeat=FILE --progress-interval=SECONDS\n"
-               "  append:   --delta=DIR [--verify] [--min-refs=N]\n");
+               "  append:   --delta=DIR [--verify] [--min-refs=N]\n"
+               "  serve:    --port=N --host=ADDR --max-inflight=N\n"
+               "            --deadline-ms=N --result-cache=N\n"
+               "            --scan-memory-mb=N (admission budget)\n");
 }
 
 /// Tables attached to the run report by subcommands (the scan's shard
@@ -486,6 +493,75 @@ int RunAppend(const FlagParser& flags) {
   return 0;
 }
 
+int RunServe(const FlagParser& flags) {
+  // Block the shutdown signals before any thread exists: the service's
+  // kernel pool and the server's connection threads inherit this mask, so
+  // SIGTERM/SIGINT are only ever delivered to the sigwait below and a
+  // drain cannot race a default-action termination on a worker thread.
+  sigset_t shutdown_signals;
+  sigemptyset(&shutdown_signals);
+  sigaddset(&shutdown_signals, SIGINT);
+  sigaddset(&shutdown_signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
+
+  auto db = LoadDblpDatabaseCsv(flags.GetString("dir"));
+  if (!db.ok()) return Fail(db.status());
+  auto engine = MakeEngine(*db, flags);
+  if (!engine.ok()) return Fail(engine.status());
+
+  serve::ServiceOptions service_options;
+  auto max_inflight = IntFlagInRange(flags, "max-inflight", 1, 1 << 20);
+  if (!max_inflight.ok()) return Fail(max_inflight.status());
+  service_options.max_inflight = *max_inflight;
+  auto deadline_ms = Int64FlagInRange(flags, "deadline-ms", 0,
+                                      serve::kMaxDeadlineMs);
+  if (!deadline_ms.ok()) return Fail(deadline_ms.status());
+  service_options.default_deadline_ms = *deadline_ms;
+  auto result_cache = Int64FlagInRange(flags, "result-cache", 0, 1 << 24);
+  if (!result_cache.ok()) return Fail(result_cache.status());
+  service_options.result_cache_entries = static_cast<size_t>(*result_cache);
+  // The same budget flag the sharded scan honours bounds admission here.
+  service_options.memory_budget_mb = engine->config().scan_memory_mb;
+  service_options.progress = &g_progress;
+  serve::ServeService service(*engine, service_options);
+
+  serve::ServerOptions server_options;
+  server_options.host = flags.GetString("host");
+  auto port = Int64FlagInRange(flags, "port", 0, 65535);
+  if (!port.ok()) return Fail(port.status());
+  server_options.port = static_cast<uint16_t>(*port);
+  serve::ServeServer server(&service, server_options);
+  if (Status s = server.Start(); !s.ok()) return Fail(s);
+
+  // Scripts scrape this line for the (possibly ephemeral) port; flush so
+  // it is visible before the first query arrives.
+  std::printf("serving on %s:%u (threads=%d, max-inflight=%d, "
+              "deadline-ms=%lld, budget-mb=%lld)\n",
+              server_options.host.c_str(), server.port(),
+              service.options().num_threads, service.options().max_inflight,
+              static_cast<long long>(service.options().default_deadline_ms),
+              static_cast<long long>(service.options().memory_budget_mb));
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&shutdown_signals, &sig);
+  DISTINCT_LOG(INFO) << "received "
+                     << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+                     << ", draining";
+  server.Shutdown();
+  const serve::ServiceStats stats = service.stats();
+  std::printf("served %lld queries (%lld answered, %lld batched, %lld "
+              "cache hits, %lld rejected, %lld deadline-exceeded)\n",
+              static_cast<long long>(stats.queries),
+              static_cast<long long>(stats.answered),
+              static_cast<long long>(stats.batched),
+              static_cast<long long>(stats.cache_hits),
+              static_cast<long long>(stats.rejected_inflight +
+                                     stats.rejected_memory),
+              static_cast<long long>(stats.deadline_exceeded));
+  return 0;
+}
+
 int RunEval(const FlagParser& flags) {
   auto dataset = LoadDataset(flags.GetString("dir"));
   if (!dataset.ok()) return Fail(dataset.status());
@@ -587,6 +663,21 @@ int main(int argc, char** argv) {
                   "and print a progress line at verbosity >= 1");
   flags.AddDouble("progress-interval", 10.0,
                   "seconds between heartbeat samples");
+  flags.AddInt64("port", 0,
+                 "serve: TCP port to listen on (0 binds an ephemeral port, "
+                 "printed on startup)");
+  flags.AddString("host", "127.0.0.1",
+                  "serve: bind address (loopback by default — the protocol "
+                  "is unauthenticated plaintext)");
+  flags.AddInt64("max-inflight", 64,
+                 "serve: queries admitted concurrently; excess is rejected "
+                 "as overloaded with a retry hint");
+  flags.AddInt64("deadline-ms", 0,
+                 "serve: default per-query deadline in ms (0 = none); a "
+                 "request's own deadline_ms may tighten but not extend it");
+  flags.AddInt64("result-cache", 4096,
+                 "serve: completed answers kept for exact re-serving "
+                 "(FIFO-evicted; 0 disables the cache)");
   if (Status s = flags.Parse(argc - 2, argv + 2); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
                  flags.Help().c_str());
@@ -642,13 +733,18 @@ int main(int argc, char** argv) {
     exit_code = RunAppend(flags);
   } else if (command == "eval") {
     exit_code = RunEval(flags);
+  } else if (command == "serve") {
+    exit_code = RunServe(flags);
   } else {
     Usage();
     return 1;
   }
 
   if (heartbeat != nullptr) {
-    heartbeat->Stop();  // terminal beat: the file ends at the final state
+    // Terminal beat carries the run's outcome: a failed command ends the
+    // heartbeat file on status "error", not on a beat that reads as a
+    // live (or successful) run.
+    heartbeat->StopWithStatus(exit_code == 0 ? "ok" : "error");
   }
   if (g_want_trace) {
     if (Status s = ExportTrace(trace_json); !s.ok()) {

@@ -1,0 +1,75 @@
+// Cooperative cancellation for long-running kernel work.
+//
+// A CancelToken is shared between the party that wants work abandoned (a
+// serve deadline timer, a shutdown path) and the worker loops that check it.
+// Checks happen only at coarse boundaries — per row on the serial pair-fill
+// path, per tile on the parallel one — so a null or never-fired token adds a
+// single predictable branch per boundary and leaves results bit-identical.
+//
+// Two bits are tracked separately: `cancelled` (someone asked to stop, set
+// explicitly or implied by an expired deadline) and `aborted` (a worker
+// actually observed the request and abandoned work). The caller inspects
+// `aborted()` after the fill returns to distinguish "completed before the
+// deadline fired" from "partial result, must not be used".
+
+#ifndef DISTINCT_COMMON_CANCEL_H_
+#define DISTINCT_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+
+namespace distinct {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A token that fires once `deadline` (steady clock) has passed.
+  explicit CancelToken(std::chrono::steady_clock::time_point deadline)
+      : deadline_(deadline) {}
+
+  /// Requests cancellation explicitly (e.g. server shutdown).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True when cancellation was requested or the deadline has passed.
+  /// Cheap enough for per-row checks: the clock is read only while the
+  /// token is still live and carries a deadline.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (deadline_.has_value() &&
+        std::chrono::steady_clock::now() >= *deadline_) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Boundary check for worker loops: returns true (and records the
+  /// abandonment) when the worker should stop. Once any worker aborts,
+  /// subsequent checks return true without consulting the clock.
+  bool CheckAbort() const {
+    if (aborted_.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (Expired()) {
+      aborted_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// True iff some worker abandoned work via CheckAbort(). The result
+  /// produced under this token is partial and must be discarded.
+  bool aborted() const { return aborted_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> aborted_{false};
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_COMMON_CANCEL_H_

@@ -154,6 +154,38 @@ const std::string& FlagParser::GetString(const std::string& name) const {
   return GetChecked(name, Type::kString).string_value;
 }
 
+StatusOr<int64_t> FlagParser::GetInt64InRange(const std::string& name,
+                                              int64_t min, int64_t max) const {
+  const int64_t value = GetInt64(name);
+  if (value < min || value > max) {
+    return InvalidArgumentError(
+        StrFormat("flag --%s: value %lld out of range [%lld, %lld]",
+                  name.c_str(), static_cast<long long>(value),
+                  static_cast<long long>(min), static_cast<long long>(max)));
+  }
+  return value;
+}
+
+StatusOr<int> FlagParser::GetIntInRange(const std::string& name, int min,
+                                        int max) const {
+  auto value = GetInt64InRange(name, min, max);
+  if (!value.ok()) {
+    return value.status();
+  }
+  return static_cast<int>(*value);
+}
+
+StatusOr<double> FlagParser::GetDoubleInRange(const std::string& name,
+                                              double min, double max) const {
+  const double value = GetDouble(name);
+  if (!(value >= min && value <= max)) {  // rejects NaN too
+    return InvalidArgumentError(
+        StrFormat("flag --%s: value %g out of range [%g, %g]", name.c_str(),
+                  value, min, max));
+  }
+  return value;
+}
+
 std::string FlagParser::Help() const {
   std::string out = "Flags:\n";
   for (const auto& [name, flag] : flags_) {

@@ -39,6 +39,19 @@ class FlagParser {
   bool GetBool(const std::string& name) const;
   const std::string& GetString(const std::string& name) const;
 
+  /// Range-checked lookups: the parsed value must lie in [min, max]
+  /// (inclusive). Every numeric flag a command actually consumes should go
+  /// through one of these so an out-of-range `--threads=-3` is rejected with
+  /// a message naming the flag, not silently truncated downstream.
+  StatusOr<int64_t> GetInt64InRange(const std::string& name, int64_t min,
+                                    int64_t max) const;
+  /// Like GetInt64InRange but additionally bounded to `int`; for call sites
+  /// that would otherwise `static_cast<int>` an unchecked int64.
+  StatusOr<int> GetIntInRange(const std::string& name, int min,
+                              int max) const;
+  StatusOr<double> GetDoubleInRange(const std::string& name, double min,
+                                    double max) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Usage text listing every declared flag with its default.

@@ -26,6 +26,9 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kDataLoss = 8,
+  kDeadlineExceeded = 9,
+  kResourceExhausted = 10,
+  kUnavailable = 11,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NOT_FOUND").
@@ -67,6 +70,9 @@ Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status DataLossError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
 
 /// Either a value of type `T` or a non-OK Status explaining why there is no
 /// value. Accessing the value of a non-OK StatusOr aborts.

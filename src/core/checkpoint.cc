@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/io_util.h"
 #include "common/string_util.h"
 #include "obs/json_reader.h"
 #include "obs/json_writer.h"
@@ -20,93 +21,10 @@ namespace distinct {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Durable file I/O. The library's JsonWriter is write-only and the run
-// report never fsyncs; checkpoints must survive a kill -9, so they go
-// through raw descriptors: data fsync'd before rename, directory fsync'd
-// after, marker last.
+// Durable file I/O is the shared common/io_util.h helper set (data fsync'd
+// before rename, directory fsync'd after, marker last): every call passes
+// "checkpoint" as the context so messages keep naming the subsystem.
 // ---------------------------------------------------------------------------
-
-Status WriteFileDurable(const std::string& path, const std::string& data) {
-  const int fd =
-      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return InternalError("checkpoint: cannot open '" + path +
-                         "': " + std::strerror(errno));
-  }
-  size_t written = 0;
-  while (written < data.size()) {
-    const ssize_t n =
-        ::write(fd, data.data() + written, data.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      const std::string error = std::strerror(errno);
-      ::close(fd);
-      return DataLossError("checkpoint: short write to '" + path +
-                           "': " + error);
-    }
-    written += static_cast<size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    return DataLossError("checkpoint: fsync of '" + path +
-                         "' failed: " + error);
-  }
-  if (::close(fd) != 0) {
-    return DataLossError("checkpoint: close of '" + path +
-                         "' failed: " + std::strerror(errno));
-  }
-  return Status::Ok();
-}
-
-Status FsyncDir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) {
-    return InternalError("checkpoint: cannot open directory '" + dir +
-                         "': " + std::strerror(errno));
-  }
-  const bool ok = ::fsync(fd) == 0;
-  const std::string error = ok ? "" : std::strerror(errno);
-  ::close(fd);
-  if (!ok) {
-    return DataLossError("checkpoint: fsync of directory '" + dir +
-                         "' failed: " + error);
-  }
-  return Status::Ok();
-}
-
-StatusOr<std::string> ReadFileToString(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) {
-      return NotFoundError("checkpoint: no file '" + path + "'");
-    }
-    return InternalError("checkpoint: cannot open '" + path +
-                         "': " + std::strerror(errno));
-  }
-  std::string data;
-  char buffer[1 << 16];
-  for (;;) {
-    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      const std::string error = std::strerror(errno);
-      ::close(fd);
-      return DataLossError("checkpoint: read of '" + path +
-                           "' failed: " + error);
-    }
-    if (n == 0) {
-      break;
-    }
-    data.append(buffer, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  return data;
-}
 
 // ---------------------------------------------------------------------------
 // JSON parsing is the shared obs::JsonReader (obs/json_reader.h), which
@@ -300,7 +218,7 @@ Status WriteShardCheckpoint(const std::string& dir,
   // A failed write or rename must not leak the tmp file: the retry path
   // recreates it from scratch, and CleanupCheckpointTmpFiles() only covers
   // crashes, not surviving processes that keep checkpointing.
-  if (Status written = WriteFileDurable(tmp, json); !written.ok()) {
+  if (Status written = WriteFileDurable(tmp, json, "checkpoint"); !written.ok()) {
     ::unlink(tmp.c_str());
     return written;
   }
@@ -310,12 +228,12 @@ Status WriteShardCheckpoint(const std::string& dir,
     return DataLossError("checkpoint: rename '" + tmp + "' -> '" + path +
                          "' failed: " + error);
   }
-  DISTINCT_RETURN_IF_ERROR(FsyncDir(dir));
+  DISTINCT_RETURN_IF_ERROR(FsyncDir(dir, "checkpoint"));
   // The marker is written only after the data file is durably in place, so
   // its presence certifies a complete, readable checkpoint.
   DISTINCT_RETURN_IF_ERROR(WriteFileDurable(
-      ShardMarkerPath(dir, checkpoint.shard_id), "done\n"));
-  DISTINCT_RETURN_IF_ERROR(FsyncDir(dir));
+      ShardMarkerPath(dir, checkpoint.shard_id), "done\n", "checkpoint"));
+  DISTINCT_RETURN_IF_ERROR(FsyncDir(dir, "checkpoint"));
   DISTINCT_COUNTER_ADD("scan.checkpoints_written", 1);
   DISTINCT_COUNTER_ADD("scan.checkpoint_bytes_written",
                        static_cast<int64_t>(json.size()));
@@ -333,7 +251,7 @@ StatusOr<ShardCheckpoint> ReadShardCheckpoint(const std::string& dir,
     return NotFoundError(StrFormat(
         "checkpoint for shard %d has no completion marker", shard_id));
   }
-  auto text = ReadFileToString(ShardCheckpointPath(dir, shard_id));
+  auto text = ReadFileToString(ShardCheckpointPath(dir, shard_id), "checkpoint");
   DISTINCT_RETURN_IF_ERROR(text.status());
   obs::TrackedBytes buffer_bytes(obs::MemoryTracker::kCheckpoint);
   buffer_bytes.Set(static_cast<int64_t>(text->capacity()));

@@ -19,6 +19,11 @@
 
 namespace distinct {
 
+int64_t EstimatedGroupMatrixBytes(int64_t n) {
+  return n * (n - 1) * static_cast<int64_t>(sizeof(double)) +
+         2 * n * static_cast<int64_t>(sizeof(int));
+}
+
 namespace {
 
 /// What the per-shard memory budget affords.
@@ -27,13 +32,6 @@ struct ShardBudget {
   size_t cache_bytes = 0;    // SubtreeCache capacity (dense engine only)
   int64_t budget_bytes = 0;  // 0 = unbounded
 };
-
-/// Pair matrices (resemblance + walk, strict lower triangle of doubles)
-/// plus the assignment vector for a group of n references.
-int64_t EstimatedGroupMatrixBytes(int64_t n) {
-  return n * (n - 1) * static_cast<int64_t>(sizeof(double)) +
-         2 * n * static_cast<int64_t>(sizeof(int));
-}
 
 ShardBudget ComputeShardBudget(const Distinct& engine,
                                const ShardedScanOptions& options) {

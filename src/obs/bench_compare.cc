@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/io_util.h"
 #include "common/string_util.h"
 #include "obs/json_reader.h"
 
@@ -58,18 +59,16 @@ StatusOr<BenchArtifact> ParseBenchArtifact(const std::string& json_text) {
 }
 
 StatusOr<BenchArtifact> LoadBenchArtifact(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "r");
-  if (file == nullptr) {
-    return NotFoundError("bench artifact: no file '" + path + "'");
+  // EINTR-retried, error-checked read: a mid-file I/O error must fail the
+  // gate loudly, not truncate the artifact into a "missing metric".
+  auto text = ReadFileToString(path, "bench artifact");
+  if (!text.ok()) {
+    if (text.status().code() == StatusCode::kNotFound) {
+      return NotFoundError("bench artifact: no file '" + path + "'");
+    }
+    return text.status();
   }
-  std::string text;
-  char buffer[1 << 14];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
-    text.append(buffer, n);
-  }
-  std::fclose(file);
-  auto artifact = ParseBenchArtifact(text);
+  auto artifact = ParseBenchArtifact(*text);
   if (!artifact.ok()) {
     return Status(artifact.status().code(),
                   path + ": " + artifact.status().message());

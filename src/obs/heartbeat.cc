@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/io_util.h"
 #include "common/logging.h"
 #include "obs/json_writer.h"
 #include "obs/memory.h"
@@ -27,6 +28,10 @@ std::string HeartbeatJson(const std::string& label,
   json.Key("refs_per_sec").Value(sample.refs_per_sec);
   json.Key("eta_s").Value(sample.eta_seconds);
   json.Key("rss_bytes").Value(sample.rss_bytes);
+  json.Key("final").Value(sample.final);
+  if (sample.final) {
+    json.Key("status").Value(sample.status);
+  }
   json.EndObject();
   std::string out = json.str();
   out += '\n';
@@ -44,7 +49,9 @@ HeartbeatReporter::HeartbeatReporter(Options options,
 
 HeartbeatReporter::~HeartbeatReporter() { Stop(); }
 
-void HeartbeatReporter::Stop() {
+void HeartbeatReporter::Stop() { StopWithStatus("ok"); }
+
+void HeartbeatReporter::StopWithStatus(const std::string& status) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
@@ -56,7 +63,10 @@ void HeartbeatReporter::Stop() {
   if (thread_.joinable()) {
     thread_.join();
   }
-  Emit();  // terminal beat: the file always ends at the final state
+  // Terminal beat: the file always ends marked final with the run's
+  // outcome, so a poller never mistakes a finished (or failed) run for a
+  // live one.
+  Emit(/*final=*/true, status);
 }
 
 HeartbeatSample HeartbeatReporter::Sample() {
@@ -90,24 +100,22 @@ HeartbeatSample HeartbeatReporter::Sample() {
   return sample;
 }
 
-void HeartbeatReporter::Emit() {
-  const HeartbeatSample sample = Sample();
+void HeartbeatReporter::Emit(bool final, const std::string& status) {
+  HeartbeatSample sample = Sample();
+  sample.final = final;
+  sample.status = status;
   beats_.store(sample.sequence, std::memory_order_relaxed);
   if (!options_.file_path.empty()) {
     // tmp + rename so a poller never reads a torn beat; no fsync — a lost
     // beat is harmless, the next one overwrites it.
     const std::string tmp = options_.file_path + ".tmp";
-    std::FILE* file = std::fopen(tmp.c_str(), "w");
-    if (file != nullptr) {
-      const std::string json = HeartbeatJson(options_.label, sample);
-      std::fwrite(json.data(), 1, json.size(), file);
-      if (std::fclose(file) == 0) {
-        if (std::rename(tmp.c_str(), options_.file_path.c_str()) != 0) {
-          std::remove(tmp.c_str());
-        }
-      } else {
+    const std::string json = HeartbeatJson(options_.label, sample);
+    if (WriteStringToFile(tmp, json, "heartbeat").ok()) {
+      if (std::rename(tmp.c_str(), options_.file_path.c_str()) != 0) {
         std::remove(tmp.c_str());
       }
+    } else {
+      std::remove(tmp.c_str());
     }
   }
   if (options_.print_progress) {
@@ -138,7 +146,7 @@ void HeartbeatReporter::Run() {
       break;  // Stop() emits the terminal beat after the join
     }
     lock.unlock();
-    Emit();
+    Emit(/*final=*/false, "");
     lock.lock();
   }
 }

@@ -57,6 +57,14 @@ struct HeartbeatSample {
   /// Remaining refs over the observed rate; -1 while the rate is 0.
   double eta_seconds = -1.0;
   int64_t rss_bytes = -1;  // -1 when the OS probe is unavailable
+  /// Terminal-beat marker. Periodic beats carry final=false; the last
+  /// beat before the reporter stops carries final=true plus the run's
+  /// outcome in `status` ("ok", "error", ...). Pollers distinguish "still
+  /// running", "finished", and "failed" from the file alone — before this
+  /// field a run that died mid-scan left its last periodic beat looking
+  /// alive forever.
+  bool final = false;
+  std::string status;
 };
 
 /// Heartbeat JSON schema version (the "distinct_heartbeat" field).
@@ -90,15 +98,22 @@ class HeartbeatReporter {
   HeartbeatReporter(const HeartbeatReporter&) = delete;
   HeartbeatReporter& operator=(const HeartbeatReporter&) = delete;
 
-  /// Emits a final beat, stops the thread, and joins it. Idempotent.
+  /// Emits a final beat (status "ok"), stops the thread, and joins it.
+  /// Idempotent.
   void Stop();
+
+  /// Like Stop(), but stamps the terminal beat with an explicit outcome —
+  /// error/early-return paths call StopWithStatus("error") so the file
+  /// never ends on a beat that reads as a live run. First caller wins;
+  /// later calls (including the destructor's Stop()) are no-ops.
+  void StopWithStatus(const std::string& status);
 
   /// Beats emitted so far (tests poll this instead of sleeping blind).
   int64_t beats() const { return beats_.load(std::memory_order_relaxed); }
 
  private:
   HeartbeatSample Sample();
-  void Emit();
+  void Emit(bool final, const std::string& status);
   void Run();
 
   Options options_;

@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 
+#include "common/io_util.h"
 #include "common/string_util.h"
 #include "common/text_table.h"
 #include "obs/json_writer.h"
@@ -363,17 +364,7 @@ std::string RunReportToText(const RunReport& report) {
 }
 
 Status WriteRunReportJson(const RunReport& report, const std::string& path) {
-  const std::string json = RunReportToJson(report);
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    return InternalError("cannot open '" + path + "' for writing");
-  }
-  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
-  const bool flushed = std::fclose(file) == 0;
-  if (written != json.size() || !flushed) {
-    return DataLossError("short write to '" + path + "'");
-  }
-  return Status::Ok();
+  return WriteStringToFile(path, RunReportToJson(report), "report");
 }
 
 }  // namespace obs

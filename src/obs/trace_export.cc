@@ -1,7 +1,6 @@
 #include "obs/trace_export.h"
 
-#include <cstdio>
-
+#include "common/io_util.h"
 #include "common/string_util.h"
 #include "obs/json_reader.h"
 #include "obs/json_writer.h"
@@ -14,19 +13,6 @@ namespace {
 constexpr char kFragmentVersionKey[] = "distinct_trace_fragment";
 constexpr int kFragmentVersion = 1;
 constexpr char kFragmentContext[] = "trace fragment";
-
-Status WriteStringToFile(const std::string& path, const std::string& data) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    return InternalError("trace: cannot open '" + path + "' for writing");
-  }
-  const size_t written = std::fwrite(data.data(), 1, data.size(), file);
-  const bool flushed = std::fclose(file) == 0;
-  if (written != data.size() || !flushed) {
-    return DataLossError("trace: short write to '" + path + "'");
-  }
-  return Status::Ok();
-}
 
 }  // namespace
 
@@ -109,23 +95,21 @@ Status WriteTraceFragment(const std::string& path,
   }
   json.EndArray();
   json.EndObject();
-  return WriteStringToFile(path, json.str());
+  return WriteStringToFile(path, json.str(), "trace");
 }
 
 StatusOr<std::vector<SpanRecord>> ReadTraceFragment(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "r");
-  if (file == nullptr) {
-    return NotFoundError("trace: no fragment '" + path + "'");
+  // EINTR-retried, error-checked read: the old fread loop treated a
+  // mid-file I/O error as EOF and handed the parser a silent truncation.
+  auto text = ReadFileToString(path, "trace");
+  if (!text.ok()) {
+    if (text.status().code() == StatusCode::kNotFound) {
+      return NotFoundError("trace: no fragment '" + path + "'");
+    }
+    return text.status();
   }
-  std::string text;
-  char buffer[1 << 14];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
-    text.append(buffer, n);
-  }
-  std::fclose(file);
 
-  auto root = JsonReader(text, kFragmentContext).Parse();
+  auto root = JsonReader(*text, kFragmentContext).Parse();
   DISTINCT_RETURN_IF_ERROR(root.status());
   auto version = RequireInt(*root, kFragmentVersionKey, kFragmentContext);
   DISTINCT_RETURN_IF_ERROR(version.status());

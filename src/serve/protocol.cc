@@ -1,0 +1,185 @@
+#include "serve/protocol.h"
+
+#include "obs/json_reader.h"
+#include "obs/json_writer.h"
+
+namespace distinct {
+namespace serve {
+
+namespace {
+
+
+Status BadRequest(const std::string& what) {
+  return InvalidArgumentError("serve request: " + what);
+}
+
+}  // namespace
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kResolveName:
+      return "resolve_name";
+    case Method::kClassifyRow:
+      return "classify_row";
+    case Method::kStats:
+      return "stats";
+    case Method::kHealth:
+      return "health";
+  }
+  return "unknown";
+}
+
+StatusOr<ServeRequest> ParseRequest(std::string_view line) {
+  obs::JsonReader reader(line, "serve request");
+  auto root = reader.Parse();
+  if (!root.ok()) {
+    return BadRequest("malformed JSON: " + root.status().message());
+  }
+  if (root->kind != obs::JsonValue::Kind::kObject) {
+    return BadRequest("expected a JSON object");
+  }
+
+  ServeRequest request;
+  const obs::JsonValue* id = root->Find("id");
+  if (id != nullptr) {
+    if (id->kind != obs::JsonValue::Kind::kInt) {
+      return BadRequest("'id' must be an integer");
+    }
+    request.id = id->int_value;
+  }
+
+  const obs::JsonValue* method = root->Find("method");
+  if (method == nullptr || method->kind != obs::JsonValue::Kind::kString) {
+    return BadRequest("missing string field 'method'");
+  }
+  if (method->string_value == "resolve_name") {
+    request.method = Method::kResolveName;
+    const obs::JsonValue* name = root->Find("name");
+    if (name == nullptr || name->kind != obs::JsonValue::Kind::kString) {
+      return BadRequest("resolve_name needs a string field 'name'");
+    }
+    request.name = name->string_value;
+  } else if (method->string_value == "classify_row") {
+    request.method = Method::kClassifyRow;
+    const obs::JsonValue* row = root->Find("row");
+    if (row == nullptr || row->kind != obs::JsonValue::Kind::kInt) {
+      return BadRequest("classify_row needs an integer field 'row'");
+    }
+    if (row->int_value < 0) {
+      return BadRequest("'row' must be >= 0");
+    }
+    request.row = row->int_value;
+  } else if (method->string_value == "stats") {
+    request.method = Method::kStats;
+  } else if (method->string_value == "health") {
+    request.method = Method::kHealth;
+  } else {
+    return BadRequest("unknown method '" + method->string_value + "'");
+  }
+
+  const obs::JsonValue* deadline = root->Find("deadline_ms");
+  if (deadline != nullptr) {
+    if (deadline->kind != obs::JsonValue::Kind::kInt ||
+        deadline->int_value < 0 || deadline->int_value > kMaxDeadlineMs) {
+      return BadRequest("'deadline_ms' must be an integer in [0, " +
+                        std::to_string(kMaxDeadlineMs) + "]");
+    }
+    request.deadline_ms = deadline->int_value;
+  }
+  return request;
+}
+
+std::string AnswerResponseJson(int64_t id, Method method,
+                               const std::string& name,
+                               const ResolveAnswer& answer, int64_t row,
+                               int cluster) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("id").Value(id);
+  json.Key("ok").Value(true);
+  json.Key("method").Value(MethodName(method));
+  json.Key("name").Value(name);
+  if (row >= 0) {
+    json.Key("row").Value(row);
+    json.Key("cluster").Value(cluster);
+  }
+  json.Key("refs").BeginArray();
+  for (const int32_t ref : answer.refs) {
+    json.Value(static_cast<int64_t>(ref));
+  }
+  json.EndArray();
+  json.Key("assignment").BeginArray();
+  for (const int a : answer.clustering.assignment) {
+    json.Value(a);
+  }
+  json.EndArray();
+  json.Key("num_clusters").Value(answer.clustering.num_clusters);
+  // Full merge sequence, similarities in %.17g: equality of this document
+  // is equality of the clustering down to the last bit, which is what the
+  // serve-vs-batch differential tests compare.
+  json.Key("merges").BeginArray();
+  for (const MergeStep& merge : answer.clustering.merges) {
+    json.BeginArray();
+    json.Value(merge.into);
+    json.Value(merge.from);
+    json.Value(merge.similarity);
+    json.EndArray();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+std::string ObjectResponseJson(int64_t id, const std::string& key,
+                               const std::string& payload_json) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("id").Value(id);
+  json.Key("ok").Value(true);
+  json.EndObject();
+  std::string out = json.str();
+  // Splice the pre-rendered payload before the closing brace; JsonWriter
+  // has no raw-value escape hatch and the payload is already a JSON
+  // object built by another writer.
+  out.pop_back();
+  out += ",\"" + key + "\":" + payload_json + "}";
+  return out;
+}
+
+const char* WireErrorCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "overloaded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    default:
+      return "internal";
+  }
+}
+
+std::string ErrorResponseJson(int64_t id, const Status& status,
+                              int64_t retry_after_ms) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("id").Value(id);
+  json.Key("ok").Value(false);
+  json.Key("error").BeginObject();
+  json.Key("code").Value(WireErrorCode(status.code()));
+  json.Key("message").Value(status.message());
+  if (retry_after_ms >= 0) {
+    json.Key("retry_after_ms").Value(retry_after_ms);
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace serve
+}  // namespace distinct

@@ -1,0 +1,101 @@
+// Wire protocol of the resident disambiguation service.
+//
+// One request per line, one response per line, both JSON objects — the
+// simplest framing that composes with netcat, shell scripts, and any
+// language's socket library. Requests carry a client-chosen `id` echoed in
+// the response so a client may pipeline.
+//
+// Methods:
+//   {"id":1,"method":"resolve_name","name":"Wei Wang","deadline_ms":250}
+//   {"id":2,"method":"classify_row","row":17}
+//   {"id":3,"method":"stats"}
+//   {"id":4,"method":"health"}
+//
+// Success responses carry `"ok":true` plus the method's payload; the
+// resolution payload (refs, assignment, merges) round-trips doubles via
+// %.17g so a response compares bit-identical to the batch ResolveRefs
+// answer. Errors carry `"ok":false` and an `error` object:
+//   {"id":1,"ok":false,"error":{"code":"overloaded",
+//    "message":"...","retry_after_ms":50}}
+// with codes: invalid_argument, not_found, deadline_exceeded, overloaded,
+// unavailable, internal.
+
+#ifndef DISTINCT_SERVE_PROTOCOL_H_
+#define DISTINCT_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/agglomerative.h"
+#include "common/status.h"
+
+namespace distinct {
+namespace serve {
+
+/// Protocol schema version, reported by `health`.
+inline constexpr int kProtocolVersion = 1;
+
+/// Hard per-line cap enforced by the transport before parsing: a request
+/// longer than this is rejected (and the connection closed) instead of
+/// buffered without bound.
+inline constexpr size_t kMaxRequestBytes = 1 << 20;
+
+/// Largest deadline a request (or the server's --deadline-ms default) may
+/// carry; anything above is a parse error, not a silent clamp.
+inline constexpr int64_t kMaxDeadlineMs = 60'000;
+
+enum class Method {
+  kResolveName,  // cluster every reference carrying a name
+  kClassifyRow,  // resolve the name group containing one reference row
+  kStats,        // serving counters (queries, batching, admission, cache)
+  kHealth,       // liveness + protocol version
+};
+
+const char* MethodName(Method method);
+
+struct ServeRequest {
+  int64_t id = 0;
+  Method method = Method::kHealth;
+  std::string name;         // kResolveName
+  int64_t row = -1;         // kClassifyRow
+  /// Per-query deadline override in milliseconds; 0 = server default,
+  /// capped by the server's --deadline-ms.
+  int64_t deadline_ms = 0;
+};
+
+/// Parses one request line. InvalidArgument on malformed JSON, unknown
+/// methods, missing/mistyped fields, or out-of-range ids/deadlines.
+StatusOr<ServeRequest> ParseRequest(std::string_view line);
+
+/// A resolution payload: the reference rows and their clustering, exactly
+/// as the batch path produces them.
+struct ResolveAnswer {
+  std::vector<int32_t> refs;
+  ClusteringResult clustering;
+};
+
+/// Success response for resolve_name (and, with `row`/`cluster` >= 0,
+/// classify_row). No trailing newline — the transport frames.
+std::string AnswerResponseJson(int64_t id, Method method,
+                               const std::string& name,
+                               const ResolveAnswer& answer,
+                               int64_t row = -1, int cluster = -1);
+
+/// Success response with a caller-built payload object (stats, health):
+/// {"id":N,"ok":true,"<key>":<payload_json>}.
+std::string ObjectResponseJson(int64_t id, const std::string& key,
+                               const std::string& payload_json);
+
+/// Error response. `retry_after_ms` >= 0 adds the overload backoff hint.
+std::string ErrorResponseJson(int64_t id, const Status& status,
+                              int64_t retry_after_ms = -1);
+
+/// Wire name of an error code ("deadline_exceeded", "overloaded", ...).
+const char* WireErrorCode(StatusCode code);
+
+}  // namespace serve
+}  // namespace distinct
+
+#endif  // DISTINCT_SERVE_PROTOCOL_H_

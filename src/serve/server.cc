@@ -1,0 +1,194 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/io_util.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace distinct {
+namespace serve {
+
+namespace {
+
+/// Accept-loop poll granularity: the stop flag is observed within this
+/// bound even when no client ever connects.
+constexpr int kAcceptPollMs = 200;
+
+void CloseQuietly(int fd) {
+  if (fd >= 0) {
+    while (::close(fd) != 0 && errno == EINTR) {
+    }
+  }
+}
+
+}  // namespace
+
+ServeServer::ServeServer(ServeService* service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+ServeServer::~ServeServer() { Shutdown(); }
+
+Status ServeServer::Start() {
+  // A client that disappears mid-response must surface as EPIPE on
+  // write(), not kill the process.
+  IgnoreSigPipe();
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("serve: bad bind address '" +
+                                options_.host + "'");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(std::string("serve: socket: ") +
+                         std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status error = InternalError(
+        "serve: cannot bind " + options_.host + ":" +
+        std::to_string(options_.port) + ": " + std::strerror(errno));
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    const Status error =
+        InternalError(std::string("serve: listen: ") + std::strerror(errno));
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  DISTINCT_LOG(INFO) << "serve: listening on " << options_.host << ":"
+                     << port_;
+  return Status::Ok();
+}
+
+void ServeServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kAcceptPollMs);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (ready == 0 || (pfd.revents & POLLIN) == 0) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;  // transient (ECONNABORTED, EINTR, fd exhaustion)
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      CloseQuietly(fd);
+      break;
+    }
+    const uint64_t id = next_conn_id_++;
+    conn_fds_.emplace(id, fd);
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    DISTINCT_COUNTER_ADD("serve.connections", 1);
+    conn_threads_.emplace_back([this, id, fd] {
+      Serve(fd);
+      {
+        std::lock_guard<std::mutex> inner(mutex_);
+        conn_fds_.erase(id);
+      }
+      CloseQuietly(fd);
+      connections_.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+}
+
+void ServeServer::Serve(int fd) {
+  FdLineReader reader(fd, kMaxRequestBytes, "serve");
+  std::string line;
+  bool eof = false;
+  for (;;) {
+    const Status read = reader.ReadLine(&line, &eof);
+    if (!read.ok()) {
+      // Oversized or unreadable request: answer once, then drop the
+      // connection — the stream offset is no longer trustworthy.
+      const std::string response = ErrorResponseJson(0, read) + "\n";
+      (void)WriteFdAll(fd, response, "serve");
+      return;
+    }
+    if (eof) {
+      return;
+    }
+    if (line.empty()) {
+      continue;  // blank keep-alive line
+    }
+    const std::string response = service_->HandleLine(line) + "\n";
+    if (!WriteFdAll(fd, response, "serve").ok()) {
+      return;  // client went away; nothing left to tell it
+    }
+  }
+}
+
+void ServeServer::Shutdown() {
+  // Serialized end to end: a second caller blocks until the first drain
+  // finishes, then sees stopped_ and returns.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  CloseQuietly(listen_fd_);
+  listen_fd_ = -1;
+
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Half-close: in-flight requests complete and their responses are
+    // written; the next ReadLine sees EOF and the thread exits.
+    for (const auto& [id, fd] : conn_fds_) {
+      ::shutdown(fd, SHUT_RD);
+    }
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  DISTINCT_LOG(INFO) << "serve: drained and stopped";
+}
+
+}  // namespace serve
+}  // namespace distinct

@@ -1,0 +1,93 @@
+// TCP transport of the resident disambiguation service.
+//
+// One listening socket on localhost, one thread per connection, requests
+// framed one JSON object per line (serve/protocol.h). Everything heavy
+// lives in ServeService — a connection thread only reads a line, calls
+// Handle(), and writes the response, so connection count is bounded by
+// file descriptors while kernel concurrency is bounded by the service's
+// admission control.
+//
+// Shutdown drains: Shutdown() stops the accept loop, then half-closes
+// every live connection (shutdown(SHUT_RD)) — the in-flight request
+// finishes and its response is still written, the next read sees EOF, and
+// the thread exits. This is what makes `kill -TERM` on the CLI a graceful
+// drain rather than a dropped query.
+
+#ifndef DISTINCT_SERVE_SERVER_H_
+#define DISTINCT_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/service.h"
+
+namespace distinct {
+namespace serve {
+
+struct ServerOptions {
+  /// Bind address. Loopback by default: the service speaks an
+  /// unauthenticated plaintext protocol, so exposing it beyond the host
+  /// is an explicit operator decision.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read back via port()).
+  uint16_t port = 0;
+};
+
+class ServeServer {
+ public:
+  /// `service` must outlive the server.
+  ServeServer(ServeService* service, ServerOptions options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread. InvalidArgument for a
+  /// bad host, Internal for bind/listen failures (port in use, ...).
+  Status Start();
+
+  /// The bound port (after Start(); resolves port 0 requests).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain; idempotent, also run by the destructor. Returns once
+  /// every connection thread has exited.
+  void Shutdown();
+
+  /// Live connection count (tests poll this).
+  int64_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void Serve(int fd);
+
+  ServeService* service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> connections_{0};
+  std::thread accept_thread_;
+  std::mutex shutdown_mutex_;
+  bool stopped_ = false;  // guarded by shutdown_mutex_
+
+  std::mutex mutex_;  // conn_fds_ + conn_threads_
+  /// fd of every live connection, for the shutdown half-close.
+  std::unordered_map<uint64_t, int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  uint64_t next_conn_id_ = 0;
+};
+
+}  // namespace serve
+}  // namespace distinct
+
+#endif  // DISTINCT_SERVE_SERVER_H_

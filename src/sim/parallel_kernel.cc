@@ -21,10 +21,14 @@ namespace {
 template <typename FillCell>
 void ForEachCell(size_t n, ThreadPool* pool, const PairKernelOptions& options,
                  const FillCell& fill_cell) {
+  const CancelToken* cancel = options.cancel;
   if (pool == nullptr ||
       n < static_cast<size_t>(std::max(options.min_parallel_refs, 0))) {
     int64_t pruned = 0;
     for (size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->CheckAbort()) {
+        break;
+      }
       for (size_t j = 0; j < i; ++j) {
         fill_cell(i, j, &pruned);
       }
@@ -47,6 +51,9 @@ void ForEachCell(size_t n, ThreadPool* pool, const PairKernelOptions& options,
   }
   ParallelForShared(*pool, static_cast<int64_t>(tiles.size()),
                     [&](int64_t t) {
+                      if (cancel != nullptr && cancel->CheckAbort()) {
+                        return;
+                      }
                       const auto [bi, bj] = tiles[static_cast<size_t>(t)];
                       const size_t i_end = std::min(n, (bi + 1) * tile);
                       const size_t j_begin = bj * tile;

@@ -26,6 +26,7 @@
 
 #include "cluster/agglomerative.h"
 #include "cluster/pair_matrix.h"
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "sim/fused_kernel.h"
 #include "sim/intersect.h"
@@ -65,6 +66,13 @@ struct PairKernelOptions {
   /// options the matrices will be consumed with.
   ClusterMeasure measure = ClusterMeasure::kComposite;
   CombineRule combine = CombineRule::kGeometricMean;
+  /// Cooperative cancellation, checked per row on the serial path and per
+  /// tile on the parallel one (never per cell — the hot loop stays
+  /// branch-identical between a null and a live-but-unfired token). When
+  /// the token fires mid-fill the remaining rows/tiles are skipped and
+  /// `cancel->aborted()` reads true; the half-filled matrices must then be
+  /// discarded. A null or never-fired token leaves results bit-identical.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Computes (resemblance, walk) matrices for the store's references. With a

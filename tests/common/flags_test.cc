@@ -92,6 +92,47 @@ TEST(FlagsTest, HelpListsFlagsAndDefaults) {
   EXPECT_NE(help.find("\"default\""), std::string::npos);
 }
 
+TEST(FlagsRangeTest, InRangeAcceptsBoundsInclusive) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--count=10", "--rate=1.0"}).ok());
+  auto count = parser.GetInt64InRange("count", 10, 10);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 10);
+  auto narrow = parser.GetIntInRange("count", 1, 64);
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ(*narrow, 10);
+  auto rate = parser.GetDoubleInRange("rate", 0.0, 1.0);
+  ASSERT_TRUE(rate.ok());
+  EXPECT_DOUBLE_EQ(*rate, 1.0);
+}
+
+TEST(FlagsRangeTest, OutOfRangeValuesAreRejectedWithTheFlagName) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--count=0", "--rate=1.5"}).ok());
+  const Status low = parser.GetInt64InRange("count", 1, 4096).status();
+  EXPECT_EQ(low.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(low.message().find("count"), std::string::npos) << low.ToString();
+  EXPECT_EQ(parser.GetDoubleInRange("rate", 0.0, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsRangeTest, IntInRangeRejectsValuesBeyondInt) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--count=4294967296"}).ok());  // 2^32
+  EXPECT_EQ(
+      parser.GetIntInRange("count", 0, 2147483647).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsRangeTest, NanNeverPassesARangeCheck) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--rate=nan"}).ok());
+  // NaN compares false against both bounds; the getter must reject it
+  // rather than let it sail through an in-range comparison.
+  EXPECT_EQ(parser.GetDoubleInRange("rate", 0.0, 1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(FlagsTest, BoolAcceptsNumericLiterals) {
   FlagParser parser = MakeParser();
   ASSERT_TRUE(ParseArgs(parser, {"--verbose=1"}).ok());

@@ -37,12 +37,22 @@ TEST(StatusTest, EveryFactoryProducesItsCode) {
   EXPECT_EQ(UnimplementedError("m").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(InternalError("m").code(), StatusCode::kInternal);
   EXPECT_EQ(DataLossError("m").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(DeadlineExceededError("m").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ResourceExhaustedError("m").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnavailableError("m").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NOT_FOUND");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "UNAVAILABLE");
 }
 
 TEST(StatusOrTest, HoldsValue) {

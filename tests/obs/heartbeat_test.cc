@@ -146,6 +146,47 @@ TEST(HeartbeatReporterTest, NullProgressReportsZerosButStaysAlive) {
   EXPECT_EQ(IntField(*root, "refs_done"), 0);
 }
 
+TEST(HeartbeatJsonTest, TerminalBeatCarriesFinalAndStatus) {
+  HeartbeatSample periodic;
+  const std::string periodic_json = HeartbeatJson("scan", periodic);
+  EXPECT_NE(periodic_json.find("\"final\":false"), std::string::npos)
+      << periodic_json;
+  // A periodic beat has no outcome yet, so no status key at all: pollers
+  // must not mistake it for a finished run.
+  EXPECT_EQ(periodic_json.find("\"status\""), std::string::npos)
+      << periodic_json;
+
+  HeartbeatSample terminal;
+  terminal.final = true;
+  terminal.status = "error";
+  const std::string terminal_json = HeartbeatJson("scan", terminal);
+  EXPECT_NE(terminal_json.find("\"final\":true"), std::string::npos)
+      << terminal_json;
+  EXPECT_NE(terminal_json.find("\"status\":\"error\""), std::string::npos)
+      << terminal_json;
+}
+
+/// An error-path StopWithStatus must win over the later destructor/Stop
+/// (which would report "ok"): the file keeps the first caller's outcome.
+TEST(HeartbeatReporterTest, StopWithStatusErrorSurvivesLaterStop) {
+  const std::string path = HeartbeatPath("heartbeat_error.json");
+  HeartbeatReporter::Options options;
+  options.file_path = path;
+  options.interval_seconds = 60.0;  // only the terminal beat matters
+  options.label = "scan";
+  ProgressState progress;
+  {
+    HeartbeatReporter reporter(options, &progress);
+    reporter.StopWithStatus("error");
+    reporter.Stop();  // would write "ok" if it re-emitted
+  }
+  const std::string content = ReadFile(path);
+  EXPECT_NE(content.find("\"final\":true"), std::string::npos) << content;
+  EXPECT_NE(content.find("\"status\":\"error\""), std::string::npos)
+      << content;
+  EXPECT_EQ(content.find("\"status\":\"ok\""), std::string::npos) << content;
+}
+
 TEST(HeartbeatReporterTest, StopWithoutFileEmitsNoFile) {
   const std::string path = HeartbeatPath("heartbeat_none.json");
   HeartbeatReporter::Options options;  // file_path empty

@@ -1,0 +1,152 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace distinct {
+namespace serve {
+namespace {
+
+TEST(ParseRequestTest, ResolveNameRoundTrips) {
+  auto request = ParseRequest(
+      R"({"id":7,"method":"resolve_name","name":"Wei Wang","deadline_ms":250})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->id, 7);
+  EXPECT_EQ(request->method, Method::kResolveName);
+  EXPECT_EQ(request->name, "Wei Wang");
+  EXPECT_EQ(request->deadline_ms, 250);
+}
+
+TEST(ParseRequestTest, ClassifyRowRoundTrips) {
+  auto request =
+      ParseRequest(R"({"id":2,"method":"classify_row","row":17})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->method, Method::kClassifyRow);
+  EXPECT_EQ(request->row, 17);
+  EXPECT_EQ(request->deadline_ms, 0);
+}
+
+TEST(ParseRequestTest, StatsAndHealthNeedNoPayload) {
+  for (const char* method : {"stats", "health"}) {
+    auto request = ParseRequest(std::string(R"({"id":1,"method":")") +
+                                method + R"("})");
+    ASSERT_TRUE(request.ok()) << method << ": "
+                              << request.status().ToString();
+  }
+}
+
+TEST(ParseRequestTest, MalformedJsonIsInvalidArgument) {
+  for (const char* line :
+       {"", "not json", "{", R"({"id":1)", "[1,2,3]", "42", "\"x\""}) {
+    auto request = ParseRequest(line);
+    EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument)
+        << "line: " << line;
+  }
+}
+
+TEST(ParseRequestTest, UnknownOrMistypedFieldsRejected) {
+  // Unknown method.
+  EXPECT_EQ(ParseRequest(R"({"id":1,"method":"explode"})").status().code(),
+            StatusCode::kInvalidArgument);
+  // Method not a string.
+  EXPECT_EQ(ParseRequest(R"({"id":1,"method":4})").status().code(),
+            StatusCode::kInvalidArgument);
+  // resolve_name without a name.
+  EXPECT_EQ(ParseRequest(R"({"id":1,"method":"resolve_name"})")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // classify_row without a row, and with a negative row.
+  EXPECT_EQ(ParseRequest(R"({"id":1,"method":"classify_row"})")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest(R"({"id":1,"method":"classify_row","row":-3})")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequestTest, DeadlineIsCappedNotClamped) {
+  auto at_cap = ParseRequest(
+      R"({"id":1,"method":"resolve_name","name":"x","deadline_ms":60000})");
+  EXPECT_TRUE(at_cap.ok());
+  auto over = ParseRequest(
+      R"({"id":1,"method":"resolve_name","name":"x","deadline_ms":60001})");
+  EXPECT_EQ(over.status().code(), StatusCode::kInvalidArgument);
+  auto negative = ParseRequest(
+      R"({"id":1,"method":"resolve_name","name":"x","deadline_ms":-1})");
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+}
+
+ResolveAnswer TwoClusterAnswer() {
+  ResolveAnswer answer;
+  answer.refs = {4, 9, 11};
+  answer.clustering.assignment = {0, 1, 0};
+  answer.clustering.num_clusters = 2;
+  MergeStep merge;
+  merge.into = 0;
+  merge.from = 2;
+  merge.similarity = 0.25;
+  answer.clustering.merges = {merge};
+  return answer;
+}
+
+TEST(ResponseJsonTest, AnswerCarriesRefsAssignmentAndMerges) {
+  const std::string json = AnswerResponseJson(
+      7, Method::kResolveName, "Wei Wang", TwoClusterAnswer());
+  EXPECT_EQ(json,
+            R"({"id":7,"ok":true,"method":"resolve_name",)"
+            R"("name":"Wei Wang","refs":[4,9,11],"assignment":[0,1,0],)"
+            R"("num_clusters":2,"merges":[[0,2,0.25]]})");
+}
+
+TEST(ResponseJsonTest, ClassifyAnswerAddsRowAndCluster) {
+  const std::string json = AnswerResponseJson(
+      3, Method::kClassifyRow, "Wei Wang", TwoClusterAnswer(), 9, 1);
+  EXPECT_NE(json.find(R"("row":9,"cluster":1)"), std::string::npos) << json;
+}
+
+TEST(ResponseJsonTest, MergeSimilarityRoundTripsBitExactly) {
+  ResolveAnswer answer = TwoClusterAnswer();
+  // A value with no short decimal representation must survive %.17g.
+  answer.clustering.merges[0].similarity = 0.1068840782005151;
+  const std::string json =
+      AnswerResponseJson(1, Method::kResolveName, "x", answer);
+  EXPECT_NE(json.find("0.1068840782005151"), std::string::npos) << json;
+}
+
+TEST(ResponseJsonTest, ErrorCarriesCodeAndOptionalRetryHint) {
+  const std::string plain =
+      ErrorResponseJson(5, NotFoundError("serve: no such name"));
+  EXPECT_EQ(plain,
+            R"({"id":5,"ok":false,"error":{"code":"not_found",)"
+            R"("message":"serve: no such name"}})");
+  const std::string hinted =
+      ErrorResponseJson(6, ResourceExhaustedError("busy"), 50);
+  EXPECT_NE(hinted.find(R"("code":"overloaded")"), std::string::npos);
+  EXPECT_NE(hinted.find(R"("retry_after_ms":50)"), std::string::npos);
+}
+
+TEST(ResponseJsonTest, ObjectResponseSplicesPayload) {
+  EXPECT_EQ(ObjectResponseJson(9, "stats", R"({"queries":3})"),
+            R"({"id":9,"ok":true,"stats":{"queries":3}})");
+}
+
+TEST(WireErrorCodeTest, MapsEveryServingCode) {
+  EXPECT_STREQ(WireErrorCode(StatusCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(WireErrorCode(StatusCode::kOutOfRange), "invalid_argument");
+  EXPECT_STREQ(WireErrorCode(StatusCode::kNotFound), "not_found");
+  EXPECT_STREQ(WireErrorCode(StatusCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(WireErrorCode(StatusCode::kResourceExhausted), "overloaded");
+  EXPECT_STREQ(WireErrorCode(StatusCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(WireErrorCode(StatusCode::kInternal), "internal");
+  EXPECT_STREQ(WireErrorCode(StatusCode::kDataLoss), "internal");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace distinct

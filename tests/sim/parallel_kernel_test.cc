@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 
 #include "../test_util.h"
 #include "core/distinct.h"
@@ -243,6 +245,59 @@ TEST_F(ParallelKernelTest, UpdatePairMatricesAllDirtyMatchesFullFill) {
                          stale_walk);
   ExpectBitIdentical(patched.first, full.first);
   ExpectBitIdentical(patched.second, full.second);
+}
+
+// The serving deadline seam: an unfired token must be invisible (results
+// stay bit-identical to no token at all), a pre-fired one must abandon the
+// fill and mark the token aborted on both the serial and parallel paths.
+TEST_F(ParallelKernelTest, UnfiredCancelTokenIsBitInvisible) {
+  const ProfileStore store = ProfileStore::Build(
+      engine_->propagation_engine(), engine_->paths(),
+      engine_->config().propagation, refs_, /*pool=*/nullptr);
+  const auto baseline = ComputePairMatrices(store, engine_->model());
+
+  const CancelToken unfired(std::chrono::steady_clock::time_point::max());
+  for (const int threads : {0, 4}) {
+    SCOPED_TRACE(threads);
+    PairKernelOptions options;
+    options.tile_size = 8;
+    options.min_parallel_refs = 2;
+    options.cancel = &unfired;
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) {
+      pool = std::make_unique<ThreadPool>(threads);
+    }
+    const auto result =
+        ComputePairMatrices(store, engine_->model(), pool.get(), options);
+    EXPECT_FALSE(unfired.aborted());
+    ExpectBitIdentical(result.first, baseline.first);
+    ExpectBitIdentical(result.second, baseline.second);
+  }
+}
+
+TEST_F(ParallelKernelTest, FiredCancelTokenAbandonsTheFill) {
+  const ProfileStore store = ProfileStore::Build(
+      engine_->propagation_engine(), engine_->paths(),
+      engine_->config().propagation, refs_, /*pool=*/nullptr);
+  for (const int threads : {0, 4}) {
+    SCOPED_TRACE(threads);
+    CancelToken fired;
+    fired.Cancel();
+    PairKernelOptions options;
+    options.tile_size = 8;
+    options.min_parallel_refs = 2;
+    options.cancel = &fired;
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) {
+      pool = std::make_unique<ThreadPool>(threads);
+    }
+    const auto result =
+        ComputePairMatrices(store, engine_->model(), pool.get(), options);
+    // The fill was abandoned: the token records it, and the (partial)
+    // matrices must be treated as garbage by the caller.
+    EXPECT_TRUE(fired.aborted());
+    EXPECT_EQ(result.first.size(), refs_.size());
+  }
 }
 
 TEST(ParallelKernelEdgeTest, EmptyAndSingletonStores) {
