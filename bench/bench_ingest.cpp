@@ -1,0 +1,259 @@
+// Streaming ingest throughput: synthetic dblp.xml -> columnar catalog ->
+// mmap reopen, at DBLP scale (default one million Publish references).
+//
+// Reports generation, ingest (MB/s and rows/s), catalog open (the CRC
+// sweep — a whole-corpus scan of every mapped byte), and materialization
+// back into the relational schema, with RSS sampled around each phase.
+// The differential flag `ingest_identical` proves the materialized
+// database is bit-identical to the in-memory XML loader over the same
+// bytes; `budget_admitted` proves the whole ingest ran with the
+// dictionary+segment working set admitted against --scan-memory-mb (the
+// writer fails with ResourceExhausted otherwise, and the harness exits
+// non-zero). Only those two flags are gated — absolute throughput varies
+// by host and is reported, not gated.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_util.h"
+#include "catalog/ingest.h"
+#include "catalog/reader.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/text_table.h"
+#include "dblp/xml_corpus.h"
+#include "dblp/xml_loader.h"
+#include "obs/memory.h"
+
+namespace {
+
+using namespace distinct;
+
+/// Cell-by-cell bit-identity: same schema, same raw payloads (dictionary
+/// ids included), same decoded strings. No dump strings — at a million
+/// rows the comparison must stream.
+bool DatabasesBitIdentical(const Database& a, const Database& b) {
+  if (a.num_tables() != b.num_tables()) return false;
+  for (int t = 0; t < a.num_tables(); ++t) {
+    const Table& ta = a.table(t);
+    const Table& tb = b.table(t);
+    if (ta.name() != tb.name() || ta.num_columns() != tb.num_columns() ||
+        ta.num_rows() != tb.num_rows()) {
+      return false;
+    }
+    for (int c = 0; c < ta.num_columns(); ++c) {
+      if (ta.column(c).name != tb.column(c).name ||
+          ta.column(c).type != tb.column(c).type) {
+        return false;
+      }
+    }
+    for (int64_t row = 0; row < ta.num_rows(); ++row) {
+      for (int c = 0; c < ta.num_columns(); ++c) {
+        if (ta.raw(row, c) != tb.raw(row, c)) return false;
+        if (ta.column(c).type == ColumnType::kString &&
+            !ta.IsNull(row, c) &&
+            ta.GetString(row, c) != tb.GetString(row, c)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+double Mb(int64_t bytes) { return static_cast<double>(bytes) / (1 << 20); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace distinct;
+  using namespace distinct::bench;
+
+  FlagParser flags;
+  flags.AddInt64("rows", 1000000,
+                 "target Publish references in the synthetic corpus");
+  flags.AddInt64("seed", static_cast<int64_t>(kDefaultSeed),
+                 "corpus seed");
+  flags.AddInt64("segment-papers", 1 << 16, "papers per column segment");
+  flags.AddInt64("scan-memory-mb", 512,
+                 "ingest working-set budget (dictionaries + open segment)");
+  flags.AddBool("verify", true,
+                "differential-check against the in-memory loader");
+  flags.AddString("work-dir", "bench_ingest_work",
+                  "scratch directory (removed afterwards)");
+  if (Status s = flags.Parse(argc - 1, argv + 1); !s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags.Help().c_str());
+    return 1;
+  }
+
+  PrintBanner("bench_ingest",
+              "streaming DBLP-scale ingest into the mmap catalog "
+              "(implementation, not a paper figure)");
+
+  const std::string work_dir = flags.GetString("work-dir");
+  const std::string xml_path = work_dir + "/corpus.xml";
+  const std::string catalog_dir = work_dir + "/catalog";
+  std::filesystem::remove_all(work_dir);
+  std::filesystem::create_directories(work_dir);
+
+  const int64_t target_refs = MustInt64InRange(flags, "rows", 1, 1LL << 40);
+  const int64_t budget_mb =
+      MustInt64InRange(flags, "scan-memory-mb", 1, 1 << 20);
+
+  XmlCorpusConfig corpus;
+  corpus.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  corpus.target_refs = target_refs;
+  Stopwatch generate_watch;
+  auto corpus_stats = WriteSyntheticDblpXml(xml_path, corpus);
+  if (!corpus_stats.ok()) {
+    std::fprintf(stderr, "%s\n", corpus_stats.status().ToString().c_str());
+    return 1;
+  }
+  const double generate_s = generate_watch.Seconds();
+  std::printf("corpus: %lld papers, %lld refs, %.1f MiB (%.2fs)\n",
+              static_cast<long long>(corpus_stats->papers),
+              static_cast<long long>(corpus_stats->refs),
+              Mb(corpus_stats->bytes), generate_s);
+
+  const int64_t rss_before = obs::ReadRssBytes();
+  catalog::IngestOptions ingest_options;
+  ingest_options.segment_papers = flags.GetInt64("segment-papers");
+  ingest_options.memory_budget_mb = budget_mb;
+  Stopwatch ingest_watch;
+  auto ingest = catalog::IngestDblpXml(xml_path, catalog_dir,
+                                       ingest_options);
+  const double ingest_s = ingest_watch.Seconds();
+  if (!ingest.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 ingest.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t rss_after_ingest = obs::ReadRssBytes();
+  const double ingest_mb_per_s =
+      ingest_s > 0 ? Mb(ingest->bytes_read) / ingest_s : 0.0;
+  const double ingest_rows_per_s =
+      ingest_s > 0 ? static_cast<double>(ingest->summary.num_refs) /
+                         ingest_s
+                   : 0.0;
+
+  // Whole-corpus scan: Open CRC-sweeps every mapped byte of every segment
+  // and dictionary; Materialize then decodes every column back into rows.
+  Stopwatch open_watch;
+  auto reader = catalog::CatalogReader::Open(catalog_dir);
+  const double open_s = open_watch.Seconds();
+  if (!reader.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n",
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+  Stopwatch materialize_watch;
+  auto materialized = (*reader)->MaterializeDatabase();
+  const double materialize_s = materialize_watch.Seconds();
+  if (!materialized.ok()) {
+    std::fprintf(stderr, "materialize failed: %s\n",
+                 materialized.status().ToString().c_str());
+    return 1;
+  }
+  const int64_t rss_after_scan = obs::ReadRssBytes();
+
+  int identical = -1;  // -1: not checked (reported as absent)
+  double loader_s = 0.0;
+  if (flags.GetBool("verify")) {
+    Stopwatch loader_watch;
+    auto loaded = LoadDblpXmlFile(xml_path);
+    loader_s = loader_watch.Seconds();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "loader failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    identical =
+        DatabasesBitIdentical(materialized->db, loaded->db) &&
+                materialized->records_loaded == loaded->records_loaded &&
+                materialized->records_skipped == loaded->records_skipped
+            ? 1
+            : 0;
+  }
+
+  TextTable table({"phase", "time (s)", "MB/s", "rows/s"});
+  for (size_t c = 1; c <= 3; ++c) table.SetRightAlign(c);
+  table.AddRow({"generate corpus", StrFormat("%.3f", generate_s),
+                StrFormat("%.1f", generate_s > 0
+                                      ? Mb(corpus_stats->bytes) / generate_s
+                                      : 0.0),
+                "-"});
+  table.AddRow({"ingest", StrFormat("%.3f", ingest_s),
+                StrFormat("%.1f", ingest_mb_per_s),
+                StrFormat("%.0f", ingest_rows_per_s)});
+  table.AddRow({"open (CRC sweep)", StrFormat("%.3f", open_s),
+                StrFormat("%.1f",
+                          open_s > 0 ? Mb((*reader)->mapped_bytes()) / open_s
+                                     : 0.0),
+                "-"});
+  table.AddRow({"materialize", StrFormat("%.3f", materialize_s), "-",
+                StrFormat("%.0f", materialize_s > 0
+                                      ? static_cast<double>(
+                                            (*reader)->num_refs()) /
+                                            materialize_s
+                                      : 0.0)});
+  if (identical >= 0) {
+    table.AddRow({"in-memory loader (reference)",
+                  StrFormat("%.3f", loader_s), "-", "-"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\ncatalog: %lld segments, %.1f MiB mapped; dictionaries "
+      "%lld authors / %lld venues / %lld titles\n"
+      "rss: %.1f MiB before ingest, %.1f after ingest, %.1f after scan "
+      "(budget %lld MiB on the ingest working set)\n",
+      static_cast<long long>(ingest->summary.num_segments),
+      Mb((*reader)->mapped_bytes()),
+      static_cast<long long>(ingest->summary.num_authors),
+      static_cast<long long>(ingest->summary.num_venues),
+      static_cast<long long>(ingest->summary.num_titles),
+      Mb(rss_before), Mb(rss_after_ingest), Mb(rss_after_scan),
+      static_cast<long long>(budget_mb));
+  if (identical >= 0) {
+    std::printf("differential vs in-memory loader: %s\n",
+                identical == 1 ? "bit-identical" : "DIVERGED");
+  }
+
+  BenchJson json("ingest");
+  json.Add("seed", flags.GetInt64("seed"));
+  json.Add("target_refs", target_refs);
+  json.Add("papers", corpus_stats->papers);
+  json.Add("refs", ingest->summary.num_refs);
+  json.Add("xml_mb", Mb(corpus_stats->bytes));
+  json.Add("segments", ingest->summary.num_segments);
+  json.Add("generate_s", generate_s);
+  json.Add("ingest_s", ingest_s);
+  json.Add("ingest_mb_per_s", ingest_mb_per_s);
+  json.Add("ingest_rows_per_s", ingest_rows_per_s);
+  json.Add("open_s", open_s);
+  json.Add("materialize_s", materialize_s);
+  json.Add("corpus_scan_s", open_s + materialize_s);
+  json.Add("mapped_mb", Mb((*reader)->mapped_bytes()));
+  json.Add("rss_before_mb", Mb(rss_before));
+  json.Add("rss_after_ingest_mb", Mb(rss_after_ingest));
+  json.Add("rss_after_scan_mb", Mb(rss_after_scan));
+  json.Add("budget_mb", budget_mb);
+  // The ingest succeeded with admission on: every Add held the tracked
+  // dictionary+segment working set under the budget.
+  json.Add("budget_admitted", static_cast<int64_t>(1));
+  if (identical >= 0) {
+    json.Add("loader_s", loader_s);
+    json.Add("ingest_identical", static_cast<int64_t>(identical));
+  }
+  json.Write();
+
+  std::filesystem::remove_all(work_dir);
+  if (identical == 0) {
+    std::fprintf(stderr,
+                 "error: materialized catalog diverged from the in-memory "
+                 "loader\n");
+    return 1;
+  }
+  return 0;
+}

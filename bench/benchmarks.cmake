@@ -35,6 +35,7 @@ distinct_add_bench(bench_serve)
 # The serving stress driver talks to the socket/service layer directly.
 target_link_libraries(bench_serve PRIVATE distinct_serve)
 distinct_add_bench(bench_sharded_scan)
+distinct_add_bench(bench_ingest)
 
 # google-benchmark microbenchmarks.
 add_executable(bench_micro ${DISTINCT_BENCH_DIR}/bench_micro.cpp

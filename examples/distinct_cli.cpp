@@ -1,6 +1,8 @@
 // distinct_cli — the library as a command-line tool.
 //
 //   distinct_cli generate --dir=DATA [--seed=42]        write a dataset
+//   distinct_cli generate-xml --out=FILE --rows=100000  write a dblp.xml
+//   distinct_cli ingest   --xml=FILE --catalog=DIR      stream to catalog
 //   distinct_cli train    --dir=DATA --model=FILE       fit + save weights
 //   distinct_cli resolve  --dir=DATA --name="Wei Wang" [--model=FILE]
 //   distinct_cli scan     --dir=DATA [--min-refs=6] [--threads=2]
@@ -13,6 +15,13 @@
 // `append` ingests extra rows (per-table CSVs in --delta, same headers)
 // without rebuilding: the catalog re-resolves only the names the delta
 // dirtied and reuses every other cached resolution.
+//
+// `ingest` streams a dblp.xml-shaped file (real dump or `generate-xml`
+// output) into an mmap-able columnar catalog directory without ever
+// materialising the document; train/resolve/scan/append/serve then accept
+// --catalog=DIR in place of --dir, loading the database from the catalog
+// and stamping its generation into checkpoints so --resume refuses state
+// taken against a different ingest.
 
 #include <csignal>
 #include <cstdint>
@@ -23,8 +32,11 @@
 #include <utility>
 #include <vector>
 
+#include "catalog/ingest.h"
+#include "catalog/reader.h"
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/text_table.h"
 #include "core/delta.h"
@@ -35,6 +47,8 @@
 #include "dblp/dataset_io.h"
 #include "dblp/schema.h"
 #include "dblp/stats.h"
+#include "dblp/xml_corpus.h"
+#include "dblp/xml_loader.h"
 #include "obs/heartbeat.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
@@ -95,8 +109,12 @@ StatusOr<double> DoubleFlagInRange(const FlagParser& flags, const char* name,
 void Usage() {
   std::fprintf(stderr,
                "usage: distinct_cli "
-               "<generate|train|resolve|scan|append|eval|serve> [flags]\n"
+               "<generate|generate-xml|ingest|train|resolve|scan|append|"
+               "eval|serve> [flags]\n"
                "  common flags: --dir=DATA --model=FILE --min-sim=0.03\n"
+               "                --catalog=DIR (load the database from an\n"
+               "                 ingested columnar catalog instead of "
+               "--dir)\n"
                "                --threads=N --stopping=fixed|largest-gap\n"
                "                --no-incremental --prop-cache-mb=N\n"
                "                --kernel=fused|reference "
@@ -106,6 +124,10 @@ void Usage() {
                "                --report --metrics-json=FILE "
                "--trace-json=FILE\n"
                "  generate: --seed=N\n"
+               "  generate-xml: --out=FILE --rows=N (target references) "
+               "--seed=N\n"
+               "  ingest:   --xml=FILE --catalog=DIR --segment-papers=N\n"
+               "            --scan-memory-mb=N (working-set budget)\n"
                "  resolve:  --name=\"Wei Wang\"\n"
                "  scan:     --min-refs=N --threads=N --shards=N\n"
                "            --scan-memory-mb=N --checkpoint-dir=DIR "
@@ -203,9 +225,47 @@ Status ApplyKernelFlags(const FlagParser& flags, DistinctConfig* config) {
   return Status::Ok();
 }
 
-StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags) {
+/// The database a command runs over, plus where it came from. When
+/// --catalog is set the database is materialised from the mmap'd columnar
+/// catalog and `catalog_generation` carries the ingest generation to stamp
+/// into the engine (checkpoint/resume compatibility); otherwise the CSVs
+/// in --dir are loaded and the generation stays 0.
+struct CliDatabase {
+  Database db;
+  int64_t catalog_generation = 0;
+};
+
+StatusOr<CliDatabase> LoadCliDatabase(const FlagParser& flags) {
+  CliDatabase loaded;
+  const std::string catalog_dir = flags.GetString("catalog");
+  if (!catalog_dir.empty()) {
+    auto reader = catalog::CatalogReader::Open(catalog_dir);
+    DISTINCT_RETURN_IF_ERROR(reader.status());
+    XmlLoadOptions options;
+    auto min_refs = IntFlagInRange(flags, "min-refs-per-author", 0, 1 << 30);
+    DISTINCT_RETURN_IF_ERROR(min_refs.status());
+    options.min_refs_per_author = *min_refs;
+    auto result = (*reader)->MaterializeDatabase(options);
+    DISTINCT_RETURN_IF_ERROR(result.status());
+    DISTINCT_LOG(INFO) << "catalog " << catalog_dir << ": generation "
+                       << (*reader)->generation() << ", "
+                       << result->records_loaded << " records, "
+                       << ((*reader)->mapped_bytes() >> 20) << " MiB mapped";
+    loaded.db = std::move(result->db);
+    loaded.catalog_generation = (*reader)->generation();
+    return loaded;
+  }
+  auto db = LoadDblpDatabaseCsv(flags.GetString("dir"));
+  DISTINCT_RETURN_IF_ERROR(db.status());
+  loaded.db = *std::move(db);
+  return loaded;
+}
+
+StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags,
+                              int64_t catalog_generation = 0) {
   DistinctConfig config;
   config.promotions = DblpDefaultPromotions();
+  config.base_catalog_version = catalog_generation;
   auto min_sim = DoubleFlagInRange(flags, "min-sim", 0.0, 1e9);
   if (!min_sim.ok()) return min_sim.status();
   config.min_sim = *min_sim;
@@ -222,6 +282,7 @@ StatusOr<Distinct> MakeEngine(const Database& db, const FlagParser& flags) {
   if (!scan_memory_mb.ok()) return scan_memory_mb.status();
   config.scan_memory_mb = *scan_memory_mb;
   config.incremental = flags.GetBool("incremental");
+  config.supervised = !flags.GetBool("unsupervised");
   if (Status s = ApplyKernelFlags(flags, &config); !s.ok()) return s;
   config.observability = obs::Enabled();
   const std::string stopping = flags.GetString("stopping");
@@ -262,11 +323,74 @@ int RunGenerate(const FlagParser& flags) {
   return 0;
 }
 
+int RunGenerateXml(const FlagParser& flags) {
+  const std::string out = flags.GetString("out");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: generate-xml needs --out=FILE\n");
+    return 1;
+  }
+  XmlCorpusConfig config;
+  auto seed = Int64FlagInRange(flags, "seed", 0, INT64_MAX);
+  if (!seed.ok()) return Fail(seed.status());
+  config.seed = static_cast<uint64_t>(*seed);
+  auto rows = Int64FlagInRange(flags, "rows", 1, INT64_MAX);
+  if (!rows.ok()) return Fail(rows.status());
+  config.target_refs = *rows;
+  Stopwatch watch;
+  auto stats = WriteSyntheticDblpXml(out, config);
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("wrote %s: %lld papers, %lld references, %.1f MiB in %.2fs\n",
+              out.c_str(), static_cast<long long>(stats->papers),
+              static_cast<long long>(stats->refs),
+              static_cast<double>(stats->bytes) / (1 << 20), watch.Seconds());
+  return 0;
+}
+
+int RunIngest(const FlagParser& flags) {
+  const std::string xml = flags.GetString("xml");
+  const std::string catalog_dir = flags.GetString("catalog");
+  if (xml.empty() || catalog_dir.empty()) {
+    std::fprintf(stderr, "error: ingest needs --xml=FILE and --catalog=DIR\n");
+    return 1;
+  }
+  catalog::IngestOptions options;
+  auto segment_papers =
+      Int64FlagInRange(flags, "segment-papers", 1, int64_t{1} << 31);
+  if (!segment_papers.ok()) return Fail(segment_papers.status());
+  options.segment_papers = *segment_papers;
+  auto budget = Int64FlagInRange(flags, "scan-memory-mb", 0,
+                                 int64_t{1} << 40);
+  if (!budget.ok()) return Fail(budget.status());
+  options.memory_budget_mb = *budget;
+  Stopwatch watch;
+  auto stats = catalog::IngestDblpXml(xml, catalog_dir, options);
+  if (!stats.ok()) return Fail(stats.status());
+  const double seconds = watch.Seconds();
+  const double mb = static_cast<double>(stats->bytes_read) / (1 << 20);
+  std::printf(
+      "ingested %s -> %s: %lld records (%lld skipped), %lld refs\n",
+      xml.c_str(), catalog_dir.c_str(),
+      static_cast<long long>(stats->records),
+      static_cast<long long>(stats->skipped),
+      static_cast<long long>(stats->summary.num_refs));
+  std::printf(
+      "  %.1f MiB in %.2fs (%.1f MiB/s); %lld segments, dicts "
+      "%lld authors / %lld venues / %lld titles; generation %lld\n",
+      mb, seconds, seconds > 0 ? mb / seconds : 0.0,
+      static_cast<long long>(stats->summary.num_segments),
+      static_cast<long long>(stats->summary.num_authors),
+      static_cast<long long>(stats->summary.num_venues),
+      static_cast<long long>(stats->summary.num_titles),
+      static_cast<long long>(stats->summary.generation));
+  return 0;
+}
+
 int RunTrain(const FlagParser& flags) {
-  auto db = LoadDblpDatabaseCsv(flags.GetString("dir"));
+  auto db = LoadCliDatabase(flags);
   if (!db.ok()) return Fail(db.status());
   DistinctConfig config;
   config.promotions = DblpDefaultPromotions();
+  config.base_catalog_version = db->catalog_generation;
   auto min_sim = DoubleFlagInRange(flags, "min-sim", 0.0, 1e9);
   if (!min_sim.ok()) return Fail(min_sim.status());
   config.min_sim = *min_sim;
@@ -278,7 +402,7 @@ int RunTrain(const FlagParser& flags) {
   config.propagation_cache_mb = *cache_mb;
   if (Status s = ApplyKernelFlags(flags, &config); !s.ok()) return Fail(s);
   config.observability = obs::Enabled();
-  auto engine = Distinct::Create(*db, DblpReferenceSpec(), config);
+  auto engine = Distinct::Create(db->db, DblpReferenceSpec(), config);
   if (!engine.ok()) return Fail(engine.status());
   const TrainingReport& report = engine->report();
   std::printf("trained on %zu pairs, %d paths, %.2fs\n",
@@ -297,9 +421,9 @@ int RunTrain(const FlagParser& flags) {
 }
 
 int RunResolve(const FlagParser& flags) {
-  auto db = LoadDblpDatabaseCsv(flags.GetString("dir"));
+  auto db = LoadCliDatabase(flags);
   if (!db.ok()) return Fail(db.status());
-  auto engine = MakeEngine(*db, flags);
+  auto engine = MakeEngine(db->db, flags, db->catalog_generation);
   if (!engine.ok()) return Fail(engine.status());
   const std::string name = flags.GetString("name");
   auto result = engine->ResolveName(name);
@@ -333,9 +457,9 @@ obs::ReportTable ShardTable(const std::vector<ShardOutcome>& shards) {
 }
 
 int RunScan(const FlagParser& flags) {
-  auto db = LoadDblpDatabaseCsv(flags.GetString("dir"));
+  auto db = LoadCliDatabase(flags);
   if (!db.ok()) return Fail(db.status());
-  auto engine = MakeEngine(*db, flags);
+  auto engine = MakeEngine(db->db, flags, db->catalog_generation);
   if (!engine.ok()) return Fail(engine.status());
   ScanOptions scan;
   // int64 end to end: a --min-refs/--max-refs beyond INT_MAX compares
@@ -430,15 +554,16 @@ bool SameResolutions(const std::vector<BulkResolution>& got,
 }
 
 int RunAppend(const FlagParser& flags) {
-  auto db = LoadDblpDatabaseCsv(flags.GetString("dir"));
-  if (!db.ok()) return Fail(db.status());
+  auto loaded = LoadCliDatabase(flags);
+  if (!loaded.ok()) return Fail(loaded.status());
+  Database* db = &loaded->db;
   const std::string delta_dir = flags.GetString("delta");
   if (delta_dir.empty()) {
     std::fprintf(stderr, "error: append needs --delta=DIR (per-table CSVs "
                          "of rows to append)\n");
     return 1;
   }
-  auto engine = MakeEngine(*db, flags);
+  auto engine = MakeEngine(*db, flags, loaded->catalog_generation);
   if (!engine.ok()) return Fail(engine.status());
 
   ScanOptions scan;
@@ -504,9 +629,9 @@ int RunServe(const FlagParser& flags) {
   sigaddset(&shutdown_signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &shutdown_signals, nullptr);
 
-  auto db = LoadDblpDatabaseCsv(flags.GetString("dir"));
+  auto db = LoadCliDatabase(flags);
   if (!db.ok()) return Fail(db.status());
-  auto engine = MakeEngine(*db, flags);
+  auto engine = MakeEngine(db->db, flags, db->catalog_generation);
   if (!engine.ok()) return Fail(engine.status());
 
   serve::ServiceOptions service_options;
@@ -600,6 +725,19 @@ int main(int argc, char** argv) {
   flags.AddString("model", "", "similarity-model file");
   flags.AddString("name", "Wei Wang", "name to resolve");
   flags.AddInt64("seed", 42, "generator seed");
+  flags.AddString("catalog", "",
+                  "columnar catalog directory: output of `ingest`, input "
+                  "(instead of --dir) for train/resolve/scan/append/serve");
+  flags.AddString("xml", "", "ingest: source dblp.xml file");
+  flags.AddString("out", "", "generate-xml: output file");
+  flags.AddInt64("rows", 100000,
+                 "generate-xml: stop after at least this many author "
+                 "references");
+  flags.AddInt64("segment-papers", 65536,
+                 "ingest: papers per column segment file");
+  flags.AddInt64("min-refs-per-author", 0,
+                 "catalog load: drop authors with fewer references when "
+                 "materialising the database (0 keeps everyone)");
   flags.AddInt64("min-refs", 6, "scan: minimum references per name");
   flags.AddInt64("max-refs", 500, "scan: maximum references per name");
   flags.AddInt64("threads", 1,
@@ -642,6 +780,10 @@ int main(int argc, char** argv) {
   flags.AddDouble("min-sim", 3e-2, "clustering merge threshold");
   flags.AddBool("auto-min-sim", false,
                 "derive min-sim from the training pairs (ignores --min-sim)");
+  flags.AddBool("unsupervised", false,
+                "uniform path weights instead of SVM training (the paper's "
+                "unsupervised baseline; works on corpora without enough "
+                "rare names to train on)");
   flags.AddString("stopping", "fixed",
                   "merge stopping rule: fixed | largest-gap");
   flags.AddBool("incremental", true,
@@ -723,6 +865,10 @@ int main(int argc, char** argv) {
   int exit_code = 1;
   if (command == "generate") {
     exit_code = RunGenerate(flags);
+  } else if (command == "generate-xml") {
+    exit_code = RunGenerateXml(flags);
+  } else if (command == "ingest") {
+    exit_code = RunIngest(flags);
   } else if (command == "train") {
     exit_code = RunTrain(flags);
   } else if (command == "resolve") {

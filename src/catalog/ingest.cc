@@ -1,0 +1,87 @@
+#include "catalog/ingest.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/io_util.h"
+#include "dblp/dblp_records.h"
+#include "xml/xml_parser.h"
+
+namespace distinct {
+namespace catalog {
+
+StatusOr<IngestStats> IngestDblpXml(const std::string& xml_path,
+                                    const std::string& catalog_dir,
+                                    const IngestOptions& options) {
+  if (options.read_chunk_bytes == 0) {
+    return InvalidArgumentError("ingest: read_chunk_bytes must be positive");
+  }
+  CatalogWriterOptions writer_options;
+  writer_options.dir = catalog_dir;
+  writer_options.segment_papers = options.segment_papers;
+  writer_options.memory_budget_bytes = options.memory_budget_mb << 20;
+  auto writer_or = CatalogWriter::Create(std::move(writer_options));
+  DISTINCT_RETURN_IF_ERROR(writer_or.status());
+  CatalogWriter& writer = **writer_or;
+
+  const int fd = ::open(xml_path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return NotFoundError("ingest: no file '" + xml_path + "'");
+    }
+    return InternalError("ingest: cannot open '" + xml_path +
+                         "': " + std::strerror(errno));
+  }
+
+  DblpRecordHandler handler(
+      [&writer](DblpRecord&& record) { return writer.Add(record); });
+  XmlStreamOptions stream_options;
+  stream_options.max_token_bytes = options.max_token_bytes;
+  XmlStreamParser parser(handler, stream_options);
+
+  IngestStats stats;
+  std::vector<char> chunk(options.read_chunk_bytes);
+  Status status = Status::Ok();
+  for (;;) {
+    auto n = ReadFdSome(fd, chunk.data(), chunk.size(), "ingest");
+    if (!n.ok()) {
+      status = n.status();
+      break;
+    }
+    if (*n == 0) {
+      status = parser.Finish();
+      break;
+    }
+    stats.bytes_read += static_cast<int64_t>(*n);
+    status = parser.Feed(std::string_view(chunk.data(), *n));
+    // A sink failure (budget, disk) surfaces through the handler, not the
+    // parser: the handler goes quiet and records why.
+    if (status.ok() && !handler.status().ok()) {
+      status = handler.status();
+    }
+    if (!status.ok()) {
+      break;
+    }
+  }
+  ::close(fd);
+  if (status.ok() && !handler.status().ok()) {
+    status = handler.status();
+  }
+  DISTINCT_RETURN_IF_ERROR(status);
+
+  auto summary = writer.Finish(handler.skipped());
+  DISTINCT_RETURN_IF_ERROR(summary.status());
+  stats.records = handler.records();
+  stats.skipped = handler.skipped();
+  stats.summary = *summary;
+  return stats;
+}
+
+}  // namespace catalog
+}  // namespace distinct

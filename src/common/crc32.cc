@@ -1,0 +1,41 @@
+#include "common/crc32.h"
+
+namespace distinct {
+namespace {
+
+/// 256-entry lookup table for the reflected CRC-32C polynomial 0x82F63B78,
+/// built once at first use.
+struct Crc32cTable {
+  uint32_t entries[256];
+
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0x82f63b78u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const Crc32cTable& table = Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  // The standard pre/post inversion makes appended zero bytes detectable
+  // and lets chunked updates compose: Crc32c(ab) == Crc32c(b, Crc32c(a)).
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ bytes[i]) & 0xffu];
+  }
+  return ~crc;
+}
+
+}  // namespace distinct

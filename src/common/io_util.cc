@@ -137,6 +137,21 @@ Status WriteFdAll(int fd, std::string_view data,
   return Status::Ok();
 }
 
+StatusOr<size_t> ReadFdSome(int fd, char* buffer, size_t capacity,
+                            const std::string& context) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, capacity);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return DataLossError(context + ": read failed: " +
+                           std::strerror(errno));
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
 void IgnoreSigPipe() {
   static std::once_flag once;
   std::call_once(once, [] {

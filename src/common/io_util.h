@@ -49,6 +49,14 @@ Status FsyncDir(const std::string& dir, const std::string& context = "io");
 Status WriteFdAll(int fd, std::string_view data,
                   const std::string& context = "io");
 
+/// One EINTR-retried read of at most `capacity` bytes into `buffer`.
+/// Returns the byte count (0 only at end of stream — a short read is
+/// returned as-is, never mistaken for EOF); a failed read is DataLoss with
+/// the caller's context. The chunked-consumption primitive for streaming
+/// readers that must never materialise the file (XML ingest).
+StatusOr<size_t> ReadFdSome(int fd, char* buffer, size_t capacity,
+                            const std::string& context = "io");
+
 /// Installs SIG_IGN for SIGPIPE once per process (idempotent). A server
 /// writing to a client that already closed must get EPIPE from write(),
 /// not a process-killing signal.

@@ -1,0 +1,48 @@
+// Read-only memory-mapped files.
+//
+// The columnar catalog's reader hands out zero-copy views over its column
+// and dictionary files; those views are only as safe as the mapping that
+// backs them. MappedFile owns one PROT_READ/MAP_PRIVATE mapping with RAII
+// unmap, so a view's lifetime question reduces to "is the MappedFile still
+// alive" — the same discipline the rest of the tree uses for fds.
+
+#ifndef DISTINCT_COMMON_MMAP_FILE_H_
+#define DISTINCT_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace distinct {
+
+/// A read-only mapping of one whole file. Move-only; the destructor
+/// unmaps. An empty file maps to a valid object with size() == 0.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. ENOENT is NotFound; other failures Internal.
+  static StatusOr<MappedFile> Open(const std::string& path,
+                                   const std::string& context = "mmap");
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+ private:
+  MappedFile(const char* data, size_t size) : data_(data), size_(size) {}
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_COMMON_MMAP_FILE_H_

@@ -141,6 +141,7 @@ StatusOr<Distinct> Distinct::Create(const Database& db,
     }
   }
   engine.tuple_watermark_ = db.TotalRows();
+  engine.catalog_version_ = engine.config_.base_catalog_version;
 
   if (engine.config_.supervised) {
     Stopwatch watch;

@@ -126,6 +126,14 @@ struct DistinctConfig {
   /// the budget fails its shard instead of OOMing the process. 0 = no
   /// bound. Results are bit-identical at every budget that completes.
   int64_t scan_memory_mb = 0;
+  /// Catalog generation stamp carried into checkpoints. When the database
+  /// was materialised from an on-disk columnar catalog (catalog/reader.h)
+  /// the caller seeds this with the catalog's generation, so --resume and
+  /// append --delta reject checkpoints taken against a different ingest
+  /// generation even when the row counts happen to agree. 0 (in-memory
+  /// datasets) keeps the engine-local versioning that starts at zero and
+  /// increments per applied delta.
+  int64_t base_catalog_version = 0;
   /// Enables the process-wide metrics registry and span tracer
   /// (src/obs/) for this engine. Create() flips the global obs switch;
   /// when false (the default) every instrumentation site reduces to a

@@ -1,0 +1,77 @@
+#include "dblp/dblp_records.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace distinct {
+
+bool IsDblpPublicationElement(std::string_view name) {
+  return name == "article" || name == "inproceedings" ||
+         name == "incollection" || name == "book";
+}
+
+void DblpRecordHandler::OnStartElement(
+    std::string_view name, const std::vector<XmlAttribute>& /*attributes*/) {
+  if (!status_.ok()) {
+    return;
+  }
+  if (IsDblpPublicationElement(name)) {
+    in_record_ = true;
+    current_ = DblpRecord();
+    return;
+  }
+  if (!in_record_) {
+    if (name != "dblp") {
+      ++skipped_;
+    }
+    return;
+  }
+  field_ = name;
+  text_.clear();
+}
+
+void DblpRecordHandler::OnEndElement(std::string_view name) {
+  if (!status_.ok()) {
+    return;
+  }
+  if (IsDblpPublicationElement(name)) {
+    if (!current_.authors.empty()) {
+      ++records_;
+      status_ = on_record_(std::move(current_));
+    } else {
+      ++skipped_;
+    }
+    in_record_ = false;
+    field_.clear();
+    return;
+  }
+  if (!in_record_) {
+    return;
+  }
+  const std::string value(StripWhitespace(text_));
+  if (field_ == "author" || field_ == "editor") {
+    if (!value.empty()) {
+      current_.authors.push_back(value);
+    }
+  } else if (field_ == "title") {
+    current_.title = value;
+  } else if (field_ == "booktitle" ||
+             (field_ == "journal" && current_.venue.empty())) {
+    current_.venue = value;
+  } else if (field_ == "year") {
+    if (auto year = ParseInt64(value); year.has_value()) {
+      current_.year = *year;
+    }
+  }
+  field_.clear();
+  text_.clear();
+}
+
+void DblpRecordHandler::OnText(std::string_view text) {
+  if (status_.ok() && in_record_ && !field_.empty()) {
+    text_ += text;
+  }
+}
+
+}  // namespace distinct

@@ -1,0 +1,73 @@
+// Record assembly over the dblp.xml SAX event stream, shared by the
+// in-memory loader (dblp/xml_loader) and the streaming catalog ingester
+// (catalog/ingest).
+//
+// Both consumers must agree byte-for-byte on what a publication record is —
+// which elements count, how author/editor children fold in, how whitespace
+// and missing fields are treated — because the differential contract of the
+// columnar catalog is that resolver output over an ingested catalog is
+// bit-identical to the in-memory path. Keeping the assembly logic in one
+// class makes that agreement structural instead of a convention.
+
+#ifndef DISTINCT_DBLP_DBLP_RECORDS_H_
+#define DISTINCT_DBLP_DBLP_RECORDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/xml_parser.h"
+
+namespace distinct {
+
+/// One publication record accumulated from the XML stream.
+struct DblpRecord {
+  std::vector<std::string> authors;  // <author> and <editor>, stripped
+  std::string title;
+  std::string venue;  // booktitle, else journal; may be empty
+  int64_t year = -1;  // -1 when absent or unparsable
+};
+
+/// <article>, <inproceedings>, <incollection>, <book>.
+bool IsDblpPublicationElement(std::string_view name);
+
+/// SAX handler that assembles DblpRecords and hands each completed record
+/// (in document order) to `on_record`. Records without any author are
+/// counted as skipped, like unsupported top-level elements. A non-OK
+/// status returned by the sink is sticky: assembly stops consuming events
+/// and the failure is reported by status() — the streaming driver checks
+/// it between Feed() calls and aborts the parse.
+class DblpRecordHandler : public XmlHandler {
+ public:
+  using RecordSink = std::function<Status(DblpRecord&&)>;
+
+  explicit DblpRecordHandler(RecordSink on_record)
+      : on_record_(std::move(on_record)) {}
+
+  void OnStartElement(std::string_view name,
+                      const std::vector<XmlAttribute>& attributes) override;
+  void OnEndElement(std::string_view name) override;
+  void OnText(std::string_view text) override;
+
+  /// First non-OK status returned by the sink (assembly already stopped).
+  const Status& status() const { return status_; }
+  int64_t records() const { return records_; }
+  int64_t skipped() const { return skipped_; }
+
+ private:
+  RecordSink on_record_;
+  bool in_record_ = false;
+  DblpRecord current_;
+  std::string field_;
+  std::string text_;
+  Status status_ = Status::Ok();
+  int64_t records_ = 0;
+  int64_t skipped_ = 0;
+};
+
+}  // namespace distinct
+
+#endif  // DISTINCT_DBLP_DBLP_RECORDS_H_

@@ -1,0 +1,210 @@
+#include "dblp/xml_corpus.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/io_util.h"
+#include "common/rng.h"
+#include "dblp/name_pool.h"
+
+namespace distinct {
+namespace {
+
+constexpr size_t kFlushBytes = 1 << 20;
+
+/// Escapes the three characters XML text cannot carry raw. The generator's
+/// vocabulary is alphanumeric, so this only fires for the titles that
+/// deliberately embed '&'.
+void AppendEscaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+class CorpusWriter {
+ public:
+  CorpusWriter(int fd, const std::string& path)
+      : fd_(fd), path_(path) {
+    buffer_.reserve(kFlushBytes + (64 << 10));
+  }
+
+  std::string& buffer() { return buffer_; }
+
+  Status MaybeFlush() {
+    if (buffer_.size() < kFlushBytes) {
+      return Status::Ok();
+    }
+    return Flush();
+  }
+
+  Status Flush() {
+    DISTINCT_RETURN_IF_ERROR(WriteFdAll(fd_, buffer_, "xml_corpus"));
+    bytes_ += static_cast<int64_t>(buffer_.size());
+    buffer_.clear();
+    return Status::Ok();
+  }
+
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  std::string buffer_;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace
+
+StatusOr<XmlCorpusStats> WriteSyntheticDblpXml(const std::string& path,
+                                               const XmlCorpusConfig& config) {
+  if (config.target_refs <= 0) {
+    return InvalidArgumentError("xml_corpus: target_refs must be positive");
+  }
+  if (config.num_venues <= 0 || config.end_year < config.start_year) {
+    return InvalidArgumentError("xml_corpus: malformed config");
+  }
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return InternalError("xml_corpus: cannot open '" + path +
+                         "': " + std::strerror(errno));
+  }
+
+  Rng rng(config.seed);
+  NamePool names(config.first_name_pool, config.last_name_pool,
+                 config.name_zipf_exponent);
+  ZipfSampler venue_zipf(static_cast<size_t>(config.num_venues),
+                         config.venue_zipf_exponent);
+  std::vector<std::string> venues;
+  venues.reserve(static_cast<size_t>(config.num_venues));
+  for (int v = 0; v < config.num_venues; ++v) {
+    venues.push_back(
+        "Symposium on " +
+        names.LastName(static_cast<size_t>(v) % names.num_last()) +
+        " Systems");
+  }
+
+  CorpusWriter writer(fd, path);
+  std::string& out = writer.buffer();
+  out += "<?xml version=\"1.0\" encoding=\"ISO-8859-1\"?>\n<dblp>\n";
+
+  XmlCorpusStats stats;
+  Status status = Status::Ok();
+  std::vector<std::string> paper_authors;
+  while (stats.refs < config.target_refs && status.ok()) {
+    const int64_t paper = stats.papers;
+    const bool journal = rng.Bernoulli(config.journal_prob);
+    const int year = static_cast<int>(
+        rng.UniformInt(config.start_year, config.end_year));
+    const std::string& venue = venues[venue_zipf.Sample(rng)];
+
+    paper_authors.clear();
+    const int num_authors = 1 + rng.Poisson(config.mean_coauthors);
+    for (int a = 0; a < num_authors; ++a) {
+      std::string name = names.SampleFullName(rng);
+      bool duplicate = false;
+      for (const std::string& existing : paper_authors) {
+        duplicate = duplicate || existing == name;
+      }
+      if (!duplicate) {
+        paper_authors.push_back(std::move(name));
+      }
+    }
+
+    const char* element = journal ? "article" : "inproceedings";
+    out += "<";
+    out += element;
+    out += " mdate=\"2006-0";
+    out += static_cast<char>('1' + paper % 9);
+    out += "-0";
+    out += static_cast<char>('1' + paper % 7);
+    // A few records carry a literal CRLF inside an attribute value, which
+    // XML attribute-value normalization must fold to a single space.
+    if (paper % 97 == 0) {
+      out += "\r\n";
+    }
+    out += "\" key=\"";
+    out += journal ? "journals/" : "conf/";
+    out += std::to_string(paper);
+    out += "\">\n";
+    for (const std::string& author : paper_authors) {
+      out += "  <author>";
+      AppendEscaped(out, author);
+      out += "</author>\n";
+    }
+    out += "  <title>";
+    if (rng.Bernoulli(config.entity_title_prob)) {
+      out += "Analysis &amp; Synthesis of ";
+      AppendEscaped(out, names.LastName(static_cast<size_t>(
+                             rng.UniformInt(0, 63))));
+      out += " Structures &lt;rev. ";
+      out += std::to_string(paper);
+      out += "&gt;";
+    } else {
+      out += "On the ";
+      out += names.FirstName(static_cast<size_t>(rng.UniformInt(0, 127)));
+      out += " Properties of ";
+      out += names.LastName(static_cast<size_t>(rng.UniformInt(0, 127)));
+      out += " Systems (";
+      out += std::to_string(paper);
+      out += ")";
+    }
+    out += "</title>\n";
+    out += journal ? "  <journal>" : "  <booktitle>";
+    AppendEscaped(out, venue);
+    out += journal ? "</journal>\n" : "</booktitle>\n";
+    out += "  <year>";
+    out += std::to_string(year);
+    out += "</year>\n</";
+    out += element;
+    out += ">\n";
+
+    stats.papers += 1;
+    stats.refs += static_cast<int64_t>(paper_authors.size());
+
+    if (rng.Bernoulli(config.noise_element_prob)) {
+      out += "<www key=\"homepages/";
+      out += std::to_string(paper);
+      out += "\"><author>";
+      AppendEscaped(out, paper_authors.front());
+      out += "</author><url>https://example.org/";
+      out += std::to_string(paper);
+      out += "</url></www>\n";
+    }
+    status = writer.MaybeFlush();
+  }
+
+  if (status.ok()) {
+    out += "</dblp>\n";
+    status = writer.Flush();
+  }
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = InternalError("xml_corpus: fsync of '" + path +
+                           "' failed: " + std::strerror(errno));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = InternalError("xml_corpus: close of '" + path +
+                           "' failed: " + std::strerror(errno));
+  }
+  DISTINCT_RETURN_IF_ERROR(status);
+  stats.bytes = writer.bytes();
+  return stats;
+}
+
+}  // namespace distinct

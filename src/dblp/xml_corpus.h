@@ -1,0 +1,65 @@
+// Scaled synthetic dblp.xml corpus generator.
+//
+// src/dblp/generator.cc builds an in-memory Database with planted ground
+// truth; this generator targets the other end of the pipeline — the XML
+// surface itself — so the streaming ingester can be exercised at DBLP
+// scale without the real dump. It writes a dblp.xml-shaped document of any
+// requested size in streaming fashion (constant memory, buffered writes),
+// deterministic in the seed: CI generates ~100k references in well under a
+// second, an overnight run can emit millions.
+//
+// The output deliberately exercises the parser's hard paths: entity
+// references in titles, CRLF line breaks inside attribute values, and
+// non-publication elements (<www>, <phdthesis>) the record assembler must
+// skip-count.
+
+#ifndef DISTINCT_DBLP_XML_CORPUS_H_
+#define DISTINCT_DBLP_XML_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace distinct {
+
+struct XmlCorpusConfig {
+  uint64_t seed = 42;
+  /// Papers are emitted until at least this many author references exist.
+  int64_t target_refs = 100000;
+
+  // Vocabulary shape (Zipf-skewed like the real DBLP).
+  int num_venues = 64;
+  double venue_zipf_exponent = 0.8;
+  size_t first_name_pool = 400;
+  size_t last_name_pool = 800;
+  double name_zipf_exponent = 0.75;
+
+  // Per-paper shape.
+  double mean_coauthors = 1.2;  // beyond the lead author (Poisson)
+  int start_year = 1991;
+  int end_year = 2006;
+  /// Fraction of records emitted as <article><journal> instead of
+  /// <inproceedings><booktitle>.
+  double journal_prob = 0.25;
+  /// Fraction of titles carrying entity references (&amp; and friends).
+  double entity_title_prob = 0.05;
+  /// Fraction of records followed by a non-publication element the loader
+  /// must skip (<www>, <phdthesis>).
+  double noise_element_prob = 0.01;
+};
+
+struct XmlCorpusStats {
+  int64_t papers = 0;
+  int64_t refs = 0;
+  int64_t bytes = 0;
+};
+
+/// Writes the corpus to `path` (overwriting). Deterministic in
+/// `config.seed`: equal configs produce byte-identical files.
+StatusOr<XmlCorpusStats> WriteSyntheticDblpXml(const std::string& path,
+                                               const XmlCorpusConfig& config);
+
+}  // namespace distinct
+
+#endif  // DISTINCT_DBLP_XML_CORPUS_H_

@@ -1,106 +1,24 @@
 #include "dblp/xml_loader.h"
 
-#include <cstdio>
-#include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/io_util.h"
 #include "common/string_util.h"
+#include "dblp/dblp_records.h"
 #include "dblp/schema.h"
 #include "xml/xml_parser.h"
 
 namespace distinct {
 namespace {
 
-/// One publication record accumulated from the XML stream.
-struct Record {
-  std::vector<std::string> authors;
-  std::string title;
-  std::string venue;  // booktitle or journal
-  int64_t year = -1;
-};
-
-bool IsPublicationElement(std::string_view name) {
-  return name == "article" || name == "inproceedings" ||
-         name == "incollection" || name == "book";
-}
-
-class DblpXmlHandler : public XmlHandler {
- public:
-  void OnStartElement(std::string_view name,
-                      const std::vector<XmlAttribute>& /*attributes*/) override {
-    if (IsPublicationElement(name)) {
-      in_record_ = true;
-      current_ = Record();
-      return;
-    }
-    if (!in_record_) {
-      if (name != "dblp") {
-        ++skipped_;
-      }
-      return;
-    }
-    field_ = name;
-    text_.clear();
-  }
-
-  void OnEndElement(std::string_view name) override {
-    if (IsPublicationElement(name)) {
-      if (!current_.authors.empty()) {
-        records_.push_back(std::move(current_));
-      } else {
-        ++skipped_;
-      }
-      in_record_ = false;
-      field_.clear();
-      return;
-    }
-    if (!in_record_) {
-      return;
-    }
-    const std::string value(StripWhitespace(text_));
-    if (field_ == "author" || field_ == "editor") {
-      if (!value.empty()) {
-        current_.authors.push_back(value);
-      }
-    } else if (field_ == "title") {
-      current_.title = value;
-    } else if (field_ == "booktitle" ||
-               (field_ == "journal" && current_.venue.empty())) {
-      current_.venue = value;
-    } else if (field_ == "year") {
-      if (auto year = ParseInt64(value); year.has_value()) {
-        current_.year = *year;
-      }
-    }
-    field_.clear();
-    text_.clear();
-  }
-
-  void OnText(std::string_view text) override {
-    if (in_record_ && !field_.empty()) {
-      text_ += text;
-    }
-  }
-
-  std::vector<Record>& records() { return records_; }
-  int64_t skipped() const { return skipped_; }
-
- private:
-  bool in_record_ = false;
-  Record current_;
-  std::string field_;
-  std::string text_;
-  std::vector<Record> records_;
-  int64_t skipped_ = 0;
-};
-
-StatusOr<XmlLoadResult> BuildDatabase(std::vector<Record> records,
+StatusOr<XmlLoadResult> BuildDatabase(std::vector<DblpRecord> records,
                                       int64_t skipped,
                                       const XmlLoadOptions& options) {
   // Reference counts for the min_refs_per_author filter.
   std::unordered_map<std::string, int64_t> refs_per_author;
-  for (const Record& record : records) {
+  for (const DblpRecord& record : records) {
     for (const std::string& author : record.authors) {
       ++refs_per_author[author];
     }
@@ -123,7 +41,7 @@ StatusOr<XmlLoadResult> BuildDatabase(std::vector<Record> records,
   XmlLoadResult result;
 
   for (size_t r = 0; r < records.size(); ++r) {
-    const Record& record = records[r];
+    const DblpRecord& record = records[r];
     const std::string venue =
         record.venue.empty() ? std::string("unknown-venue") : record.venue;
 
@@ -187,26 +105,25 @@ StatusOr<XmlLoadResult> BuildDatabase(std::vector<Record> records,
 
 StatusOr<XmlLoadResult> LoadDblpXml(const std::string& content,
                                     const XmlLoadOptions& options) {
-  DblpXmlHandler handler;
+  std::vector<DblpRecord> records;
+  DblpRecordHandler handler([&records](DblpRecord&& record) {
+    records.push_back(std::move(record));
+    return Status::Ok();
+  });
   DISTINCT_RETURN_IF_ERROR(XmlParser::Parse(content, handler));
-  return BuildDatabase(std::move(handler.records()), handler.skipped(),
-                       options);
+  return BuildDatabase(std::move(records), handler.skipped(), options);
 }
 
 StatusOr<XmlLoadResult> LoadDblpXmlFile(const std::string& path,
                                         const XmlLoadOptions& options) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (file == nullptr) {
-    return NotFoundError("cannot open '" + path + "'");
+  // EINTR/short-read-safe whole-file read: an I/O error surfaces as a
+  // Status instead of passing a truncated document to the parser (the raw
+  // fread loop this replaces treated any error as EOF).
+  auto content = ReadFileToString(path, "xml_loader");
+  if (!content.ok()) {
+    return content.status();
   }
-  std::string content;
-  char buffer[1 << 16];
-  size_t read = 0;
-  while ((read = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
-    content.append(buffer, read);
-  }
-  return LoadDblpXml(content, options);
+  return LoadDblpXml(*content, options);
 }
 
 }  // namespace distinct

@@ -22,6 +22,10 @@ const char* MemoryTracker::ComponentName(Component component) {
       return "pair_matrix";
     case kCheckpoint:
       return "checkpoint";
+    case kIngestDictionary:
+      return "ingest_dictionary";
+    case kCatalogSegment:
+      return "catalog_segment";
     case kRss:
       return "rss";
     case kNumComponents:

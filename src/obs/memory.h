@@ -43,6 +43,8 @@ class MemoryTracker {
     kSubtreeCache,      // prop/workspace.h memo payload
     kPairMatrix,        // cluster/pair_matrix.h cells
     kCheckpoint,        // core/checkpoint.cc serialization buffers
+    kIngestDictionary,  // catalog/writer.cc intern tables
+    kCatalogSegment,    // catalog/writer.cc open-segment column buffers
     kRss,               // OS-reported resident set (sampled, not summed)
     kNumComponents,
   };

@@ -1,8 +1,11 @@
 #include "xml/xml_parser.h"
 
-#include <cstdio>
-#include <memory>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <utility>
+
+#include "common/io_util.h"
 #include "common/string_util.h"
 
 namespace distinct {
@@ -16,7 +19,7 @@ struct NamedEntity {
 // Predefined XML entities plus the latin-1 names DBLP author strings use.
 constexpr NamedEntity kNamedEntities[] = {
     {"amp", "&"},      {"lt", "<"},       {"gt", ">"},
-    {"quot", "\""},    {"apos", "'"},     {"nbsp", " "},
+    {"quot", "\""},    {"apos", "'"},     {"nbsp", " "},
     {"auml", "ä"}, {"ouml", "ö"}, {"uuml", "ü"},
     {"Auml", "Ä"}, {"Ouml", "Ö"}, {"Uuml", "Ü"},
     {"szlig", "ß"}, {"eacute", "é"}, {"egrave", "è"},
@@ -27,6 +30,11 @@ constexpr NamedEntity kNamedEntities[] = {
     {"ocirc", "ô"}, {"ucirc", "û"}, {"aring", "å"},
     {"oslash", "ø"}, {"aelig", "æ"},
 };
+
+/// An entity reference body never exceeds this many bytes between '&' and
+/// ';' (DecodeXmlEntities treats longer runs as a literal ampersand). The
+/// streaming parser holds back at most this much text at a chunk boundary.
+constexpr size_t kMaxEntityBody = 12;
 
 void AppendUtf8(std::string& out, uint32_t codepoint) {
   if (codepoint <= 0x7f) {
@@ -59,17 +67,38 @@ bool IsXmlSpace(char c) {
   return c == ' ' || c == '\t' || c == '\n' || c == '\r';
 }
 
-/// Cursor over the document with error reporting by byte offset.
+/// XML attribute-value normalization (spec §3.3.3, the non-validating
+/// subset): CRLF and lone CR/LF/TAB become a single space each. Real DBLP
+/// dumps carry hard-wrapped attribute values; without this a mdate/key
+/// split across lines keeps a raw \r that corrupts downstream keys.
+std::string NormalizeAttributeWhitespace(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c == '\r') {
+      if (i + 1 < raw.size() && raw[i + 1] == '\n') {
+        ++i;  // CRLF collapses to one space
+      }
+      out += ' ';
+    } else if (c == '\n' || c == '\t') {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Cursor over one complete construct, reporting errors at global stream
+/// offsets (`base` is the stream position of text[0]).
 class Cursor {
  public:
-  explicit Cursor(std::string_view text) : text_(text) {}
+  Cursor(std::string_view text, size_t base) : text_(text), base_(base) {}
 
   bool AtEnd() const { return pos_ >= text_.size(); }
   size_t pos() const { return pos_; }
   char Peek() const { return text_[pos_]; }
-  char PeekAt(size_t offset) const {
-    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
-  }
   void Advance(size_t n = 1) { pos_ += n; }
 
   bool ConsumePrefix(std::string_view prefix) {
@@ -86,27 +115,18 @@ class Cursor {
     }
   }
 
-  /// Advances past `terminator`, returning false if it never occurs.
-  bool SkipPast(std::string_view terminator) {
-    const size_t found = text_.find(terminator, pos_);
-    if (found == std::string_view::npos) {
-      return false;
-    }
-    pos_ = found + terminator.size();
-    return true;
-  }
-
   std::string_view Slice(size_t begin, size_t end) const {
     return text_.substr(begin, end - begin);
   }
 
   Status Error(const std::string& what) const {
-    return DataLossError(StrFormat("XML parse error at byte %zu: %s", pos_,
-                                   what.c_str()));
+    return DataLossError(StrFormat("XML parse error at byte %zu: %s",
+                                   base_ + pos_, what.c_str()));
   }
 
  private:
   std::string_view text_;
+  size_t base_ = 0;
   size_t pos_ = 0;
 };
 
@@ -156,9 +176,15 @@ StatusOr<std::vector<XmlAttribute>> ReadAttributes(Cursor& cursor) {
     }
     attributes.push_back(XmlAttribute{
         *std::move(name),
-        DecodeXmlEntities(cursor.Slice(begin, cursor.pos()))});
+        DecodeXmlEntities(NormalizeAttributeWhitespace(
+            cursor.Slice(begin, cursor.pos())))});
     cursor.Advance();  // closing quote
   }
+}
+
+/// True when `text` could still grow into `full` ("<!DOC" vs "<!DOCTYPE").
+bool IsProperPrefix(std::string_view text, std::string_view full) {
+  return text.size() < full.size() && full.substr(0, text.size()) == text;
 }
 
 }  // namespace
@@ -180,7 +206,7 @@ std::string DecodeXmlEntities(std::string_view text) {
       continue;
     }
     const size_t semi = text.find(';', i + 1);
-    if (semi == std::string_view::npos || semi - i > 12) {
+    if (semi == std::string_view::npos || semi - i > kMaxEntityBody) {
       out += c;  // Not a reference; keep the ampersand literally.
       ++i;
       continue;
@@ -238,127 +264,332 @@ std::string DecodeXmlEntities(std::string_view text) {
   return out;
 }
 
-Status XmlParser::Parse(std::string_view content, XmlHandler& handler) {
-  Cursor cursor(content);
-  std::vector<std::string> open_elements;
+XmlStreamParser::XmlStreamParser(XmlHandler& handler, XmlStreamOptions options)
+    : handler_(&handler), options_(options) {}
 
-  while (!cursor.AtEnd()) {
-    if (cursor.Peek() != '<') {
+Status XmlStreamParser::Pump(bool at_eof) {
+  // `start` walks buffer_ over complete constructs; the consumed prefix is
+  // erased once on exit so the carry-over allocation stays bounded.
+  size_t start = 0;
+  Status status = Status::Ok();
+
+  auto error_at = [&](size_t offset, const std::string& what) {
+    return DataLossError(StrFormat("XML parse error at byte %zu: %s",
+                                   consumed_ + offset, what.c_str()));
+  };
+
+  while (start < buffer_.size() && status.ok()) {
+    const std::string_view rest =
+        std::string_view(buffer_).substr(start);
+
+    if (rest[0] != '<') {
       // Character data up to the next tag.
-      const size_t begin = cursor.pos();
-      while (!cursor.AtEnd() && cursor.Peek() != '<') {
-        cursor.Advance();
-      }
-      if (!open_elements.empty()) {
-        const std::string decoded =
-            DecodeXmlEntities(cursor.Slice(begin, cursor.pos()));
-        if (!decoded.empty()) {
-          handler.OnText(decoded);
+      size_t lt = rest.find('<');
+      size_t emit_end = lt == std::string_view::npos ? rest.size() : lt;
+      if (lt == std::string_view::npos && !at_eof) {
+        // Hold back a possible partial entity reference at the tail: a
+        // '&' with no ';' yet could complete in the next chunk. Runs
+        // longer than an entity body can't, and stay literal.
+        const size_t amp = rest.rfind('&');
+        if (amp != std::string_view::npos &&
+            rest.find(';', amp) == std::string_view::npos &&
+            rest.size() - amp <= kMaxEntityBody + 1) {
+          emit_end = amp;
+        }
+        if (emit_end == 0) {
+          break;  // need more bytes
         }
       }
+      if (!open_elements_.empty()) {
+        const std::string decoded =
+            DecodeXmlEntities(rest.substr(0, emit_end));
+        if (!decoded.empty()) {
+          handler_->OnText(decoded);
+        }
+      }
+      start += emit_end;
       continue;
     }
 
-    if (cursor.ConsumePrefix("<!--")) {
-      if (!cursor.SkipPast("-->")) {
-        return cursor.Error("unterminated comment");
+    // A markup construct. Classification needs up to 9 bytes
+    // ("<![CDATA["); wait for them when the prefix is still ambiguous.
+    if (!at_eof && (IsProperPrefix(rest, "<!--") ||
+                    IsProperPrefix(rest, "<![CDATA[") ||
+                    IsProperPrefix(rest, "<!DOCTYPE"))) {
+      break;  // need more bytes
+    }
+    const size_t pending = buffer_.size() - start;
+    const bool over_budget = pending > options_.max_token_bytes;
+
+    if (rest.rfind("<!--", 0) == 0) {
+      const size_t end = rest.find("-->", 4);
+      if (end == std::string_view::npos) {
+        if (over_budget) {
+          status = OutOfRangeError(StrFormat(
+              "XML parse error at byte %zu: comment exceeds the %zu-byte "
+              "token buffer", consumed_ + start, options_.max_token_bytes));
+        } else if (at_eof) {
+          status = error_at(start + 4, "unterminated comment");
+        }
+        break;
       }
+      start += end + 3;
       continue;
     }
-    if (cursor.ConsumePrefix("<![CDATA[")) {
-      const size_t begin = cursor.pos();
-      if (!cursor.SkipPast("]]>")) {
-        return cursor.Error("unterminated CDATA section");
+
+    if (rest.rfind("<![CDATA[", 0) == 0) {
+      const size_t end = rest.find("]]>", 9);
+      if (end == std::string_view::npos) {
+        if (over_budget) {
+          status = OutOfRangeError(StrFormat(
+              "XML parse error at byte %zu: CDATA section exceeds the "
+              "%zu-byte token buffer", consumed_ + start,
+              options_.max_token_bytes));
+        } else if (at_eof) {
+          status = error_at(start + 9, "unterminated CDATA section");
+        }
+        break;
       }
-      if (!open_elements.empty()) {
-        handler.OnText(cursor.Slice(begin, cursor.pos() - 3));
+      if (!open_elements_.empty()) {
+        handler_->OnText(rest.substr(9, end - 9));
       }
+      start += end + 3;
       continue;
     }
-    if (cursor.ConsumePrefix("<!DOCTYPE")) {
+
+    if (rest.rfind("<!DOCTYPE", 0) == 0) {
       // Skip, honoring an optional internal subset in brackets.
       int depth = 0;
-      while (!cursor.AtEnd()) {
-        const char c = cursor.Peek();
-        cursor.Advance();
+      size_t end = std::string_view::npos;
+      for (size_t i = 9; i < rest.size(); ++i) {
+        const char c = rest[i];
         if (c == '[') {
           ++depth;
         } else if (c == ']') {
           --depth;
         } else if (c == '>' && depth <= 0) {
+          end = i;
           break;
         }
       }
-      continue;
-    }
-    if (cursor.ConsumePrefix("<?")) {
-      if (!cursor.SkipPast("?>")) {
-        return cursor.Error("unterminated processing instruction");
+      if (end == std::string_view::npos) {
+        if (over_budget) {
+          status = OutOfRangeError(StrFormat(
+              "XML parse error at byte %zu: DOCTYPE exceeds the %zu-byte "
+              "token buffer", consumed_ + start, options_.max_token_bytes));
+        } else if (at_eof) {
+          status = error_at(start + 9, "unterminated DOCTYPE");
+        }
+        break;
       }
+      start += end + 1;
       continue;
     }
-    if (cursor.ConsumePrefix("</")) {
+
+    if (rest.rfind("<?", 0) == 0) {
+      const size_t end = rest.find("?>", 2);
+      if (end == std::string_view::npos) {
+        if (over_budget) {
+          status = OutOfRangeError(StrFormat(
+              "XML parse error at byte %zu: processing instruction exceeds "
+              "the %zu-byte token buffer", consumed_ + start,
+              options_.max_token_bytes));
+        } else if (at_eof) {
+          status = error_at(start + 2, "unterminated processing instruction");
+        }
+        break;
+      }
+      start += end + 2;
+      continue;
+    }
+
+    if (rest.rfind("</", 0) == 0) {
+      const size_t end = rest.find('>', 2);
+      if (end == std::string_view::npos) {
+        if (over_budget) {
+          status = OutOfRangeError(StrFormat(
+              "XML parse error at byte %zu: end tag exceeds the %zu-byte "
+              "token buffer", consumed_ + start, options_.max_token_bytes));
+        } else if (at_eof) {
+          status = error_at(start + 2, "malformed end tag");
+        }
+        break;
+      }
+      Cursor cursor(rest.substr(0, end + 1), consumed_ + start);
+      cursor.Advance(2);
       cursor.SkipSpace();
       auto name = ReadName(cursor);
       if (!name.ok()) {
-        return name.status();
+        status = name.status();
+        break;
       }
       cursor.SkipSpace();
       if (cursor.AtEnd() || cursor.Peek() != '>') {
-        return cursor.Error("malformed end tag");
+        status = cursor.Error("malformed end tag");
+        break;
       }
-      cursor.Advance();
-      if (open_elements.empty() || open_elements.back() != *name) {
-        return cursor.Error("mismatched end tag </" + *name + ">");
+      if (open_elements_.empty() || open_elements_.back() != *name) {
+        status = cursor.Error("mismatched end tag </" + *name + ">");
+        break;
       }
-      handler.OnEndElement(*name);
-      open_elements.pop_back();
+      handler_->OnEndElement(*name);
+      open_elements_.pop_back();
+      start += end + 1;
       continue;
     }
 
-    // Start tag.
-    cursor.Advance();  // '<'
-    auto name = ReadName(cursor);
-    if (!name.ok()) {
-      return name.status();
-    }
-    auto attributes = ReadAttributes(cursor);
-    if (!attributes.ok()) {
-      return attributes.status();
-    }
-    if (cursor.ConsumePrefix("/>")) {
-      handler.OnStartElement(*name, *attributes);
-      handler.OnEndElement(*name);
+    // Start tag. Find its closing '>' outside quoted attribute values
+    // (XML allows a literal '>' inside quotes).
+    {
+      size_t end = std::string_view::npos;
+      char quote = '\0';
+      for (size_t i = 1; i < rest.size(); ++i) {
+        const char c = rest[i];
+        if (quote != '\0') {
+          if (c == quote) {
+            quote = '\0';
+          }
+        } else if (c == '"' || c == '\'') {
+          quote = c;
+        } else if (c == '>') {
+          end = i;
+          break;
+        }
+      }
+      if (end == std::string_view::npos) {
+        if (over_budget) {
+          status = OutOfRangeError(StrFormat(
+              "XML parse error at byte %zu: start tag exceeds the %zu-byte "
+              "token buffer", consumed_ + start, options_.max_token_bytes));
+        } else if (at_eof) {
+          // Distinguish "<" + garbage from a genuinely truncated tag so
+          // the message names what was being parsed.
+          Cursor cursor(rest, consumed_ + start);
+          cursor.Advance(1);
+          auto name = ReadName(cursor);
+          if (!name.ok()) {
+            status = name.status();
+          } else {
+            auto attributes = ReadAttributes(cursor);
+            status = attributes.ok()
+                         ? cursor.Error("unterminated start tag")
+                         : attributes.status();
+          }
+        }
+        break;
+      }
+      Cursor cursor(rest.substr(0, end + 1), consumed_ + start);
+      cursor.Advance(1);  // '<'
+      auto name = ReadName(cursor);
+      if (!name.ok()) {
+        status = name.status();
+        break;
+      }
+      auto attributes = ReadAttributes(cursor);
+      if (!attributes.ok()) {
+        status = attributes.status();
+        break;
+      }
+      if (cursor.ConsumePrefix("/>")) {
+        handler_->OnStartElement(*name, *attributes);
+        handler_->OnEndElement(*name);
+      } else if (!cursor.AtEnd() && cursor.Peek() == '>') {
+        handler_->OnStartElement(*name, *attributes);
+        open_elements_.push_back(*std::move(name));
+      } else {
+        status = cursor.Error("malformed start tag <" + *name + ">");
+        break;
+      }
+      start += end + 1;
       continue;
     }
-    if (cursor.AtEnd() || cursor.Peek() != '>') {
-      return cursor.Error("malformed start tag <" + *name + ">");
-    }
-    cursor.Advance();
-    handler.OnStartElement(*name, *attributes);
-    open_elements.push_back(*std::move(name));
   }
 
-  if (!open_elements.empty()) {
-    return DataLossError("XML parse error: unclosed element <" +
-                         open_elements.back() + ">");
+  consumed_ += start;
+  buffer_.erase(0, start);
+  if (status.ok() && buffer_.size() > options_.max_token_bytes) {
+    status = OutOfRangeError(StrFormat(
+        "XML parse error at byte %zu: construct exceeds the %zu-byte token "
+        "buffer", consumed_, options_.max_token_bytes));
   }
-  return Status::Ok();
+  return status;
+}
+
+Status XmlStreamParser::Feed(std::string_view chunk) {
+  if (!failed_.ok()) {
+    return failed_;
+  }
+  if (finished_) {
+    failed_ = FailedPreconditionError("XmlStreamParser: Feed after Finish");
+    return failed_;
+  }
+  buffer_.append(chunk.data(), chunk.size());
+  failed_ = Pump(/*at_eof=*/false);
+  return failed_;
+}
+
+Status XmlStreamParser::Finish() {
+  if (!failed_.ok()) {
+    return failed_;
+  }
+  if (finished_) {
+    failed_ = FailedPreconditionError("XmlStreamParser: Finish called twice");
+    return failed_;
+  }
+  finished_ = true;
+  failed_ = Pump(/*at_eof=*/true);
+  if (!failed_.ok()) {
+    return failed_;
+  }
+  if (!open_elements_.empty()) {
+    failed_ = DataLossError("XML parse error: unclosed element <" +
+                            open_elements_.back() + ">");
+  }
+  return failed_;
+}
+
+Status XmlParser::Parse(std::string_view content, XmlHandler& handler) {
+  XmlStreamParser parser(handler);
+  if (Status status = parser.Feed(content); !status.ok()) {
+    return status;
+  }
+  return parser.Finish();
 }
 
 Status XmlParser::ParseFile(const std::string& path, XmlHandler& handler) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
-      std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (file == nullptr) {
+  auto content = ReadFileToString(path, "xml");
+  if (!content.ok()) {
+    return content.status();
+  }
+  return Parse(*content, handler);
+}
+
+Status XmlParser::ParseFileStreaming(const std::string& path,
+                                     XmlHandler& handler,
+                                     XmlStreamOptions options) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
     return NotFoundError("cannot open file '" + path + "'");
   }
-  std::string content;
-  char buffer[1 << 16];
-  size_t read = 0;
-  while ((read = std::fread(buffer, 1, sizeof(buffer), file.get())) > 0) {
-    content.append(buffer, read);
+  XmlStreamParser parser(handler, options);
+  char buffer[1 << 18];
+  Status status = Status::Ok();
+  for (;;) {
+    auto n = ReadFdSome(fd, buffer, sizeof(buffer), "xml");
+    if (!n.ok()) {
+      status = n.status();
+      break;
+    }
+    if (*n == 0) {
+      status = parser.Finish();
+      break;
+    }
+    if (status = parser.Feed(std::string_view(buffer, *n)); !status.ok()) {
+      break;
+    }
   }
-  return Parse(content, handler);
+  ::close(fd);
+  return status;
 }
 
 }  // namespace distinct

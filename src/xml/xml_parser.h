@@ -5,10 +5,20 @@
 // skipped DOCTYPE, numeric character references, the predefined entities,
 // and the ISO latin named entities DBLP uses for author names. It is not a
 // validating parser.
+//
+// Two entry points share one implementation:
+//   * XmlParser::Parse / ParseFile — whole document in one call.
+//   * XmlStreamParser — push chunks of any size with Feed(); the parser
+//     holds only the bytes of the one construct currently straddling a
+//     chunk boundary (a tag, comment, CDATA section, or a possible partial
+//     entity reference at the tail of a text run), so a multi-GB document
+//     parses in O(max_token_bytes) memory. A single construct larger than
+//     the bound is rejected with OutOfRange instead of being truncated.
 
 #ifndef DISTINCT_XML_XML_PARSER_H_
 #define DISTINCT_XML_XML_PARSER_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,7 +29,7 @@ namespace distinct {
 
 struct XmlAttribute {
   std::string name;
-  std::string value;  // entity-decoded
+  std::string value;  // entity-decoded, whitespace-normalized
 };
 
 /// Receives parse events. Default implementations ignore everything, so
@@ -38,6 +48,50 @@ class XmlHandler {
   virtual void OnText(std::string_view text);
 };
 
+struct XmlStreamOptions {
+  /// Upper bound on the bytes of ONE construct (start tag with all its
+  /// attributes, comment, CDATA section, DOCTYPE, or processing
+  /// instruction). A construct still unterminated past this bound fails
+  /// with OutOfRange — the guard that keeps the carry-over buffer bounded
+  /// on hostile or corrupt input.
+  size_t max_token_bytes = 1 << 20;
+};
+
+/// Incremental push parser: call Feed() with consecutive chunks of the
+/// document (any sizes, including splitting tags/entities anywhere), then
+/// Finish() exactly once. Errors are sticky — after a non-OK return every
+/// later call returns the same status. Events fire during Feed/Finish in
+/// document order; OnText may deliver one text run in several pieces.
+class XmlStreamParser {
+ public:
+  explicit XmlStreamParser(XmlHandler& handler, XmlStreamOptions options = {});
+
+  Status Feed(std::string_view chunk);
+
+  /// Signals end of input: flushes trailing text and checks that no
+  /// element, comment, CDATA section, DOCTYPE, or entity-bearing tag is
+  /// left open.
+  Status Finish();
+
+  /// Bytes of the document fully consumed so far (error offsets refer to
+  /// this stream position).
+  size_t bytes_consumed() const { return consumed_; }
+
+ private:
+  /// Parses every complete construct available in buffer_; leaves an
+  /// incomplete tail (if any) for the next Feed. `at_eof` turns
+  /// "need more bytes" into the matching unterminated-construct error.
+  Status Pump(bool at_eof);
+
+  XmlHandler* handler_;
+  XmlStreamOptions options_;
+  std::string buffer_;  // unconsumed tail; bounded by max_token_bytes
+  size_t consumed_ = 0;  // global offset of buffer_[0]
+  std::vector<std::string> open_elements_;
+  Status failed_ = Status::Ok();  // sticky error
+  bool finished_ = false;
+};
+
 /// Streaming parser over an in-memory document.
 class XmlParser {
  public:
@@ -47,6 +101,12 @@ class XmlParser {
 
   /// Convenience: reads `path` fully and parses it.
   static Status ParseFile(const std::string& path, XmlHandler& handler);
+
+  /// Streams `path` through a bounded buffer (never materialising the
+  /// document) — the entry point for multi-GB dblp.xml inputs.
+  static Status ParseFileStreaming(const std::string& path,
+                                   XmlHandler& handler,
+                                   XmlStreamOptions options = {});
 };
 
 /// Decodes entity and character references in `text` ("&amp;" -> "&").

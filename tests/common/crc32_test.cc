@@ -1,0 +1,50 @@
+#include "common/crc32.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace distinct {
+namespace {
+
+TEST(Crc32cTest, KnownVector) {
+  // The CRC-32C check value from RFC 3720 §B.4 ("123456789").
+  EXPECT_EQ(Crc32c(std::string_view("123456789")), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c(std::string_view("")), 0u);
+}
+
+TEST(Crc32cTest, ChunkedUpdatesComposeToWholeBufferValue) {
+  const std::string data =
+      "the quick brown fox jumps over the lazy dog 0123456789";
+  const uint32_t whole = Crc32c(std::string_view(data));
+  for (size_t split = 0; split <= data.size(); ++split) {
+    const uint32_t first = Crc32c(data.data(), split);
+    const uint32_t chunked = Crc32c(data.data() + split,
+                                    data.size() - split, first);
+    EXPECT_EQ(chunked, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, AccumulatorMatchesOneShot) {
+  const std::string data(10000, 'x');
+  Crc32cAccumulator accumulator;
+  accumulator.Update(data.data(), 1);
+  accumulator.Update(data.data() + 1, 4095);
+  accumulator.Update(data.data() + 4096, data.size() - 4096);
+  EXPECT_EQ(accumulator.value(), Crc32c(std::string_view(data)));
+  accumulator.Reset();
+  EXPECT_EQ(accumulator.value(), 0u);
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesValue) {
+  std::string data = "columnar catalog segment payload";
+  const uint32_t before = Crc32c(std::string_view(data));
+  data[7] ^= 0x01;
+  EXPECT_NE(Crc32c(std::string_view(data)), before);
+}
+
+}  // namespace
+}  // namespace distinct

@@ -1,0 +1,54 @@
+#include "common/mmap_file.h"
+
+#include <cstdio>
+#include <string>
+
+#include "common/io_util.h"
+#include "gtest/gtest.h"
+
+namespace distinct {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(MappedFileTest, MapsWrittenBytes) {
+  const std::string path = TempPath("mmap_roundtrip.bin");
+  const std::string payload("mapped bytes \0 with a NUL inside", 32);
+  ASSERT_TRUE(WriteStringToFile(path, payload).ok());
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->view(), payload);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MissingFileIsNotFound) {
+  auto mapped = MappedFile::Open(TempPath("mmap_no_such_file.bin"));
+  EXPECT_EQ(mapped.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MappedFileTest, EmptyFileMapsToEmptyView) {
+  const std::string path = TempPath("mmap_empty.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(mapped->size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MoveTransfersTheMapping) {
+  const std::string path = TempPath("mmap_move.bin");
+  ASSERT_TRUE(WriteStringToFile(path, "payload").ok());
+  auto mapped = MappedFile::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  MappedFile moved = *std::move(mapped);
+  EXPECT_EQ(moved.view(), "payload");
+  MappedFile assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.view(), "payload");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace distinct

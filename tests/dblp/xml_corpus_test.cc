@@ -1,0 +1,112 @@
+// Synthetic dblp.xml corpus generator: deterministic in the seed, honest
+// stats, and parseable by the real loader (including the deliberately
+// nasty bits — entities in titles, CRLF inside attributes, noise elements).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/io_util.h"
+#include "dblp/schema.h"
+#include "dblp/xml_corpus.h"
+#include "dblp/xml_loader.h"
+#include "gtest/gtest.h"
+
+namespace distinct {
+namespace {
+
+std::string TempXml(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+XmlCorpusConfig SmallConfig(uint64_t seed = 7) {
+  XmlCorpusConfig config;
+  config.seed = seed;
+  config.target_refs = 1000;
+  return config;
+}
+
+TEST(XmlCorpusTest, SameSeedIsByteIdentical) {
+  const std::string a = TempXml("corpus_same_a.xml");
+  const std::string b = TempXml("corpus_same_b.xml");
+  auto stats_a = WriteSyntheticDblpXml(a, SmallConfig());
+  auto stats_b = WriteSyntheticDblpXml(b, SmallConfig());
+  ASSERT_TRUE(stats_a.ok());
+  ASSERT_TRUE(stats_b.ok());
+  EXPECT_EQ(stats_a->papers, stats_b->papers);
+  EXPECT_EQ(stats_a->refs, stats_b->refs);
+  auto bytes_a = ReadFileToString(a);
+  auto bytes_b = ReadFileToString(b);
+  ASSERT_TRUE(bytes_a.ok());
+  ASSERT_TRUE(bytes_b.ok());
+  EXPECT_EQ(*bytes_a, *bytes_b);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(XmlCorpusTest, DifferentSeedsDiffer) {
+  const std::string a = TempXml("corpus_seed_a.xml");
+  const std::string b = TempXml("corpus_seed_b.xml");
+  ASSERT_TRUE(WriteSyntheticDblpXml(a, SmallConfig(1)).ok());
+  ASSERT_TRUE(WriteSyntheticDblpXml(b, SmallConfig(2)).ok());
+  auto bytes_a = ReadFileToString(a);
+  auto bytes_b = ReadFileToString(b);
+  ASSERT_TRUE(bytes_a.ok());
+  ASSERT_TRUE(bytes_b.ok());
+  EXPECT_NE(*bytes_a, *bytes_b);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(XmlCorpusTest, StatsMatchFileAndTargetIsReached) {
+  const std::string path = TempXml("corpus_stats.xml");
+  auto stats = WriteSyntheticDblpXml(path, SmallConfig());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->refs, 1000);
+  EXPECT_GT(stats->papers, 0);
+  EXPECT_EQ(static_cast<int64_t>(std::filesystem::file_size(path)),
+            stats->bytes);
+  std::remove(path.c_str());
+}
+
+TEST(XmlCorpusTest, LoaderParsesTheCorpusAndCountsAgree) {
+  const std::string path = TempXml("corpus_load.xml");
+  XmlCorpusConfig config = SmallConfig();
+  config.noise_element_prob = 0.1;  // plenty of <www>/<phdthesis> to skip
+  auto stats = WriteSyntheticDblpXml(path, config);
+  ASSERT_TRUE(stats.ok());
+
+  auto loaded = LoadDblpXmlFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->records_loaded, stats->papers);
+  EXPECT_GT(loaded->records_skipped, 0);
+
+  auto publish = loaded->db.FindTable(kPublishTable);
+  ASSERT_TRUE(publish.ok());
+  EXPECT_EQ((*publish)->num_rows(), stats->refs);
+  EXPECT_TRUE(loaded->db.ValidateIntegrity().ok());
+  std::remove(path.c_str());
+}
+
+TEST(XmlCorpusTest, YearsStayInTheConfiguredRange) {
+  const std::string path = TempXml("corpus_years.xml");
+  XmlCorpusConfig config = SmallConfig();
+  config.start_year = 1999;
+  config.end_year = 2001;
+  ASSERT_TRUE(WriteSyntheticDblpXml(path, config).ok());
+  auto loaded = LoadDblpXmlFile(path);
+  ASSERT_TRUE(loaded.ok());
+  auto proceedings = loaded->db.FindTable(kProceedingsTable);
+  ASSERT_TRUE(proceedings.ok());
+  auto year_col = (*proceedings)->ColumnIndex("year");
+  ASSERT_TRUE(year_col.ok());
+  for (int64_t row = 0; row < (*proceedings)->num_rows(); ++row) {
+    const int64_t year = (*proceedings)->GetInt(row, *year_col);
+    EXPECT_GE(year, 1999);
+    EXPECT_LE(year, 2001);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace distinct
